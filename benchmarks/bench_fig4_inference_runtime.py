@@ -1,0 +1,34 @@
+"""Benchmark E3 — regenerate Fig. 4 (pipelined inference runtime).
+
+Simulates all three methods' schedules on 4/5/6-stage pipelined Edge TPU
+systems over the ten Table I models (1,000-inference workloads) and
+prints the normalized-runtime panels.  Shape assertions encode the
+paper's qualitative claims: RESPECT at or below the compiler baseline on
+average, with the margin growing at 6 stages.
+"""
+
+from repro.experiments.fig4 import format_fig4, run_fig4
+from repro.utils.stats import mean
+
+
+def test_fig4_inference_runtime(benchmark, emit, respect_scheduler):
+    rows = benchmark.pedantic(
+        run_fig4, kwargs={"respect": respect_scheduler}, rounds=1, iterations=1
+    )
+    emit("fig4_inference_runtime", format_fig4(rows))
+    assert len(rows) == 10 * 3
+
+    def avg_relative(num_stages: int) -> float:
+        return mean(
+            [r.relative_respect for r in rows if r.num_stages == num_stages]
+        )
+
+    # Paper: average RESPECT speedups of 1.06x / 1.08x / 1.65x at 4/5/6
+    # stages; we assert the direction and the stage trend, not the exact
+    # magnitudes (the substrate is a simulator).
+    assert avg_relative(4) <= 1.05
+    assert avg_relative(6) <= 1.0
+    assert avg_relative(6) <= avg_relative(4) + 0.05
+    # "up to ~2.5x": at least one 6-stage configuration shows >= 2x.
+    best = max(r.respect_speedup for r in rows if r.num_stages == 6)
+    assert best >= 2.0

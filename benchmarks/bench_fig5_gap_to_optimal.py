@@ -1,0 +1,24 @@
+"""Benchmark E4 — regenerate Fig. 5 (gap-to-optimal parameter caching).
+
+Compares RESPECT's peak per-stage parameter-caching footprint against the
+exact ILP optimum across the twelve Fig. 5 models and 4/5/6-stage
+pipelines.  The paper reports average gaps of 2.26% / 2.74% / 6.31%; the
+assertion bounds ours to the same single-digit regime.
+"""
+
+from repro.experiments.fig5 import average_gaps, format_fig5, run_fig5
+
+
+def test_fig5_gap_to_optimal(benchmark, emit, respect_scheduler):
+    rows = benchmark.pedantic(
+        run_fig5, kwargs={"respect": respect_scheduler}, rounds=1, iterations=1
+    )
+    emit("fig5_gap_to_optimal", format_fig5(rows))
+    assert len(rows) == 12 * 3
+    gaps = average_gaps(rows)
+    for num_stages, gap in gaps.items():
+        assert gap >= 0.0, "RESPECT cannot beat the exact optimum"
+        assert gap < 10.0, (
+            f"{num_stages}-stage average gap {gap:.2f}% is outside the "
+            f"paper's single-digit regime"
+        )

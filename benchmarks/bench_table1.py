@@ -1,0 +1,21 @@
+"""Benchmark E1 — regenerate Table I (model statistics).
+
+Asserts the builders reproduce the paper's |V| / deg(V) / Depth exactly
+and benchmarks graph-construction throughput.
+"""
+
+from repro.experiments.table1 import format_table1, run_table1
+from repro.models.zoo import TABLE1_EXPECTED, build_model
+
+
+def test_table1(benchmark, emit):
+    rows = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    emit("table1", format_table1(rows))
+    assert all(row.matches_paper for row in rows)
+    assert len(rows) == len(TABLE1_EXPECTED)
+
+
+def test_model_build_throughput(benchmark):
+    """Construction speed of the largest evaluated graph (782 nodes)."""
+    graph = benchmark(build_model, "InceptionResNetV2")
+    assert graph.num_nodes == 782

@@ -1,0 +1,41 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one paper artifact (table or figure), prints
+the same rows/series the paper reports (directly to the terminal, past
+pytest's capture) and archives the rendered text under
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.rl.respect import RespectScheduler
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def respect_scheduler() -> RespectScheduler:
+    """The shipped pretrained RESPECT policy wrapped as a scheduler."""
+    return RespectScheduler()
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def emit(capsys, results_dir):
+    """Print a rendered artifact to the real terminal and archive it."""
+
+    def _emit(name: str, text: str) -> None:
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+        with capsys.disabled():
+            print(f"\n{text}\n")
+
+    return _emit

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Survey every scheduler in the library on one workload.
+
+Runs the exact methods (ILP, branch-and-bound on a small graph), the
+classic RCS heuristics (list scheduling, Hu, force-directed), the
+metaheuristics (simulated annealing, DP budgeting), the Edge TPU compiler
+proxy and RESPECT on the same graphs, and prints the quality/solving-time
+trade-off table — the Pareto frontier the paper's introduction frames.
+"""
+
+from __future__ import annotations
+
+from repro import build_model, quantize_graph
+from repro.graphs.sampler import sample_synthetic_dag
+from repro.rl.respect import RespectScheduler
+from repro.scheduling import (
+    BranchAndBoundScheduler,
+    DpBudgetScheduler,
+    EdgeTpuCompilerProxy,
+    ForceDirectedScheduler,
+    HuScheduler,
+    IlpScheduler,
+    ListScheduler,
+    SimulatedAnnealingScheduler,
+)
+from repro.utils.tables import format_table
+
+NUM_STAGES = 4
+
+
+def survey(graph, schedulers) -> str:
+    rows = []
+    for name, scheduler in schedulers:
+        result = scheduler.schedule(graph, NUM_STAGES)
+        schedule = result.schedule
+        rows.append(
+            [
+                name,
+                f"{result.solve_time * 1e3:.2f} ms",
+                f"{schedule.peak_stage_param_bytes / 1e6:.3f} MB",
+                f"{schedule.transfer_bytes() / 1e6:.3f} MB",
+                "yes" if schedule.is_valid() else "NO",
+            ]
+        )
+    return format_table(
+        ["scheduler", "solve time", "peak stage memory", "transfers/inf", "valid"],
+        rows,
+        title=f"{graph.name} on {NUM_STAGES} stages",
+    )
+
+
+def main() -> None:
+    # Small synthetic graph: every method including exhaustive search.
+    small = sample_synthetic_dag(num_nodes=24, degree=3, seed=7)
+    print(survey(small, [
+        ("branch & bound (exact)", BranchAndBoundScheduler()),
+        ("ILP (exact)", IlpScheduler()),
+        ("list scheduling", ListScheduler()),
+        ("Hu's algorithm", HuScheduler()),
+        ("force-directed", ForceDirectedScheduler()),
+        ("simulated annealing", SimulatedAnnealingScheduler(iterations=1500)),
+        ("DP budgeting", DpBudgetScheduler()),
+        ("EdgeTPU compiler proxy", EdgeTpuCompilerProxy()),
+        ("RESPECT (RL)", RespectScheduler()),
+    ]))
+    print()
+
+    # Real DNN graph: the scalable subset.
+    xception = quantize_graph(build_model("Xception"))
+    print(survey(xception, [
+        ("ILP (exact)", IlpScheduler()),
+        ("list scheduling", ListScheduler()),
+        ("Hu's algorithm", HuScheduler()),
+        ("force-directed", ForceDirectedScheduler()),
+        ("simulated annealing", SimulatedAnnealingScheduler(iterations=1500)),
+        ("DP budgeting", DpBudgetScheduler()),
+        ("EdgeTPU compiler proxy", EdgeTpuCompilerProxy()),
+        ("RESPECT (RL)", RespectScheduler()),
+    ]))
+
+
+if __name__ == "__main__":
+    main()

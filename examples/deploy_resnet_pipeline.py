@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Deployment deep-dive: ResNet101v2 across 4/5/6-stage pipelines.
+
+The paper's headline case: at 6 stages, a communication- and
+caching-aware schedule fits every stage's parameters into the 8 MiB
+on-chip SRAM while the compiler's parameter-count balancing overflows a
+stage, forcing per-inference weight streaming over USB — worth ~2.5x of
+end-to-end runtime.  This example prints the stage-by-stage deployment
+(cached vs streamed bytes) and the energy estimate for each method.
+"""
+
+from __future__ import annotations
+
+from repro import (
+    EdgeTpuCompilerProxy,
+    IlpScheduler,
+    RespectScheduler,
+    build_model,
+    deploy,
+    quantize_graph,
+)
+from repro.tpu.power import estimate_energy
+
+MODEL = "ResNet101v2"
+NUM_INFERENCES = 1000
+
+
+def main() -> None:
+    graph = quantize_graph(build_model(MODEL))
+    print(f"{MODEL}: {graph.total_param_bytes / 1e6:.1f} MB of int8 parameters; "
+          f"one Edge TPU caches ~7.7 MB\n")
+
+    respect = RespectScheduler()
+    for num_stages in (4, 5, 6):
+        print(f"===== {num_stages}-stage pipeline "
+              f"(aggregate SRAM {num_stages * 7.69:.1f} MB) =====")
+        for name, scheduler in (
+            ("RESPECT", respect),
+            ("exact ILP", IlpScheduler()),
+            ("compiler", EdgeTpuCompilerProxy()),
+        ):
+            result = scheduler.schedule(graph, num_stages)
+            pipeline = deploy(graph, result.schedule)
+            report = pipeline.simulate(num_inferences=NUM_INFERENCES)
+            energy = estimate_energy(report)
+            streamed = sum(p.off_chip_bytes for p in report.profiles)
+            print(f"-- {name}: {report.seconds_per_inference * 1e3:.3f} ms/inf, "
+                  f"{streamed / 1e6:.2f} MB streamed/inf, "
+                  f"{energy.joules_per_inference * 1e3:.1f} mJ/inf")
+            print(pipeline.summary())
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Quickstart: schedule ResNet50 onto a 4-stage Edge TPU pipeline.
+
+Walks the full RESPECT deployment flow of Fig. 1a:
+
+1. build the DNN computational graph (Step 1),
+2. quantize it (the Toco int8 conversion the real flow applies),
+3. schedule with the pretrained RL policy (Steps 2-3),
+4. deploy onto the simulated pipelined Edge TPU system and run a
+   1,000-inference workload (Step 4),
+
+then prints the same numbers for the exact ILP and the Edge TPU compiler
+baseline so you can see the trade-off the paper is about.
+"""
+
+from __future__ import annotations
+
+from repro import (
+    EdgeTpuCompilerProxy,
+    IlpScheduler,
+    RespectScheduler,
+    build_model,
+    deploy,
+    quantize_graph,
+)
+
+NUM_STAGES = 4
+NUM_INFERENCES = 1000
+
+
+def main() -> None:
+    graph = quantize_graph(build_model("ResNet50"))
+    print(f"model: {graph.name} (|V|={graph.num_nodes}, "
+          f"params={graph.total_param_bytes / 1e6:.1f} MB int8)")
+    print(f"target: {NUM_STAGES}-stage pipelined Edge TPU system\n")
+
+    schedulers = {
+        "RESPECT (RL)": RespectScheduler(),
+        "exact ILP": IlpScheduler(),
+        "EdgeTPU compiler": EdgeTpuCompilerProxy(),
+    }
+    for name, scheduler in schedulers.items():
+        result = scheduler.schedule(graph, NUM_STAGES)
+        pipeline = deploy(graph, result.schedule)
+        report = pipeline.simulate(num_inferences=NUM_INFERENCES)
+        print(f"== {name}")
+        print(f"   solve time        : {result.solve_time * 1e3:8.1f} ms")
+        print(f"   peak stage memory : "
+              f"{result.schedule.peak_stage_param_bytes / 1e6:8.2f} MB")
+        print(f"   simulated runtime : "
+              f"{report.seconds_per_inference * 1e3:8.3f} ms/inference "
+              f"(bottleneck: {report.bottleneck})")
+        print(pipeline.summary())
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,15 @@
+"""Training datasets: synthetic graphs with exact-solver labels."""
+
+from repro.datasets.labels import label_graph
+from repro.datasets.synthetic import (
+    LabeledExample,
+    batch_examples,
+    generate_dataset,
+)
+
+__all__ = [
+    "LabeledExample",
+    "batch_examples",
+    "generate_dataset",
+    "label_graph",
+]

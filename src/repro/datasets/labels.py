@@ -1,0 +1,33 @@
+"""Ground-truth labeling of training graphs with the exact scheduler.
+
+RESPECT imitates "any optimal scheduling algorithm"; the teacher here is
+the memory-and-communication-aware exact method (ILP by default, the
+pure-Python branch-and-bound as an alternative).  A label is the exact
+schedule's ``gamma`` sequence (Eq. 2) expressed as indices into the
+encoder queue.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import TrainingError
+from repro.graphs.dag import ComputationalGraph
+from repro.scheduling.bnb import BranchAndBoundScheduler
+from repro.scheduling.ilp import IlpScheduler
+from repro.scheduling.schedule import Schedule
+
+
+def label_graph(
+    graph: ComputationalGraph,
+    num_stages: int,
+    solver: str = "ilp",
+) -> Tuple[Schedule, List[str]]:
+    """Solve ``graph`` exactly and return ``(schedule, gamma_sequence)``."""
+    if solver == "ilp":
+        result = IlpScheduler().schedule(graph, num_stages)
+    elif solver == "bnb":
+        result = BranchAndBoundScheduler().schedule(graph, num_stages)
+    else:
+        raise TrainingError(f"unknown label solver {solver!r}")
+    return result.schedule, result.schedule.to_sequence()

@@ -1,0 +1,21 @@
+"""Computational-graph embedding (Sec. III-A of the paper)."""
+
+from repro.embedding.features import (
+    EmbeddingConfig,
+    embed_graph,
+    embedding_feature_names,
+)
+from repro.embedding.queue import (
+    EncoderQueue,
+    build_encoder_queue,
+    build_precedence_matrix,
+)
+
+__all__ = [
+    "EmbeddingConfig",
+    "EncoderQueue",
+    "build_encoder_queue",
+    "build_precedence_matrix",
+    "embed_graph",
+    "embedding_feature_names",
+]

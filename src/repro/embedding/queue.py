@@ -1,0 +1,60 @@
+"""Encoder input queue ``q``: embedding rows + their node names."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.embedding.features import EmbeddingConfig, embed_graph
+from repro.graphs.dag import ComputationalGraph
+
+
+@dataclass
+class EncoderQueue:
+    """The paper's embedded input queue ``q``.
+
+    ``features[i]`` embeds ``node_names[i]``; the RL policy's output
+    indices refer to positions in this queue.  ``precedence[i, j]`` is
+    True iff position ``j`` is a parent of position ``i`` — the decoder
+    uses it to restrict choices to schedulable nodes.
+    """
+
+    node_names: List[str]
+    features: np.ndarray    # [|V|, feature_dim]
+    precedence: np.ndarray  # [|V|, |V|] bool
+
+    def __len__(self) -> int:
+        return len(self.node_names)
+
+    def names_for(self, indices) -> List[str]:
+        """Translate queue positions back to node names."""
+        return [self.node_names[int(i)] for i in indices]
+
+
+def build_precedence_matrix(
+    graph: ComputationalGraph, node_names: List[str]
+) -> np.ndarray:
+    """``P[i, j] = True`` iff ``node_names[j]`` is a parent of ``node_names[i]``."""
+    position = {name: i for i, name in enumerate(node_names)}
+    matrix = np.zeros((len(node_names), len(node_names)), dtype=bool)
+    for name in node_names:
+        i = position[name]
+        for parent in graph.parents(name):
+            matrix[i, position[parent]] = True
+    return matrix
+
+
+def build_encoder_queue(
+    graph: ComputationalGraph,
+    config: EmbeddingConfig = EmbeddingConfig(),
+) -> EncoderQueue:
+    """Embed ``graph`` and keep the row -> node-name mapping."""
+    features = embed_graph(graph, config)
+    node_names = graph.topological_order()
+    return EncoderQueue(
+        node_names=node_names,
+        features=features,
+        precedence=build_precedence_matrix(graph, node_names),
+    )

@@ -1,0 +1,48 @@
+"""Exception hierarchy for the RESPECT reproduction library.
+
+Every error raised by :mod:`repro` derives from :class:`RespectError` so
+callers can catch library failures with a single ``except`` clause while
+still being able to discriminate the failing subsystem.
+"""
+
+from __future__ import annotations
+
+
+class RespectError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class GraphError(RespectError):
+    """Raised for malformed computational graphs (bad nodes/edges)."""
+
+
+class CycleError(GraphError):
+    """Raised when an operation requires a DAG but the graph has a cycle."""
+
+
+class SchedulingError(RespectError):
+    """Raised when a scheduler cannot produce a schedule."""
+
+
+class InfeasibleScheduleError(SchedulingError):
+    """Raised when the scheduling constraints admit no feasible solution."""
+
+
+class SolverError(SchedulingError):
+    """Raised when an external or internal solver fails unexpectedly."""
+
+
+class DeploymentError(RespectError):
+    """Raised when a schedule cannot be deployed on the Edge TPU system."""
+
+
+class TrainingError(RespectError):
+    """Raised for failures inside the RL training loop."""
+
+
+class CheckpointError(RespectError):
+    """Raised when a model checkpoint cannot be saved or loaded."""
+
+
+class EmbeddingError(RespectError):
+    """Raised when a graph cannot be embedded into the encoder queue."""

@@ -1,0 +1,22 @@
+"""Experiment drivers — one callable per paper table/figure.
+
+Each driver returns structured rows plus a ``format_*`` helper that
+renders the same series the paper reports; the ``benchmarks/`` harness
+wraps them in pytest-benchmark targets.
+"""
+
+from repro.experiments.table1 import run_table1, format_table1
+from repro.experiments.fig3 import run_fig3, format_fig3
+from repro.experiments.fig4 import run_fig4, format_fig4
+from repro.experiments.fig5 import run_fig5, format_fig5
+
+__all__ = [
+    "format_fig3",
+    "format_fig4",
+    "format_fig5",
+    "format_table1",
+    "run_fig3",
+    "run_fig4",
+    "run_fig5",
+    "run_table1",
+]

@@ -1,0 +1,117 @@
+"""Experiment E3 — Fig. 4: pipelined Edge TPU inference runtime.
+
+Simulated per-inference runtime of the three methods' schedules on 4-,
+5- and 6-stage pipelines, normalized to the Edge TPU compiler baseline
+(= 1.0), exactly how the paper plots it.  The expected shape: RESPECT
+and the exact method at or below 1.0 with the margin growing as stages
+increase (compiler heuristics degrade with scheduling complexity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.models.zoo import FIG4_MODELS, build_model
+from repro.rl.respect import RespectScheduler
+from repro.scheduling.compiler_proxy import EdgeTpuCompilerProxy
+from repro.scheduling.ilp import IlpScheduler
+from repro.scheduling.postprocess import postprocess_schedule
+from repro.tpu.pipeline import PipelinedTpuSystem
+from repro.tpu.quantize import quantize_graph
+from repro.utils.stats import mean
+from repro.utils.tables import format_table
+
+
+@dataclass
+class Fig4Row:
+    """Normalized runtimes for one (model, stage count) cell."""
+
+    model: str
+    num_stages: int
+    compiler_seconds: float
+    ilp_seconds: float
+    respect_seconds: float
+
+    @property
+    def relative_ilp(self) -> float:
+        return self.ilp_seconds / self.compiler_seconds
+
+    @property
+    def relative_respect(self) -> float:
+        return self.respect_seconds / self.compiler_seconds
+
+    @property
+    def respect_speedup(self) -> float:
+        """RESPECT's on-chip speedup over the compiler (paper: up to 2.5x)."""
+        return self.compiler_seconds / self.respect_seconds
+
+
+def run_fig4(
+    models: Optional[Sequence[str]] = None,
+    stage_counts: Sequence[int] = (4, 5, 6),
+    num_inferences: int = 1000,
+    respect: Optional[RespectScheduler] = None,
+    ilp_time_limit: float = 300.0,
+) -> List[Fig4Row]:
+    """Simulate all three methods across models and stage counts."""
+    names = list(models) if models is not None else list(FIG4_MODELS)
+    respect = respect or RespectScheduler()
+    system = PipelinedTpuSystem()
+    rows: List[Fig4Row] = []
+    for name in names:
+        graph = quantize_graph(build_model(name))
+        for num_stages in stage_counts:
+            seconds: Dict[str, float] = {}
+            schedulers = {
+                "compiler": EdgeTpuCompilerProxy(),
+                "ilp": IlpScheduler(time_limit=ilp_time_limit),
+                "respect": respect,
+            }
+            for method, scheduler in schedulers.items():
+                result = scheduler.schedule(graph, num_stages)
+                schedule = postprocess_schedule(result.schedule)
+                report = system.run(graph, schedule, num_inferences=num_inferences)
+                seconds[method] = report.seconds_per_inference
+            rows.append(
+                Fig4Row(
+                    model=name,
+                    num_stages=num_stages,
+                    compiler_seconds=seconds["compiler"],
+                    ilp_seconds=seconds["ilp"],
+                    respect_seconds=seconds["respect"],
+                )
+            )
+    return rows
+
+
+def format_fig4(rows: List[Fig4Row]) -> str:
+    """Render the three Fig. 4 panels (4-, 5-, 6-stage)."""
+    parts: List[str] = []
+    for num_stages in sorted({r.num_stages for r in rows}):
+        panel = [r for r in rows if r.num_stages == num_stages]
+        body = [
+            [
+                row.model,
+                1.0,
+                round(row.relative_ilp, 3),
+                round(row.relative_respect, 3),
+                f"{row.respect_speedup:.2f}x",
+            ]
+            for row in panel
+        ]
+        table = format_table(
+            ["model", "EdgeTPU compiler", "exact method", "RESPECT", "speedup"],
+            body,
+            title=(
+                f"Fig. 4 ({num_stages}-stage) — normalized inference runtime "
+                f"(compiler = 1.0)"
+            ),
+        )
+        avg_respect = mean([row.relative_respect for row in panel])
+        parts.append(
+            table
+            + f"\naverage RESPECT relative runtime: {avg_respect:.3f} "
+            f"(speedup {1.0 / avg_respect:.2f}x over compiler)"
+        )
+    return "\n\n".join(parts)

@@ -1,0 +1,110 @@
+"""Experiment E4 — Fig. 5: gap-to-optimal parameter caching.
+
+For twelve ImageNet models and 4/5/6-stage pipelines, compare the peak
+per-stage parameter-caching footprint of RESPECT's schedule against the
+exact optimum (the phase-1 objective of the lexicographic ILP).  The
+paper reports average gaps of 2.26% / 2.74% / 6.31% for 4/5/6 stages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.models.zoo import FIG5_MODELS, build_model
+from repro.rl.respect import RespectScheduler
+from repro.scheduling.ilp import IlpScheduler
+from repro.tpu.quantize import quantize_graph
+from repro.utils.stats import mean
+from repro.utils.tables import format_table
+
+#: Average gap-to-optimal percentages the paper reports per stage count.
+PAPER_AVERAGE_GAPS = {4: 2.26, 5: 2.74, 6: 6.31}
+
+
+@dataclass
+class Fig5Row:
+    """Peak memory of RESPECT vs the exact optimum for one cell."""
+
+    model: str
+    num_stages: int
+    optimal_bytes: int
+    respect_bytes: int
+
+    @property
+    def gap_fraction(self) -> float:
+        if self.optimal_bytes == 0:
+            return 0.0
+        return (self.respect_bytes - self.optimal_bytes) / self.optimal_bytes
+
+    @property
+    def gap_percent(self) -> float:
+        return 100.0 * self.gap_fraction
+
+
+def run_fig5(
+    models: Optional[Sequence[str]] = None,
+    stage_counts: Sequence[int] = (4, 5, 6),
+    respect: Optional[RespectScheduler] = None,
+    ilp_time_limit: float = 300.0,
+) -> List[Fig5Row]:
+    """Measure peak parameter-caching memory: RESPECT vs exact optimum."""
+    names = list(models) if models is not None else list(FIG5_MODELS)
+    respect = respect or RespectScheduler()
+    rows: List[Fig5Row] = []
+    for name in names:
+        graph = quantize_graph(build_model(name))
+        for num_stages in stage_counts:
+            ilp = IlpScheduler(peak_tolerance=0.0, time_limit=ilp_time_limit)
+            exact = ilp.schedule(graph, num_stages)
+            optimal = int(exact.extras["peak_optimum_bytes"])
+            respect_result = respect.schedule(graph, num_stages)
+            rows.append(
+                Fig5Row(
+                    model=name,
+                    num_stages=num_stages,
+                    optimal_bytes=optimal,
+                    respect_bytes=respect_result.schedule.peak_stage_param_bytes,
+                )
+            )
+    return rows
+
+
+def average_gaps(rows: List[Fig5Row]) -> Dict[int, float]:
+    """Average gap-to-optimal percent per stage count."""
+    out: Dict[int, float] = {}
+    for num_stages in sorted({r.num_stages for r in rows}):
+        panel = [r.gap_percent for r in rows if r.num_stages == num_stages]
+        out[num_stages] = mean(panel)
+    return out
+
+
+def format_fig5(rows: List[Fig5Row]) -> str:
+    """Render the three Fig. 5 panels plus the average-gap summary."""
+    parts: List[str] = []
+    for num_stages in sorted({r.num_stages for r in rows}):
+        panel = [r for r in rows if r.num_stages == num_stages]
+        body = [
+            [
+                row.model,
+                f"{row.optimal_bytes / 1e6:.3f}",
+                f"{row.respect_bytes / 1e6:.3f}",
+                f"{row.gap_percent:.2f}%",
+            ]
+            for row in panel
+        ]
+        parts.append(
+            format_table(
+                ["model", "optimal objective (MB)", "RESPECT (MB)", "gap"],
+                body,
+                title=f"Fig. 5 ({num_stages}-stage) — parameter caching vs optimum",
+            )
+        )
+    gaps = average_gaps(rows)
+    summary_bits = []
+    for num_stages, gap in gaps.items():
+        paper = PAPER_AVERAGE_GAPS.get(num_stages)
+        paper_note = f" (paper: {paper:.2f}%)" if paper is not None else ""
+        summary_bits.append(f"{num_stages}-stage {gap:.2f}%{paper_note}")
+    parts.append("average gap-to-optimal: " + ", ".join(summary_bits))
+    return "\n\n".join(parts)

@@ -1,0 +1,82 @@
+"""Experiment E1 — Table I: DNN model statistics.
+
+Reproduces the |V| / deg(V) / Depth table for the ten benchmark models
+and reports the match against the paper's published values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.graphs.topology import graph_depth
+from repro.models.zoo import MODEL_BUILDERS, TABLE1_EXPECTED, build_model
+from repro.utils.tables import format_table
+
+
+@dataclass
+class Table1Row:
+    """One model's statistics next to the paper's values."""
+
+    model: str
+    num_nodes: int
+    degree: int
+    depth: int
+    paper_num_nodes: Optional[int]
+    paper_degree: Optional[int]
+    paper_depth: Optional[int]
+
+    @property
+    def matches_paper(self) -> Optional[bool]:
+        if self.paper_num_nodes is None:
+            return None
+        return (
+            self.num_nodes == self.paper_num_nodes
+            and self.degree == self.paper_degree
+            and self.depth == self.paper_depth
+        )
+
+
+def run_table1(models: Optional[List[str]] = None) -> List[Table1Row]:
+    """Build every model and collect its Table I statistics."""
+    names = models if models is not None else list(TABLE1_EXPECTED)
+    rows: List[Table1Row] = []
+    for name in names:
+        graph = build_model(name)
+        expected = TABLE1_EXPECTED.get(name, {})
+        rows.append(
+            Table1Row(
+                model=name,
+                num_nodes=graph.num_nodes,
+                degree=graph.max_in_degree,
+                depth=graph_depth(graph),
+                paper_num_nodes=expected.get("num_nodes"),
+                paper_degree=expected.get("degree"),
+                paper_depth=expected.get("depth"),
+            )
+        )
+    return rows
+
+
+def format_table1(rows: List[Table1Row]) -> str:
+    """Render the Table I reproduction."""
+    body = []
+    for row in rows:
+        match = row.matches_paper
+        body.append(
+            [
+                row.model,
+                row.num_nodes,
+                row.degree,
+                row.depth,
+                row.paper_num_nodes if row.paper_num_nodes is not None else "-",
+                row.paper_degree if row.paper_degree is not None else "-",
+                row.paper_depth if row.paper_depth is not None else "-",
+                "yes" if match else ("-" if match is None else "NO"),
+            ]
+        )
+    return format_table(
+        ["model", "|V|", "deg(V)", "depth", "paper |V|", "paper deg", "paper depth", "match"],
+        body,
+        title="Table I — DNN computational-graph statistics",
+    )

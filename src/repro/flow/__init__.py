@@ -1,0 +1,18 @@
+"""End-to-end experiment flow: model -> schedule -> deploy -> simulate."""
+
+from repro.flow.compare import (
+    MethodOutcome,
+    compare_methods,
+    default_methods,
+    run_method,
+)
+from repro.flow.multimodel import merge_graphs, split_schedule
+
+__all__ = [
+    "MethodOutcome",
+    "compare_methods",
+    "default_methods",
+    "merge_graphs",
+    "run_method",
+    "split_schedule",
+]

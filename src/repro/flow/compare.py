@@ -1,0 +1,109 @@
+"""Comparison harness shared by every evaluation figure.
+
+One call per (model, method, stage count): quantize the model, let the
+scheduler solve it, deploy the schedule and simulate the 1,000-inference
+workload the paper measures.  Results carry all three quantities the
+evaluation section reports: schedule *solving time* (Fig. 3), simulated
+*on-chip runtime* (Fig. 4) and *peak parameter-caching memory* (Fig. 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.errors import SchedulingError
+from repro.graphs.dag import ComputationalGraph
+from repro.scheduling.compiler_proxy import EdgeTpuCompilerProxy
+from repro.scheduling.ilp import IlpScheduler
+from repro.scheduling.postprocess import postprocess_schedule
+from repro.scheduling.schedule import ScheduleResult
+from repro.tpu.pipeline import PipelinedTpuSystem, PipelineReport
+from repro.tpu.quantize import is_quantized, quantize_graph
+from repro.tpu.spec import EdgeTPUSpec, default_spec
+
+#: A scheduler factory: () -> object with .schedule(graph, num_stages).
+SchedulerFactory = Callable[[], object]
+
+
+@dataclass
+class MethodOutcome:
+    """Everything measured for one (model, method, stages) cell."""
+
+    model: str
+    method: str
+    num_stages: int
+    solve_time_seconds: float
+    seconds_per_inference: float
+    peak_stage_param_bytes: int
+    objective: float
+    report: PipelineReport
+    schedule_result: ScheduleResult
+
+
+def default_methods() -> Dict[str, SchedulerFactory]:
+    """The paper's three contenders (RESPECT joins once a policy exists)."""
+    return {
+        "edgetpu_compiler": EdgeTpuCompilerProxy,
+        "ilp": IlpScheduler,
+    }
+
+
+def run_method(
+    graph: ComputationalGraph,
+    scheduler: object,
+    num_stages: int,
+    num_inferences: int = 1000,
+    spec: Optional[EdgeTPUSpec] = None,
+    model_name: str = "",
+    method_name: str = "",
+) -> MethodOutcome:
+    """Schedule + deploy + simulate one configuration.
+
+    ``graph`` should already be quantized (all methods schedule the same
+    int8 model, as the real deployment flow does after Toco conversion).
+    """
+    if not is_quantized(graph):
+        raise SchedulingError(
+            "run_method expects a quantized graph; call quantize_graph first"
+        )
+    result: ScheduleResult = scheduler.schedule(graph, num_stages)  # type: ignore[attr-defined]
+    schedule = postprocess_schedule(result.schedule)
+    system = PipelinedTpuSystem(spec or default_spec())
+    report = system.run(graph, schedule, num_inferences=num_inferences)
+    return MethodOutcome(
+        model=model_name or graph.name,
+        method=method_name or result.method,
+        num_stages=num_stages,
+        solve_time_seconds=result.solve_time,
+        seconds_per_inference=report.seconds_per_inference,
+        peak_stage_param_bytes=schedule.peak_stage_param_bytes,
+        objective=result.objective,
+        report=report,
+        schedule_result=result,
+    )
+
+
+def compare_methods(
+    graph: ComputationalGraph,
+    methods: Dict[str, SchedulerFactory],
+    num_stages: int,
+    num_inferences: int = 1000,
+    spec: Optional[EdgeTPUSpec] = None,
+    model_name: str = "",
+) -> Dict[str, MethodOutcome]:
+    """Run every method on the same quantized graph and stage count."""
+    quantized = graph if is_quantized(graph) else quantize_graph(graph)
+    outcomes: Dict[str, MethodOutcome] = {}
+    for name, factory in methods.items():
+        scheduler = factory()
+        outcomes[name] = run_method(
+            quantized,
+            scheduler,
+            num_stages,
+            num_inferences=num_inferences,
+            spec=spec,
+            model_name=model_name or graph.name,
+            method_name=name,
+        )
+    return outcomes

@@ -1,0 +1,68 @@
+"""Multi-model co-scheduling.
+
+The paper's deployment framework "takes single or multiple DNN models
+and the number of pipeline stages as inputs" — co-compiling several
+models onto one pipelined Edge TPU system so their parameters share the
+aggregate SRAM.  This module merges multiple computational graphs into
+one schedulable DAG (namespaced node names, independent sources/sinks)
+so every scheduler in the library applies unchanged, and splits the
+joint schedule back per model afterwards.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.errors import GraphError, SchedulingError
+from repro.graphs.dag import ComputationalGraph, OpNode
+from repro.scheduling.schedule import Schedule
+
+_SEPARATOR = "::"
+
+
+def merge_graphs(
+    graphs: Sequence[ComputationalGraph], name: str = "multimodel"
+) -> ComputationalGraph:
+    """Merge ``graphs`` into one DAG with ``<model>::<node>`` names.
+
+    Models stay disconnected (they only share the pipeline's resources),
+    so any schedule of the merged graph induces a valid schedule of each
+    member.
+    """
+    if not graphs:
+        raise GraphError("merge_graphs needs at least one graph")
+    names = [g.name for g in graphs]
+    if len(set(names)) != len(names):
+        raise GraphError(f"model names must be unique, got {names}")
+    merged = ComputationalGraph(name=name)
+    for graph in graphs:
+        for node in graph.nodes:
+            namespaced = node.copy()
+            namespaced.name = f"{graph.name}{_SEPARATOR}{node.name}"
+            merged.add_node(namespaced)
+        for src, dst in graph.edges():
+            merged.add_edge(
+                f"{graph.name}{_SEPARATOR}{src}",
+                f"{graph.name}{_SEPARATOR}{dst}",
+            )
+    return merged
+
+
+def split_schedule(
+    schedule: Schedule, graphs: Sequence[ComputationalGraph]
+) -> Dict[str, Schedule]:
+    """Project a merged-graph schedule back onto each member model."""
+    by_name = {g.name: g for g in graphs}
+    assignments: Dict[str, Dict[str, int]] = {name: {} for name in by_name}
+    for merged_name, stage in schedule.assignment.items():
+        model, _, node = merged_name.partition(_SEPARATOR)
+        if model not in by_name or not node:
+            raise SchedulingError(
+                f"schedule node {merged_name!r} does not belong to any of "
+                f"the supplied models"
+            )
+        assignments[model][node] = stage
+    return {
+        name: Schedule(by_name[name], schedule.num_stages, assignment)
+        for name, assignment in assignments.items()
+    }

@@ -1,0 +1,40 @@
+"""Computational-graph substrate.
+
+This subpackage provides the DAG data structure that every other part of
+the library operates on: DNN computational graphs whose nodes carry the
+attributes the RESPECT scheduler consumes (parameter bytes, activation
+output bytes, MAC counts), plus topology analyses (ASAP/ALAP levels,
+depth, critical path), validation, serialization, and the synthetic
+training-graph sampler from Sec. III of the paper.
+"""
+
+from repro.graphs.dag import ComputationalGraph, OpNode
+from repro.graphs.sampler import SyntheticDAGSampler, sample_synthetic_dag
+from repro.graphs.topology import (
+    alap_levels,
+    ancestors,
+    asap_levels,
+    critical_path,
+    descendants,
+    graph_depth,
+    level_sets,
+    mobility,
+)
+from repro.graphs.validate import assert_valid_graph, validate_graph
+
+__all__ = [
+    "ComputationalGraph",
+    "OpNode",
+    "SyntheticDAGSampler",
+    "alap_levels",
+    "ancestors",
+    "asap_levels",
+    "assert_valid_graph",
+    "critical_path",
+    "descendants",
+    "graph_depth",
+    "level_sets",
+    "mobility",
+    "sample_synthetic_dag",
+    "validate_graph",
+]

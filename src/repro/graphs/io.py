@@ -1,0 +1,117 @@
+"""Serialization of computational graphs (JSON, DOT, networkx bridges)."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+import networkx as nx
+
+from repro.errors import GraphError
+from repro.graphs.dag import ComputationalGraph, OpNode
+
+_FORMAT_VERSION = 1
+
+
+def graph_to_dict(graph: ComputationalGraph) -> Dict[str, object]:
+    """Serialize ``graph`` to a JSON-compatible dictionary."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "name": graph.name,
+        "nodes": [
+            {
+                "name": n.name,
+                "op_type": n.op_type,
+                "param_bytes": n.param_bytes,
+                "output_bytes": n.output_bytes,
+                "macs": n.macs,
+                "attrs": n.attrs,
+            }
+            for n in graph.nodes
+        ],
+        "edges": [[src, dst] for src, dst in graph.edges()],
+    }
+
+
+def graph_from_dict(data: Dict[str, object]) -> ComputationalGraph:
+    """Inverse of :func:`graph_to_dict`."""
+    version = data.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise GraphError(f"unsupported graph format version {version!r}")
+    graph = ComputationalGraph(name=str(data.get("name", "graph")))
+    for spec in data["nodes"]:  # type: ignore[index]
+        graph.add_node(
+            OpNode(
+                name=spec["name"],
+                op_type=spec.get("op_type", "generic"),
+                param_bytes=int(spec.get("param_bytes", 0)),
+                output_bytes=int(spec.get("output_bytes", 0)),
+                macs=int(spec.get("macs", 0)),
+                attrs=dict(spec.get("attrs", {})),
+            )
+        )
+    for src, dst in data["edges"]:  # type: ignore[index]
+        graph.add_edge(src, dst)
+    return graph
+
+
+def save_graph(graph: ComputationalGraph, path: Union[str, Path]) -> None:
+    """Write ``graph`` to ``path`` as JSON."""
+    Path(path).write_text(json.dumps(graph_to_dict(graph), indent=2))
+
+
+def load_graph(path: Union[str, Path]) -> ComputationalGraph:
+    """Read a graph previously written by :func:`save_graph`."""
+    return graph_from_dict(json.loads(Path(path).read_text()))
+
+
+def to_networkx(graph: ComputationalGraph) -> "nx.DiGraph":
+    """Convert to a :class:`networkx.DiGraph` (node attrs copied over)."""
+    out = nx.DiGraph(name=graph.name)
+    for node in graph.nodes:
+        out.add_node(
+            node.name,
+            op_type=node.op_type,
+            param_bytes=node.param_bytes,
+            output_bytes=node.output_bytes,
+            macs=node.macs,
+        )
+    out.add_edges_from(graph.edges())
+    return out
+
+
+def from_networkx(nx_graph: "nx.DiGraph", name: str = "graph") -> ComputationalGraph:
+    """Build a :class:`ComputationalGraph` from a networkx DiGraph.
+
+    Node attributes ``op_type``/``param_bytes``/``output_bytes``/``macs``
+    are honoured when present.
+    """
+    graph = ComputationalGraph(name=name)
+    for node_name, attrs in nx_graph.nodes(data=True):
+        graph.add_node(
+            OpNode(
+                name=str(node_name),
+                op_type=attrs.get("op_type", "generic"),
+                param_bytes=int(attrs.get("param_bytes", 0)),
+                output_bytes=int(attrs.get("output_bytes", 0)),
+                macs=int(attrs.get("macs", 0)),
+            )
+        )
+    for src, dst in nx_graph.edges():
+        graph.add_edge(str(src), str(dst))
+    return graph
+
+
+def to_dot(graph: ComputationalGraph) -> str:
+    """Render the graph as Graphviz DOT text (for debugging / papers)."""
+    lines = [f'digraph "{graph.name}" {{', "  rankdir=TB;"]
+    for node in graph.nodes:
+        label = f"{node.name}\\n{node.op_type}"
+        if node.param_bytes:
+            label += f"\\n{node.param_bytes / 1024:.1f} KiB"
+        lines.append(f'  "{node.name}" [label="{label}"];')
+    for src, dst in graph.edges():
+        lines.append(f'  "{src}" -> "{dst}";')
+    lines.append("}")
+    return "\n".join(lines)

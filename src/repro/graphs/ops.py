@@ -1,0 +1,125 @@
+"""Operator taxonomy for DNN computational graphs.
+
+Operator type strings mirror the layer kinds that appear in the Keras /
+TFLite graphs the paper schedules.  The sets below drive downstream
+behaviour: which ops own parameters (and therefore occupy Edge TPU SRAM),
+and which ops the latency model treats as compute-bound versus
+memory-bound.
+"""
+
+from __future__ import annotations
+
+# -- operator kind constants -------------------------------------------------
+INPUT = "input"
+CONV2D = "conv2d"
+DEPTHWISE_CONV2D = "depthwise_conv2d"
+SEPARABLE_CONV2D = "separable_conv2d"
+DENSE = "dense"
+BATCH_NORM = "batch_norm"
+ACTIVATION = "activation"
+ADD = "add"
+MULTIPLY = "multiply"
+CONCAT = "concat"
+MAX_POOL = "max_pool"
+AVG_POOL = "avg_pool"
+GLOBAL_AVG_POOL = "global_avg_pool"
+ZERO_PAD = "zero_pad"
+SCALE = "scale"
+SOFTMAX = "softmax"
+GENERIC = "generic"
+
+ALL_OP_TYPES = frozenset(
+    {
+        INPUT,
+        CONV2D,
+        DEPTHWISE_CONV2D,
+        SEPARABLE_CONV2D,
+        DENSE,
+        BATCH_NORM,
+        ACTIVATION,
+        ADD,
+        MULTIPLY,
+        CONCAT,
+        MAX_POOL,
+        AVG_POOL,
+        GLOBAL_AVG_POOL,
+        ZERO_PAD,
+        SCALE,
+        SOFTMAX,
+        GENERIC,
+    }
+)
+
+#: Operators that own trainable parameters (weights cached in TPU SRAM).
+PARAMETRIC_OPS = frozenset(
+    {CONV2D, DEPTHWISE_CONV2D, SEPARABLE_CONV2D, DENSE, BATCH_NORM}
+)
+
+#: Operators whose cost is dominated by MAC throughput on the systolic array.
+COMPUTE_OPS = frozenset({CONV2D, DEPTHWISE_CONV2D, SEPARABLE_CONV2D, DENSE})
+
+#: Element-wise / data-movement operators (cost ~ activation bytes).
+ELEMENTWISE_OPS = frozenset(
+    {
+        ACTIVATION,
+        ADD,
+        MULTIPLY,
+        SCALE,
+        SOFTMAX,
+        BATCH_NORM,
+        ZERO_PAD,
+        CONCAT,
+        MAX_POOL,
+        AVG_POOL,
+        GLOBAL_AVG_POOL,
+    }
+)
+
+
+def is_parametric(op_type: str) -> bool:
+    """True iff ``op_type`` carries weights the Edge TPU must cache."""
+    return op_type in PARAMETRIC_OPS
+
+
+def conv2d_params(kernel_h: int, kernel_w: int, cin: int, cout: int, use_bias: bool) -> int:
+    """Trainable parameter count of a standard 2-D convolution."""
+    return kernel_h * kernel_w * cin * cout + (cout if use_bias else 0)
+
+
+def depthwise_conv2d_params(kernel_h: int, kernel_w: int, cin: int, use_bias: bool) -> int:
+    """Parameter count of a depthwise convolution (channel multiplier 1)."""
+    return kernel_h * kernel_w * cin + (cin if use_bias else 0)
+
+
+def separable_conv2d_params(
+    kernel_h: int, kernel_w: int, cin: int, cout: int, use_bias: bool
+) -> int:
+    """Parameter count of a separable conv = depthwise + pointwise."""
+    depthwise = depthwise_conv2d_params(kernel_h, kernel_w, cin, use_bias=False)
+    pointwise = conv2d_params(1, 1, cin, cout, use_bias)
+    return depthwise + pointwise
+
+
+def dense_params(units_in: int, units_out: int, use_bias: bool) -> int:
+    """Parameter count of a fully-connected layer."""
+    return units_in * units_out + (units_out if use_bias else 0)
+
+
+def batch_norm_params(channels: int) -> int:
+    """BatchNorm stores gamma/beta/moving-mean/moving-variance: 4 per channel."""
+    return 4 * channels
+
+
+def conv2d_macs(out_h: int, out_w: int, kernel_h: int, kernel_w: int, cin: int, cout: int) -> int:
+    """MAC count of a standard convolution."""
+    return out_h * out_w * kernel_h * kernel_w * cin * cout
+
+
+def depthwise_conv2d_macs(out_h: int, out_w: int, kernel_h: int, kernel_w: int, cin: int) -> int:
+    """MAC count of a depthwise convolution."""
+    return out_h * out_w * kernel_h * kernel_w * cin
+
+
+def dense_macs(units_in: int, units_out: int) -> int:
+    """MAC count of a fully-connected layer."""
+    return units_in * units_out

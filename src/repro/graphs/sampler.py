@@ -1,0 +1,217 @@
+"""Synthetic DAG sampler — the paper's training-data generator.
+
+RESPECT is trained *only* on synthetic graphs (Sec. III, "Synthetic
+training dataset"): random DAGs with ``|V| = 30`` whose complexity is
+controlled through the maximum in-degree ``deg(V) ∈ {2, 3, 4, 5, 6}``.
+The sampler below mimics the structure of DNN computational graphs:
+
+* a single input (source) node,
+* a strong chain backbone (DNNs are mostly sequential) with skip/merge
+  edges providing the requested in-degree,
+* parameter footprints that grow with depth and activation tensors that
+  shrink with depth, the canonical CNN memory profile.
+
+Full control over graph complexity and memory attributes is exactly the
+advantage the paper claims for synthetic data, so all knobs are exposed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+from repro.errors import GraphError
+from repro.graphs import ops
+from repro.graphs.dag import ComputationalGraph, OpNode
+from repro.utils.rng import SeedLike, resolve_rng
+
+#: Non-source operator kinds assigned to sampled nodes; parametric kinds
+#: receive weight bytes, the rest only produce activations.
+_PARAMETRIC_KINDS = (ops.CONV2D, ops.DEPTHWISE_CONV2D, ops.DENSE, ops.BATCH_NORM)
+_NONPARAMETRIC_KINDS = (ops.ACTIVATION, ops.ADD, ops.CONCAT, ops.MAX_POOL)
+
+
+class SyntheticDAGSampler:
+    """Random generator of DNN-like computational graphs.
+
+    Parameters
+    ----------
+    num_nodes:
+        ``|V|`` of every sampled graph (paper: 30).
+    degree:
+        Maximum in-degree ``deg(V)`` (paper sweeps 2..6).  The sampler
+        guarantees the generated graph attains exactly this maximum
+        whenever ``num_nodes`` permits it.
+    seed:
+        RNG seed or generator.
+    chain_bias:
+        Probability that a node's first parent is its immediate
+        predecessor, producing the sequential backbone typical of DNNs.
+    merge_fraction:
+        Fraction of eligible nodes that receive more than one parent.
+    param_bytes_range:
+        (low, high) bounds for parametric nodes' weight bytes; drawn
+        log-uniformly and scaled up with depth.
+    output_bytes_range:
+        (low, high) bounds for activation bytes; drawn log-uniformly and
+        scaled down with depth.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int = 30,
+        degree: int = 2,
+        seed: SeedLike = None,
+        chain_bias: float = 0.75,
+        merge_fraction: float = 0.3,
+        param_bytes_range: Tuple[int, int] = (2_048, 2_097_152),
+        output_bytes_range: Tuple[int, int] = (4_096, 1_048_576),
+    ) -> None:
+        if num_nodes < 2:
+            raise GraphError("synthetic graphs need at least 2 nodes")
+        if degree < 1:
+            raise GraphError("degree must be at least 1")
+        if not 0.0 <= chain_bias <= 1.0:
+            raise GraphError("chain_bias must lie in [0, 1]")
+        if not 0.0 <= merge_fraction <= 1.0:
+            raise GraphError("merge_fraction must lie in [0, 1]")
+        if param_bytes_range[0] <= 0 or param_bytes_range[0] > param_bytes_range[1]:
+            raise GraphError("param_bytes_range must be positive and ordered")
+        if output_bytes_range[0] <= 0 or output_bytes_range[0] > output_bytes_range[1]:
+            raise GraphError("output_bytes_range must be positive and ordered")
+        self.num_nodes = num_nodes
+        self.degree = degree
+        self.chain_bias = chain_bias
+        self.merge_fraction = merge_fraction
+        self.param_bytes_range = param_bytes_range
+        self.output_bytes_range = output_bytes_range
+        self._rng = resolve_rng(seed)
+        self._counter = 0
+
+    # ------------------------------------------------------------------
+    def sample(self) -> ComputationalGraph:
+        """Draw one random computational graph."""
+        rng = self._rng
+        self._counter += 1
+        graph = ComputationalGraph(
+            name=f"synthetic_v{self.num_nodes}_d{self.degree}_{self._counter:06d}"
+        )
+        parent_lists = self._sample_topology()
+        for i in range(self.num_nodes):
+            node = self._make_node(i, parent_lists[i])
+            graph.add_node(node)
+            for parent_index in parent_lists[i]:
+                graph.add_edge(self._node_name(parent_index), node.name)
+        if graph.total_param_bytes == 0:
+            # Degenerate for scheduling (per-stage budgets collapse to 0);
+            # promote one mid-graph node to a parametric operator.
+            target = graph.node(self._node_name(self.num_nodes // 2))
+            target.op_type = ops.CONV2D
+            target.param_bytes = self._log_uniform(*self.param_bytes_range)
+            target.macs = target.param_bytes * 16
+        return graph
+
+    def sample_batch(self, count: int) -> List[ComputationalGraph]:
+        """Draw ``count`` independent graphs."""
+        return [self.sample() for _ in range(count)]
+
+    def stream(self) -> Iterator[ComputationalGraph]:
+        """Endless generator of fresh graphs (training consumes this)."""
+        while True:
+            yield self.sample()
+
+    # ------------------------------------------------------------------
+    def _node_name(self, index: int) -> str:
+        return f"n{index:03d}"
+
+    def _sample_topology(self) -> List[List[int]]:
+        """Choose parent sets per node; index 0 is the single source."""
+        rng = self._rng
+        parent_lists: List[List[int]] = [[]]
+        for i in range(1, self.num_nodes):
+            max_parents = min(i, self.degree)
+            if max_parents == 1 or rng.random() >= self.merge_fraction:
+                n_parents = 1
+            else:
+                n_parents = int(rng.integers(2, max_parents + 1))
+            parents: List[int] = []
+            # Backbone edge keeps graphs connected and chain-like.
+            if rng.random() < self.chain_bias:
+                parents.append(i - 1)
+            while len(parents) < n_parents:
+                # Bias candidate choice towards recent nodes (locality),
+                # mirroring skip connections that span a few layers.
+                span = max(1, int(rng.geometric(0.35)))
+                candidate = max(0, i - span)
+                if candidate not in parents:
+                    parents.append(candidate)
+            parent_lists.append(sorted(parents))
+        self._force_max_degree(parent_lists)
+        return parent_lists
+
+    def _force_max_degree(self, parent_lists: List[List[int]]) -> None:
+        """Ensure some node attains in-degree == ``degree`` when possible."""
+        if self.num_nodes <= self.degree:
+            return
+        achieved = max(len(p) for p in parent_lists)
+        if achieved >= self.degree:
+            return
+        rng = self._rng
+        # Pick a node late enough to have `degree` candidate parents.
+        target = int(rng.integers(self.degree, self.num_nodes))
+        existing = set(parent_lists[target])
+        candidates = [c for c in range(target) if c not in existing]
+        rng.shuffle(candidates)
+        needed = self.degree - len(existing)
+        parent_lists[target] = sorted(existing | set(candidates[:needed]))
+
+    def _make_node(self, index: int, parents: List[int]) -> OpNode:
+        rng = self._rng
+        name = self._node_name(index)
+        if index == 0:
+            return OpNode(
+                name=name,
+                op_type=ops.INPUT,
+                param_bytes=0,
+                output_bytes=self._log_uniform(*self.output_bytes_range),
+                macs=0,
+            )
+        depth_frac = index / max(1, self.num_nodes - 1)
+        if len(parents) > 1:
+            # Merge points are joins (add/concat): no parameters.
+            op_type = ops.ADD if rng.random() < 0.5 else ops.CONCAT
+            param_bytes = 0
+        elif rng.random() < 0.7:
+            op_type = str(rng.choice(_PARAMETRIC_KINDS))
+            # Parameters grow with depth: late conv/dense layers dominate
+            # model size in real CNNs (what makes scheduling hard).
+            scale = 0.25 + 1.75 * depth_frac
+            param_bytes = int(self._log_uniform(*self.param_bytes_range) * scale)
+        else:
+            op_type = str(rng.choice(_NONPARAMETRIC_KINDS))
+            param_bytes = 0
+        # Activations shrink with depth (spatial downsampling).
+        act_scale = 1.5 - 1.2 * depth_frac
+        output_bytes = max(
+            256, int(self._log_uniform(*self.output_bytes_range) * act_scale)
+        )
+        macs = param_bytes * int(rng.integers(8, 64)) if param_bytes else 0
+        return OpNode(
+            name=name,
+            op_type=op_type,
+            param_bytes=param_bytes,
+            output_bytes=output_bytes,
+            macs=macs,
+        )
+
+    def _log_uniform(self, low: int, high: int) -> int:
+        import math
+
+        rng = self._rng
+        return int(math.exp(rng.uniform(math.log(low), math.log(high))))
+
+
+def sample_synthetic_dag(
+    num_nodes: int = 30, degree: int = 2, seed: SeedLike = None
+) -> ComputationalGraph:
+    """One-shot convenience wrapper around :class:`SyntheticDAGSampler`."""
+    return SyntheticDAGSampler(num_nodes=num_nodes, degree=degree, seed=seed).sample()

@@ -1,0 +1,85 @@
+"""Tensor shape/size bookkeeping for computational-graph construction.
+
+The model builders (:mod:`repro.models`) carry a :class:`TensorSpec`
+through the network exactly the way a shape-inference pass does, so node
+attributes (activation bytes) come from real tensor shapes rather than
+made-up constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import GraphError
+
+DTYPE_BYTES = {
+    "float32": 4,
+    "float16": 2,
+    "int8": 1,
+    "uint8": 1,
+    "int32": 4,
+}
+
+
+@dataclass(frozen=True)
+class TensorSpec:
+    """An immutable tensor description: ``shape`` (no batch dim) + dtype."""
+
+    shape: Tuple[int, ...]
+    dtype: str = "float32"
+
+    def __post_init__(self) -> None:
+        if self.dtype not in DTYPE_BYTES:
+            raise GraphError(f"unknown dtype {self.dtype!r}")
+        if any(d <= 0 for d in self.shape):
+            raise GraphError(f"tensor shape {self.shape} has non-positive dims")
+
+    @property
+    def numel(self) -> int:
+        """Number of elements."""
+        count = 1
+        for dim in self.shape:
+            count *= dim
+        return count
+
+    @property
+    def nbytes(self) -> int:
+        """Size in bytes."""
+        return self.numel * DTYPE_BYTES[self.dtype]
+
+    def with_dtype(self, dtype: str) -> "TensorSpec":
+        """Same shape, different element type."""
+        return TensorSpec(self.shape, dtype)
+
+
+def conv_output_hw(
+    height: int,
+    width: int,
+    kernel: Tuple[int, int],
+    strides: Tuple[int, int],
+    padding: str,
+) -> Tuple[int, int]:
+    """Spatial output size of a convolution/pool under Keras semantics.
+
+    ``padding='same'`` gives ``ceil(in / stride)``; ``'valid'`` gives
+    ``ceil((in - k + 1) / stride)``.
+    """
+    kh, kw = kernel
+    sh, sw = strides
+    if sh <= 0 or sw <= 0:
+        raise GraphError("strides must be positive")
+    if padding == "same":
+        out_h = -(-height // sh)
+        out_w = -(-width // sw)
+    elif padding == "valid":
+        if height < kh or width < kw:
+            raise GraphError(
+                f"valid padding with kernel {kernel} larger than input "
+                f"({height}x{width})"
+            )
+        out_h = -(-(height - kh + 1) // sh)
+        out_w = -(-(width - kw + 1) // sw)
+    else:
+        raise GraphError(f"unknown padding mode {padding!r}")
+    return out_h, out_w

@@ -1,0 +1,124 @@
+"""Topological analyses over computational graphs.
+
+These are the classic scheduling-theory quantities (ASAP/ALAP levels,
+mobility, critical path) that both the graph embedding (Sec. III-A) and
+the exact schedulers consume.  Levels follow the paper's convention:
+source nodes sit at level 0 and every node is placed as soon as its
+parents allow (ASAP ordering).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.errors import GraphError
+from repro.graphs.dag import ComputationalGraph
+
+
+def asap_levels(graph: ComputationalGraph) -> Dict[str, int]:
+    """As-Soon-As-Possible level per node: ``level = max(parents) + 1``.
+
+    Sources are at level 0.  This is the "absolute coordinate" column of
+    the RESPECT embedding.
+    """
+    levels: Dict[str, int] = {}
+    for name in graph.topological_order():
+        parents = graph.parents(name)
+        levels[name] = 0 if not parents else max(levels[p] for p in parents) + 1
+    return levels
+
+
+def graph_depth(graph: ComputationalGraph) -> int:
+    """Longest path length in *edges* (the "Depth" column of Table I).
+
+    An empty graph has depth 0; a single node also has depth 0.
+    """
+    if graph.num_nodes == 0:
+        return 0
+    return max(asap_levels(graph).values())
+
+
+def alap_levels(graph: ComputationalGraph, depth: int = -1) -> Dict[str, int]:
+    """As-Late-As-Possible level per node within ``depth`` total levels.
+
+    ``depth`` defaults to the graph depth, which makes the level range
+    identical to ASAP's.  Raises if ``depth`` is smaller than the graph
+    depth (the schedule horizon would be infeasible).
+    """
+    actual_depth = graph_depth(graph)
+    if depth < 0:
+        depth = actual_depth
+    if depth < actual_depth:
+        raise GraphError(
+            f"ALAP horizon {depth} is below the graph depth {actual_depth}"
+        )
+    levels: Dict[str, int] = {}
+    for name in reversed(graph.topological_order()):
+        children = graph.children(name)
+        if not children:
+            levels[name] = depth
+        else:
+            levels[name] = min(levels[c] for c in children) - 1
+    return levels
+
+
+def mobility(graph: ComputationalGraph) -> Dict[str, int]:
+    """Scheduling slack per node: ``ALAP - ASAP`` (0 on the critical path)."""
+    asap = asap_levels(graph)
+    alap = alap_levels(graph)
+    return {name: alap[name] - asap[name] for name in graph.node_names}
+
+
+def level_sets(graph: ComputationalGraph) -> List[List[str]]:
+    """Nodes grouped by ASAP level, index ``i`` holding level-``i`` nodes."""
+    asap = asap_levels(graph)
+    if not asap:
+        return []
+    buckets: List[List[str]] = [[] for _ in range(max(asap.values()) + 1)]
+    for name in graph.node_names:
+        buckets[asap[name]].append(name)
+    return buckets
+
+
+def critical_path(graph: ComputationalGraph) -> List[str]:
+    """One longest source-to-sink path (ties broken by insertion order)."""
+    if graph.num_nodes == 0:
+        return []
+    levels = asap_levels(graph)
+    end = max(graph.node_names, key=lambda n: (levels[n], -graph.index_of(n)))
+    path = [end]
+    while True:
+        parents = graph.parents(path[-1])
+        if not parents:
+            break
+        # Walk back through a parent on the longest path.
+        best = max(parents, key=lambda p: (levels[p], -graph.index_of(p)))
+        path.append(best)
+    path.reverse()
+    return path
+
+
+def ancestors(graph: ComputationalGraph, name: str) -> Set[str]:
+    """All transitive predecessors of ``name`` (excluding itself)."""
+    seen: Set[str] = set()
+    stack = list(graph.parents(name))
+    while stack:
+        cur = stack.pop()
+        if cur in seen:
+            continue
+        seen.add(cur)
+        stack.extend(graph.parents(cur))
+    return seen
+
+
+def descendants(graph: ComputationalGraph, name: str) -> Set[str]:
+    """All transitive successors of ``name`` (excluding itself)."""
+    seen: Set[str] = set()
+    stack = list(graph.children(name))
+    while stack:
+        cur = stack.pop()
+        if cur in seen:
+            continue
+        seen.add(cur)
+        stack.extend(graph.children(cur))
+    return seen

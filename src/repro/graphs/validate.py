@@ -1,0 +1,81 @@
+"""Structural validation of computational graphs.
+
+Schedulers assume well-formed DAG inputs; :func:`validate_graph` collects
+every problem it can find (rather than stopping at the first) so model
+builders and the synthetic sampler can be checked thoroughly in tests.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import GraphError
+from repro.graphs.dag import ComputationalGraph
+from repro.graphs.ops import ALL_OP_TYPES
+
+
+def validate_graph(
+    graph: ComputationalGraph,
+    require_single_source: bool = False,
+    require_known_ops: bool = False,
+) -> List[str]:
+    """Return a list of human-readable issues; empty means valid.
+
+    Checks performed:
+
+    * the graph is non-empty and acyclic,
+    * at least one source and one sink exist,
+    * (optional) exactly one source exists — DNN inference graphs have a
+      single input tensor,
+    * (optional) every ``op_type`` belongs to the known taxonomy,
+    * every non-source node is reachable from some source (no orphaned
+      islands that a pipeline could never feed).
+    """
+    issues: List[str] = []
+    if graph.num_nodes == 0:
+        return ["graph has no nodes"]
+
+    if not graph.is_dag():
+        issues.append("graph contains a directed cycle")
+        return issues  # downstream checks assume a DAG
+
+    if not graph.sources:
+        issues.append("graph has no source node")
+    if not graph.sinks:
+        issues.append("graph has no sink node")
+    if require_single_source and len(graph.sources) != 1:
+        issues.append(
+            f"expected a single source, found {len(graph.sources)}: "
+            f"{graph.sources[:5]}"
+        )
+
+    if require_known_ops:
+        for node in graph.nodes:
+            if node.op_type not in ALL_OP_TYPES:
+                issues.append(f"node {node.name!r} has unknown op_type {node.op_type!r}")
+
+    # Reachability from sources.
+    reachable = set(graph.sources)
+    stack = list(graph.sources)
+    while stack:
+        cur = stack.pop()
+        for child in graph.children(cur):
+            if child not in reachable:
+                reachable.add(child)
+                stack.append(child)
+    unreachable = [n for n in graph.node_names if n not in reachable]
+    if unreachable:
+        issues.append(
+            f"{len(unreachable)} node(s) unreachable from any source, "
+            f"e.g. {unreachable[:5]}"
+        )
+    return issues
+
+
+def assert_valid_graph(graph: ComputationalGraph, **kwargs: bool) -> None:
+    """Raise :class:`GraphError` listing all issues if any check fails."""
+    issues = validate_graph(graph, **kwargs)
+    if issues:
+        raise GraphError(
+            f"graph {graph.name!r} failed validation: " + "; ".join(issues)
+        )

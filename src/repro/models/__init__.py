@@ -1,0 +1,50 @@
+"""DNN model zoo.
+
+Architectural graph builders for the twelve ImageNet models the paper
+evaluates (Table I lists ten; Fig. 5 additionally uses ResNet50V2 and
+InceptionV3).  Builders reconstruct the Keras functional layer graphs —
+node counts, maximum in-degree and depth match Table I exactly — with
+parameter/activation sizes derived from real tensor shapes, so the
+scheduler inputs are faithful without needing TensorFlow.
+"""
+
+from repro.models.builder import LayerGraphBuilder
+from repro.models.densenet import densenet121, densenet169, densenet201
+from repro.models.inception import inception_resnet_v2, inception_v3
+from repro.models.resnet import (
+    resnet50,
+    resnet50v2,
+    resnet101,
+    resnet101v2,
+    resnet152,
+    resnet152v2,
+)
+from repro.models.xception import xception
+from repro.models.zoo import (
+    MODEL_BUILDERS,
+    TABLE1_EXPECTED,
+    build_model,
+    list_models,
+    model_statistics,
+)
+
+__all__ = [
+    "LayerGraphBuilder",
+    "MODEL_BUILDERS",
+    "TABLE1_EXPECTED",
+    "build_model",
+    "densenet121",
+    "densenet169",
+    "densenet201",
+    "inception_resnet_v2",
+    "inception_v3",
+    "list_models",
+    "model_statistics",
+    "resnet50",
+    "resnet50v2",
+    "resnet101",
+    "resnet101v2",
+    "resnet152",
+    "resnet152v2",
+    "xception",
+]

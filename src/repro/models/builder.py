@@ -1,0 +1,279 @@
+"""Keras-style functional builder for DNN layer graphs.
+
+The paper schedules the computational graphs that the TFLite converter
+extracts from Keras ImageNet models; each Keras *layer* becomes one graph
+node (this is what makes Table I's node counts what they are).  The
+builder below mirrors that granularity: every method appends exactly one
+node, tracks the output tensor shape through real shape inference, and
+derives ``param_bytes`` / ``output_bytes`` / ``macs`` from the shapes.
+
+Parameter sizes are accounted in float32 here; the TFLite/Toco int8
+quantization step lives in :mod:`repro.tpu.quantize`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import GraphError
+from repro.graphs import ops
+from repro.graphs.dag import ComputationalGraph
+from repro.graphs.tensors import DTYPE_BYTES, TensorSpec, conv_output_hw
+
+IntOrPair = Union[int, Tuple[int, int]]
+
+_FLOAT_BYTES = DTYPE_BYTES["float32"]
+
+
+def _pair(value: IntOrPair) -> Tuple[int, int]:
+    if isinstance(value, int):
+        return (value, value)
+    return (int(value[0]), int(value[1]))
+
+
+class LayerGraphBuilder:
+    """Builds a :class:`ComputationalGraph` one Keras-equivalent layer at a time.
+
+    Handles are node-name strings; every layer method takes input handles
+    and returns the new node's handle, exactly like the Keras functional
+    API returns tensors.
+    """
+
+    def __init__(self, name: str, dtype: str = "float32") -> None:
+        self.graph = ComputationalGraph(name=name)
+        self._shapes: Dict[str, TensorSpec] = {}
+        self._counters: Dict[str, int] = {}
+        self._dtype = dtype
+
+    # ------------------------------------------------------------------
+    def shape_of(self, handle: str) -> Tuple[int, ...]:
+        """Output shape of the node called ``handle``."""
+        return self._shapes[handle].shape
+
+    def _auto_name(self, prefix: str) -> str:
+        count = self._counters.get(prefix, 0)
+        self._counters[prefix] = count + 1
+        return prefix if count == 0 else f"{prefix}_{count}"
+
+    def _register(
+        self,
+        name: Optional[str],
+        prefix: str,
+        op_type: str,
+        out_spec: TensorSpec,
+        inputs: Sequence[str],
+        param_count: int = 0,
+        macs: int = 0,
+        **attrs: object,
+    ) -> str:
+        node_name = name if name is not None else self._auto_name(prefix)
+        self.graph.add_op(
+            node_name,
+            op_type=op_type,
+            param_bytes=param_count * _FLOAT_BYTES,
+            output_bytes=out_spec.nbytes,
+            macs=macs,
+            inputs=inputs,
+            shape=out_spec.shape,
+            **attrs,
+        )
+        self._shapes[node_name] = out_spec
+        return node_name
+
+    def _hwc(self, handle: str) -> Tuple[int, int, int]:
+        shape = self._shapes[handle].shape
+        if len(shape) != 3:
+            raise GraphError(
+                f"layer expects a HxWxC input, got shape {shape} from {handle!r}"
+            )
+        return shape  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # layers
+    # ------------------------------------------------------------------
+    def input(
+        self, shape: Tuple[int, ...] = (224, 224, 3), name: Optional[str] = None
+    ) -> str:
+        """Model input tensor."""
+        spec = TensorSpec(tuple(shape), self._dtype)
+        return self._register(name, "input", ops.INPUT, spec, inputs=())
+
+    def zero_pad(
+        self, x: str, padding: IntOrPair = 1, name: Optional[str] = None
+    ) -> str:
+        """Explicit spatial zero padding (Keras ZeroPadding2D)."""
+        h, w, c = self._hwc(x)
+        ph, pw = _pair(padding)
+        spec = TensorSpec((h + 2 * ph, w + 2 * pw, c), self._dtype)
+        return self._register(name, "zero_padding2d", ops.ZERO_PAD, spec, [x])
+
+    def conv(
+        self,
+        x: str,
+        filters: int,
+        kernel: IntOrPair,
+        strides: IntOrPair = 1,
+        padding: str = "same",
+        use_bias: bool = True,
+        name: Optional[str] = None,
+    ) -> str:
+        """Standard 2-D convolution."""
+        h, w, c = self._hwc(x)
+        kh, kw = _pair(kernel)
+        sh, sw = _pair(strides)
+        out_h, out_w = conv_output_hw(h, w, (kh, kw), (sh, sw), padding)
+        spec = TensorSpec((out_h, out_w, filters), self._dtype)
+        params = ops.conv2d_params(kh, kw, c, filters, use_bias)
+        macs = ops.conv2d_macs(out_h, out_w, kh, kw, c, filters)
+        return self._register(
+            name, "conv2d", ops.CONV2D, spec, [x], params, macs,
+            kernel=(kh, kw), strides=(sh, sw), padding=padding,
+        )
+
+    def sep_conv(
+        self,
+        x: str,
+        filters: int,
+        kernel: IntOrPair,
+        strides: IntOrPair = 1,
+        padding: str = "same",
+        use_bias: bool = False,
+        name: Optional[str] = None,
+    ) -> str:
+        """Separable convolution (depthwise + pointwise as one Keras layer)."""
+        h, w, c = self._hwc(x)
+        kh, kw = _pair(kernel)
+        sh, sw = _pair(strides)
+        out_h, out_w = conv_output_hw(h, w, (kh, kw), (sh, sw), padding)
+        spec = TensorSpec((out_h, out_w, filters), self._dtype)
+        params = ops.separable_conv2d_params(kh, kw, c, filters, use_bias)
+        macs = ops.depthwise_conv2d_macs(out_h, out_w, kh, kw, c) + ops.conv2d_macs(
+            out_h, out_w, 1, 1, c, filters
+        )
+        return self._register(
+            name, "separable_conv2d", ops.SEPARABLE_CONV2D, spec, [x], params, macs,
+            kernel=(kh, kw), strides=(sh, sw), padding=padding,
+        )
+
+    def bn(self, x: str, name: Optional[str] = None) -> str:
+        """Batch normalization (stores 4 values per channel)."""
+        spec = self._shapes[x]
+        channels = spec.shape[-1]
+        return self._register(
+            name, "batch_normalization", ops.BATCH_NORM, spec, [x],
+            ops.batch_norm_params(channels),
+        )
+
+    def act(self, x: str, fn: str = "relu", name: Optional[str] = None) -> str:
+        """Element-wise activation layer."""
+        spec = self._shapes[x]
+        return self._register(name, "activation", ops.ACTIVATION, spec, [x], fn=fn)
+
+    def max_pool(
+        self,
+        x: str,
+        pool: IntOrPair,
+        strides: Optional[IntOrPair] = None,
+        padding: str = "valid",
+        name: Optional[str] = None,
+    ) -> str:
+        """Spatial max pooling."""
+        return self._pool(x, pool, strides, padding, name, ops.MAX_POOL, "max_pooling2d")
+
+    def avg_pool(
+        self,
+        x: str,
+        pool: IntOrPair,
+        strides: Optional[IntOrPair] = None,
+        padding: str = "valid",
+        name: Optional[str] = None,
+    ) -> str:
+        """Spatial average pooling."""
+        return self._pool(
+            x, pool, strides, padding, name, ops.AVG_POOL, "average_pooling2d"
+        )
+
+    def _pool(
+        self,
+        x: str,
+        pool: IntOrPair,
+        strides: Optional[IntOrPair],
+        padding: str,
+        name: Optional[str],
+        op_type: str,
+        prefix: str,
+    ) -> str:
+        h, w, c = self._hwc(x)
+        ph, pw = _pair(pool)
+        sh, sw = _pair(strides) if strides is not None else (ph, pw)
+        out_h, out_w = conv_output_hw(h, w, (ph, pw), (sh, sw), padding)
+        spec = TensorSpec((out_h, out_w, c), self._dtype)
+        return self._register(name, prefix, op_type, spec, [x], pool=(ph, pw))
+
+    def global_avg_pool(self, x: str, name: Optional[str] = None) -> str:
+        """Global average pooling: HxWxC -> C."""
+        h, w, c = self._hwc(x)
+        spec = TensorSpec((c,), self._dtype)
+        return self._register(name, "avg_pool", ops.GLOBAL_AVG_POOL, spec, [x])
+
+    def dense(
+        self,
+        x: str,
+        units: int,
+        activation: str = "linear",
+        name: Optional[str] = None,
+    ) -> str:
+        """Fully-connected layer (flattens its input if needed)."""
+        in_units = self._shapes[x].numel
+        spec = TensorSpec((units,), self._dtype)
+        params = ops.dense_params(in_units, units, use_bias=True)
+        macs = ops.dense_macs(in_units, units)
+        return self._register(
+            name, "dense", ops.DENSE, spec, [x], params, macs, activation=activation
+        )
+
+    def add(self, xs: Sequence[str], name: Optional[str] = None) -> str:
+        """Element-wise addition of same-shaped tensors."""
+        self._check_same_shape(xs, "add")
+        spec = self._shapes[xs[0]]
+        return self._register(name, "add", ops.ADD, spec, list(xs))
+
+    def scale_add(self, xs: Sequence[str], scale: float = 1.0, name: Optional[str] = None) -> str:
+        """Residual scaling merge (Keras CustomScaleLayer / Lambda in
+        InceptionResNetV2): ``out = xs[0] + scale * xs[1]``."""
+        self._check_same_shape(xs, "scale_add")
+        spec = self._shapes[xs[0]]
+        return self._register(name, "custom_scale_layer", ops.SCALE, spec, list(xs), scale=scale)
+
+    def concat(self, xs: Sequence[str], name: Optional[str] = None) -> str:
+        """Channel concatenation (last axis)."""
+        if len(xs) < 2:
+            raise GraphError("concat needs at least two inputs")
+        base = self._hwc(xs[0])
+        channels = 0
+        for handle in xs:
+            h, w, c = self._hwc(handle)
+            if (h, w) != base[:2]:
+                raise GraphError(
+                    f"concat spatial mismatch: {handle!r} is {h}x{w}, "
+                    f"expected {base[0]}x{base[1]}"
+                )
+            channels += c
+        spec = TensorSpec((base[0], base[1], channels), self._dtype)
+        return self._register(name, "concatenate", ops.CONCAT, spec, list(xs))
+
+    def _check_same_shape(self, xs: Sequence[str], what: str) -> None:
+        if len(xs) < 2:
+            raise GraphError(f"{what} needs at least two inputs")
+        first = self._shapes[xs[0]].shape
+        for handle in xs[1:]:
+            if self._shapes[handle].shape != first:
+                raise GraphError(
+                    f"{what} shape mismatch: {self._shapes[handle].shape} vs {first}"
+                )
+
+    # ------------------------------------------------------------------
+    def finish(self) -> ComputationalGraph:
+        """Validate and return the constructed graph."""
+        self.graph.assert_acyclic()
+        return self.graph

@@ -1,0 +1,77 @@
+"""DenseNet layer graphs (Huang et al.), following keras.applications.
+
+Table I reproduction: DenseNet121 |V| = 429 (depth 428), DenseNet169
+|V| = 597 (depth 596), DenseNet201 |V| = 709 (depth 708); deg(V) = 2
+because every Keras DenseNet ``Concatenate`` merges exactly two tensors
+(the running feature map and the newest conv block output).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.graphs.dag import ComputationalGraph
+from repro.models.builder import LayerGraphBuilder
+
+_GROWTH_RATE = 32
+
+
+def _conv_block(b: LayerGraphBuilder, x: str, name: str) -> str:
+    """Keras DenseNet ``conv_block``: BN-ReLU-Conv1x1-BN-ReLU-Conv3x3-Concat."""
+    y = b.bn(x, name=f"{name}_0_bn")
+    y = b.act(y, name=f"{name}_0_relu")
+    y = b.conv(y, 4 * _GROWTH_RATE, 1, use_bias=False, name=f"{name}_1_conv")
+    y = b.bn(y, name=f"{name}_1_bn")
+    y = b.act(y, name=f"{name}_1_relu")
+    y = b.conv(y, _GROWTH_RATE, 3, padding="same", use_bias=False, name=f"{name}_2_conv")
+    return b.concat([x, y], name=f"{name}_concat")
+
+
+def _dense_block(b: LayerGraphBuilder, x: str, blocks: int, name: str) -> str:
+    for i in range(blocks):
+        x = _conv_block(b, x, name=f"{name}_block{i + 1}")
+    return x
+
+
+def _transition_block(b: LayerGraphBuilder, x: str, name: str) -> str:
+    """Keras ``transition_block``: BN-ReLU-Conv1x1(compress 0.5)-AvgPool2."""
+    channels = b.shape_of(x)[-1]
+    y = b.bn(x, name=f"{name}_bn")
+    y = b.act(y, name=f"{name}_relu")
+    y = b.conv(y, channels // 2, 1, use_bias=False, name=f"{name}_conv")
+    return b.avg_pool(y, 2, strides=2, name=f"{name}_pool")
+
+
+def _densenet(name: str, block_counts: List[int]) -> ComputationalGraph:
+    b = LayerGraphBuilder(name)
+    x = b.input((224, 224, 3), name="input_1")
+    x = b.zero_pad(x, 3, name="zero_padding2d")
+    x = b.conv(x, 64, 7, strides=2, padding="valid", use_bias=False, name="conv1/conv")
+    x = b.bn(x, name="conv1/bn")
+    x = b.act(x, name="conv1/relu")
+    x = b.zero_pad(x, 1, name="zero_padding2d_1")
+    x = b.max_pool(x, 3, strides=2, name="pool1")
+    for stage, blocks in enumerate(block_counts, start=2):
+        x = _dense_block(b, x, blocks, name=f"conv{stage}")
+        if stage != len(block_counts) + 1:
+            x = _transition_block(b, x, name=f"pool{stage}")
+    x = b.bn(x, name="bn")
+    x = b.act(x, name="relu")
+    x = b.global_avg_pool(x, name="avg_pool")
+    b.dense(x, 1000, activation="softmax", name="predictions")
+    return b.finish()
+
+
+def densenet121() -> ComputationalGraph:
+    """DenseNet121 computational graph (|V| = 429)."""
+    return _densenet("DenseNet121", [6, 12, 24, 16])
+
+
+def densenet169() -> ComputationalGraph:
+    """DenseNet169 computational graph (|V| = 597)."""
+    return _densenet("DenseNet169", [6, 12, 32, 32])
+
+
+def densenet201() -> ComputationalGraph:
+    """DenseNet201 computational graph (|V| = 709)."""
+    return _densenet("DenseNet201", [6, 12, 48, 32])

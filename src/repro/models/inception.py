@@ -1,0 +1,231 @@
+"""Inception-family layer graphs, following keras.applications.
+
+``inception_resnet_v2`` reproduces Table I exactly: |V| = 782,
+deg(V) = 4 (the four-way branch concatenations), depth = 571.
+``inception_v3`` is used by the Fig. 5 gap-to-optimal experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.graphs.dag import ComputationalGraph
+from repro.models.builder import IntOrPair, LayerGraphBuilder
+
+
+def _conv_bn(
+    b: LayerGraphBuilder,
+    x: str,
+    filters: int,
+    kernel: IntOrPair,
+    strides: IntOrPair = 1,
+    padding: str = "same",
+    activation: Optional[str] = "relu",
+    use_bias: bool = False,
+    name: Optional[str] = None,
+) -> str:
+    """Keras ``conv2d_bn``: Conv2D (+BN when bias-free) (+Activation)."""
+    x = b.conv(x, filters, kernel, strides=strides, padding=padding,
+               use_bias=use_bias, name=name)
+    if not use_bias:
+        x = b.bn(x, name=f"{name}_bn" if name else None)
+    if activation is not None:
+        x = b.act(x, fn=activation, name=f"{name}_ac" if name else None)
+    return x
+
+
+# ----------------------------------------------------------------------
+# InceptionResNetV2
+# ----------------------------------------------------------------------
+def _inception_resnet_block(
+    b: LayerGraphBuilder,
+    x: str,
+    scale: float,
+    block_type: str,
+    block_idx: int,
+    activation: Optional[str] = "relu",
+) -> str:
+    """Keras ``inception_resnet_block`` (block35 / block17 / block8)."""
+    prefix = f"{block_type}_{block_idx}"
+    if block_type == "block35":
+        branch0 = _conv_bn(b, x, 32, 1, name=f"{prefix}_b0_conv")
+        branch1 = _conv_bn(b, x, 32, 1, name=f"{prefix}_b1_conv1")
+        branch1 = _conv_bn(b, branch1, 32, 3, name=f"{prefix}_b1_conv2")
+        branch2 = _conv_bn(b, x, 32, 1, name=f"{prefix}_b2_conv1")
+        branch2 = _conv_bn(b, branch2, 48, 3, name=f"{prefix}_b2_conv2")
+        branch2 = _conv_bn(b, branch2, 64, 3, name=f"{prefix}_b2_conv3")
+        branches = [branch0, branch1, branch2]
+    elif block_type == "block17":
+        branch0 = _conv_bn(b, x, 192, 1, name=f"{prefix}_b0_conv")
+        branch1 = _conv_bn(b, x, 128, 1, name=f"{prefix}_b1_conv1")
+        branch1 = _conv_bn(b, branch1, 160, (1, 7), name=f"{prefix}_b1_conv2")
+        branch1 = _conv_bn(b, branch1, 192, (7, 1), name=f"{prefix}_b1_conv3")
+        branches = [branch0, branch1]
+    elif block_type == "block8":
+        branch0 = _conv_bn(b, x, 192, 1, name=f"{prefix}_b0_conv")
+        branch1 = _conv_bn(b, x, 192, 1, name=f"{prefix}_b1_conv1")
+        branch1 = _conv_bn(b, branch1, 224, (1, 3), name=f"{prefix}_b1_conv2")
+        branch1 = _conv_bn(b, branch1, 256, (3, 1), name=f"{prefix}_b1_conv3")
+        branches = [branch0, branch1]
+    else:
+        raise ValueError(f"unknown inception-resnet block type {block_type!r}")
+
+    mixed = b.concat(branches, name=f"{prefix}_mixed")
+    channels = b.shape_of(x)[-1]
+    # The "up" projection is a biased conv with neither BN nor activation.
+    up = _conv_bn(b, mixed, channels, 1, activation=None, use_bias=True,
+                  name=f"{prefix}_conv")
+    x = b.scale_add([x, up], scale=scale, name=prefix)
+    if activation is not None:
+        x = b.act(x, fn=activation, name=f"{prefix}_ac")
+    return x
+
+
+def inception_resnet_v2() -> ComputationalGraph:
+    """InceptionResNetV2 computational graph (|V| = 782, deg = 4, depth = 571)."""
+    b = LayerGraphBuilder("InceptionResNetV2")
+    x = b.input((299, 299, 3), name="input_1")
+
+    # Stem.
+    x = _conv_bn(b, x, 32, 3, strides=2, padding="valid", name="conv2d_1")
+    x = _conv_bn(b, x, 32, 3, padding="valid", name="conv2d_2")
+    x = _conv_bn(b, x, 64, 3, name="conv2d_3")
+    x = b.max_pool(x, 3, strides=2, name="max_pooling2d")
+    x = _conv_bn(b, x, 80, 1, padding="valid", name="conv2d_4")
+    x = _conv_bn(b, x, 192, 3, padding="valid", name="conv2d_5")
+    x = b.max_pool(x, 3, strides=2, name="max_pooling2d_1")
+
+    # mixed_5b (Inception-A): 35x35x320, the deg(V)=4 concatenation.
+    branch0 = _conv_bn(b, x, 96, 1, name="mixed_5b_b0")
+    branch1 = _conv_bn(b, x, 48, 1, name="mixed_5b_b1_conv1")
+    branch1 = _conv_bn(b, branch1, 64, 5, name="mixed_5b_b1_conv2")
+    branch2 = _conv_bn(b, x, 64, 1, name="mixed_5b_b2_conv1")
+    branch2 = _conv_bn(b, branch2, 96, 3, name="mixed_5b_b2_conv2")
+    branch2 = _conv_bn(b, branch2, 96, 3, name="mixed_5b_b2_conv3")
+    branch_pool = b.avg_pool(x, 3, strides=1, padding="same", name="average_pooling2d")
+    branch_pool = _conv_bn(b, branch_pool, 64, 1, name="mixed_5b_bp_conv")
+    x = b.concat([branch0, branch1, branch2, branch_pool], name="mixed_5b")
+
+    # 10x block35.
+    for idx in range(1, 11):
+        x = _inception_resnet_block(b, x, scale=0.17, block_type="block35", block_idx=idx)
+
+    # mixed_6a (Reduction-A): 17x17x1088.
+    branch0 = _conv_bn(b, x, 384, 3, strides=2, padding="valid", name="mixed_6a_b0")
+    branch1 = _conv_bn(b, x, 256, 1, name="mixed_6a_b1_conv1")
+    branch1 = _conv_bn(b, branch1, 256, 3, name="mixed_6a_b1_conv2")
+    branch1 = _conv_bn(b, branch1, 384, 3, strides=2, padding="valid", name="mixed_6a_b1_conv3")
+    branch_pool = b.max_pool(x, 3, strides=2, name="max_pooling2d_2")
+    x = b.concat([branch0, branch1, branch_pool], name="mixed_6a")
+
+    # 20x block17.
+    for idx in range(1, 21):
+        x = _inception_resnet_block(b, x, scale=0.1, block_type="block17", block_idx=idx)
+
+    # mixed_7a (Reduction-B): 8x8x2080.
+    branch0 = _conv_bn(b, x, 256, 1, name="mixed_7a_b0_conv1")
+    branch0 = _conv_bn(b, branch0, 384, 3, strides=2, padding="valid", name="mixed_7a_b0_conv2")
+    branch1 = _conv_bn(b, x, 256, 1, name="mixed_7a_b1_conv1")
+    branch1 = _conv_bn(b, branch1, 288, 3, strides=2, padding="valid", name="mixed_7a_b1_conv2")
+    branch2 = _conv_bn(b, x, 256, 1, name="mixed_7a_b2_conv1")
+    branch2 = _conv_bn(b, branch2, 288, 3, name="mixed_7a_b2_conv2")
+    branch2 = _conv_bn(b, branch2, 320, 3, strides=2, padding="valid", name="mixed_7a_b2_conv3")
+    branch_pool = b.max_pool(x, 3, strides=2, name="max_pooling2d_3")
+    x = b.concat([branch0, branch1, branch2, branch_pool], name="mixed_7a")
+
+    # 9x block8 with activation + final activation-free block8 at scale 1.
+    for idx in range(1, 10):
+        x = _inception_resnet_block(b, x, scale=0.2, block_type="block8", block_idx=idx)
+    x = _inception_resnet_block(
+        b, x, scale=1.0, block_type="block8", block_idx=10, activation=None
+    )
+
+    x = _conv_bn(b, x, 1536, 1, name="conv_7b")
+    x = b.global_avg_pool(x, name="avg_pool")
+    b.dense(x, 1000, activation="softmax", name="predictions")
+    return b.finish()
+
+
+# ----------------------------------------------------------------------
+# InceptionV3
+# ----------------------------------------------------------------------
+def inception_v3() -> ComputationalGraph:
+    """InceptionV3 computational graph (Fig. 5 workload)."""
+    b = LayerGraphBuilder("InceptionV3")
+    x = b.input((299, 299, 3), name="input_1")
+
+    x = _conv_bn(b, x, 32, 3, strides=2, padding="valid", name="conv2d")
+    x = _conv_bn(b, x, 32, 3, padding="valid", name="conv2d_1")
+    x = _conv_bn(b, x, 64, 3, name="conv2d_2")
+    x = b.max_pool(x, 3, strides=2, name="max_pooling2d")
+    x = _conv_bn(b, x, 80, 1, padding="valid", name="conv2d_3")
+    x = _conv_bn(b, x, 192, 3, padding="valid", name="conv2d_4")
+    x = b.max_pool(x, 3, strides=2, name="max_pooling2d_1")
+
+    # mixed 0-2 (Inception-A at 35x35).
+    for i, pool_filters in enumerate((32, 64, 64)):
+        prefix = f"mixed{i}"
+        branch1x1 = _conv_bn(b, x, 64, 1, name=f"{prefix}_b1x1")
+        branch5x5 = _conv_bn(b, x, 48, 1, name=f"{prefix}_b5x5_1")
+        branch5x5 = _conv_bn(b, branch5x5, 64, 5, name=f"{prefix}_b5x5_2")
+        branch3x3 = _conv_bn(b, x, 64, 1, name=f"{prefix}_b3x3dbl_1")
+        branch3x3 = _conv_bn(b, branch3x3, 96, 3, name=f"{prefix}_b3x3dbl_2")
+        branch3x3 = _conv_bn(b, branch3x3, 96, 3, name=f"{prefix}_b3x3dbl_3")
+        branch_pool = b.avg_pool(x, 3, strides=1, padding="same", name=f"{prefix}_pool")
+        branch_pool = _conv_bn(b, branch_pool, pool_filters, 1, name=f"{prefix}_bpool")
+        x = b.concat([branch1x1, branch5x5, branch3x3, branch_pool], name=prefix)
+
+    # mixed 3 (Reduction at 17x17).
+    branch3x3 = _conv_bn(b, x, 384, 3, strides=2, padding="valid", name="mixed3_b3x3")
+    branchdbl = _conv_bn(b, x, 64, 1, name="mixed3_bdbl_1")
+    branchdbl = _conv_bn(b, branchdbl, 96, 3, name="mixed3_bdbl_2")
+    branchdbl = _conv_bn(b, branchdbl, 96, 3, strides=2, padding="valid", name="mixed3_bdbl_3")
+    branch_pool = b.max_pool(x, 3, strides=2, name="max_pooling2d_2")
+    x = b.concat([branch3x3, branchdbl, branch_pool], name="mixed3")
+
+    # mixed 4-7 (Inception-B with factorized 7x7 convolutions).
+    for i, width in enumerate((128, 160, 160, 192), start=4):
+        prefix = f"mixed{i}"
+        branch1x1 = _conv_bn(b, x, 192, 1, name=f"{prefix}_b1x1")
+        branch7x7 = _conv_bn(b, x, width, 1, name=f"{prefix}_b7x7_1")
+        branch7x7 = _conv_bn(b, branch7x7, width, (1, 7), name=f"{prefix}_b7x7_2")
+        branch7x7 = _conv_bn(b, branch7x7, 192, (7, 1), name=f"{prefix}_b7x7_3")
+        branchdbl = _conv_bn(b, x, width, 1, name=f"{prefix}_bdbl_1")
+        branchdbl = _conv_bn(b, branchdbl, width, (7, 1), name=f"{prefix}_bdbl_2")
+        branchdbl = _conv_bn(b, branchdbl, width, (1, 7), name=f"{prefix}_bdbl_3")
+        branchdbl = _conv_bn(b, branchdbl, width, (7, 1), name=f"{prefix}_bdbl_4")
+        branchdbl = _conv_bn(b, branchdbl, 192, (1, 7), name=f"{prefix}_bdbl_5")
+        branch_pool = b.avg_pool(x, 3, strides=1, padding="same", name=f"{prefix}_pool")
+        branch_pool = _conv_bn(b, branch_pool, 192, 1, name=f"{prefix}_bpool")
+        x = b.concat([branch1x1, branch7x7, branchdbl, branch_pool], name=prefix)
+
+    # mixed 8 (Reduction at 8x8).
+    branch3x3 = _conv_bn(b, x, 192, 1, name="mixed8_b3x3_1")
+    branch3x3 = _conv_bn(b, branch3x3, 320, 3, strides=2, padding="valid", name="mixed8_b3x3_2")
+    branch7x7 = _conv_bn(b, x, 192, 1, name="mixed8_b7x7_1")
+    branch7x7 = _conv_bn(b, branch7x7, 192, (1, 7), name="mixed8_b7x7_2")
+    branch7x7 = _conv_bn(b, branch7x7, 192, (7, 1), name="mixed8_b7x7_3")
+    branch7x7 = _conv_bn(b, branch7x7, 192, 3, strides=2, padding="valid", name="mixed8_b7x7_4")
+    branch_pool = b.max_pool(x, 3, strides=2, name="max_pooling2d_3")
+    x = b.concat([branch3x3, branch7x7, branch_pool], name="mixed8")
+
+    # mixed 9-10 (Inception-C with channel-split branches).
+    for i in range(2):
+        prefix = f"mixed{9 + i}"
+        branch1x1 = _conv_bn(b, x, 320, 1, name=f"{prefix}_b1x1")
+        branch3x3 = _conv_bn(b, x, 384, 1, name=f"{prefix}_b3x3_0")
+        branch3x3_1 = _conv_bn(b, branch3x3, 384, (1, 3), name=f"{prefix}_b3x3_1")
+        branch3x3_2 = _conv_bn(b, branch3x3, 384, (3, 1), name=f"{prefix}_b3x3_2")
+        branch3x3 = b.concat([branch3x3_1, branch3x3_2], name=f"mixed9_{i}")
+        branchdbl = _conv_bn(b, x, 448, 1, name=f"{prefix}_bdbl_0")
+        branchdbl = _conv_bn(b, branchdbl, 384, 3, name=f"{prefix}_bdbl_1")
+        branchdbl_1 = _conv_bn(b, branchdbl, 384, (1, 3), name=f"{prefix}_bdbl_2")
+        branchdbl_2 = _conv_bn(b, branchdbl, 384, (3, 1), name=f"{prefix}_bdbl_3")
+        branchdbl = b.concat([branchdbl_1, branchdbl_2], name=f"concatenate_{i}")
+        branch_pool = b.avg_pool(x, 3, strides=1, padding="same", name=f"{prefix}_pool")
+        branch_pool = _conv_bn(b, branch_pool, 192, 1, name=f"{prefix}_bpool")
+        x = b.concat([branch1x1, branch3x3, branchdbl, branch_pool], name=prefix)
+
+    x = b.global_avg_pool(x, name="avg_pool")
+    b.dense(x, 1000, activation="softmax", name="predictions")
+    return b.finish()

@@ -1,0 +1,172 @@
+"""ResNet v1 and v2 layer graphs (He et al.), following keras.applications.
+
+Node counts / depths reproduce Table I of the paper exactly:
+
+================  =====  ======  =====
+model             |V|    deg(V)  depth
+================  =====  ======  =====
+ResNet50          177    2       168
+ResNet101         347    2       338
+ResNet152         517    2       508
+ResNet50V2        192    2       (not in Table I; Fig. 5 uses it)
+ResNet101V2       379    2       371
+ResNet152V2       566    2       558
+================  =====  ======  =====
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.graphs.dag import ComputationalGraph
+from repro.models.builder import LayerGraphBuilder
+
+
+# ----------------------------------------------------------------------
+# v1: post-activation residual blocks
+# ----------------------------------------------------------------------
+def _block1(
+    b: LayerGraphBuilder,
+    x: str,
+    filters: int,
+    stride: int = 1,
+    conv_shortcut: bool = True,
+    name: str = "",
+) -> str:
+    """Keras ``block1``: bottleneck residual unit with post-activation."""
+    if conv_shortcut:
+        shortcut = b.conv(x, 4 * filters, 1, strides=stride, name=f"{name}_0_conv")
+        shortcut = b.bn(shortcut, name=f"{name}_0_bn")
+    else:
+        shortcut = x
+    y = b.conv(x, filters, 1, strides=stride, name=f"{name}_1_conv")
+    y = b.bn(y, name=f"{name}_1_bn")
+    y = b.act(y, name=f"{name}_1_relu")
+    y = b.conv(y, filters, 3, padding="same", name=f"{name}_2_conv")
+    y = b.bn(y, name=f"{name}_2_bn")
+    y = b.act(y, name=f"{name}_2_relu")
+    y = b.conv(y, 4 * filters, 1, name=f"{name}_3_conv")
+    y = b.bn(y, name=f"{name}_3_bn")
+    y = b.add([shortcut, y], name=f"{name}_add")
+    return b.act(y, name=f"{name}_out")
+
+
+def _stack1(
+    b: LayerGraphBuilder, x: str, filters: int, blocks: int, stride1: int = 2, name: str = ""
+) -> str:
+    """Keras ``stack1``: one v1 stage of ``blocks`` bottleneck units."""
+    x = _block1(b, x, filters, stride=stride1, name=f"{name}_block1")
+    for i in range(2, blocks + 1):
+        x = _block1(b, x, filters, conv_shortcut=False, name=f"{name}_block{i}")
+    return x
+
+
+def _resnet_v1(name: str, block_counts: List[int]) -> ComputationalGraph:
+    b = LayerGraphBuilder(name)
+    x = b.input((224, 224, 3), name="input_1")
+    x = b.zero_pad(x, 3, name="conv1_pad")
+    x = b.conv(x, 64, 7, strides=2, padding="valid", name="conv1_conv")
+    x = b.bn(x, name="conv1_bn")
+    x = b.act(x, name="conv1_relu")
+    x = b.zero_pad(x, 1, name="pool1_pad")
+    x = b.max_pool(x, 3, strides=2, name="pool1_pool")
+    for stage, (filters, blocks) in enumerate(
+        zip((64, 128, 256, 512), block_counts), start=2
+    ):
+        stride1 = 1 if stage == 2 else 2
+        x = _stack1(b, x, filters, blocks, stride1=stride1, name=f"conv{stage}")
+    x = b.global_avg_pool(x, name="avg_pool")
+    b.dense(x, 1000, activation="softmax", name="predictions")
+    return b.finish()
+
+
+def resnet50() -> ComputationalGraph:
+    """ResNet50 computational graph (|V| = 177)."""
+    return _resnet_v1("ResNet50", [3, 4, 6, 3])
+
+
+def resnet101() -> ComputationalGraph:
+    """ResNet101 computational graph (|V| = 347)."""
+    return _resnet_v1("ResNet101", [3, 4, 23, 3])
+
+
+def resnet152() -> ComputationalGraph:
+    """ResNet152 computational graph (|V| = 517)."""
+    return _resnet_v1("ResNet152", [3, 8, 36, 3])
+
+
+# ----------------------------------------------------------------------
+# v2: pre-activation residual blocks
+# ----------------------------------------------------------------------
+def _block2(
+    b: LayerGraphBuilder,
+    x: str,
+    filters: int,
+    stride: int = 1,
+    conv_shortcut: bool = False,
+    name: str = "",
+) -> str:
+    """Keras ``block2``: pre-activation bottleneck unit."""
+    preact = b.bn(x, name=f"{name}_preact_bn")
+    preact = b.act(preact, name=f"{name}_preact_relu")
+    if conv_shortcut:
+        shortcut = b.conv(preact, 4 * filters, 1, strides=stride, name=f"{name}_0_conv")
+    elif stride > 1:
+        shortcut = b.max_pool(x, 1, strides=stride, name=f"{name}_0_pool")
+    else:
+        shortcut = x
+    y = b.conv(preact, filters, 1, strides=1, use_bias=False, name=f"{name}_1_conv")
+    y = b.bn(y, name=f"{name}_1_bn")
+    y = b.act(y, name=f"{name}_1_relu")
+    y = b.zero_pad(y, 1, name=f"{name}_2_pad")
+    y = b.conv(y, filters, 3, strides=stride, padding="valid", use_bias=False,
+               name=f"{name}_2_conv")
+    y = b.bn(y, name=f"{name}_2_bn")
+    y = b.act(y, name=f"{name}_2_relu")
+    y = b.conv(y, 4 * filters, 1, name=f"{name}_3_conv")
+    return b.add([shortcut, y], name=f"{name}_out")
+
+
+def _stack2(
+    b: LayerGraphBuilder, x: str, filters: int, blocks: int, stride1: int = 2, name: str = ""
+) -> str:
+    """Keras ``stack2``: one v2 stage; downsampling happens in the *last* block."""
+    x = _block2(b, x, filters, conv_shortcut=True, name=f"{name}_block1")
+    for i in range(2, blocks):
+        x = _block2(b, x, filters, name=f"{name}_block{i}")
+    x = _block2(b, x, filters, stride=stride1, name=f"{name}_block{blocks}")
+    return x
+
+
+def _resnet_v2(name: str, block_counts: List[int]) -> ComputationalGraph:
+    b = LayerGraphBuilder(name)
+    x = b.input((224, 224, 3), name="input_1")
+    x = b.zero_pad(x, 3, name="conv1_pad")
+    x = b.conv(x, 64, 7, strides=2, padding="valid", name="conv1_conv")
+    x = b.zero_pad(x, 1, name="pool1_pad")
+    x = b.max_pool(x, 3, strides=2, name="pool1_pool")
+    for stage, (filters, blocks) in enumerate(
+        zip((64, 128, 256, 512), block_counts), start=2
+    ):
+        stride1 = 1 if stage == 5 else 2
+        x = _stack2(b, x, filters, blocks, stride1=stride1, name=f"conv{stage}")
+    x = b.bn(x, name="post_bn")
+    x = b.act(x, name="post_relu")
+    x = b.global_avg_pool(x, name="avg_pool")
+    b.dense(x, 1000, activation="softmax", name="predictions")
+    return b.finish()
+
+
+def resnet50v2() -> ComputationalGraph:
+    """ResNet50V2 computational graph (|V| = 192)."""
+    return _resnet_v2("ResNet50V2", [3, 4, 6, 3])
+
+
+def resnet101v2() -> ComputationalGraph:
+    """ResNet101V2 computational graph (|V| = 379)."""
+    return _resnet_v2("ResNet101V2", [3, 4, 23, 3])
+
+
+def resnet152v2() -> ComputationalGraph:
+    """ResNet152V2 computational graph (|V| = 566)."""
+    return _resnet_v2("ResNet152V2", [3, 8, 36, 3])

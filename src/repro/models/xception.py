@@ -1,0 +1,85 @@
+"""Xception layer graph (Chollet), following keras.applications.
+
+Table I reproduction: |V| = 134, deg(V) = 2, depth = 125.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.dag import ComputationalGraph
+from repro.models.builder import LayerGraphBuilder
+
+
+def xception() -> ComputationalGraph:
+    """Xception computational graph (|V| = 134)."""
+    b = LayerGraphBuilder("Xception")
+    x = b.input((299, 299, 3), name="input_1")
+
+    # Entry flow, block 1: two plain convolutions.
+    x = b.conv(x, 32, 3, strides=2, padding="valid", use_bias=False, name="block1_conv1")
+    x = b.bn(x, name="block1_conv1_bn")
+    x = b.act(x, name="block1_conv1_act")
+    x = b.conv(x, 64, 3, padding="valid", use_bias=False, name="block1_conv2")
+    x = b.bn(x, name="block1_conv2_bn")
+    x = b.act(x, name="block1_conv2_act")
+
+    # Block 2: first separable block; no leading ReLU on the main path.
+    residual = b.conv(x, 128, 1, strides=2, use_bias=False, name="conv2d")
+    residual = b.bn(residual, name="batch_normalization")
+    y = b.sep_conv(x, 128, 3, name="block2_sepconv1")
+    y = b.bn(y, name="block2_sepconv1_bn")
+    y = b.act(y, name="block2_sepconv2_act")
+    y = b.sep_conv(y, 128, 3, name="block2_sepconv2")
+    y = b.bn(y, name="block2_sepconv2_bn")
+    y = b.max_pool(y, 3, strides=2, padding="same", name="block2_pool")
+    x = b.add([y, residual], name="add")
+
+    # Blocks 3-4: downsampling separable blocks with conv shortcuts.
+    for block, filters in ((3, 256), (4, 728)):
+        residual = b.conv(x, filters, 1, strides=2, use_bias=False,
+                          name=f"conv2d_{block - 2}")
+        residual = b.bn(residual, name=f"batch_normalization_{block - 2}")
+        y = b.act(x, name=f"block{block}_sepconv1_act")
+        y = b.sep_conv(y, filters, 3, name=f"block{block}_sepconv1")
+        y = b.bn(y, name=f"block{block}_sepconv1_bn")
+        y = b.act(y, name=f"block{block}_sepconv2_act")
+        y = b.sep_conv(y, filters, 3, name=f"block{block}_sepconv2")
+        y = b.bn(y, name=f"block{block}_sepconv2_bn")
+        y = b.max_pool(y, 3, strides=2, padding="same", name=f"block{block}_pool")
+        x = b.add([y, residual], name=f"add_{block - 2}")
+
+    # Middle flow: eight identity separable blocks (blocks 5-12).
+    for block in range(5, 13):
+        y = b.act(x, name=f"block{block}_sepconv1_act")
+        y = b.sep_conv(y, 728, 3, name=f"block{block}_sepconv1")
+        y = b.bn(y, name=f"block{block}_sepconv1_bn")
+        y = b.act(y, name=f"block{block}_sepconv2_act")
+        y = b.sep_conv(y, 728, 3, name=f"block{block}_sepconv2")
+        y = b.bn(y, name=f"block{block}_sepconv2_bn")
+        y = b.act(y, name=f"block{block}_sepconv3_act")
+        y = b.sep_conv(y, 728, 3, name=f"block{block}_sepconv3")
+        y = b.bn(y, name=f"block{block}_sepconv3_bn")
+        x = b.add([y, x], name=f"add_{block - 2}")
+
+    # Exit flow, block 13: downsampling block with conv shortcut.
+    residual = b.conv(x, 1024, 1, strides=2, use_bias=False, name="conv2d_3")
+    residual = b.bn(residual, name="batch_normalization_3")
+    y = b.act(x, name="block13_sepconv1_act")
+    y = b.sep_conv(y, 728, 3, name="block13_sepconv1")
+    y = b.bn(y, name="block13_sepconv1_bn")
+    y = b.act(y, name="block13_sepconv2_act")
+    y = b.sep_conv(y, 1024, 3, name="block13_sepconv2")
+    y = b.bn(y, name="block13_sepconv2_bn")
+    y = b.max_pool(y, 3, strides=2, padding="same", name="block13_pool")
+    x = b.add([y, residual], name="add_11")
+
+    # Block 14: final separable convolutions.
+    x = b.sep_conv(x, 1536, 3, name="block14_sepconv1")
+    x = b.bn(x, name="block14_sepconv1_bn")
+    x = b.act(x, name="block14_sepconv1_act")
+    x = b.sep_conv(x, 2048, 3, name="block14_sepconv2")
+    x = b.bn(x, name="block14_sepconv2_bn")
+    x = b.act(x, name="block14_sepconv2_act")
+
+    x = b.global_avg_pool(x, name="avg_pool")
+    b.dense(x, 1000, activation="softmax", name="predictions")
+    return b.finish()

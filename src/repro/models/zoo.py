@@ -1,0 +1,99 @@
+"""Model registry and Table I statistics.
+
+``TABLE1_EXPECTED`` pins the |V| / deg(V) / Depth values the paper reports
+for its ten benchmark DNNs; tests assert the builders reproduce them
+exactly.  Fig. 5 additionally evaluates ResNet50V2 and InceptionV3, so the
+registry carries twelve models in total.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.errors import GraphError
+from repro.graphs.dag import ComputationalGraph
+from repro.graphs.topology import graph_depth
+from repro.models.densenet import densenet121, densenet169, densenet201
+from repro.models.inception import inception_resnet_v2, inception_v3
+from repro.models.resnet import (
+    resnet50,
+    resnet50v2,
+    resnet101,
+    resnet101v2,
+    resnet152,
+    resnet152v2,
+)
+from repro.models.xception import xception
+
+#: All model builders, keyed by the names the paper uses.
+MODEL_BUILDERS: Dict[str, Callable[[], ComputationalGraph]] = {
+    "Xception": xception,
+    "ResNet50": resnet50,
+    "ResNet101": resnet101,
+    "ResNet152": resnet152,
+    "ResNet50v2": resnet50v2,
+    "ResNet101v2": resnet101v2,
+    "ResNet152v2": resnet152v2,
+    "DenseNet121": densenet121,
+    "DenseNet169": densenet169,
+    "DenseNet201": densenet201,
+    "InceptionV3": inception_v3,
+    "InceptionResNetV2": inception_resnet_v2,
+}
+
+#: The ten models of Table I (also the Fig. 3 / Fig. 4 workloads), with the
+#: statistics the paper reports: (|V|, deg(V), Depth).
+TABLE1_EXPECTED: Dict[str, Dict[str, int]] = {
+    "Xception": {"num_nodes": 134, "degree": 2, "depth": 125},
+    "ResNet50": {"num_nodes": 177, "degree": 2, "depth": 168},
+    "ResNet101": {"num_nodes": 347, "degree": 2, "depth": 338},
+    "ResNet152": {"num_nodes": 517, "degree": 2, "depth": 508},
+    "DenseNet121": {"num_nodes": 429, "degree": 2, "depth": 428},
+    "ResNet101v2": {"num_nodes": 379, "degree": 2, "depth": 371},
+    "ResNet152v2": {"num_nodes": 566, "degree": 2, "depth": 558},
+    "DenseNet169": {"num_nodes": 597, "degree": 2, "depth": 596},
+    "DenseNet201": {"num_nodes": 709, "degree": 2, "depth": 708},
+    "InceptionResNetV2": {"num_nodes": 782, "degree": 4, "depth": 571},
+}
+
+#: Evaluation orders used by the figures.
+FIG4_MODELS: List[str] = list(TABLE1_EXPECTED)
+FIG5_MODELS: List[str] = [
+    "DenseNet121",
+    "DenseNet169",
+    "DenseNet201",
+    "ResNet50",
+    "ResNet101",
+    "ResNet152",
+    "ResNet50v2",
+    "ResNet101v2",
+    "InceptionResNetV2",
+    "ResNet152v2",
+    "InceptionV3",
+    "Xception",
+]
+
+
+def list_models() -> List[str]:
+    """Names of every model in the zoo."""
+    return list(MODEL_BUILDERS)
+
+
+def build_model(name: str) -> ComputationalGraph:
+    """Construct the computational graph of the model called ``name``."""
+    try:
+        builder = MODEL_BUILDERS[name]
+    except KeyError:
+        raise GraphError(
+            f"unknown model {name!r}; available: {', '.join(MODEL_BUILDERS)}"
+        ) from None
+    return builder()
+
+
+def model_statistics(graph: ComputationalGraph) -> Dict[str, int]:
+    """The Table I statistics of ``graph``: |V|, deg(V) and Depth."""
+    return {
+        "num_nodes": graph.num_nodes,
+        "degree": graph.max_in_degree,
+        "depth": graph_depth(graph),
+    }

@@ -1,0 +1,35 @@
+"""From-scratch NumPy neural-network substrate.
+
+The paper implements its LSTM pointer network in PyTorch; this offline
+reproduction implements the same components directly on NumPy with
+manual backpropagation: batched LSTM cells, the glimpse/pointer attention
+heads, parameter management with checkpointing, and the Adam optimizer.
+Every gradient path is verified against finite differences in the test
+suite.
+"""
+
+from repro.nn.adam import Adam
+from repro.nn.attention import AttentionHead, Glimpse
+from repro.nn.functional import (
+    log_softmax,
+    masked_softmax,
+    sigmoid,
+    softmax,
+    tanh,
+)
+from repro.nn.lstm import LSTMCell
+from repro.nn.params import Module, Parameter
+
+__all__ = [
+    "Adam",
+    "AttentionHead",
+    "Glimpse",
+    "LSTMCell",
+    "Module",
+    "Parameter",
+    "log_softmax",
+    "masked_softmax",
+    "sigmoid",
+    "softmax",
+    "tanh",
+]

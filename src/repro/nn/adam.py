@@ -1,0 +1,77 @@
+"""Adam optimizer (Kingma & Ba) over a module's parameter dictionary."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.errors import TrainingError
+from repro.nn.params import Module, Parameter
+
+
+class Adam:
+    """Adam with optional global gradient-norm clipping.
+
+    The paper trains with Adam at learning rate 1e-4; clipping is the
+    standard guard for REINFORCE gradients.
+    """
+
+    def __init__(
+        self,
+        module: Module,
+        lr: float = 1e-4,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+        grad_clip_norm: Optional[float] = 2.0,
+    ) -> None:
+        if lr <= 0:
+            raise TrainingError("learning rate must be positive")
+        if not 0 <= beta1 < 1 or not 0 <= beta2 < 1:
+            raise TrainingError("betas must lie in [0, 1)")
+        self.module = module
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.grad_clip_norm = grad_clip_norm
+        self._step = 0
+        self._m: Dict[str, np.ndarray] = {}
+        self._v: Dict[str, np.ndarray] = {}
+        for name, param in module.named_parameters():
+            self._m[name] = np.zeros_like(param.value)
+            self._v[name] = np.zeros_like(param.value)
+
+    # ------------------------------------------------------------------
+    def global_grad_norm(self) -> float:
+        """L2 norm over all parameter gradients."""
+        total = 0.0
+        for _, param in self.module.named_parameters():
+            total += float(np.sum(param.grad * param.grad))
+        return float(np.sqrt(total))
+
+    def step(self) -> float:
+        """Apply one update from the accumulated grads; returns grad norm."""
+        norm = self.global_grad_norm()
+        scale = 1.0
+        if self.grad_clip_norm is not None and norm > self.grad_clip_norm > 0:
+            scale = self.grad_clip_norm / (norm + 1e-12)
+        self._step += 1
+        bias1 = 1.0 - self.beta1 ** self._step
+        bias2 = 1.0 - self.beta2 ** self._step
+        for name, param in self.module.named_parameters():
+            grad = param.grad * scale
+            m = self._m[name]
+            v = self._v[name]
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad * grad
+            update = (m / bias1) / (np.sqrt(v / bias2) + self.eps)
+            param.value -= self.lr * update
+        return norm
+
+    def zero_grad(self) -> None:
+        """Convenience passthrough to the module."""
+        self.module.zero_grad()

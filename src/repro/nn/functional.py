@@ -1,0 +1,59 @@
+"""Numerically stable activation functions and their derivatives."""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Logit value used to mask invalid choices; exp(-1e9) == 0 in float64
+#: while keeping the array finite (softmax stays NaN-free).
+MASK_LOGIT = -1e9
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Element-wise logistic function, stable for large |x|."""
+    out = np.empty_like(x, dtype=float)
+    positive = x >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
+    exp_x = np.exp(x[~positive])
+    out[~positive] = exp_x / (1.0 + exp_x)
+    return out
+
+
+def dsigmoid_from_output(y: np.ndarray) -> np.ndarray:
+    """Derivative of sigmoid expressed through its output ``y``."""
+    return y * (1.0 - y)
+
+
+def tanh(x: np.ndarray) -> np.ndarray:
+    """Element-wise hyperbolic tangent."""
+    return np.tanh(x)
+
+
+def dtanh_from_output(y: np.ndarray) -> np.ndarray:
+    """Derivative of tanh expressed through its output ``y``."""
+    return 1.0 - y * y
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Stable softmax along ``axis``."""
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / np.sum(exp, axis=axis, keepdims=True)
+
+
+def log_softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Stable log-softmax along ``axis``."""
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    return shifted - np.log(np.sum(np.exp(shifted), axis=axis, keepdims=True))
+
+
+def masked_softmax(logits: np.ndarray, mask: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Softmax over positions where ``mask`` is True.
+
+    Masked positions receive probability exactly 0.  Raises no error when
+    a row is fully masked — the caller is responsible for never asking
+    for a choice when nothing is selectable (the pointer decoder always
+    has at least one unvisited node).
+    """
+    masked_logits = np.where(mask, logits, MASK_LOGIT)
+    return softmax(masked_logits, axis=axis)

@@ -1,0 +1,25 @@
+"""Weight initializers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, resolve_rng
+
+
+def glorot_uniform(shape, rng: SeedLike = None) -> np.ndarray:
+    """Glorot/Xavier uniform initialization for 1-D or 2-D shapes."""
+    rng = resolve_rng(rng)
+    if len(shape) == 2:
+        fan_in, fan_out = shape
+    elif len(shape) == 1:
+        fan_in = fan_out = shape[0]
+    else:
+        raise ValueError(f"glorot_uniform supports 1-D/2-D shapes, got {shape}")
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def zeros(shape) -> np.ndarray:
+    """All-zeros initialization (biases)."""
+    return np.zeros(shape, dtype=float)

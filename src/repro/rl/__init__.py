@@ -1,0 +1,26 @@
+"""RESPECT's reinforcement-learning framework.
+
+The LSTM pointer-network policy (Fig. 1b / Algorithm 1 of the paper),
+the cosine-similarity rewards (Eq. 1/3), REINFORCE training with a
+rollout baseline (Eq. 5/6), the supervised-imitation variant used for
+warm starting, and the end-to-end :class:`RespectScheduler` that turns a
+trained policy into a drop-in scheduler.
+"""
+
+from repro.rl.ptrnet import PointerNetworkPolicy, PolicyRollout
+from repro.rl.respect import RespectScheduler, load_pretrained_policy
+from repro.rl.reward import (
+    exact_match_fraction,
+    sequence_cosine_reward,
+    stage_cosine_reward,
+)
+
+__all__ = [
+    "PointerNetworkPolicy",
+    "PolicyRollout",
+    "RespectScheduler",
+    "exact_match_fraction",
+    "load_pretrained_policy",
+    "sequence_cosine_reward",
+    "stage_cosine_reward",
+]

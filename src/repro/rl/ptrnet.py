@@ -1,0 +1,323 @@
+"""LSTM pointer network (PtrNet) policy — the paper's RL agent.
+
+Architecture (Fig. 1b / Algorithm 1):
+
+* a linear projection embeds each node's feature row into the hidden
+  space;
+* an **encoder** LSTM digests the input queue ``q`` and produces the
+  context matrix ``C`` (one context per node) plus its final latent
+  state;
+* a **decoder** LSTM emits one node per step: its hidden state is
+  refined by a *glimpse* attention over ``C``, a *pointer* head scores
+  every node, visited nodes are masked to ``-inf``, and the next node is
+  sampled (training) or taken greedily (inference).  The chosen node's
+  embedding becomes the next decoder input; the first decoder input is a
+  trainable vector.
+
+``forward`` records every intermediate needed by ``backward``, which
+implements full backpropagation-through-time for the REINFORCE surrogate
+loss ``sum_b coeff_b * (-log p(pi_b))`` — the same code path serves
+policy gradients (``coeff = cost - baseline``) and supervised imitation
+(``coeff = 1``, teacher-forced actions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import TrainingError
+from repro.nn import functional as F
+from repro.nn.attention import AttentionHead, Glimpse
+from repro.nn.init import glorot_uniform, zeros
+from repro.nn.lstm import LSTMCell
+from repro.nn.params import Module
+from repro.utils.rng import SeedLike, resolve_rng
+
+_MODES = ("sample", "greedy", "teacher")
+
+
+@dataclass
+class _StepCache:
+    """Per-decode-step intermediates for BPTT."""
+
+    lstm_cache: Dict[str, np.ndarray]
+    glimpse_cache: Dict[str, np.ndarray]
+    pointer_cache: Dict[str, np.ndarray]
+    mask: np.ndarray          # [B, T] bool, True = selectable
+    probs: np.ndarray         # [B, T] masked softmax
+    actions: np.ndarray       # [B] int
+    prev_actions: Optional[np.ndarray]  # [B] int or None for step 0
+
+
+@dataclass
+class PolicyRollout:
+    """Result of one policy unroll over a batch of graphs.
+
+    ``actions[b]`` is the node-picking order ``pi`` for batch row ``b``
+    (indices into the encoder queue); ``log_prob[b]`` is
+    ``log p(pi_b | G_b)``.
+    """
+
+    actions: np.ndarray       # [B, T] int
+    log_prob: np.ndarray      # [B]
+    entropy: np.ndarray       # [B] mean per-step entropy
+    # -- private intermediates consumed by backward --------------------
+    features: np.ndarray
+    emb: np.ndarray
+    contexts: np.ndarray
+    enc_caches: List[Dict[str, np.ndarray]]
+    steps: List[_StepCache]
+
+
+class PointerNetworkPolicy(Module):
+    """Encoder/decoder LSTM-PtrNet with glimpse + pointer attention.
+
+    Parameters
+    ----------
+    feature_dim:
+        Width of the embedding rows (see :class:`EmbeddingConfig`).
+    hidden_size:
+        LSTM width.  The paper uses 256; CPU-scale configurations in this
+        repo default to smaller sizes (see the training examples).
+    logit_clip:
+        Tanh clipping constant ``C`` on pointer logits (Bello et al.);
+        0 disables.
+    seed:
+        Parameter-initialization seed.
+    """
+
+    def __init__(
+        self,
+        feature_dim: int,
+        hidden_size: int = 64,
+        logit_clip: float = 10.0,
+        seed: SeedLike = 0,
+    ) -> None:
+        super().__init__()
+        if feature_dim < 1 or hidden_size < 1:
+            raise TrainingError("feature_dim and hidden_size must be positive")
+        rng = resolve_rng(seed)
+        self.feature_dim = feature_dim
+        self.hidden_size = hidden_size
+        self.logit_clip = logit_clip
+        self.w_emb = self.add_param("w_emb", glorot_uniform((feature_dim, hidden_size), rng))
+        self.b_emb = self.add_param("b_emb", zeros((hidden_size,)))
+        self.encoder = self.add_module("encoder", LSTMCell(hidden_size, hidden_size, rng))
+        self.decoder = self.add_module("decoder", LSTMCell(hidden_size, hidden_size, rng))
+        self.glimpse = self.add_module("glimpse", Glimpse(hidden_size, rng))
+        self.pointer = self.add_module(
+            "pointer", AttentionHead(hidden_size, logit_clip=logit_clip, rng=rng)
+        )
+        self.d0 = self.add_param("d0", glorot_uniform((hidden_size,), rng))
+
+    # ------------------------------------------------------------------
+    def forward(
+        self,
+        features: np.ndarray,
+        mode: str = "greedy",
+        target: Optional[np.ndarray] = None,
+        rng: SeedLike = None,
+        precedence: Optional[np.ndarray] = None,
+    ) -> PolicyRollout:
+        """Unroll the policy over ``features`` (``[B, T, F]``).
+
+        ``mode='sample'`` draws actions from the pointer distribution,
+        ``'greedy'`` takes argmax, ``'teacher'`` follows ``target``
+        (``[B, T]`` permutations) for supervised imitation.
+
+        ``precedence`` (optional, ``[B, T, T]`` bool with
+        ``precedence[b, i, j] = True`` iff queue position ``j`` is a
+        parent of position ``i``) restricts every step's choices to
+        *schedulable* nodes — those whose parents have all been picked.
+        This is how the pointer decoder "reinforces the dependency
+        constraints among nodes": any decoded order is then a valid
+        topological order of the DAG.
+        """
+        if mode not in _MODES:
+            raise TrainingError(f"unknown decode mode {mode!r}")
+        if features.ndim != 3:
+            raise TrainingError(
+                f"features must be [batch, nodes, dim], got shape {features.shape}"
+            )
+        if features.shape[2] != self.feature_dim:
+            raise TrainingError(
+                f"feature dim mismatch: policy expects {self.feature_dim}, "
+                f"got {features.shape[2]}"
+            )
+        if mode == "teacher":
+            if target is None:
+                raise TrainingError("teacher mode requires a target sequence")
+            target = np.asarray(target, dtype=int)
+            if target.shape != features.shape[:2]:
+                raise TrainingError(
+                    f"target shape {target.shape} must be [batch, nodes]"
+                )
+        rng = resolve_rng(rng)
+        # Compute in the parameters' dtype (float32 for inference clones).
+        features = np.asarray(features, dtype=self.w_emb.value.dtype)
+        batch, num_nodes, _ = features.shape
+        remaining: Optional[np.ndarray] = None
+        if precedence is not None:
+            precedence = np.asarray(precedence, dtype=bool)
+            if precedence.shape != (batch, num_nodes, num_nodes):
+                raise TrainingError(
+                    f"precedence must be [batch, nodes, nodes], got "
+                    f"{precedence.shape}"
+                )
+            remaining = precedence.sum(axis=2).astype(int)  # unmet parents
+
+        emb = features @ self.w_emb.value + self.b_emb.value  # [B, T, H]
+
+        # Encoder pass.
+        h, c = self.encoder.initial_state(batch)
+        enc_caches: List[Dict[str, np.ndarray]] = []
+        context_list: List[np.ndarray] = []
+        for t in range(num_nodes):
+            h, c, cache = self.encoder.forward(emb[:, t, :], h, c)
+            enc_caches.append(cache)
+            context_list.append(h)
+        contexts = np.stack(context_list, axis=1)  # [B, T, H]
+
+        # Decoder pass.  Context projections are loop-invariant: hoist
+        # them so each step costs O(T H) instead of O(T H^2).
+        glimpse_ref = self.glimpse.attention.precompute_ref(contexts)
+        pointer_ref = self.pointer.precompute_ref(contexts)
+        dh, dc = h, c  # final encoder latent state seeds the decoder
+        d = np.tile(self.d0.value, (batch, 1))
+        visited = np.zeros((batch, num_nodes), dtype=bool)
+        log_prob = np.zeros(batch)
+        entropy = np.zeros(batch)
+        steps: List[_StepCache] = []
+        actions_out = np.zeros((batch, num_nodes), dtype=int)
+        prev_actions: Optional[np.ndarray] = None
+        rows = np.arange(batch)
+        for i in range(num_nodes):
+            dh, dc, lstm_cache = self.decoder.forward(d, dh, dc)
+            mask = ~visited
+            if remaining is not None:
+                mask &= remaining == 0
+            glimpse_vec, glimpse_cache = self.glimpse.forward(
+                contexts, dh, mask, ref=glimpse_ref
+            )
+            logits, pointer_cache = self.pointer.forward(
+                contexts, glimpse_vec, ref=pointer_ref
+            )
+            masked_logits = np.where(mask, logits, F.MASK_LOGIT)
+            log_probs = F.log_softmax(masked_logits)
+            probs = np.exp(log_probs)
+            if mode == "teacher":
+                acts = target[:, i]  # type: ignore[index]
+                if not mask[rows, acts].all():
+                    raise TrainingError(
+                        f"teacher sequence picks a masked node at step {i} "
+                        f"(revisit or precedence violation)"
+                    )
+            elif mode == "greedy":
+                acts = np.argmax(masked_logits, axis=1)
+            else:
+                acts = np.array(
+                    [rng.choice(num_nodes, p=probs[b]) for b in range(batch)]
+                )
+            log_prob += log_probs[rows, acts]
+            if mode != "greedy":
+                # Entropy is a training diagnostic; skip it on the
+                # inference path.
+                with np.errstate(divide="ignore", invalid="ignore"):
+                    plogp = np.where(probs > 0, probs * log_probs, 0.0)
+                entropy -= plogp.sum(axis=1) / num_nodes
+            steps.append(
+                _StepCache(
+                    lstm_cache=lstm_cache,
+                    glimpse_cache=glimpse_cache,
+                    pointer_cache=pointer_cache,
+                    mask=mask.copy(),
+                    probs=probs,
+                    actions=acts.copy(),
+                    prev_actions=prev_actions,
+                )
+            )
+            actions_out[:, i] = acts
+            visited[rows, acts] = True
+            if remaining is not None:
+                remaining -= precedence[rows, :, acts].astype(int)
+            d = emb[rows, acts, :]
+            prev_actions = acts
+        return PolicyRollout(
+            actions=actions_out,
+            log_prob=log_prob,
+            entropy=entropy,
+            features=features,
+            emb=emb,
+            contexts=contexts,
+            enc_caches=enc_caches,
+            steps=steps,
+        )
+
+    # ------------------------------------------------------------------
+    def backward(self, rollout: PolicyRollout, coeff: np.ndarray) -> None:
+        """Accumulate grads of ``sum_b coeff_b * (-log p(pi_b))``.
+
+        ``coeff`` is ``[B]``: advantage values for REINFORCE, or ``1/B``
+        for supervised imitation.  Gradients accumulate into the module's
+        parameters (call :meth:`zero_grad` between batches).
+        """
+        coeff = np.asarray(coeff, dtype=float)
+        batch, num_nodes, _ = rollout.features.shape
+        if coeff.shape != (batch,):
+            raise TrainingError(f"coeff must be [batch], got {coeff.shape}")
+        rows = np.arange(batch)
+        demb = np.zeros_like(rollout.emb)       # [B, T, H]
+        dcontexts = np.zeros_like(rollout.contexts)
+        ddh = np.zeros((batch, self.hidden_size))
+        ddc = np.zeros((batch, self.hidden_size))
+        for step in reversed(rollout.steps):
+            # d(-log p(a)) / dlogits = probs - onehot(a); masked entries
+            # have probs == 0 and are never the action, and the mask
+            # blocks gradient flow to the raw logits there anyway.
+            dlogits = _probs_minus_onehot(step, coeff)
+            dctx_ptr, dglimpse = self.pointer.backward(dlogits, step.pointer_cache)
+            dctx_glimpse, ddh_glimpse = self.glimpse.backward(
+                dglimpse, step.glimpse_cache
+            )
+            dcontexts += dctx_ptr + dctx_glimpse
+            dd, ddh, ddc = self.decoder.backward(
+                ddh + ddh_glimpse, ddc, step.lstm_cache
+            )
+            if step.prev_actions is None:
+                self.d0.grad += dd.sum(axis=0)
+            else:
+                demb[rows, step.prev_actions, :] += dd
+        # Encoder BPTT; decoder initial state = encoder final state.
+        dh_carry = ddh
+        dc_carry = ddc
+        for t in range(num_nodes - 1, -1, -1):
+            dh_t = dh_carry + dcontexts[:, t, :]
+            dx, dh_carry, dc_carry = self.encoder.backward(
+                dh_t, dc_carry, rollout.enc_caches[t]
+            )
+            demb[:, t, :] += dx
+        # Embedding projection.
+        self.w_emb.grad += np.einsum("btf,bth->fh", rollout.features, demb)
+        self.b_emb.grad += demb.sum(axis=(0, 1))
+
+    # ------------------------------------------------------------------
+    def config_dict(self) -> Dict[str, object]:
+        """Constructor arguments, persisted beside checkpoints."""
+        return {
+            "feature_dim": self.feature_dim,
+            "hidden_size": self.hidden_size,
+            "logit_clip": self.logit_clip,
+        }
+
+
+def _probs_minus_onehot(step: _StepCache, coeff: np.ndarray) -> np.ndarray:
+    """Gradient of ``-log p(action)`` w.r.t. the masked logits."""
+    grad = step.probs.copy()
+    rows = np.arange(grad.shape[0])
+    grad[rows, step.actions] -= 1.0
+    grad *= coeff[:, None]
+    grad[~step.mask] = 0.0
+    return grad

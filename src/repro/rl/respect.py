@@ -1,0 +1,156 @@
+"""The end-to-end RESPECT scheduler.
+
+Wraps a trained pointer-network policy into the same scheduler interface
+as every baseline: embed the graph (Step 2 of Fig. 1a), greedily decode a
+node sequence (Step 3), pack it into stages with ``rho`` and apply the
+deterministic post-inference processing (Step 4).  The measured
+``solve_time`` covers this whole pipeline — it is the quantity Fig. 3
+compares against the compiler and the ILP.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from repro.embedding.features import EmbeddingConfig
+from repro.embedding.queue import build_encoder_queue
+from repro.errors import CheckpointError, SchedulingError
+from repro.graphs.dag import ComputationalGraph
+from repro.rl.ptrnet import PointerNetworkPolicy
+from repro.scheduling.postprocess import postprocess_schedule
+from repro.scheduling.schedule import Schedule, ScheduleResult
+from repro.scheduling.sequence import pack_sequence
+from repro.utils.timing import Timer
+
+#: Directory holding checkpoints shipped with the package.
+PRETRAINED_DIR = Path(__file__).parent / "pretrained"
+DEFAULT_CHECKPOINT = "respect_small"
+
+
+def save_policy(policy: PointerNetworkPolicy, directory, name: str) -> None:
+    """Persist ``policy`` as ``<dir>/<name>.npz`` + ``<name>.json``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    policy.save_npz(directory / f"{name}.npz")
+    (directory / f"{name}.json").write_text(json.dumps(policy.config_dict(), indent=2))
+
+
+def load_policy(directory, name: str) -> PointerNetworkPolicy:
+    """Load a checkpoint written by :func:`save_policy`."""
+    directory = Path(directory)
+    config_path = directory / f"{name}.json"
+    weights_path = directory / f"{name}.npz"
+    if not config_path.exists() or not weights_path.exists():
+        raise CheckpointError(
+            f"checkpoint {name!r} not found under {directory} "
+            f"(expected {name}.json and {name}.npz)"
+        )
+    config = json.loads(config_path.read_text())
+    policy = PointerNetworkPolicy(
+        feature_dim=int(config["feature_dim"]),
+        hidden_size=int(config["hidden_size"]),
+        logit_clip=float(config.get("logit_clip", 10.0)),
+    )
+    policy.load_npz(weights_path)
+    return policy
+
+
+def load_pretrained_policy(name: str = DEFAULT_CHECKPOINT) -> PointerNetworkPolicy:
+    """Load a checkpoint shipped inside the package.
+
+    The repository ships ``respect_small`` — trained with the paper's
+    synthetic-only recipe at CPU scale (see ``examples/train_respect.py``
+    to regenerate or scale it up).
+    """
+    return load_policy(PRETRAINED_DIR, name)
+
+
+class RespectScheduler:
+    """RL-based scheduler: embedding -> PtrNet -> ``rho`` -> post-processing.
+
+    Parameters
+    ----------
+    policy:
+        A trained :class:`PointerNetworkPolicy`; when omitted the shipped
+        pretrained checkpoint is loaded.
+    embedding_config:
+        Must match the configuration the policy was trained with (the
+        feature dimension is validated).
+    budget_slack:
+        ``rho`` packing budget multiplier; ``None`` (default) lets the
+        packer binary-search the minimal feasible budget for the decoded
+        order.
+    enforce_siblings:
+        Apply the Edge TPU sibling-stage rule during post-processing.
+    constrain_topological:
+        Restrict decoding to schedulable nodes (all parents picked).
+        Decoded orders are then valid topological orders, so the
+        post-inference dependency repair is a no-op; disable to study
+        the unconstrained decoder (the post-processing ablation).
+    """
+
+    method_name = "respect"
+
+    def __init__(
+        self,
+        policy: Optional[PointerNetworkPolicy] = None,
+        embedding_config: EmbeddingConfig = EmbeddingConfig(),
+        budget_slack: Optional[float] = None,
+        enforce_siblings: bool = False,
+        constrain_topological: bool = True,
+    ) -> None:
+        self.policy = policy if policy is not None else load_pretrained_policy()
+        if self.policy.feature_dim != embedding_config.feature_dim:
+            raise SchedulingError(
+                f"policy expects feature dim {self.policy.feature_dim} but the "
+                f"embedding config produces {embedding_config.feature_dim}"
+            )
+        # Inference-only float32 clone: ~2x faster greedy decoding with no
+        # effect on the (float64) training policy the caller handed in.
+        self._inference_policy = PointerNetworkPolicy(
+            feature_dim=self.policy.feature_dim,
+            hidden_size=self.policy.hidden_size,
+            logit_clip=self.policy.logit_clip,
+        )
+        self._inference_policy.load_state_dict(self.policy.state_dict())
+        self._inference_policy.cast(np.float32)
+        self.embedding_config = embedding_config
+        self.budget_slack = budget_slack
+        self.enforce_siblings = enforce_siblings
+        self.constrain_topological = constrain_topological
+
+    # ------------------------------------------------------------------
+    def schedule(self, graph: ComputationalGraph, num_stages: int) -> ScheduleResult:
+        """Produce a schedule with one greedy decode (polynomial time)."""
+        if num_stages < 1:
+            raise SchedulingError("num_stages must be at least 1")
+        with Timer() as timer:
+            queue = build_encoder_queue(graph, self.embedding_config)
+            precedence = (
+                queue.precedence[None, :, :] if self.constrain_topological else None
+            )
+            rollout = self._inference_policy.forward(
+                queue.features[None, :, :], mode="greedy", precedence=precedence
+            )
+            order = queue.names_for(rollout.actions[0])
+            raw = pack_sequence(
+                graph, order, num_stages, budget_slack=self.budget_slack
+            )
+            violations_before = len(raw.dependency_violations())
+            schedule = postprocess_schedule(
+                raw, enforce_siblings=self.enforce_siblings
+            )
+        return ScheduleResult(
+            schedule=schedule,
+            solve_time=timer.elapsed,
+            method=self.method_name,
+            status="inference",
+            extras={
+                "repaired_violations": violations_before,
+                "log_prob": float(rollout.log_prob[0]),
+            },
+        )

@@ -1,0 +1,63 @@
+"""Reward functions (Eq. 1 and Eq. 3 of the paper).
+
+The RL agent is rewarded for *imitating* the exact scheduler: rewards are
+cosine similarities between its output and the ground truth, either over
+the raw pick-order sequences (Eq. 1) or — the form actually used for
+training — over the stage-assignment vectors produced by packing both
+sequences through ``rho`` (Eq. 3).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+#: Small constant guarding the cosine denominator (the paper's epsilon).
+EPSILON = 1e-8
+
+
+def _cosine(a: np.ndarray, b: np.ndarray) -> float:
+    denominator = max(float(np.linalg.norm(a) * np.linalg.norm(b)), EPSILON)
+    return float(np.dot(a, b) / denominator)
+
+
+def sequence_cosine_reward(pi: Sequence[int], gamma: Sequence[int]) -> float:
+    """Eq. 1: cosine similarity of the two pick-order index sequences.
+
+    ``pi[i]`` / ``gamma[i]`` are the node indices chosen at step ``i`` by
+    the policy and the exact algorithm respectively.  Indices are shifted
+    by +1 so a leading node 0 still contributes signal.
+    """
+    if len(pi) != len(gamma):
+        raise ValueError(f"sequence lengths differ: {len(pi)} vs {len(gamma)}")
+    a = np.asarray(pi, dtype=float) + 1.0
+    b = np.asarray(gamma, dtype=float) + 1.0
+    return _cosine(a, b)
+
+
+def stage_cosine_reward(stages_pi: Sequence[int], stages_gamma: Sequence[int]) -> float:
+    """Eq. 3: cosine similarity of the packed stage-assignment vectors.
+
+    ``stages_*[i]`` is the pipeline stage of node ``i`` under
+    ``S' = rho(pi)`` and ``S = rho(gamma)``.  Stages are shifted by +1 so
+    two identical all-stage-0 schedules score 1.0 rather than 0/eps.
+    """
+    if len(stages_pi) != len(stages_gamma):
+        raise ValueError(
+            f"stage vector lengths differ: {len(stages_pi)} vs {len(stages_gamma)}"
+        )
+    a = np.asarray(stages_pi, dtype=float) + 1.0
+    b = np.asarray(stages_gamma, dtype=float) + 1.0
+    return _cosine(a, b)
+
+
+def exact_match_fraction(pi: Sequence[int], gamma: Sequence[int]) -> float:
+    """Fraction of positions where the policy picked the teacher's node."""
+    if len(pi) != len(gamma):
+        raise ValueError(f"sequence lengths differ: {len(pi)} vs {len(gamma)}")
+    if not len(pi):
+        return 1.0
+    a = np.asarray(pi)
+    b = np.asarray(gamma)
+    return float(np.mean(a == b))

@@ -1,0 +1,43 @@
+"""Pipeline-scheduling algorithms.
+
+Contains the schedule representation shared by every method, the exact
+solvers (ILP via HiGHS, pure-Python branch-and-bound), the heuristic
+baselines the paper compares against (Edge TPU compiler proxy, list
+scheduling, Hu's algorithm, force-directed scheduling), metaheuristics
+(simulated annealing, DP adaptive budgeting), the ``rho`` sequence packer
+that turns RL output orders into stage assignments, and the deterministic
+post-inference processing of Sec. III.
+"""
+
+from repro.scheduling.annealing import SimulatedAnnealingScheduler
+from repro.scheduling.bnb import BranchAndBoundScheduler
+from repro.scheduling.compiler_proxy import EdgeTpuCompilerProxy
+from repro.scheduling.dp_budget import DpBudgetScheduler
+from repro.scheduling.force_directed import ForceDirectedScheduler
+from repro.scheduling.heuristics import HuScheduler, ListScheduler
+from repro.scheduling.ilp import IlpScheduler
+from repro.scheduling.postprocess import (
+    enforce_sibling_rule,
+    postprocess_schedule,
+    repair_dependencies,
+)
+from repro.scheduling.schedule import Schedule, ScheduleResult
+from repro.scheduling.sequence import pack_sequence, schedule_to_sequence
+
+__all__ = [
+    "BranchAndBoundScheduler",
+    "DpBudgetScheduler",
+    "EdgeTpuCompilerProxy",
+    "ForceDirectedScheduler",
+    "HuScheduler",
+    "IlpScheduler",
+    "ListScheduler",
+    "Schedule",
+    "ScheduleResult",
+    "SimulatedAnnealingScheduler",
+    "enforce_sibling_rule",
+    "pack_sequence",
+    "postprocess_schedule",
+    "repair_dependencies",
+    "schedule_to_sequence",
+]

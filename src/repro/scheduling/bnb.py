@@ -1,0 +1,227 @@
+"""Pure-Python exact branch-and-bound pipeline scheduler.
+
+A dependency-free exact solver for *small* graphs.  It serves two roles:
+
+* generating ground-truth label sequences for the |V| = 30 synthetic
+  training graphs without paying the ILP setup overhead per sample, and
+* cross-checking the HiGHS ILP in tests (both must report identical
+  optimal objectives on every random instance, in both the weighted and
+  the lexicographic objective modes).
+
+The search assigns nodes in topological order.  Monotonicity confines a
+node's stage to ``[max(parent stages), n-1]``, the peak-memory term only
+grows along a branch, and the communication term is lower-bounded by the
+already-fixed edges, which together give an admissible bound for pruning.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import InfeasibleScheduleError, SchedulingError
+from repro.graphs.dag import ComputationalGraph
+from repro.scheduling.schedule import (
+    DEFAULT_COMM_WEIGHT,
+    Schedule,
+    ScheduleResult,
+)
+from repro.utils.timing import Timer
+
+_DEFAULT_MAX_NODES = 80
+_DEFAULT_NODE_BUDGET = 2_000_000
+_OBJECTIVES = ("lexicographic", "weighted")
+
+
+class BranchAndBoundScheduler:
+    """Exact scheduler for small graphs (training-label generation).
+
+    Parameters
+    ----------
+    objective:
+        ``"lexicographic"`` (peak memory, then communication — matches the
+        default :class:`IlpScheduler`) or ``"weighted"``.
+    comm_weight:
+        Weight of the communication term in ``weighted`` mode.
+    peak_tolerance:
+        Phase-2 peak slack in lexicographic mode (0 = exact optimum).
+    max_nodes:
+        Hard limit on |V|; larger graphs should use the ILP.
+    node_budget:
+        Limit on explored search-tree nodes per phase, guarding against
+        adversarial instances; exceeding it raises
+        :class:`SchedulingError`.
+    """
+
+    method_name = "branch_and_bound"
+
+    def __init__(
+        self,
+        objective: str = "lexicographic",
+        comm_weight: float = DEFAULT_COMM_WEIGHT,
+        peak_tolerance: float = 0.03,
+        max_nodes: int = _DEFAULT_MAX_NODES,
+        node_budget: int = _DEFAULT_NODE_BUDGET,
+    ) -> None:
+        if objective not in _OBJECTIVES:
+            raise SchedulingError(f"unknown BnB objective {objective!r}")
+        if comm_weight < 0 or peak_tolerance < 0:
+            raise SchedulingError("comm_weight/peak_tolerance must be >= 0")
+        self.objective = objective
+        self.comm_weight = comm_weight
+        self.peak_tolerance = peak_tolerance
+        self.max_nodes = max_nodes
+        self.node_budget = node_budget
+
+    def schedule(self, graph: ComputationalGraph, num_stages: int) -> ScheduleResult:
+        """Find the exact optimal schedule by exhaustive pruned search."""
+        if num_stages < 1:
+            raise SchedulingError("num_stages must be at least 1")
+        if graph.num_nodes > self.max_nodes:
+            raise SchedulingError(
+                f"branch-and-bound limited to |V| <= {self.max_nodes}; "
+                f"got {graph.num_nodes} (use IlpScheduler instead)"
+            )
+        extras: Dict[str, object] = {"objective_mode": self.objective}
+        with Timer() as timer:
+            if self.objective == "weighted":
+                assignment, _ = self._search(
+                    graph, num_stages, comm_weight=self.comm_weight, peak_cap=None
+                )
+            else:
+                # Phase 1: exact peak-memory optimum.
+                phase1, peak_cost = self._search(
+                    graph, num_stages, comm_weight=0.0, peak_cap=None
+                )
+                peak_optimum = int(peak_cost)
+                cap = int(peak_optimum * (1.0 + self.peak_tolerance))
+                # Phase 2: cheapest communication within the padded cap.
+                assignment, comm_cost = self._search(
+                    graph,
+                    num_stages,
+                    comm_weight=1.0,
+                    peak_cap=cap,
+                    count_peak=False,
+                )
+                extras["peak_optimum_bytes"] = peak_optimum
+                extras["peak_cap_bytes"] = cap
+                extras["comm_bytes"] = int(comm_cost)
+        schedule = Schedule(graph, num_stages, assignment)
+        if self.objective == "lexicographic":
+            objective_value = float(schedule.peak_stage_param_bytes)
+        else:
+            objective_value = schedule.objective(self.comm_weight)
+        return ScheduleResult(
+            schedule=schedule,
+            solve_time=timer.elapsed,
+            method=self.method_name,
+            objective=objective_value,
+            status="optimal",
+            extras=extras,
+        )
+
+    # ------------------------------------------------------------------
+    def _search(
+        self,
+        graph: ComputationalGraph,
+        num_stages: int,
+        comm_weight: float,
+        peak_cap: Optional[int],
+        count_peak: bool = True,
+    ) -> Tuple[Dict[str, int], float]:
+        """DFS returning ``(best assignment, best cost)``.
+
+        Cost is ``peak + comm_weight * comm`` when ``count_peak`` else
+        ``comm_weight * comm``; ``peak_cap`` (when given) is a hard
+        per-stage memory bound.
+        """
+        order = graph.topological_order()
+        parents = {n: graph.parents(n) for n in order}
+        mem = {n: graph.node(n).param_bytes for n in order}
+        out_bytes = {n: graph.node(n).output_bytes for n in order}
+
+        best_assignment: Dict[str, int] = {}
+        best_cost = float("inf")
+        stage_mem = [0] * num_stages
+        assignment: Dict[str, int] = {}
+        explored = 0
+        weight = comm_weight
+
+        # Greedy warm start bounds the search from above immediately.
+        warm = self._greedy_warm_start(order, mem, parents, num_stages)
+        if peak_cap is None or all(
+            m <= peak_cap for m in Schedule(graph, num_stages, warm).stage_param_bytes()
+        ):
+            warm_schedule = Schedule(graph, num_stages, warm)
+            peak_part = warm_schedule.peak_stage_param_bytes if count_peak else 0.0
+            best_assignment = dict(warm)
+            best_cost = peak_part + weight * warm_schedule.hop_weighted_comm_bytes()
+
+        def comm_added(name: str, stage: int) -> float:
+            total = 0.0
+            for parent in parents[name]:
+                hops = stage - assignment[parent]
+                if hops:
+                    total += out_bytes[parent] * hops
+            return total
+
+        def recurse(depth: int, peak: int, comm: float) -> None:
+            nonlocal best_cost, best_assignment, explored
+            explored += 1
+            if explored > self.node_budget:
+                raise SchedulingError(
+                    "branch-and-bound node budget exhausted; instance too hard"
+                )
+            if depth == len(order):
+                cost = (peak if count_peak else 0.0) + weight * comm
+                if cost < best_cost:
+                    best_cost = cost
+                    best_assignment = dict(assignment)
+                return
+            name = order[depth]
+            floor = 0
+            if parents[name]:
+                floor = max(assignment[p] for p in parents[name])
+            for stage in range(floor, num_stages):
+                new_mem = stage_mem[stage] + mem[name]
+                if peak_cap is not None and new_mem > peak_cap:
+                    continue
+                new_comm = comm + comm_added(name, stage)
+                new_peak = max(peak, new_mem)
+                bound = (new_peak if count_peak else 0.0) + weight * new_comm
+                # Admissible: peak cannot shrink, comm cannot shrink.
+                if bound < best_cost:
+                    stage_mem[stage] = new_mem
+                    assignment[name] = stage
+                    recurse(depth + 1, new_peak, new_comm)
+                    del assignment[name]
+                    stage_mem[stage] = new_mem - mem[name]
+
+        recurse(0, 0, 0.0)
+        if not best_assignment:
+            raise InfeasibleScheduleError(
+                "no schedule satisfies the peak-memory cap"
+            )
+        return best_assignment, best_cost
+
+    @staticmethod
+    def _greedy_warm_start(
+        order: List[str],
+        mem: Dict[str, int],
+        parents: Dict[str, List[str]],
+        num_stages: int,
+    ) -> Dict[str, int]:
+        total = sum(mem.values())
+        budget = total / max(1, num_stages)
+        assignment: Dict[str, int] = {}
+        stage = 0
+        used = 0
+        for name in order:
+            if stage < num_stages - 1 and used > 0 and used + mem[name] > budget:
+                stage += 1
+                used = 0
+            floor = 0
+            if parents[name]:
+                floor = max(assignment[p] for p in parents[name])
+            assignment[name] = max(stage, floor)
+            used += mem[name]
+        return assignment

@@ -1,0 +1,98 @@
+"""Force-directed scheduling (Paulin & Knight) adapted to pipeline stages.
+
+Force-directed scheduling balances a "distribution graph" — the expected
+resource usage per time step given each node's feasible window — by
+repeatedly committing the (node, step) choice with the lowest force.
+Here the resource is parameter memory and time steps are pipeline
+stages: a node's window is ``[max(assigned parents), n-1]`` intersected
+with ``[0, min(assigned children)]``, and the distribution graph spreads
+each unassigned node's bytes uniformly over its window.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import SchedulingError
+from repro.graphs.dag import ComputationalGraph
+from repro.scheduling.schedule import Schedule, ScheduleResult
+from repro.utils.timing import Timer
+
+
+class ForceDirectedScheduler:
+    """Memory-balancing force-directed pipeline scheduler."""
+
+    method_name = "force_directed"
+
+    def schedule(self, graph: ComputationalGraph, num_stages: int) -> ScheduleResult:
+        if num_stages < 1:
+            raise SchedulingError("num_stages must be at least 1")
+        with Timer() as timer:
+            assignment = self._assign(graph, num_stages)
+        schedule = Schedule(graph, num_stages, assignment)
+        return ScheduleResult(
+            schedule=schedule,
+            solve_time=timer.elapsed,
+            method=self.method_name,
+            status="heuristic",
+        )
+
+    # ------------------------------------------------------------------
+    def _assign(self, graph: ComputationalGraph, num_stages: int) -> Dict[str, int]:
+        names = graph.topological_order()
+        mem = {n: graph.node(n).param_bytes for n in names}
+        assignment: Dict[str, int] = {}
+
+        def window(name: str) -> Tuple[int, int]:
+            lo = max(
+                (assignment[p] for p in graph.parents(name) if p in assignment),
+                default=0,
+            )
+            hi = min(
+                (assignment[c] for c in graph.children(name) if c in assignment),
+                default=num_stages - 1,
+            )
+            if hi < lo:
+                hi = lo  # dependency repair happens downstream if needed
+            return lo, hi
+
+        def distribution() -> List[float]:
+            dg = [0.0] * num_stages
+            for name in names:
+                if name in assignment:
+                    dg[assignment[name]] += mem[name]
+                else:
+                    lo, hi = window(name)
+                    share = mem[name] / (hi - lo + 1)
+                    for stage in range(lo, hi + 1):
+                        dg[stage] += share
+            return dg
+
+        # Commit nodes one at a time, choosing the minimal-force placement.
+        # Nodes are processed in topological order so parent windows are
+        # already tight; the force of placing `name` at stage `s` is the
+        # increase in sum-of-squares of the distribution graph.
+        for name in names:
+            lo, hi = window(name)
+            if lo == hi or mem[name] == 0:
+                assignment[name] = lo if mem[name] == 0 else lo
+                # Zero-memory nodes exert no force; pin to their window
+                # start to keep stages compact.
+                assignment[name] = lo
+                continue
+            dg = distribution()
+            share = mem[name] / (hi - lo + 1)
+            best_stage = lo
+            best_force: Optional[float] = None
+            for stage in range(lo, hi + 1):
+                force = 0.0
+                for other in range(lo, hi + 1):
+                    # Placing at `stage` removes the spread share from
+                    # every window slot and adds the full mass at `stage`.
+                    delta = mem[name] - share if other == stage else -share
+                    force += 2 * dg[other] * delta + delta * delta
+                if best_force is None or force < best_force:
+                    best_force = force
+                    best_stage = stage
+            assignment[name] = best_stage
+        return assignment

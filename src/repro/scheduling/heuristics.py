@@ -1,0 +1,108 @@
+"""Classical RCS heuristics adapted to pipeline-stage scheduling.
+
+The paper situates its baselines in the resource-constrained-scheduling
+literature (Hu's algorithm, list scheduling, force-directed scheduling).
+These adaptations target the pipeline formulation: stages play the role
+of time steps, the monotone dependency constraint replaces unit-latency
+precedence, and the per-stage memory budget replaces resource counts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import SchedulingError
+from repro.graphs.dag import ComputationalGraph
+from repro.graphs.topology import asap_levels, graph_depth
+from repro.scheduling.schedule import Schedule, ScheduleResult
+from repro.scheduling.sequence import DEFAULT_BUDGET_SLACK
+from repro.utils.timing import Timer
+
+
+class ListScheduler:
+    """List scheduling with critical-path priority and memory budgets.
+
+    Nodes are visited in topological order with longest-path-to-sink
+    priority; each is placed in the earliest stage at or after its
+    parents' stages whose parameter budget still has room, spilling to
+    later stages (and ultimately the last stage) when full.
+    """
+
+    method_name = "list_scheduling"
+
+    def __init__(self, budget_slack: float = DEFAULT_BUDGET_SLACK) -> None:
+        if budget_slack <= 0:
+            raise SchedulingError("budget_slack must be positive")
+        self.budget_slack = budget_slack
+
+    def schedule(self, graph: ComputationalGraph, num_stages: int) -> ScheduleResult:
+        if num_stages < 1:
+            raise SchedulingError("num_stages must be at least 1")
+        with Timer() as timer:
+            assignment = self._assign(graph, num_stages)
+        schedule = Schedule(graph, num_stages, assignment)
+        return ScheduleResult(
+            schedule=schedule,
+            solve_time=timer.elapsed,
+            method=self.method_name,
+            status="heuristic",
+        )
+
+    def _assign(self, graph: ComputationalGraph, num_stages: int) -> Dict[str, int]:
+        budget = graph.total_param_bytes / max(1, num_stages) * self.budget_slack
+        # Priority: distance-to-sink (critical path) — classic list order.
+        height: Dict[str, int] = {}
+        for name in reversed(graph.topological_order()):
+            children = graph.children(name)
+            height[name] = 0 if not children else 1 + max(height[c] for c in children)
+        order = sorted(
+            graph.topological_order(),
+            key=lambda n: (asap_levels(graph)[n], -height[n]),
+        )
+        stage_mem = [0.0] * num_stages
+        assignment: Dict[str, int] = {}
+        for name in order:
+            parents = graph.parents(name)
+            floor = max((assignment[p] for p in parents), default=0)
+            node_mem = graph.node(name).param_bytes
+            chosen = num_stages - 1
+            for stage in range(floor, num_stages):
+                if stage_mem[stage] + node_mem <= budget or stage == num_stages - 1:
+                    chosen = stage
+                    break
+            assignment[name] = chosen
+            stage_mem[chosen] += node_mem
+        return assignment
+
+
+class HuScheduler:
+    """Hu's level-based algorithm mapped onto pipeline stages.
+
+    Hu's algorithm schedules by topological level; here levels are scaled
+    proportionally onto the ``n`` stages (level ``l`` of a depth-``D``
+    graph lands in stage ``floor(l * n / (D + 1))``).  Memory-oblivious by
+    design — it illustrates why level heuristics alone are poor for
+    parameter-caching objectives.
+    """
+
+    method_name = "hu"
+
+    def schedule(self, graph: ComputationalGraph, num_stages: int) -> ScheduleResult:
+        if num_stages < 1:
+            raise SchedulingError("num_stages must be at least 1")
+        with Timer() as timer:
+            levels = asap_levels(graph)
+            depth = graph_depth(graph)
+            assignment = {
+                name: min(
+                    num_stages - 1, (level * num_stages) // (depth + 1)
+                )
+                for name, level in levels.items()
+            }
+        schedule = Schedule(graph, num_stages, assignment)
+        return ScheduleResult(
+            schedule=schedule,
+            solve_time=timer.elapsed,
+            method=self.method_name,
+            status="heuristic",
+        )

@@ -1,0 +1,256 @@
+"""Schedule representation shared by every scheduling method.
+
+A schedule assigns each node of a computational graph to one of ``n``
+pipeline stages (``S = s_0, s_1, ..., s_{n-1}`` in the paper's notation).
+The pipelined Edge TPU system executes stage ``k`` on device ``k``, so a
+valid schedule must be *monotone* along dataflow: for every edge
+``(u, v)``, ``stage(u) <= stage(v)``.
+
+The optimization objective follows the memory-and-communication-aware
+formulation of Yin et al. [21] that the paper uses as its exact method:
+
+``objective = peak per-stage parameter bytes + comm_weight * hop-weighted
+activation bytes crossing stage boundaries``
+
+The peak term is what Fig. 5 plots ("Memory Usage (MB)"); the hop-weighted
+communication term is linear in stage indices, which keeps the ILP linear.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import SchedulingError
+from repro.graphs.dag import ComputationalGraph
+from repro.graphs.topology import asap_levels
+
+#: Default weight of the communication term relative to peak memory bytes.
+#: Calibrated so the exact method meaningfully trades cut-tensor bytes
+#: against peak-memory balance (the paper's exact baseline optimizes
+#: "memory allocation and communication cost" jointly).
+DEFAULT_COMM_WEIGHT = 0.25
+
+
+class Schedule:
+    """An assignment of graph nodes to pipeline stages.
+
+    Parameters
+    ----------
+    graph:
+        The scheduled computational graph.
+    num_stages:
+        Number of pipeline stages ``n`` (= number of Edge TPUs).
+    assignment:
+        Mapping from node name to stage index in ``[0, num_stages)``.
+        Every node of ``graph`` must be assigned.
+    """
+
+    def __init__(
+        self,
+        graph: ComputationalGraph,
+        num_stages: int,
+        assignment: Dict[str, int],
+    ) -> None:
+        if num_stages < 1:
+            raise SchedulingError("num_stages must be at least 1")
+        missing = [n for n in graph.node_names if n not in assignment]
+        if missing:
+            raise SchedulingError(
+                f"schedule is missing {len(missing)} node(s), e.g. {missing[:5]}"
+            )
+        extra = [n for n in assignment if n not in graph]
+        if extra:
+            raise SchedulingError(
+                f"schedule assigns unknown node(s), e.g. {extra[:5]}"
+            )
+        for name, stage in assignment.items():
+            if not 0 <= stage < num_stages:
+                raise SchedulingError(
+                    f"node {name!r} assigned to stage {stage}, valid range is "
+                    f"[0, {num_stages})"
+                )
+        self.graph = graph
+        self.num_stages = num_stages
+        self.assignment = dict(assignment)
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    def stage_of(self, name: str) -> int:
+        """Stage index of node ``name``."""
+        return self.assignment[name]
+
+    def stage_nodes(self, stage: int) -> List[str]:
+        """Node names assigned to ``stage`` (graph insertion order)."""
+        return [n for n in self.graph.node_names if self.assignment[n] == stage]
+
+    def stages(self) -> List[List[str]]:
+        """All stages as lists of node names."""
+        buckets: List[List[str]] = [[] for _ in range(self.num_stages)]
+        for name in self.graph.node_names:
+            buckets[self.assignment[name]].append(name)
+        return buckets
+
+    # ------------------------------------------------------------------
+    # memory metrics (Fig. 5)
+    # ------------------------------------------------------------------
+    def stage_param_bytes(self) -> List[int]:
+        """Parameter bytes cached per stage."""
+        totals = [0] * self.num_stages
+        for node in self.graph.nodes:
+            totals[self.assignment[node.name]] += node.param_bytes
+        return totals
+
+    @property
+    def peak_stage_param_bytes(self) -> int:
+        """Peak per-stage parameter footprint — the paper's memory objective."""
+        return max(self.stage_param_bytes())
+
+    # ------------------------------------------------------------------
+    # communication metrics
+    # ------------------------------------------------------------------
+    def cut_edges(self) -> List[Tuple[str, str]]:
+        """Edges whose endpoints sit in different stages."""
+        return [
+            (u, v)
+            for u, v in self.graph.edges()
+            if self.assignment[u] != self.assignment[v]
+        ]
+
+    def hop_weighted_comm_bytes(self) -> int:
+        """Sum over edges of ``out_bytes(u) * (stage(v) - stage(u))``.
+
+        Linear in stage indices, hence usable inside the ILP objective.
+        Negative hops (dependency violations) contribute negatively, which
+        is fine: this metric is only meaningful on valid schedules.
+        """
+        total = 0
+        for u, v in self.graph.edges():
+            hops = self.assignment[v] - self.assignment[u]
+            if hops:
+                total += self.graph.node(u).output_bytes * hops
+        return total
+
+    def transfer_bytes(self) -> int:
+        """Activation bytes physically moved between devices per inference.
+
+        A producer's output travels device -> host -> device once per
+        *distinct consumer stage* other than its own (the host fans a
+        tensor out to every stage that consumes it).
+        """
+        total = 0
+        for u in self.graph.node_names:
+            consumer_stages = {
+                self.assignment[v]
+                for v in self.graph.children(u)
+                if self.assignment[v] != self.assignment[u]
+            }
+            total += self.graph.node(u).output_bytes * len(consumer_stages)
+        return total
+
+    # ------------------------------------------------------------------
+    # validity
+    # ------------------------------------------------------------------
+    def dependency_violations(self) -> List[Tuple[str, str]]:
+        """Edges ``(u, v)`` with ``stage(u) > stage(v)`` (pipeline-illegal)."""
+        return [
+            (u, v)
+            for u, v in self.graph.edges()
+            if self.assignment[u] > self.assignment[v]
+        ]
+
+    def is_valid(self) -> bool:
+        """True iff no dependency points backwards across stages."""
+        return not self.dependency_violations()
+
+    def sibling_violations(self) -> List[str]:
+        """Parents whose children span multiple stages (Edge TPU rule).
+
+        The paper notes the Edge TPU deployment flow requires the children
+        of any node to live in the same pipeline stage; post-inference
+        processing moves them to the earliest predicted stage.
+        """
+        offenders = []
+        for name in self.graph.node_names:
+            child_stages = {self.assignment[c] for c in self.graph.children(name)}
+            if len(child_stages) > 1:
+                offenders.append(name)
+        return offenders
+
+    # ------------------------------------------------------------------
+    # objective
+    # ------------------------------------------------------------------
+    def objective(self, comm_weight: float = DEFAULT_COMM_WEIGHT) -> float:
+        """Scheduling objective: peak stage memory + weighted communication."""
+        return self.peak_stage_param_bytes + comm_weight * self.hop_weighted_comm_bytes()
+
+    # ------------------------------------------------------------------
+    # conversions
+    # ------------------------------------------------------------------
+    def to_sequence(self) -> List[str]:
+        """The ``gamma`` label sequence: stage-major, ASAP-level minor order.
+
+        This is how an exact schedule is presented to the RL agent as the
+        ground-truth node-picking order (Eq. 2 of the paper).
+        """
+        levels = asap_levels(self.graph)
+        index = self.graph.build_index()
+        return sorted(
+            self.graph.node_names,
+            key=lambda n: (self.assignment[n], levels[n], index[n]),
+        )
+
+    def copy(self) -> "Schedule":
+        """Independent copy sharing the (immutable-in-practice) graph."""
+        return Schedule(self.graph, self.num_stages, dict(self.assignment))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schedule):
+            return NotImplemented
+        return (
+            self.graph is other.graph
+            and self.num_stages == other.num_stages
+            and self.assignment == other.assignment
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        sizes = [len(s) for s in self.stages()]
+        return (
+            f"Schedule(graph={self.graph.name!r}, stages={self.num_stages}, "
+            f"sizes={sizes})"
+        )
+
+
+@dataclass
+class ScheduleResult:
+    """Outcome of one scheduler invocation.
+
+    Attributes
+    ----------
+    schedule:
+        The produced stage assignment.
+    solve_time:
+        Wall-clock seconds the scheduler spent (the Fig. 3 quantity).
+    method:
+        Human-readable scheduler name.
+    objective:
+        Objective value the scheduler reports (peak memory + weighted
+        comm); recomputed from the schedule when the solver does not
+        supply one.
+    status:
+        Solver status string (``"optimal"``, ``"heuristic"``, ...).
+    extras:
+        Method-specific diagnostics (iteration counts, MIP gaps, ...).
+    """
+
+    schedule: Schedule
+    solve_time: float
+    method: str
+    objective: float = -1.0
+    status: str = "ok"
+    extras: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.objective < 0:
+            self.objective = self.schedule.objective()

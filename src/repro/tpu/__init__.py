@@ -1,0 +1,43 @@
+"""Pipelined Coral Edge TPU system simulator.
+
+The paper evaluates on a physical host driving 4/5/6 Coral Edge TPUs over
+USB 3.0 (its Fig. 2).  That hardware is substituted here by a
+discrete-event simulator built on the documented Edge TPU resource model:
+
+* 8 MiB of on-chip SRAM caches model parameters; parameters that do not
+  fit are *streamed from the host over USB on every inference* — the
+  dominant cost cliff on this platform,
+* an int8 systolic array with 4 TOPS peak (the TFLite/Toco int8
+  quantization step is modelled in :mod:`repro.tpu.quantize`),
+* a single shared USB 3.0 host controller that serializes inter-stage
+  activation transfers and weight streaming (the pipeline's hidden
+  bottleneck, and the main source of the paper's "performance modeling
+  miscorrelation" between abstract objectives and on-chip runtime).
+"""
+
+from repro.tpu.caching import CachingPlan, allocate_parameter_cache
+from repro.tpu.deploy import DeployedPipeline, deploy
+from repro.tpu.latency import op_compute_seconds, profile_stage
+from repro.tpu.pipeline import PipelinedTpuSystem, PipelineReport, StageProfile
+from repro.tpu.power import EnergyReport, PowerModel, estimate_energy
+from repro.tpu.quantize import quantize_graph
+from repro.tpu.spec import EdgeTPUSpec, UsbSpec, default_spec
+
+__all__ = [
+    "CachingPlan",
+    "DeployedPipeline",
+    "EdgeTPUSpec",
+    "EnergyReport",
+    "PipelineReport",
+    "PipelinedTpuSystem",
+    "PowerModel",
+    "StageProfile",
+    "UsbSpec",
+    "allocate_parameter_cache",
+    "default_spec",
+    "deploy",
+    "estimate_energy",
+    "op_compute_seconds",
+    "profile_stage",
+    "quantize_graph",
+]

@@ -1,0 +1,96 @@
+"""On-chip parameter-cache allocation.
+
+The Edge TPU compiler assigns model parameters to the device's SRAM in
+*execution order* until the cache is full; everything that does not fit
+is fetched from the host over USB on every single inference ("off-chip
+parameters" — the parameter-caching values Fig. 5 aggregates).  The
+allocator below reproduces this greedy whole-tensor policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import DeploymentError
+from repro.graphs.dag import ComputationalGraph
+
+
+@dataclass
+class CachingPlan:
+    """Outcome of allocating one stage's parameters to its TPU's SRAM.
+
+    Attributes
+    ----------
+    on_chip:
+        Bytes resident in SRAM per node.
+    off_chip:
+        Bytes streamed from the host per inference per node.
+    """
+
+    on_chip: Dict[str, int] = field(default_factory=dict)
+    off_chip: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def on_chip_total(self) -> int:
+        return sum(self.on_chip.values())
+
+    @property
+    def off_chip_total(self) -> int:
+        return sum(self.off_chip.values())
+
+    @property
+    def total(self) -> int:
+        return self.on_chip_total + self.off_chip_total
+
+    def fits_entirely(self) -> bool:
+        """True iff every parameter is cached on-chip."""
+        return self.off_chip_total == 0
+
+
+def allocate_parameter_cache(
+    graph: ComputationalGraph,
+    stage_nodes: Sequence[str],
+    sram_bytes: int,
+    order: Optional[Sequence[str]] = None,
+) -> CachingPlan:
+    """Greedy whole-tensor first-fit allocation in execution order.
+
+    Parameters
+    ----------
+    graph:
+        The (quantized) computational graph.
+    stage_nodes:
+        Node names assigned to this pipeline stage.
+    sram_bytes:
+        Usable SRAM capacity of the stage's device.
+    order:
+        Execution order to allocate in; defaults to the graph's
+        topological order restricted to ``stage_nodes``.
+    """
+    if sram_bytes < 0:
+        raise DeploymentError("sram_bytes must be non-negative")
+    members = set(stage_nodes)
+    if order is None:
+        order = [n for n in graph.topological_order() if n in members]
+    else:
+        order = [n for n in order if n in members]
+        if len(order) != len(members):
+            raise DeploymentError(
+                "caching order must cover every stage node exactly once"
+            )
+    plan = CachingPlan()
+    remaining = sram_bytes
+    for name in order:
+        param_bytes = graph.node(name).param_bytes
+        if param_bytes == 0:
+            continue
+        if param_bytes <= remaining:
+            plan.on_chip[name] = param_bytes
+            remaining -= param_bytes
+        else:
+            # Whole-tensor granularity: a tensor that does not fit is
+            # streamed in full (the compiler does not split weight
+            # tensors between SRAM and host memory).
+            plan.off_chip[name] = param_bytes
+    return plan

@@ -1,0 +1,124 @@
+"""Deployment flow: schedule -> partitioned, compiled, simulatable pipeline.
+
+Mirrors the paper's deployment framework (Sec. IV): it "takes single or
+multiple DNN models and the number of pipeline stages as inputs, and
+outputs n partitioned subgraphs for deployment on Edge TPU devices",
+going through quantization (Toco proxy), partitioning, per-device
+parameter-cache compilation and finally simulation on the pipelined
+system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import DeploymentError
+from repro.graphs.dag import ComputationalGraph
+from repro.scheduling.postprocess import postprocess_schedule
+from repro.scheduling.schedule import Schedule
+from repro.tpu.caching import CachingPlan, allocate_parameter_cache
+from repro.tpu.pipeline import (
+    PipelinedTpuSystem,
+    PipelineReport,
+    StageProfile,
+    compute_stage_profiles,
+)
+from repro.tpu.quantize import is_quantized, quantize_graph
+from repro.tpu.spec import EdgeTPUSpec, default_spec
+
+
+@dataclass
+class DeployedPipeline:
+    """A model partitioned, quantized and mapped onto ``n`` Edge TPUs."""
+
+    graph: ComputationalGraph
+    schedule: Schedule
+    spec: EdgeTPUSpec
+    subgraphs: List[ComputationalGraph]
+    caching_plans: List[CachingPlan]
+    profiles: List[StageProfile] = field(default_factory=list)
+
+    @property
+    def num_stages(self) -> int:
+        return self.schedule.num_stages
+
+    def simulate(self, num_inferences: int = 1000) -> PipelineReport:
+        """Run the inference workload on the simulated pipeline."""
+        system = PipelinedTpuSystem(self.spec)
+        return system.run(
+            self.graph,
+            self.schedule,
+            num_inferences=num_inferences,
+            caching_plans=self.caching_plans,
+        )
+
+    def summary(self) -> str:
+        """Human-readable per-stage deployment summary."""
+        lines = [f"pipeline: {self.graph.name} on {self.num_stages} Edge TPUs"]
+        for k, plan in enumerate(self.caching_plans):
+            nodes = len(self.subgraphs[k])
+            lines.append(
+                f"  stage {k}: {nodes:4d} ops, "
+                f"{plan.on_chip_total / 1e6:7.3f} MB cached, "
+                f"{plan.off_chip_total / 1e6:7.3f} MB streamed"
+            )
+        return "\n".join(lines)
+
+
+def deploy(
+    graph: ComputationalGraph,
+    schedule: Schedule,
+    spec: Optional[EdgeTPUSpec] = None,
+    quantize: bool = True,
+    repair: bool = True,
+    enforce_siblings: bool = False,
+) -> DeployedPipeline:
+    """Turn a schedule into a deployable pipeline.
+
+    Parameters
+    ----------
+    graph:
+        Model computational graph (float or already-quantized).
+    schedule:
+        Stage assignment over ``graph``'s nodes.
+    spec:
+        Device specification; defaults to the Coral USB accelerator.
+    quantize:
+        Apply the Toco int8 conversion when the graph is still float.
+    repair:
+        Run post-inference processing (dependency repair, optional
+        sibling rule) before deployment; with ``repair=False`` an invalid
+        schedule raises :class:`DeploymentError`.
+    """
+    spec = spec or default_spec()
+    if quantize and not is_quantized(graph):
+        quantized = quantize_graph(graph)
+        schedule = Schedule(quantized, schedule.num_stages, schedule.assignment)
+        graph = quantized
+    if repair:
+        schedule = postprocess_schedule(schedule, enforce_siblings=enforce_siblings)
+    violations = schedule.dependency_violations()
+    if violations:
+        raise DeploymentError(
+            f"schedule violates {len(violations)} dependencies, e.g. "
+            f"{violations[0]}; enable repair or fix the scheduler"
+        )
+
+    subgraphs = [
+        graph.subgraph(stage_nodes, name=f"{graph.name}_stage{k}")
+        for k, stage_nodes in enumerate(schedule.stages())
+    ]
+    caching_plans = [
+        allocate_parameter_cache(graph, stage_nodes, spec.sram_bytes)
+        for stage_nodes in schedule.stages()
+    ]
+    profiles = compute_stage_profiles(graph, schedule, spec, caching_plans)
+    return DeployedPipeline(
+        graph=graph,
+        schedule=schedule,
+        spec=spec,
+        subgraphs=subgraphs,
+        caching_plans=caching_plans,
+        profiles=profiles,
+    )

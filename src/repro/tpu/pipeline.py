@@ -1,0 +1,348 @@
+"""Discrete-event simulation of a multi-stage pipelined Edge TPU system.
+
+Models the paper's Fig. 2 testbed: ``n`` Coral Edge TPUs driven by one
+host over USB 3.0.  Every inference flows stage 0 -> 1 -> ... -> n-1;
+between stages, activations travel device -> host -> device, and any
+stage whose parameters overflow its 8 MiB SRAM must stream the remainder
+from the host before computing.
+
+Two interconnect topologies are supported:
+
+``per_stage`` (default)
+    Each TPU hangs off its own host-controller port (the Fig. 2 rig uses
+    a bank of USB hubs on a multi-controller workstation), so stage ``k``
+    owns a dedicated link carrying its input tensors, weight streaming
+    and output tensors.
+``shared``
+    A single host controller serializes *every* transfer in the system —
+    the worst-case topology, kept for the bus-contention ablation.  Under
+    heavy weight streaming the whole pipeline collapses onto the bus,
+    which is precisely the effect the ablation demonstrates.
+
+In both modes weight streaming blocks the stage's device (no weight
+double-buffering on Edge TPUs), which creates the platform's famous
+cache-overflow cost cliff.  Neither the exact ILP nor RESPECT models
+link arbitration or per-transfer latency, so simulated runtime and the
+abstract objective can disagree — reproducing the paper's "performance
+modeling miscorrelation" observation.
+
+The simulator advances inference state machines in ready-time order, so
+link grants are FIFO in true time.  Per-stage phase durations come from
+:mod:`repro.tpu.latency` and :mod:`repro.tpu.caching`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.errors import DeploymentError
+from repro.graphs.dag import ComputationalGraph
+from repro.scheduling.schedule import Schedule
+from repro.tpu.caching import CachingPlan, allocate_parameter_cache
+from repro.tpu.latency import op_compute_seconds, weight_stream_seconds
+from repro.tpu.spec import EdgeTPUSpec, default_spec
+
+_BUS_MODES = ("per_stage", "shared")
+
+
+@dataclass(frozen=True)
+class StageProfile:
+    """Per-inference workload of one pipeline stage.
+
+    All quantities are identical across inferences, so they are computed
+    once from the schedule and reused by the event simulation.
+    """
+
+    stage: int
+    compute_seconds: float
+    weight_stream_seconds: float
+    input_bytes: int
+    output_bytes: int
+    input_transfer_seconds: float
+    output_transfer_seconds: float
+    on_chip_bytes: int
+    off_chip_bytes: int
+
+    @property
+    def device_seconds(self) -> float:
+        """Device occupancy per inference (weights stream + compute)."""
+        return self.weight_stream_seconds + self.compute_seconds
+
+    @property
+    def link_seconds(self) -> float:
+        """Link occupancy per inference caused by this stage."""
+        return (
+            self.input_transfer_seconds
+            + self.weight_stream_seconds
+            + self.output_transfer_seconds
+        )
+
+
+@dataclass
+class PipelineReport:
+    """Outcome of simulating ``num_inferences`` through the pipeline."""
+
+    num_inferences: int
+    makespan_seconds: float
+    throughput_per_second: float
+    mean_latency_seconds: float
+    steady_period_seconds: float
+    stage_busy_seconds: List[float]
+    bus_busy_seconds: float
+    bottleneck: str
+    bus_mode: str = "per_stage"
+    profiles: List[StageProfile] = field(default_factory=list)
+
+    @property
+    def seconds_per_inference(self) -> float:
+        """Average wall time per inference — the Fig. 4 quantity."""
+        return self.makespan_seconds / self.num_inferences
+
+    @property
+    def bus_utilization(self) -> float:
+        """Aggregate link busy fraction (shared mode: the one bus)."""
+        if self.makespan_seconds == 0:
+            return 0.0
+        return self.bus_busy_seconds / self.makespan_seconds
+
+
+def compute_stage_profiles(
+    graph: ComputationalGraph,
+    schedule: Schedule,
+    spec: EdgeTPUSpec,
+    caching_plans: Optional[List[CachingPlan]] = None,
+) -> List[StageProfile]:
+    """Derive every stage's per-inference phase durations from a schedule."""
+    if schedule.graph is not graph and schedule.graph.node_names != graph.node_names:
+        raise DeploymentError("schedule does not belong to the supplied graph")
+    num_stages = schedule.num_stages
+    stages = schedule.stages()
+    if caching_plans is None:
+        caching_plans = [
+            allocate_parameter_cache(graph, stage_nodes, spec.sram_bytes)
+            for stage_nodes in stages
+        ]
+    if len(caching_plans) != num_stages:
+        raise DeploymentError("one caching plan per stage is required")
+
+    profiles: List[StageProfile] = []
+    assignment = schedule.assignment
+    for k, stage_nodes in enumerate(stages):
+        compute = sum(op_compute_seconds(graph.node(n), spec) for n in stage_nodes)
+        plan = caching_plans[k]
+        stream = weight_stream_seconds(plan.off_chip_total, spec)
+
+        # Host -> device: tensors produced strictly earlier that some node
+        # of this stage consumes (deduplicated per producer), plus the
+        # model input image for stage 0 (its source node lives here).
+        in_bytes = 0
+        producers_seen = set()
+        for name in stage_nodes:
+            for parent in graph.parents(name):
+                if assignment[parent] < k and parent not in producers_seen:
+                    producers_seen.add(parent)
+                    in_bytes += graph.node(parent).output_bytes
+        if k == 0:
+            in_bytes += sum(
+                graph.node(s).output_bytes
+                for s in graph.sources
+                if assignment[s] == 0
+            )
+
+        # Device -> host: tensors produced here that later stages (or the
+        # host, for model outputs) consume — sent to the host once each.
+        out_bytes = 0
+        for name in stage_nodes:
+            node = graph.node(name)
+            children = graph.children(name)
+            crosses = any(assignment[c] > k for c in children)
+            is_model_output = not children
+            if crosses or is_model_output:
+                out_bytes += node.output_bytes
+
+        profiles.append(
+            StageProfile(
+                stage=k,
+                compute_seconds=compute,
+                weight_stream_seconds=stream,
+                input_bytes=in_bytes,
+                output_bytes=out_bytes,
+                input_transfer_seconds=spec.usb.transfer_seconds(in_bytes),
+                output_transfer_seconds=spec.usb.transfer_seconds(out_bytes),
+                on_chip_bytes=plan.on_chip_total,
+                off_chip_bytes=plan.off_chip_total,
+            )
+        )
+    return profiles
+
+
+class PipelinedTpuSystem:
+    """Event-driven simulator of the central-hosted Edge TPU pipeline.
+
+    Parameters
+    ----------
+    spec:
+        Device/link specification (defaults to the Coral USB accelerator).
+    bus_mode:
+        ``"per_stage"`` (dedicated link per TPU, default) or ``"shared"``
+        (one host controller serializes all transfers).
+    """
+
+    def __init__(
+        self, spec: Optional[EdgeTPUSpec] = None, bus_mode: str = "per_stage"
+    ) -> None:
+        if bus_mode not in _BUS_MODES:
+            raise DeploymentError(
+                f"unknown bus_mode {bus_mode!r}; choose from {_BUS_MODES}"
+            )
+        self.spec = spec or default_spec()
+        self.bus_mode = bus_mode
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        graph: ComputationalGraph,
+        schedule: Schedule,
+        num_inferences: int = 1000,
+        caching_plans: Optional[List[CachingPlan]] = None,
+    ) -> PipelineReport:
+        """Simulate ``num_inferences`` back-to-back inferences.
+
+        The schedule must be dependency-valid; the graph should already be
+        quantized (scheduling and deployment operate on the int8 model).
+        """
+        if num_inferences < 1:
+            raise DeploymentError("num_inferences must be at least 1")
+        violations = schedule.dependency_violations()
+        if violations:
+            raise DeploymentError(
+                f"cannot simulate an invalid schedule; first violation: "
+                f"{violations[0]}"
+            )
+        profiles = compute_stage_profiles(graph, schedule, self.spec, caching_plans)
+        return self._simulate(profiles, num_inferences)
+
+    # ------------------------------------------------------------------
+    def _simulate(
+        self, profiles: List[StageProfile], num_inferences: int
+    ) -> PipelineReport:
+        num_stages = len(profiles)
+        shared = self.bus_mode == "shared"
+        # Link state: one entry in shared mode, one per stage otherwise.
+        link_free = [0.0] * (1 if shared else num_stages)
+        link_busy = [0.0] * (1 if shared else num_stages)
+        stage_free = [0.0] * num_stages
+        stage_busy = [0.0] * num_stages
+        completions: List[float] = [0.0] * num_inferences
+
+        def link_index(stage: int) -> int:
+            return 0 if shared else stage
+
+        # Phase encoding per inference: stage k has phases IN(3k),
+        # STREAM+COMPUTE(3k+1), OUT(3k+2); completion after last OUT.
+        # Advancing state machines in ready-time order makes link grants
+        # FIFO in true time.
+        heap: List[Tuple[float, int, int]] = []  # (ready, inference, phase)
+        heapq.heappush(heap, (0.0, 0, 0))
+        next_inference = 1
+        while heap:
+            ready, j, phase = heapq.heappop(heap)
+            k = phase // 3
+            sub = phase % 3
+            profile = profiles[k]
+            link = link_index(k)
+            if sub == 0:  # host -> device input transfer
+                start = max(ready, link_free[link])
+                duration = profile.input_transfer_seconds
+                end = start + duration
+                link_free[link] = end
+                link_busy[link] += duration
+                heapq.heappush(heap, (end, j, phase + 1))
+                if k == 0 and next_inference < num_inferences:
+                    # Admit the next inference once this input is on the
+                    # wire; the host pipelines input submissions.
+                    heapq.heappush(heap, (end, next_inference, 0))
+                    next_inference += 1
+            elif sub == 1:  # weight streaming (link+device), then compute
+                device_ready = max(ready, stage_free[k])
+                stream = profile.weight_stream_seconds
+                if stream > 0.0:
+                    start = max(device_ready, link_free[link])
+                    link_free[link] = start + stream
+                    link_busy[link] += stream
+                    compute_start = start + stream
+                else:
+                    compute_start = device_ready
+                compute_end = compute_start + profile.compute_seconds
+                stage_free[k] = compute_end
+                stage_busy[k] += stream + profile.compute_seconds
+                heapq.heappush(heap, (compute_end, j, phase + 1))
+            else:  # device -> host output transfer
+                start = max(ready, link_free[link])
+                duration = profile.output_transfer_seconds
+                end = start + duration
+                link_free[link] = end
+                link_busy[link] += duration
+                if k + 1 < num_stages:
+                    heapq.heappush(heap, (end, j, phase + 1))
+                else:
+                    completions[j] = end
+
+        makespan = max(completions)
+        warmup = min(num_inferences - 1, 2 * num_stages)
+        if num_inferences - 1 > warmup:
+            period = (completions[-1] - completions[warmup]) / (
+                num_inferences - 1 - warmup
+            )
+        else:
+            period = makespan / num_inferences
+        bottleneck = self._bottleneck(profiles, shared)
+        return PipelineReport(
+            num_inferences=num_inferences,
+            makespan_seconds=makespan,
+            throughput_per_second=num_inferences / makespan if makespan else 0.0,
+            mean_latency_seconds=makespan / num_inferences,
+            steady_period_seconds=period,
+            stage_busy_seconds=stage_busy,
+            bus_busy_seconds=sum(link_busy),
+            bottleneck=bottleneck,
+            bus_mode=self.bus_mode,
+            profiles=profiles,
+        )
+
+    # ------------------------------------------------------------------
+    def theoretical_period(self, profiles: List[StageProfile]) -> float:
+        """Closed-form steady-state period lower bound.
+
+        Every resource works ``per-inference seconds`` each cycle: device
+        ``k`` needs ``stream_k + compute_k``; each link needs its stage's
+        transfers (shared mode: their sum).  The pipeline cannot beat the
+        busiest resource; the event simulation converges to (just above)
+        this bound, which tests assert.
+        """
+        device = max((p.device_seconds for p in profiles), default=0.0)
+        if self.bus_mode == "shared":
+            link = sum(p.link_seconds for p in profiles)
+        else:
+            link = max((p.link_seconds for p in profiles), default=0.0)
+        return max(device, link)
+
+    def _bottleneck(self, profiles: List[StageProfile], shared: bool) -> str:
+        if not profiles:
+            return "empty"
+        device_idx = max(
+            range(len(profiles)), key=lambda k: profiles[k].device_seconds
+        )
+        device = profiles[device_idx].device_seconds
+        if shared:
+            bus = sum(p.link_seconds for p in profiles)
+            if bus > device:
+                return "usb_host_bus"
+            return f"stage_{device_idx}"
+        link_idx = max(range(len(profiles)), key=lambda k: profiles[k].link_seconds)
+        link = profiles[link_idx].link_seconds
+        if link > device:
+            return f"link_{link_idx}"
+        return f"stage_{device_idx}"

@@ -1,0 +1,78 @@
+"""TFLite/Toco-style int8 quantization model.
+
+The paper's deployment flow quantizes TensorFlow models with the Toco
+converter before the Edge TPU compiler sees them (Step 4 in Fig. 1a).
+For scheduling, the observable effect is on tensor *sizes*: float32
+parameters shrink 4x to int8 plus small per-tensor calibration metadata
+(scale/zero-point pairs, per output channel for conv weights), and
+activations shrink 4x as well.  MAC counts are unchanged.
+"""
+
+from __future__ import annotations
+
+from repro.graphs import ops
+from repro.graphs.dag import ComputationalGraph
+from repro.graphs.tensors import DTYPE_BYTES
+
+#: Per-channel calibration metadata: one float32 scale + one int32
+#: zero-point per output channel, stored alongside the weights.
+_PER_CHANNEL_OVERHEAD_BYTES = 8
+#: Flat per-tensor overhead for TFLite tensor headers.
+_PER_TENSOR_OVERHEAD_BYTES = 64
+
+
+def _quantized_param_bytes(node_param_bytes: int, channels: int) -> int:
+    if node_param_bytes == 0:
+        return 0
+    weights = node_param_bytes // DTYPE_BYTES["float32"]  # element count
+    return (
+        weights
+        + channels * _PER_CHANNEL_OVERHEAD_BYTES
+        + _PER_TENSOR_OVERHEAD_BYTES
+    )
+
+
+def quantize_graph(
+    graph: ComputationalGraph, activation_dtype: str = "int8"
+) -> ComputationalGraph:
+    """Return an int8-quantized copy of ``graph``.
+
+    Parameter bytes become one byte per element plus calibration
+    overhead; activation bytes are scaled by the dtype ratio.  The result
+    carries ``attrs["quantized"] = True`` on every node so downstream
+    stages can assert they received a converted model.
+    """
+    ratio = DTYPE_BYTES[activation_dtype] / DTYPE_BYTES["float32"]
+    out = ComputationalGraph(name=f"{graph.name}_int8")
+    for node in graph.nodes:
+        channels = _output_channels(node)
+        quantized = node.copy()
+        quantized.param_bytes = _quantized_param_bytes(node.param_bytes, channels)
+        quantized.output_bytes = max(1, int(node.output_bytes * ratio))
+        quantized.attrs["quantized"] = True
+        out.add_node(quantized)
+    for src, dst in graph.edges():
+        out.add_edge(src, dst)
+    return out
+
+
+def is_quantized(graph: ComputationalGraph) -> bool:
+    """True iff every node went through :func:`quantize_graph`."""
+    return all(node.attrs.get("quantized") for node in graph.nodes)
+
+
+def _output_channels(node) -> int:
+    """Best-effort output-channel count for per-channel quantization."""
+    if node.op_type not in ops.PARAMETRIC_OPS:
+        return 0
+    shape = node.attrs.get("shape")
+    if isinstance(shape, (tuple, list)) and shape:
+        return int(shape[-1])
+    # Fall back to a conservative estimate: BN stores 4 floats/channel,
+    # conv/dense weight tensors rarely have fewer than 16 channels.
+    if node.op_type == ops.BATCH_NORM:
+        return max(1, node.param_bytes // (4 * DTYPE_BYTES["float32"]))
+    return 16
+
+
+__all__ = ["quantize_graph", "is_quantized"]

@@ -1,0 +1,104 @@
+"""Edge TPU device and interconnect specifications.
+
+Numbers follow the published Coral USB Accelerator datasheet and the
+empirical characterization of Boroumand et al. (reference [3] of the
+paper): 4 TOPS int8 peak (= 2e12 MAC/s), ~8 MiB of on-chip parameter
+SRAM (of which ~7.7 MiB is usable for weights), and USB 3.0 with an
+effective goodput far below the 5 Gb/s line rate once protocol overheads
+and the host controller are accounted for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.errors import DeploymentError
+from repro.graphs import ops
+
+
+@dataclass(frozen=True)
+class UsbSpec:
+    """USB 3.0 link/host-controller model.
+
+    ``bandwidth_bytes_per_s`` is effective goodput; every transfer also
+    pays ``per_transfer_latency_s`` of scheduling/turnaround latency —
+    small transfers are latency-bound, which penalizes chatty pipelines.
+    """
+
+    bandwidth_bytes_per_s: float = 320e6
+    per_transfer_latency_s: float = 1.5e-4
+
+    def transfer_seconds(self, nbytes: int) -> float:
+        """Bus occupancy of a single ``nbytes`` transfer."""
+        if nbytes < 0:
+            raise DeploymentError("transfer size must be non-negative")
+        if nbytes == 0:
+            return 0.0
+        return self.per_transfer_latency_s + nbytes / self.bandwidth_bytes_per_s
+
+
+#: Fraction of the systolic array's peak MAC rate that each compute op
+#: kind actually sustains (utilization factors measured by [3] are in
+#: this ballpark: dense convolutions run near half of peak, depthwise
+#: layers are heavily underutilized, fully-connected layers are
+#: weight-bandwidth-bound).
+_DEFAULT_UTILIZATION: Dict[str, float] = {
+    ops.CONV2D: 0.50,
+    ops.SEPARABLE_CONV2D: 0.20,
+    ops.DEPTHWISE_CONV2D: 0.08,
+    ops.DENSE: 0.25,
+}
+
+
+@dataclass(frozen=True)
+class EdgeTPUSpec:
+    """One Coral Edge TPU device.
+
+    Attributes
+    ----------
+    sram_bytes:
+        On-chip parameter cache capacity usable for weights.
+    peak_macs_per_s:
+        Systolic-array peak (4 TOPS int8 = 2e12 MAC/s).
+    utilization:
+        Per-op-kind sustained fraction of peak.
+    elementwise_bytes_per_s:
+        Throughput of element-wise / data-movement ops (bytes of output
+        produced per second); these run on the on-chip vector units.
+    weight_stream_overhead:
+        Multiplier (>1) on off-chip weight streaming time, covering
+        descriptor and re-layout overheads observed on real devices.
+    usb:
+        Link model to the host.
+    """
+
+    name: str = "coral_usb"
+    sram_bytes: int = 8_060_928  # 7.6875 MiB usable of the 8 MiB SRAM
+    peak_macs_per_s: float = 2.0e12
+    utilization: Dict[str, float] = field(
+        default_factory=lambda: dict(_DEFAULT_UTILIZATION)
+    )
+    elementwise_bytes_per_s: float = 32.0e9
+    weight_stream_overhead: float = 1.15
+    usb: UsbSpec = field(default_factory=UsbSpec)
+
+    def __post_init__(self) -> None:
+        if self.sram_bytes <= 0:
+            raise DeploymentError("sram_bytes must be positive")
+        if self.peak_macs_per_s <= 0:
+            raise DeploymentError("peak_macs_per_s must be positive")
+        if self.elementwise_bytes_per_s <= 0:
+            raise DeploymentError("elementwise_bytes_per_s must be positive")
+        if self.weight_stream_overhead < 1.0:
+            raise DeploymentError("weight_stream_overhead must be >= 1")
+
+    def sustained_macs_per_s(self, op_type: str) -> float:
+        """Effective MAC rate for ``op_type`` (falls back to dense-conv)."""
+        factor = self.utilization.get(op_type, self.utilization.get(ops.CONV2D, 0.5))
+        return self.peak_macs_per_s * factor
+
+
+def default_spec() -> EdgeTPUSpec:
+    """The Coral USB Accelerator configuration used by all experiments."""
+    return EdgeTPUSpec()

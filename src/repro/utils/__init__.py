@@ -1,0 +1,19 @@
+"""Shared utilities: seeded RNG handling, timing, statistics, tables."""
+
+from repro.utils.rng import resolve_rng, spawn_rngs, stable_hash
+from repro.utils.stats import geometric_mean, mean, ratio_summary, stddev
+from repro.utils.tables import format_table
+from repro.utils.timing import Timer, time_call
+
+__all__ = [
+    "Timer",
+    "format_table",
+    "geometric_mean",
+    "mean",
+    "ratio_summary",
+    "resolve_rng",
+    "spawn_rngs",
+    "stable_hash",
+    "stddev",
+    "time_call",
+]

@@ -1,0 +1,61 @@
+"""Deterministic random-number-generator helpers.
+
+All stochastic components of the library (the synthetic DAG sampler, the
+neural-network initializers, REINFORCE sampling) accept either an integer
+seed or a ready-made :class:`numpy.random.Generator`.  Routing everything
+through :func:`resolve_rng` keeps experiments reproducible end to end.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Optional, Union
+
+import numpy as np
+
+SeedLike = Union[int, np.random.Generator, None]
+
+
+def resolve_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    ``None`` yields a non-deterministic generator, an ``int`` a seeded one,
+    and an existing generator is passed through unchanged.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if seed is None:
+        return np.random.default_rng()
+    if isinstance(seed, (int, np.integer)):
+        return np.random.default_rng(int(seed))
+    raise TypeError(f"cannot build an RNG from {type(seed).__name__!r}")
+
+
+def spawn_rngs(seed: SeedLike, count: int) -> list:
+    """Split ``seed`` into ``count`` independent child generators.
+
+    Children are derived through :class:`numpy.random.SeedSequence` spawning
+    so that streams are statistically independent and reproducible.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    if isinstance(seed, np.random.Generator):
+        return [
+            np.random.default_rng(s)
+            for s in seed.bit_generator.seed_seq.spawn(count)
+        ]
+    seq = np.random.SeedSequence(seed)
+    return [np.random.default_rng(s) for s in seq.spawn(count)]
+
+
+def stable_hash(text: str, modulus: int = 2**31 - 1) -> int:
+    """Deterministically hash ``text`` to an integer in ``[0, modulus)``.
+
+    Python's built-in ``hash`` is salted per process, so node IDs derived
+    from operator names (Sec. III-A of the paper) use MD5 instead to stay
+    identical across runs and machines.
+    """
+    if modulus <= 0:
+        raise ValueError("modulus must be positive")
+    digest = hashlib.md5(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % modulus

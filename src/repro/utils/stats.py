@@ -1,0 +1,44 @@
+"""Small statistics helpers for experiment summaries."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Sequence
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; raises on empty input."""
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return float(sum(values)) / len(values)
+
+
+def stddev(values: Sequence[float]) -> float:
+    """Population standard deviation (0.0 for singleton input)."""
+    if not values:
+        raise ValueError("stddev of empty sequence")
+    mu = mean(values)
+    return math.sqrt(sum((v - mu) ** 2 for v in values) / len(values))
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of strictly positive values.
+
+    Speedup ratios (Fig. 3) are summarized geometrically, as is standard
+    for normalized performance numbers.
+    """
+    if not values:
+        raise ValueError("geometric mean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires strictly positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def ratio_summary(values: Sequence[float]) -> Dict[str, float]:
+    """Summarize a set of ratios: min / max / arithmetic & geometric mean."""
+    return {
+        "min": min(values),
+        "max": max(values),
+        "mean": mean(values),
+        "geomean": geometric_mean(values),
+    }

@@ -1,0 +1,54 @@
+"""ASCII table rendering for benchmark and experiment output.
+
+The benchmark harness prints the same rows/series the paper reports; this
+module renders them readably on a terminal without third-party deps.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def _render_cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render ``rows`` under ``headers`` as a boxed ASCII table string."""
+    str_rows: List[List[str]] = [[_render_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row width {len(row)} does not match header width {len(headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(fill: str = "-", joint: str = "+") -> str:
+        return joint + joint.join(fill * (w + 2) for w in widths) + joint
+
+    def render_row(cells: Sequence[str]) -> str:
+        padded = (f" {c:<{w}} " for c, w in zip(cells, widths))
+        return "|" + "|".join(padded) + "|"
+
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+    parts.append(line())
+    parts.append(render_row(list(headers)))
+    parts.append(line("="))
+    for row in str_rows:
+        parts.append(render_row(row))
+    parts.append(line())
+    return "\n".join(parts)

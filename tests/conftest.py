@@ -1,0 +1,53 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs.dag import ComputationalGraph, OpNode
+from repro.graphs.sampler import SyntheticDAGSampler
+
+
+@pytest.fixture
+def diamond_graph() -> ComputationalGraph:
+    """The canonical 4-node diamond: a -> {b, c} -> d."""
+    g = ComputationalGraph(name="diamond")
+    g.add_op("a", op_type="input", output_bytes=100)
+    g.add_op("b", op_type="conv2d", param_bytes=400, output_bytes=200, macs=1000,
+             inputs=["a"])
+    g.add_op("c", op_type="conv2d", param_bytes=600, output_bytes=300, macs=2000,
+             inputs=["a"])
+    g.add_op("d", op_type="add", output_bytes=200, inputs=["b", "c"])
+    return g
+
+
+@pytest.fixture
+def chain_graph() -> ComputationalGraph:
+    """A 6-node chain with varied parameter sizes."""
+    g = ComputationalGraph(name="chain")
+    sizes = [0, 100, 250, 50, 700, 300]
+    previous = None
+    for i, size in enumerate(sizes):
+        name = f"n{i}"
+        g.add_op(
+            name,
+            op_type="input" if i == 0 else "conv2d",
+            param_bytes=size,
+            output_bytes=64 + 8 * i,
+            macs=size * 10,
+            inputs=[previous] if previous else [],
+        )
+        previous = name
+    return g
+
+
+@pytest.fixture
+def small_sampler() -> SyntheticDAGSampler:
+    """A deterministic synthetic sampler for 10-node graphs."""
+    return SyntheticDAGSampler(num_nodes=10, degree=3, seed=1234)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(7)

@@ -1,0 +1,106 @@
+"""Tests for dataset generation and labeling."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.labels import label_graph
+from repro.datasets.synthetic import (
+    batch_examples,
+    generate_dataset,
+    stack_precedence,
+)
+from repro.errors import TrainingError
+from repro.graphs.sampler import sample_synthetic_dag
+from repro.scheduling.sequence import pack_sequence
+
+
+class TestLabelGraph:
+    def test_ilp_label(self):
+        graph = sample_synthetic_dag(num_nodes=10, degree=2, seed=1)
+        schedule, gamma = label_graph(graph, 3, solver="ilp")
+        assert schedule.is_valid()
+        assert sorted(gamma) == sorted(graph.node_names)
+
+    def test_bnb_label_matches_ilp_objective(self):
+        graph = sample_synthetic_dag(num_nodes=10, degree=2, seed=2)
+        ilp_schedule, _ = label_graph(graph, 3, solver="ilp")
+        bnb_schedule, _ = label_graph(graph, 3, solver="bnb")
+        assert (
+            ilp_schedule.peak_stage_param_bytes
+            == bnb_schedule.peak_stage_param_bytes
+        )
+
+    def test_unknown_solver_rejected(self):
+        graph = sample_synthetic_dag(num_nodes=8, degree=2, seed=3)
+        with pytest.raises(TrainingError):
+            label_graph(graph, 2, solver="oracle")
+
+    def test_gamma_is_topologically_consistent(self):
+        """gamma follows stage-major order, so parents precede children
+        whenever dependencies are respected by the exact schedule."""
+        graph = sample_synthetic_dag(num_nodes=12, degree=3, seed=4)
+        schedule, gamma = label_graph(graph, 3)
+        position = {n: i for i, n in enumerate(gamma)}
+        for u, v in graph.edges():
+            assert position[u] < position[v]
+
+
+class TestGenerateDataset:
+    def test_counts_and_mix(self):
+        examples = generate_dataset(
+            10, num_nodes=8, degrees=(2, 4), stage_choices=(2, 3), seed=7
+        )
+        assert len(examples) == 10
+        degrees = {ex.graph.max_in_degree for ex in examples}
+        assert degrees <= {2, 3, 4}
+        stages = {ex.num_stages for ex in examples}
+        assert stages <= {2, 3}
+
+    def test_examples_carry_consistent_labels(self):
+        examples = generate_dataset(4, num_nodes=8, seed=8)
+        for ex in examples:
+            assert sorted(ex.gamma_names) == sorted(ex.graph.node_names)
+            names = ex.queue.names_for(ex.gamma_indices)
+            assert names == ex.gamma_names
+            assert ex.exact_schedule.is_valid()
+
+    def test_reproducible(self):
+        a = generate_dataset(3, num_nodes=8, seed=11)
+        b = generate_dataset(3, num_nodes=8, seed=11)
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x.gamma_indices, y.gamma_indices)
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(TrainingError):
+            generate_dataset(0)
+
+
+class TestBatching:
+    def test_batches_group_by_size(self):
+        small = generate_dataset(4, num_nodes=6, seed=1)
+        large = generate_dataset(4, num_nodes=9, seed=2)
+        batches = list(batch_examples(small + large, batch_size=8, shuffle=False))
+        for chunk, features, targets in batches:
+            sizes = {ex.num_nodes for ex in chunk}
+            assert len(sizes) == 1
+            assert features.shape[:2] == targets.shape
+
+    def test_all_examples_covered(self):
+        examples = generate_dataset(7, num_nodes=6, seed=3)
+        batches = list(batch_examples(examples, batch_size=3, shuffle=False))
+        seen = sum(len(chunk) for chunk, _, _ in batches)
+        assert seen == 7
+
+    def test_stack_precedence_shape(self):
+        examples = generate_dataset(3, num_nodes=6, seed=4)
+        stacked = stack_precedence(examples)
+        assert stacked.shape == (3, 6, 6)
+
+    def test_gamma_repacks_through_rho(self):
+        """Packing gamma through rho reproduces a valid schedule whose
+        peak does not exceed the exact schedule's by more than the
+        packing granularity (they share stage boundaries by design)."""
+        examples = generate_dataset(3, num_nodes=10, seed=5)
+        for ex in examples:
+            packed = pack_sequence(ex.graph, ex.gamma_names, ex.num_stages)
+            assert packed.is_valid()

@@ -1,0 +1,120 @@
+"""Tests for the Sec. III-A graph embedding."""
+
+import numpy as np
+import pytest
+
+from repro.embedding.features import (
+    EmbeddingConfig,
+    embed_graph,
+    embedding_feature_names,
+)
+from repro.embedding.queue import build_encoder_queue, build_precedence_matrix
+from repro.errors import EmbeddingError
+from repro.graphs.dag import ComputationalGraph
+from repro.graphs.sampler import sample_synthetic_dag
+
+
+class TestConfig:
+    def test_default_feature_dim(self):
+        config = EmbeddingConfig()
+        # level + 6 parent levels + 6 parent ids + node id + memory.
+        assert config.feature_dim == 15
+
+    def test_ablated_dims(self):
+        assert EmbeddingConfig(include_parent_ids=False).feature_dim == 9
+        assert EmbeddingConfig(include_memory=False).feature_dim == 14
+
+    def test_feature_names_match_dim(self):
+        for config in (EmbeddingConfig(), EmbeddingConfig(max_parents=3)):
+            assert len(embedding_feature_names(config)) == config.feature_dim
+
+
+class TestEmbedding:
+    def test_shape(self, diamond_graph):
+        rows = embed_graph(diamond_graph)
+        assert rows.shape == (4, 15)
+
+    def test_levels_normalized(self, diamond_graph):
+        rows = embed_graph(diamond_graph)
+        levels = rows[:, 0]
+        assert levels[0] == 0.0      # source
+        assert levels[-1] == 1.0     # sink at max depth
+        assert np.all((0 <= levels) & (levels <= 1))
+
+    def test_missing_parent_id_slots_are_minus_one(self, diamond_graph):
+        config = EmbeddingConfig(max_parents=2)
+        rows = embed_graph(diamond_graph, config)
+        names = embedding_feature_names(config)
+        first_pid = names.index("parent_id_0")
+        # Source row: no parents -> both ID slots -1 (paper convention).
+        assert rows[0, first_pid] == -1.0
+        assert rows[0, first_pid + 1] == -1.0
+
+    def test_memory_normalized_to_largest_node(self, diamond_graph):
+        rows = embed_graph(diamond_graph)
+        memory = rows[:, -1]
+        assert memory.max() == pytest.approx(1.0)  # node c
+        assert memory.min() == 0.0
+
+    def test_node_ids_deterministic(self, diamond_graph):
+        a = embed_graph(diamond_graph)
+        b = embed_graph(diamond_graph)
+        np.testing.assert_array_equal(a, b)
+
+    def test_excess_parents_keep_latest_levels(self):
+        g = ComputationalGraph()
+        for i in range(5):
+            g.add_op(f"p{i}")
+        g.add_op("child", inputs=[f"p{i}" for i in range(5)])
+        # p-nodes are all level 0; with max_parents=2 the embedding
+        # keeps two of them without crashing.
+        rows = embed_graph(g, EmbeddingConfig(max_parents=2))
+        assert rows.shape == (6, 2 * 2 + 3)
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(EmbeddingError):
+            embed_graph(ComputationalGraph())
+
+    def test_all_columns_disabled_rejected(self):
+        config = EmbeddingConfig(
+            include_levels=False,
+            include_parent_levels=False,
+            include_parent_ids=False,
+            include_node_id=False,
+            include_memory=False,
+        )
+        with pytest.raises(EmbeddingError):
+            embed_graph_config_check(config)
+
+
+def embed_graph_config_check(config):
+    graph = ComputationalGraph()
+    graph.add_op("a")
+    return embed_graph(graph, config)
+
+
+class TestEncoderQueue:
+    def test_rows_follow_topological_order(self, diamond_graph):
+        queue = build_encoder_queue(diamond_graph)
+        assert queue.node_names == diamond_graph.topological_order()
+        assert len(queue) == 4
+
+    def test_names_for_round_trip(self, diamond_graph):
+        queue = build_encoder_queue(diamond_graph)
+        assert queue.names_for([3, 0]) == [queue.node_names[3], queue.node_names[0]]
+
+    def test_precedence_matrix(self, diamond_graph):
+        queue = build_encoder_queue(diamond_graph)
+        pos = {n: i for i, n in enumerate(queue.node_names)}
+        matrix = queue.precedence
+        assert matrix[pos["d"], pos["b"]]
+        assert matrix[pos["d"], pos["c"]]
+        assert not matrix[pos["a"], :].any()
+        # Row sums equal in-degrees.
+        assert matrix[pos["d"]].sum() == 2
+
+    def test_precedence_lower_triangular_in_topo_order(self):
+        graph = sample_synthetic_dag(num_nodes=20, degree=3, seed=4)
+        queue = build_encoder_queue(graph)
+        # Parents precede children in a topological queue.
+        assert not np.triu(queue.precedence, k=0).any()

@@ -1,0 +1,78 @@
+"""Tests for the experiment drivers on reduced scopes.
+
+The benchmark harness runs the full paper-scale configurations; here the
+drivers are exercised on one small model / stage count so correctness is
+covered by the fast suite.
+"""
+
+import pytest
+
+from repro.experiments.fig3 import Fig3Row, format_fig3, run_fig3
+from repro.experiments.fig4 import Fig4Row, format_fig4, run_fig4
+from repro.experiments.fig5 import Fig5Row, average_gaps, format_fig5, run_fig5
+from repro.experiments.table1 import format_table1, run_table1
+from repro.rl.respect import RespectScheduler
+
+
+@pytest.fixture(scope="module")
+def respect():
+    return RespectScheduler()
+
+
+class TestTable1Driver:
+    def test_rows_and_formatting(self):
+        rows = run_table1(["Xception"])
+        assert len(rows) == 1
+        assert rows[0].matches_paper
+        text = format_table1(rows)
+        assert "Xception" in text
+        assert "134" in text
+
+    def test_unlisted_model_has_no_paper_columns(self):
+        rows = run_table1(["InceptionV3"])
+        assert rows[0].paper_num_nodes is None
+        assert rows[0].matches_paper is None
+
+
+class TestFig3Driver:
+    def test_single_model(self, respect):
+        rows = run_fig3(models=["Xception"], stage_counts=(4,),
+                        respect=respect, profile_inferences=20)
+        assert len(rows) == 1
+        row = rows[0]
+        assert row.respect_seconds > 0
+        assert row.speedup_over_ilp == pytest.approx(
+            row.ilp_seconds / row.respect_seconds
+        )
+        text = format_fig3(rows)
+        assert "headline" in text
+        assert "Xception" in text
+
+
+class TestFig4Driver:
+    def test_single_model(self, respect):
+        rows = run_fig4(models=["Xception"], stage_counts=(4,),
+                        num_inferences=50, respect=respect)
+        assert len(rows) == 1
+        row = rows[0]
+        assert row.relative_respect == pytest.approx(
+            row.respect_seconds / row.compiler_seconds
+        )
+        text = format_fig4(rows)
+        assert "4-stage" in text
+
+
+class TestFig5Driver:
+    def test_single_model(self, respect):
+        rows = run_fig5(models=["Xception"], stage_counts=(4,), respect=respect)
+        assert len(rows) == 1
+        assert rows[0].gap_percent >= 0.0
+        gaps = average_gaps(rows)
+        assert set(gaps) == {4}
+        text = format_fig5(rows)
+        assert "gap-to-optimal" in text
+
+    def test_gap_math(self):
+        row = Fig5Row(model="m", num_stages=4, optimal_bytes=100,
+                      respect_bytes=105)
+        assert row.gap_percent == pytest.approx(5.0)

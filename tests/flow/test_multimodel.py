@@ -1,0 +1,79 @@
+"""Tests for multi-model co-scheduling."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.flow.multimodel import merge_graphs, split_schedule
+from repro.graphs.sampler import SyntheticDAGSampler
+from repro.scheduling.ilp import IlpScheduler
+from repro.tpu.pipeline import PipelinedTpuSystem
+from repro.tpu.quantize import quantize_graph
+
+
+@pytest.fixture
+def two_models():
+    sampler = SyntheticDAGSampler(num_nodes=10, degree=2, seed=21)
+    a = sampler.sample()
+    b = sampler.sample()
+    return a, b
+
+
+class TestMerge:
+    def test_merged_sizes(self, two_models):
+        a, b = two_models
+        merged = merge_graphs([a, b])
+        assert merged.num_nodes == a.num_nodes + b.num_nodes
+        assert merged.num_edges == a.num_edges + b.num_edges
+        assert merged.total_param_bytes == a.total_param_bytes + b.total_param_bytes
+
+    def test_namespacing(self, two_models):
+        a, b = two_models
+        merged = merge_graphs([a, b])
+        assert f"{a.name}::n000" in merged
+        assert f"{b.name}::n000" in merged
+
+    def test_models_stay_disconnected(self, two_models):
+        a, b = two_models
+        merged = merge_graphs([a, b])
+        assert len(merged.sources) == 2
+
+    def test_duplicate_names_rejected(self, two_models):
+        a, _ = two_models
+        with pytest.raises(GraphError):
+            merge_graphs([a, a])
+
+    def test_empty_rejected(self):
+        with pytest.raises(GraphError):
+            merge_graphs([])
+
+
+class TestJointScheduling:
+    def test_joint_schedule_splits_validly(self, two_models):
+        a, b = two_models
+        merged = merge_graphs([a, b])
+        result = IlpScheduler().schedule(merged, 3)
+        per_model = split_schedule(result.schedule, [a, b])
+        assert set(per_model) == {a.name, b.name}
+        for schedule in per_model.values():
+            assert schedule.is_valid()
+
+    def test_joint_peak_not_worse_than_sum_of_solo(self, two_models):
+        """Co-scheduling shares the pipeline: joint peak <= sum of solo
+        peaks (packing both models into the same stages can only help)."""
+        a, b = two_models
+        ilp = IlpScheduler(peak_tolerance=0.0)
+        solo = (
+            ilp.schedule(a, 3).extras["peak_optimum_bytes"]
+            + ilp.schedule(b, 3).extras["peak_optimum_bytes"]
+        )
+        joint = ilp.schedule(merge_graphs([a, b]), 3).extras[
+            "peak_optimum_bytes"
+        ]
+        assert joint <= solo
+
+    def test_merged_graph_simulates(self, two_models):
+        a, b = two_models
+        merged = quantize_graph(merge_graphs([a, b]))
+        result = IlpScheduler().schedule(merged, 3)
+        report = PipelinedTpuSystem().run(merged, result.schedule, 20)
+        assert report.seconds_per_inference > 0

@@ -1,0 +1,140 @@
+"""Unit tests for the computational-graph data structure."""
+
+import pytest
+
+from repro.errors import CycleError, GraphError
+from repro.graphs.dag import ComputationalGraph, OpNode
+
+
+class TestOpNode:
+    def test_rejects_empty_name(self):
+        with pytest.raises(GraphError):
+            OpNode(name="")
+
+    def test_rejects_negative_resources(self):
+        with pytest.raises(GraphError):
+            OpNode(name="x", param_bytes=-1)
+        with pytest.raises(GraphError):
+            OpNode(name="x", output_bytes=-5)
+        with pytest.raises(GraphError):
+            OpNode(name="x", macs=-2)
+
+    def test_copy_is_independent(self):
+        node = OpNode(name="x", attrs={"k": 1})
+        clone = node.copy()
+        clone.attrs["k"] = 2
+        assert node.attrs["k"] == 1
+
+
+class TestConstruction:
+    def test_add_node_and_lookup(self):
+        g = ComputationalGraph()
+        g.add_node(OpNode(name="a", param_bytes=10))
+        assert "a" in g
+        assert g.node("a").param_bytes == 10
+
+    def test_duplicate_node_rejected(self):
+        g = ComputationalGraph()
+        g.add_op("a")
+        with pytest.raises(GraphError):
+            g.add_op("a")
+
+    def test_unknown_node_lookup_raises(self):
+        g = ComputationalGraph()
+        with pytest.raises(GraphError):
+            g.node("ghost")
+
+    def test_add_edge_requires_existing_endpoints(self):
+        g = ComputationalGraph()
+        g.add_op("a")
+        with pytest.raises(GraphError):
+            g.add_edge("a", "missing")
+        with pytest.raises(GraphError):
+            g.add_edge("missing", "a")
+
+    def test_self_loop_rejected(self):
+        g = ComputationalGraph()
+        g.add_op("a")
+        with pytest.raises(GraphError):
+            g.add_edge("a", "a")
+
+    def test_duplicate_edge_rejected(self):
+        g = ComputationalGraph()
+        g.add_op("a")
+        g.add_op("b", inputs=["a"])
+        with pytest.raises(GraphError):
+            g.add_edge("a", "b")
+
+    def test_add_op_wires_inputs(self, diamond_graph):
+        assert diamond_graph.parents("d") == ["b", "c"]
+        assert diamond_graph.children("a") == ["b", "c"]
+
+
+class TestAccessors:
+    def test_counts(self, diamond_graph):
+        assert diamond_graph.num_nodes == 4
+        assert diamond_graph.num_edges == 4
+        assert len(diamond_graph) == 4
+
+    def test_insertion_order_preserved(self, diamond_graph):
+        assert diamond_graph.node_names == ["a", "b", "c", "d"]
+
+    def test_degrees(self, diamond_graph):
+        assert diamond_graph.in_degree("d") == 2
+        assert diamond_graph.out_degree("a") == 2
+        assert diamond_graph.max_in_degree == 2
+
+    def test_sources_and_sinks(self, diamond_graph):
+        assert diamond_graph.sources == ["a"]
+        assert diamond_graph.sinks == ["d"]
+
+    def test_edges_iteration(self, diamond_graph):
+        assert set(diamond_graph.edges()) == {
+            ("a", "b"), ("a", "c"), ("b", "d"), ("c", "d"),
+        }
+
+    def test_index_maps(self, diamond_graph):
+        assert diamond_graph.index_of("c") == 2
+        index = diamond_graph.build_index()
+        assert index == {"a": 0, "b": 1, "c": 2, "d": 3}
+
+    def test_resource_totals(self, diamond_graph):
+        assert diamond_graph.total_param_bytes == 1000
+        assert diamond_graph.total_output_bytes == 800
+        assert diamond_graph.total_macs == 3000
+
+
+class TestTopologicalOrder:
+    def test_respects_dependencies(self, diamond_graph):
+        order = diamond_graph.topological_order()
+        assert order.index("a") < order.index("b") < order.index("d")
+        assert order.index("a") < order.index("c") < order.index("d")
+
+    def test_cycle_detected(self):
+        g = ComputationalGraph()
+        g.add_op("a")
+        g.add_op("b", inputs=["a"])
+        g.add_edge("b", "a")
+        assert not g.is_dag()
+        with pytest.raises(CycleError):
+            g.topological_order()
+
+    def test_assert_acyclic_on_dag(self, diamond_graph):
+        diamond_graph.assert_acyclic()  # must not raise
+
+
+class TestDerivedGraphs:
+    def test_copy_is_deep(self, diamond_graph):
+        clone = diamond_graph.copy()
+        clone.node("b").param_bytes = 999
+        assert diamond_graph.node("b").param_bytes == 400
+        assert clone.num_edges == diamond_graph.num_edges
+
+    def test_subgraph_induced_edges(self, diamond_graph):
+        sub = diamond_graph.subgraph(["a", "b", "d"])
+        assert sub.num_nodes == 3
+        assert set(sub.edges()) == {("a", "b"), ("b", "d")}
+
+    def test_subgraph_unknown_node_rejected(self, diamond_graph):
+        with pytest.raises(GraphError):
+            diamond_graph.subgraph(["a", "ghost"])

@@ -1,0 +1,53 @@
+"""Unit tests for graph serialization."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.io import (
+    from_networkx,
+    graph_from_dict,
+    graph_to_dict,
+    load_graph,
+    save_graph,
+    to_dot,
+    to_networkx,
+)
+
+
+class TestJsonRoundTrip:
+    def test_dict_round_trip(self, diamond_graph):
+        data = graph_to_dict(diamond_graph)
+        restored = graph_from_dict(data)
+        assert restored.node_names == diamond_graph.node_names
+        assert list(restored.edges()) == list(diamond_graph.edges())
+        assert restored.node("b").param_bytes == 400
+
+    def test_file_round_trip(self, diamond_graph, tmp_path):
+        path = tmp_path / "graph.json"
+        save_graph(diamond_graph, path)
+        restored = load_graph(path)
+        assert restored.name == diamond_graph.name
+        assert restored.num_edges == diamond_graph.num_edges
+
+    def test_bad_version_rejected(self, diamond_graph):
+        data = graph_to_dict(diamond_graph)
+        data["format_version"] = 999
+        with pytest.raises(GraphError):
+            graph_from_dict(data)
+
+
+class TestNetworkxBridge:
+    def test_round_trip(self, diamond_graph):
+        nx_graph = to_networkx(diamond_graph)
+        assert nx_graph.number_of_nodes() == 4
+        assert nx_graph.nodes["b"]["param_bytes"] == 400
+        back = from_networkx(nx_graph, name="roundtrip")
+        assert set(back.edges()) == set(diamond_graph.edges())
+
+
+class TestDot:
+    def test_dot_contains_nodes_and_edges(self, diamond_graph):
+        dot = to_dot(diamond_graph)
+        assert '"a" -> "b";' in dot
+        assert dot.startswith("digraph")
+        assert "conv2d" in dot

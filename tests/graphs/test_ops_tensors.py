@@ -1,0 +1,87 @@
+"""Unit tests for the operator taxonomy and tensor bookkeeping."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs import ops
+from repro.graphs.tensors import DTYPE_BYTES, TensorSpec, conv_output_hw
+
+
+class TestOpTaxonomy:
+    def test_parametric_set(self):
+        assert ops.is_parametric(ops.CONV2D)
+        assert ops.is_parametric(ops.BATCH_NORM)
+        assert not ops.is_parametric(ops.ADD)
+        assert not ops.is_parametric(ops.INPUT)
+
+    def test_sets_are_subsets_of_all(self):
+        assert ops.PARAMETRIC_OPS <= ops.ALL_OP_TYPES
+        assert ops.COMPUTE_OPS <= ops.ALL_OP_TYPES
+        assert ops.ELEMENTWISE_OPS <= ops.ALL_OP_TYPES
+
+    def test_conv_params(self):
+        assert ops.conv2d_params(3, 3, 8, 16, use_bias=True) == 3 * 3 * 8 * 16 + 16
+        assert ops.conv2d_params(1, 1, 8, 16, use_bias=False) == 128
+
+    def test_depthwise_params(self):
+        assert ops.depthwise_conv2d_params(3, 3, 8, use_bias=True) == 72 + 8
+
+    def test_separable_params(self):
+        expected = 3 * 3 * 8 + 8 * 16 + 16
+        assert ops.separable_conv2d_params(3, 3, 8, 16, use_bias=True) == expected
+
+    def test_dense_params_and_macs(self):
+        assert ops.dense_params(100, 10, use_bias=True) == 1010
+        assert ops.dense_macs(100, 10) == 1000
+
+    def test_bn_params(self):
+        assert ops.batch_norm_params(64) == 256
+
+    def test_conv_macs(self):
+        assert ops.conv2d_macs(4, 4, 3, 3, 2, 8) == 4 * 4 * 9 * 2 * 8
+
+
+class TestTensorSpec:
+    def test_numel_and_nbytes(self):
+        spec = TensorSpec((2, 3, 4), "float32")
+        assert spec.numel == 24
+        assert spec.nbytes == 96
+
+    def test_int8_bytes(self):
+        assert TensorSpec((10,), "int8").nbytes == 10
+
+    def test_unknown_dtype_rejected(self):
+        with pytest.raises(GraphError):
+            TensorSpec((1,), "float128")
+
+    def test_nonpositive_dims_rejected(self):
+        with pytest.raises(GraphError):
+            TensorSpec((0, 3))
+
+    def test_with_dtype(self):
+        spec = TensorSpec((4,), "float32").with_dtype("int8")
+        assert spec.nbytes == 4
+
+    def test_dtype_bytes_table(self):
+        assert DTYPE_BYTES["float32"] == 4
+        assert DTYPE_BYTES["int8"] == 1
+
+
+class TestConvOutput:
+    def test_same_padding(self):
+        assert conv_output_hw(224, 224, (7, 7), (2, 2), "same") == (112, 112)
+
+    def test_valid_padding(self):
+        assert conv_output_hw(224, 224, (7, 7), (2, 2), "valid") == (109, 109)
+
+    def test_valid_kernel_too_large(self):
+        with pytest.raises(GraphError):
+            conv_output_hw(2, 2, (3, 3), (1, 1), "valid")
+
+    def test_bad_padding_mode(self):
+        with pytest.raises(GraphError):
+            conv_output_hw(8, 8, (3, 3), (1, 1), "reflect")
+
+    def test_bad_strides(self):
+        with pytest.raises(GraphError):
+            conv_output_hw(8, 8, (3, 3), (0, 1), "same")

@@ -1,0 +1,82 @@
+"""Unit + property tests for the synthetic DAG sampler."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.graphs.sampler import SyntheticDAGSampler, sample_synthetic_dag
+from repro.graphs.validate import validate_graph
+
+
+class TestSamplerConfig:
+    def test_rejects_tiny_graphs(self):
+        with pytest.raises(GraphError):
+            SyntheticDAGSampler(num_nodes=1)
+
+    def test_rejects_zero_degree(self):
+        with pytest.raises(GraphError):
+            SyntheticDAGSampler(degree=0)
+
+    def test_rejects_bad_ranges(self):
+        with pytest.raises(GraphError):
+            SyntheticDAGSampler(param_bytes_range=(100, 10))
+        with pytest.raises(GraphError):
+            SyntheticDAGSampler(chain_bias=1.5)
+
+
+class TestSamplerOutput:
+    def test_node_count(self, small_sampler):
+        g = small_sampler.sample()
+        assert g.num_nodes == 10
+
+    def test_is_valid_single_source_dag(self, small_sampler):
+        for _ in range(10):
+            g = small_sampler.sample()
+            assert validate_graph(g, require_single_source=True) == []
+
+    def test_max_degree_respected_and_attained(self):
+        sampler = SyntheticDAGSampler(num_nodes=30, degree=4, seed=5)
+        for _ in range(10):
+            g = sampler.sample()
+            assert g.max_in_degree == 4
+
+    def test_reproducible_with_seed(self):
+        g1 = sample_synthetic_dag(num_nodes=15, degree=3, seed=99)
+        g2 = sample_synthetic_dag(num_nodes=15, degree=3, seed=99)
+        assert g1.node_names == g2.node_names
+        assert list(g1.edges()) == list(g2.edges())
+        assert [n.param_bytes for n in g1.nodes] == [n.param_bytes for n in g2.nodes]
+
+    def test_different_seeds_differ(self):
+        g1 = sample_synthetic_dag(num_nodes=15, degree=3, seed=1)
+        g2 = sample_synthetic_dag(num_nodes=15, degree=3, seed=2)
+        assert list(g1.edges()) != list(g2.edges())
+
+    def test_memory_attributes_present(self, small_sampler):
+        g = small_sampler.sample()
+        assert any(n.param_bytes > 0 for n in g.nodes)
+        assert all(n.output_bytes > 0 for n in g.nodes)
+
+    def test_batch_and_stream(self, small_sampler):
+        batch = small_sampler.sample_batch(3)
+        assert len(batch) == 3
+        names = {g.name for g in batch}
+        assert len(names) == 3  # unique graph names
+        stream = small_sampler.stream()
+        assert next(stream).num_nodes == 10
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    num_nodes=st.integers(min_value=5, max_value=40),
+    degree=st.integers(min_value=1, max_value=6),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_sampled_graphs_always_valid_dags(num_nodes, degree, seed):
+    """Property: every sampled graph is a connected single-source DAG with
+    max in-degree bounded by the requested degree."""
+    graph = sample_synthetic_dag(num_nodes=num_nodes, degree=degree, seed=seed)
+    assert graph.num_nodes == num_nodes
+    assert graph.max_in_degree <= degree
+    assert validate_graph(graph, require_single_source=True) == []

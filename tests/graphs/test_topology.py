@@ -1,0 +1,97 @@
+"""Unit tests for topological analyses."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.dag import ComputationalGraph
+from repro.graphs.topology import (
+    alap_levels,
+    ancestors,
+    asap_levels,
+    critical_path,
+    descendants,
+    graph_depth,
+    level_sets,
+    mobility,
+)
+
+
+class TestAsapLevels:
+    def test_diamond_levels(self, diamond_graph):
+        levels = asap_levels(diamond_graph)
+        assert levels == {"a": 0, "b": 1, "c": 1, "d": 2}
+
+    def test_chain_levels(self, chain_graph):
+        levels = asap_levels(chain_graph)
+        assert levels == {f"n{i}": i for i in range(6)}
+
+    def test_skip_edge_forces_level(self):
+        g = ComputationalGraph()
+        g.add_op("a")
+        g.add_op("b", inputs=["a"])
+        g.add_op("c", inputs=["a", "b"])
+        assert asap_levels(g)["c"] == 2
+
+
+class TestDepth:
+    def test_diamond_depth(self, diamond_graph):
+        assert graph_depth(diamond_graph) == 2
+
+    def test_single_node_depth(self):
+        g = ComputationalGraph()
+        g.add_op("only")
+        assert graph_depth(g) == 0
+
+    def test_empty_graph_depth(self):
+        assert graph_depth(ComputationalGraph()) == 0
+
+
+class TestAlapAndMobility:
+    def test_alap_matches_asap_on_critical_path(self, diamond_graph):
+        alap = alap_levels(diamond_graph)
+        assert alap["a"] == 0
+        assert alap["d"] == 2
+
+    def test_mobility_zero_on_critical_path(self, chain_graph):
+        slack = mobility(chain_graph)
+        assert all(v == 0 for v in slack.values())
+
+    def test_mobility_positive_off_critical_path(self):
+        g = ComputationalGraph()
+        g.add_op("a")
+        g.add_op("long1", inputs=["a"])
+        g.add_op("long2", inputs=["long1"])
+        g.add_op("short", inputs=["a"])
+        g.add_op("sink", inputs=["long2", "short"])
+        assert mobility(g)["short"] == 1
+
+    def test_alap_horizon_too_small_raises(self, chain_graph):
+        with pytest.raises(GraphError):
+            alap_levels(chain_graph, depth=2)
+
+    def test_alap_extended_horizon(self, diamond_graph):
+        alap = alap_levels(diamond_graph, depth=5)
+        assert alap["d"] == 5
+
+
+class TestLevelSetsAndCriticalPath:
+    def test_level_sets_partition(self, diamond_graph):
+        sets = level_sets(diamond_graph)
+        assert sets == [["a"], ["b", "c"], ["d"]]
+
+    def test_critical_path_is_longest(self, chain_graph):
+        path = critical_path(chain_graph)
+        assert path == [f"n{i}" for i in range(6)]
+
+    def test_critical_path_empty_graph(self):
+        assert critical_path(ComputationalGraph()) == []
+
+
+class TestReachability:
+    def test_ancestors(self, diamond_graph):
+        assert ancestors(diamond_graph, "d") == {"a", "b", "c"}
+        assert ancestors(diamond_graph, "a") == set()
+
+    def test_descendants(self, diamond_graph):
+        assert descendants(diamond_graph, "a") == {"b", "c", "d"}
+        assert descendants(diamond_graph, "d") == set()

@@ -1,0 +1,49 @@
+"""Unit tests for graph validation."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.dag import ComputationalGraph
+from repro.graphs.validate import assert_valid_graph, validate_graph
+
+
+def test_empty_graph_invalid():
+    assert validate_graph(ComputationalGraph()) == ["graph has no nodes"]
+
+
+def test_valid_graph_empty_issue_list(diamond_graph):
+    assert validate_graph(diamond_graph) == []
+    assert_valid_graph(diamond_graph)
+
+
+def test_cycle_reported():
+    g = ComputationalGraph()
+    g.add_op("a")
+    g.add_op("b", inputs=["a"])
+    g.add_edge("b", "a")
+    issues = validate_graph(g)
+    assert any("cycle" in issue for issue in issues)
+
+
+def test_multiple_sources_flagged_when_single_required():
+    g = ComputationalGraph()
+    g.add_op("in1")
+    g.add_op("in2")
+    g.add_op("sink", inputs=["in1", "in2"])
+    assert validate_graph(g) == []
+    issues = validate_graph(g, require_single_source=True)
+    assert any("single source" in issue for issue in issues)
+
+
+def test_unknown_op_type_flagged():
+    g = ComputationalGraph()
+    g.add_op("a", op_type="warp_drive")
+    issues = validate_graph(g, require_known_ops=True)
+    assert any("warp_drive" in issue for issue in issues)
+
+
+def test_assert_valid_raises_with_details():
+    g = ComputationalGraph()
+    g.add_op("a", op_type="warp_drive")
+    with pytest.raises(GraphError, match="warp_drive"):
+        assert_valid_graph(g, require_known_ops=True)

@@ -1,0 +1,126 @@
+"""Unit tests for the Keras-style layer-graph builder."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs import ops
+from repro.models.builder import LayerGraphBuilder
+
+
+@pytest.fixture
+def builder():
+    return LayerGraphBuilder("test_model")
+
+
+class TestShapes:
+    def test_conv_same_padding(self, builder):
+        x = builder.input((32, 32, 3))
+        y = builder.conv(x, 16, 3, strides=2, padding="same")
+        assert builder.shape_of(y) == (16, 16, 16)
+
+    def test_conv_valid_padding(self, builder):
+        x = builder.input((32, 32, 3))
+        y = builder.conv(x, 8, 5, padding="valid")
+        assert builder.shape_of(y) == (28, 28, 8)
+
+    def test_zero_pad(self, builder):
+        x = builder.input((10, 10, 4))
+        y = builder.zero_pad(x, 3)
+        assert builder.shape_of(y) == (16, 16, 4)
+
+    def test_pool_defaults_stride_to_pool(self, builder):
+        x = builder.input((8, 8, 2))
+        y = builder.max_pool(x, 2)
+        assert builder.shape_of(y) == (4, 4, 2)
+
+    def test_global_avg_pool_flattens(self, builder):
+        x = builder.input((7, 7, 64))
+        y = builder.global_avg_pool(x)
+        assert builder.shape_of(y) == (64,)
+
+    def test_concat_channels(self, builder):
+        x = builder.input((4, 4, 3))
+        a = builder.conv(x, 8, 1)
+        b = builder.conv(x, 16, 1)
+        y = builder.concat([a, b])
+        assert builder.shape_of(y) == (4, 4, 24)
+
+    def test_concat_spatial_mismatch_rejected(self, builder):
+        x = builder.input((8, 8, 3))
+        a = builder.conv(x, 4, 1)
+        b = builder.conv(x, 4, 1, strides=2)
+        with pytest.raises(GraphError):
+            builder.concat([a, b])
+
+    def test_add_shape_mismatch_rejected(self, builder):
+        x = builder.input((8, 8, 3))
+        a = builder.conv(x, 4, 1)
+        b = builder.conv(x, 8, 1)
+        with pytest.raises(GraphError):
+            builder.add([a, b])
+
+
+class TestParameterAccounting:
+    def test_conv_params(self, builder):
+        x = builder.input((8, 8, 3))
+        y = builder.conv(x, 16, 3, use_bias=True)
+        # (3*3*3*16 + 16) float32 parameters.
+        assert builder.graph.node(y).param_bytes == (432 + 16) * 4
+
+    def test_conv_no_bias(self, builder):
+        x = builder.input((8, 8, 3))
+        y = builder.conv(x, 16, 3, use_bias=False)
+        assert builder.graph.node(y).param_bytes == 432 * 4
+
+    def test_bn_params(self, builder):
+        x = builder.input((8, 8, 32))
+        y = builder.bn(x)
+        assert builder.graph.node(y).param_bytes == 4 * 32 * 4
+
+    def test_dense_params(self, builder):
+        x = builder.input((7, 7, 4))
+        g = builder.global_avg_pool(x)
+        y = builder.dense(g, 10)
+        assert builder.graph.node(y).param_bytes == (4 * 10 + 10) * 4
+
+    def test_sep_conv_params(self, builder):
+        x = builder.input((8, 8, 16))
+        y = builder.sep_conv(x, 32, 3)
+        # depthwise 3*3*16 + pointwise 1*1*16*32 (no bias).
+        assert builder.graph.node(y).param_bytes == (144 + 512) * 4
+
+    def test_activation_and_pool_have_no_params(self, builder):
+        x = builder.input((8, 8, 4))
+        assert builder.graph.node(builder.act(x)).param_bytes == 0
+        assert builder.graph.node(builder.max_pool(x, 2)).param_bytes == 0
+
+
+class TestMacs:
+    def test_conv_macs(self, builder):
+        x = builder.input((8, 8, 3))
+        y = builder.conv(x, 16, 3, padding="same")
+        assert builder.graph.node(y).macs == 8 * 8 * 3 * 3 * 3 * 16
+
+    def test_dense_macs(self, builder):
+        x = builder.input((7, 7, 4))
+        g = builder.global_avg_pool(x)
+        y = builder.dense(g, 10)
+        assert builder.graph.node(y).macs == 40
+
+
+class TestNaming:
+    def test_explicit_names(self, builder):
+        x = builder.input((4, 4, 1), name="img")
+        assert "img" in builder.graph
+
+    def test_auto_names_unique(self, builder):
+        x = builder.input((4, 4, 1))
+        a = builder.conv(x, 2, 1)
+        b = builder.conv(x, 2, 1)
+        assert a != b
+
+    def test_finish_returns_valid_dag(self, builder):
+        x = builder.input((4, 4, 1))
+        builder.conv(x, 2, 1)
+        graph = builder.finish()
+        assert graph.is_dag()

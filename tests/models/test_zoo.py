@@ -1,0 +1,72 @@
+"""Table I reproduction tests: every model must match the paper exactly."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.validate import validate_graph
+from repro.models.zoo import (
+    FIG4_MODELS,
+    FIG5_MODELS,
+    MODEL_BUILDERS,
+    TABLE1_EXPECTED,
+    build_model,
+    list_models,
+    model_statistics,
+)
+
+#: Published float32 parameter counts (keras.applications docs), in
+#: millions; builders must land within 1%.
+_KNOWN_PARAM_COUNTS_M = {
+    "Xception": 22.91,
+    "ResNet50": 25.64,
+    "ResNet101": 44.71,
+    "ResNet152": 60.42,
+    "ResNet50v2": 25.61,
+    "ResNet101v2": 44.68,
+    "ResNet152v2": 60.38,
+    "DenseNet121": 8.06,
+    "DenseNet169": 14.31,
+    "DenseNet201": 20.24,
+    "InceptionResNetV2": 55.87,
+}
+
+
+@pytest.mark.parametrize("name", list(TABLE1_EXPECTED))
+def test_table1_statistics_match_paper(name):
+    stats = model_statistics(build_model(name))
+    assert stats == TABLE1_EXPECTED[name]
+
+
+@pytest.mark.parametrize("name", list(MODEL_BUILDERS))
+def test_models_are_valid_single_source_dags(name):
+    graph = build_model(name)
+    assert validate_graph(graph, require_single_source=True,
+                          require_known_ops=True) == []
+
+
+@pytest.mark.parametrize("name", sorted(_KNOWN_PARAM_COUNTS_M))
+def test_parameter_counts_match_published_values(name):
+    graph = build_model(name)
+    params_m = graph.total_param_bytes / 4 / 1e6
+    expected = _KNOWN_PARAM_COUNTS_M[name]
+    assert params_m == pytest.approx(expected, rel=0.01)
+
+
+def test_unknown_model_rejected():
+    with pytest.raises(GraphError):
+        build_model("AlexNet9000")
+
+
+def test_list_models_covers_figures():
+    names = list_models()
+    assert set(FIG4_MODELS) <= set(names)
+    assert set(FIG5_MODELS) <= set(names)
+    assert len(FIG5_MODELS) == 12
+
+
+def test_builders_are_deterministic():
+    a = build_model("ResNet50")
+    b = build_model("ResNet50")
+    assert a.node_names == b.node_names
+    assert list(a.edges()) == list(b.edges())
+    assert a.total_param_bytes == b.total_param_bytes

@@ -1,0 +1,78 @@
+"""Gradient-checked tests for the glimpse and pointer attention heads."""
+
+import numpy as np
+
+from repro.nn.attention import AttentionHead, Glimpse
+
+from tests.nn.test_lstm import numeric_grad
+
+
+class TestAttentionHead:
+    def test_score_shape(self, rng):
+        head = AttentionHead(5, rng=1)
+        contexts = rng.normal(size=(2, 4, 5))
+        query = rng.normal(size=(2, 5))
+        scores, _ = head.forward(contexts, query)
+        assert scores.shape == (2, 4)
+
+    def test_logit_clip_bounds_scores(self, rng):
+        head = AttentionHead(5, logit_clip=3.0, rng=1)
+        contexts = 50 * rng.normal(size=(2, 4, 5))
+        query = 50 * rng.normal(size=(2, 5))
+        scores, _ = head.forward(contexts, query)
+        assert np.all(np.abs(scores) <= 3.0 + 1e-12)
+
+    def test_gradient_check(self, rng):
+        head = AttentionHead(3, logit_clip=4.0, rng=2)
+        contexts = rng.normal(size=(2, 3, 3))
+        query = rng.normal(size=(2, 3))
+        dscores = rng.normal(size=(2, 3))
+
+        def loss():
+            scores, _ = head.forward(contexts, query)
+            return float(np.sum(scores * dscores))
+
+        head.zero_grad()
+        _, cache = head.forward(contexts, query)
+        dctx, dq = head.backward(dscores, cache)
+        np.testing.assert_allclose(numeric_grad(loss, contexts), dctx, atol=1e-6)
+        np.testing.assert_allclose(numeric_grad(loss, query), dq, atol=1e-6)
+        for name, param in head.named_parameters():
+            np.testing.assert_allclose(
+                numeric_grad(loss, param.value), param.grad, atol=1e-6,
+                err_msg=f"param {name}",
+            )
+
+
+class TestGlimpse:
+    def test_masked_positions_excluded(self, rng):
+        glimpse = Glimpse(4, rng=3)
+        contexts = rng.normal(size=(1, 3, 4))
+        query = rng.normal(size=(1, 4))
+        mask = np.array([[True, False, True]])
+        _, cache = glimpse.forward(contexts, query, mask)
+        assert cache["weights"][0, 1] == 0.0
+
+    def test_gradient_check_with_mask(self, rng):
+        glimpse = Glimpse(3, rng=4)
+        contexts = rng.normal(size=(2, 4, 3))
+        query = rng.normal(size=(2, 3))
+        mask = np.array(
+            [[True, True, False, True], [True, False, True, True]]
+        )
+        dg = rng.normal(size=(2, 3))
+
+        def loss():
+            g, _ = glimpse.forward(contexts, query, mask)
+            return float(np.sum(g * dg))
+
+        glimpse.zero_grad()
+        _, cache = glimpse.forward(contexts, query, mask)
+        dctx, dq = glimpse.backward(dg, cache)
+        np.testing.assert_allclose(numeric_grad(loss, contexts), dctx, atol=1e-6)
+        np.testing.assert_allclose(numeric_grad(loss, query), dq, atol=1e-6)
+        for name, param in glimpse.named_parameters():
+            np.testing.assert_allclose(
+                numeric_grad(loss, param.value), param.grad, atol=1e-6,
+                err_msg=f"param {name}",
+            )

@@ -1,0 +1,82 @@
+"""Unit tests for activation functions and their derivatives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.nn import functional as F
+
+
+class TestSigmoid:
+    def test_midpoint(self):
+        assert F.sigmoid(np.array([0.0]))[0] == pytest.approx(0.5)
+
+    def test_extremes_stable(self):
+        out = F.sigmoid(np.array([-1000.0, 1000.0]))
+        assert out[0] == pytest.approx(0.0)
+        assert out[1] == pytest.approx(1.0)
+        assert np.isfinite(out).all()
+
+    def test_derivative_matches_fd(self):
+        x = np.linspace(-3, 3, 11)
+        y = F.sigmoid(x)
+        fd = (F.sigmoid(x + 1e-6) - F.sigmoid(x - 1e-6)) / 2e-6
+        np.testing.assert_allclose(F.dsigmoid_from_output(y), fd, atol=1e-6)
+
+
+class TestTanh:
+    def test_derivative_matches_fd(self):
+        x = np.linspace(-3, 3, 11)
+        y = F.tanh(x)
+        fd = (F.tanh(x + 1e-6) - F.tanh(x - 1e-6)) / 2e-6
+        np.testing.assert_allclose(F.dtanh_from_output(y), fd, atol=1e-6)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        x = rng.normal(size=(4, 7))
+        out = F.softmax(x)
+        np.testing.assert_allclose(out.sum(axis=-1), 1.0)
+
+    def test_shift_invariance(self, rng):
+        x = rng.normal(size=(3, 5))
+        np.testing.assert_allclose(F.softmax(x), F.softmax(x + 100.0))
+
+    def test_large_values_stable(self):
+        out = F.softmax(np.array([[1e4, 1e4 - 1.0]]))
+        assert np.isfinite(out).all()
+
+    def test_log_softmax_consistent(self, rng):
+        x = rng.normal(size=(2, 6))
+        np.testing.assert_allclose(
+            np.exp(F.log_softmax(x)), F.softmax(x), atol=1e-12
+        )
+
+
+class TestMaskedSoftmax:
+    def test_masked_positions_zero(self):
+        logits = np.array([[1.0, 2.0, 3.0]])
+        mask = np.array([[True, False, True]])
+        out = F.masked_softmax(logits, mask)
+        assert out[0, 1] == 0.0
+        assert out.sum() == pytest.approx(1.0)
+
+    def test_single_unmasked_gets_all_mass(self):
+        logits = np.array([[5.0, -2.0]])
+        mask = np.array([[False, True]])
+        out = F.masked_softmax(logits, mask)
+        np.testing.assert_allclose(out, [[0.0, 1.0]])
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    arrays(np.float64, (3, 5),
+           elements=st.floats(-50, 50, allow_nan=False))
+)
+def test_softmax_properties(x):
+    """Property: softmax outputs are a probability distribution."""
+    out = F.softmax(x)
+    assert np.all(out >= 0)
+    np.testing.assert_allclose(out.sum(axis=-1), 1.0, atol=1e-9)

@@ -1,0 +1,101 @@
+"""Gradient-checked tests for the LSTM cell."""
+
+import numpy as np
+import pytest
+
+from repro.nn.lstm import LSTMCell
+
+
+def numeric_grad(fn, array, eps=1e-6):
+    grad = np.zeros_like(array)
+    flat = array.ravel()
+    gflat = grad.ravel()
+    for i in range(flat.size):
+        old = flat[i]
+        flat[i] = old + eps
+        up = fn()
+        flat[i] = old - eps
+        down = fn()
+        flat[i] = old
+        gflat[i] = (up - down) / (2 * eps)
+    return grad
+
+
+class TestForward:
+    def test_shapes(self, rng):
+        cell = LSTMCell(4, 6, rng=1)
+        h, c = cell.initial_state(3)
+        x = rng.normal(size=(3, 4))
+        h2, c2, _ = cell.forward(x, h, c)
+        assert h2.shape == (3, 6)
+        assert c2.shape == (3, 6)
+
+    def test_forget_bias_initialized(self):
+        cell = LSTMCell(2, 3, rng=0)
+        bias = cell.bias.value
+        np.testing.assert_allclose(bias[3:6], 1.0)
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            LSTMCell(0, 4)
+
+    def test_deterministic_given_seed(self, rng):
+        a = LSTMCell(3, 5, rng=42)
+        b = LSTMCell(3, 5, rng=42)
+        np.testing.assert_array_equal(a.w_x.value, b.w_x.value)
+
+
+class TestBackward:
+    def test_gradient_check_single_step(self, rng):
+        cell = LSTMCell(3, 4, rng=2)
+        x = rng.normal(size=(2, 3))
+        h0 = rng.normal(size=(2, 4))
+        c0 = rng.normal(size=(2, 4))
+        dh = rng.normal(size=(2, 4))
+        dc = rng.normal(size=(2, 4))
+
+        def loss():
+            h2, c2, _ = cell.forward(x, h0, c0)
+            return float(np.sum(h2 * dh) + np.sum(c2 * dc))
+
+        cell.zero_grad()
+        h2, c2, cache = cell.forward(x, h0, c0)
+        dx, dh0, dc0 = cell.backward(dh, dc, cache)
+
+        np.testing.assert_allclose(numeric_grad(loss, x), dx, atol=1e-6)
+        np.testing.assert_allclose(numeric_grad(loss, h0), dh0, atol=1e-6)
+        np.testing.assert_allclose(numeric_grad(loss, c0), dc0, atol=1e-6)
+        np.testing.assert_allclose(
+            numeric_grad(loss, cell.w_x.value), cell.w_x.grad, atol=1e-6
+        )
+        np.testing.assert_allclose(
+            numeric_grad(loss, cell.w_h.value), cell.w_h.grad, atol=1e-6
+        )
+        np.testing.assert_allclose(
+            numeric_grad(loss, cell.bias.value), cell.bias.grad, atol=1e-6
+        )
+
+    def test_gradient_check_two_steps_bptt(self, rng):
+        cell = LSTMCell(2, 3, rng=5)
+        x1 = rng.normal(size=(2, 2))
+        x2 = rng.normal(size=(2, 2))
+        dh = rng.normal(size=(2, 3))
+
+        def loss():
+            h, c = cell.initial_state(2)
+            h, c, _ = cell.forward(x1, h, c)
+            h, c, _ = cell.forward(x2, h, c)
+            return float(np.sum(h * dh))
+
+        cell.zero_grad()
+        h, c = cell.initial_state(2)
+        h1, c1, cache1 = cell.forward(x1, h, c)
+        h2, c2, cache2 = cell.forward(x2, h1, c1)
+        dx2, dh1, dc1 = cell.backward(dh, np.zeros_like(c2), cache2)
+        dx1, _, _ = cell.backward(dh1, dc1, cache1)
+
+        np.testing.assert_allclose(numeric_grad(loss, x2), dx2, atol=1e-6)
+        np.testing.assert_allclose(numeric_grad(loss, x1), dx1, atol=1e-6)
+        np.testing.assert_allclose(
+            numeric_grad(loss, cell.w_h.value), cell.w_h.grad, atol=1e-6
+        )

@@ -1,0 +1,113 @@
+"""Unit tests for parameter management, checkpointing and Adam."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CheckpointError, TrainingError
+from repro.nn.adam import Adam
+from repro.nn.lstm import LSTMCell
+from repro.nn.params import Module, Parameter
+
+
+class _Quadratic(Module):
+    """Toy module with loss (w - target)^2 for optimizer tests."""
+
+    def __init__(self, dim=4):
+        super().__init__()
+        self.w = self.add_param("w", np.ones(dim) * 5.0)
+
+    def loss_and_grad(self, target):
+        diff = self.w.value - target
+        self.w.grad += 2 * diff
+        return float(np.sum(diff * diff))
+
+
+class TestModule:
+    def test_duplicate_names_rejected(self):
+        m = Module()
+        m.add_param("x", np.zeros(2))
+        with pytest.raises(CheckpointError):
+            m.add_param("x", np.zeros(2))
+        with pytest.raises(CheckpointError):
+            m.add_module("x", Module())
+
+    def test_nested_parameter_names(self):
+        outer = Module()
+        inner = LSTMCell(2, 3, rng=0)
+        outer.add_module("cell", inner)
+        names = set(outer.parameters())
+        assert "cell.w_x" in names
+        assert "cell.bias" in names
+
+    def test_num_parameters(self):
+        cell = LSTMCell(2, 3, rng=0)
+        assert cell.num_parameters() == 2 * 12 + 3 * 12 + 12
+
+    def test_zero_grad(self):
+        m = _Quadratic()
+        m.loss_and_grad(np.zeros(4))
+        assert np.any(m.w.grad != 0)
+        m.zero_grad()
+        assert np.all(m.w.grad == 0)
+
+
+class TestCheckpointing:
+    def test_state_dict_round_trip(self):
+        a = LSTMCell(2, 3, rng=1)
+        b = LSTMCell(2, 3, rng=2)
+        b.load_state_dict(a.state_dict())
+        np.testing.assert_array_equal(a.w_x.value, b.w_x.value)
+
+    def test_mismatched_state_rejected(self):
+        a = LSTMCell(2, 3, rng=1)
+        state = a.state_dict()
+        del state["bias"]
+        with pytest.raises(CheckpointError):
+            a.load_state_dict(state)
+
+    def test_shape_mismatch_rejected(self):
+        a = LSTMCell(2, 3, rng=1)
+        state = a.state_dict()
+        state["bias"] = np.zeros(5)
+        with pytest.raises(CheckpointError):
+            a.load_state_dict(state)
+
+    def test_npz_round_trip(self, tmp_path):
+        a = LSTMCell(2, 3, rng=1)
+        path = tmp_path / "cell.npz"
+        a.save_npz(path)
+        b = LSTMCell(2, 3, rng=9)
+        b.load_npz(path)
+        np.testing.assert_array_equal(a.w_h.value, b.w_h.value)
+
+    def test_missing_checkpoint_raises(self, tmp_path):
+        cell = LSTMCell(2, 3)
+        with pytest.raises(CheckpointError):
+            cell.load_npz(tmp_path / "nope.npz")
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        m = _Quadratic()
+        target = np.array([1.0, -2.0, 0.5, 3.0])
+        adam = Adam(m, lr=0.1, grad_clip_norm=None)
+        for _ in range(400):
+            m.zero_grad()
+            m.loss_and_grad(target)
+            adam.step()
+        np.testing.assert_allclose(m.w.value, target, atol=1e-2)
+
+    def test_gradient_clipping(self):
+        m = _Quadratic()
+        adam = Adam(m, lr=0.1, grad_clip_norm=1.0)
+        m.zero_grad()
+        m.loss_and_grad(np.zeros(4))  # grad norm = 20
+        norm = adam.step()
+        assert norm == pytest.approx(20.0)
+
+    def test_invalid_config_rejected(self):
+        m = _Quadratic()
+        with pytest.raises(TrainingError):
+            Adam(m, lr=0)
+        with pytest.raises(TrainingError):
+            Adam(m, beta1=1.5)

@@ -1,0 +1,106 @@
+"""Cross-module property-based tests of the core invariants.
+
+These pin the mathematical relationships every figure relies on:
+exactness dominance, quantization monotonicity, pipeline-simulation
+bounds, and schedule-metric consistency.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.sampler import sample_synthetic_dag
+from repro.scheduling.compiler_proxy import EdgeTpuCompilerProxy
+from repro.scheduling.heuristics import ListScheduler
+from repro.scheduling.ilp import IlpScheduler
+from repro.scheduling.schedule import Schedule
+from repro.tpu.pipeline import PipelinedTpuSystem, compute_stage_profiles
+from repro.tpu.quantize import quantize_graph
+from repro.tpu.spec import default_spec
+
+_seeds = st.integers(min_value=0, max_value=5_000)
+_stages = st.integers(min_value=2, max_value=5)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=_seeds, num_stages=_stages)
+def test_exact_peak_lower_bounds_heuristics(seed, num_stages):
+    """The ILP peak optimum is a true lower bound for every heuristic."""
+    graph = sample_synthetic_dag(num_nodes=14, degree=3, seed=seed)
+    optimum = (
+        IlpScheduler(peak_tolerance=0.0)
+        .schedule(graph, num_stages)
+        .extras["peak_optimum_bytes"]
+    )
+    for scheduler in (ListScheduler(), EdgeTpuCompilerProxy()):
+        result = scheduler.schedule(graph, num_stages)
+        assert result.schedule.peak_stage_param_bytes >= optimum
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=_seeds)
+def test_exact_peak_monotone_in_stage_count(seed):
+    """More pipeline stages can never worsen the exact peak optimum."""
+    graph = sample_synthetic_dag(num_nodes=14, degree=2, seed=seed)
+    ilp = IlpScheduler(peak_tolerance=0.0)
+    peaks = [
+        ilp.schedule(graph, n).extras["peak_optimum_bytes"] for n in (1, 2, 4)
+    ]
+    assert peaks[0] >= peaks[1] >= peaks[2]
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=_seeds)
+def test_quantization_shrinks_and_preserves(seed):
+    """int8 conversion shrinks every tensor and preserves structure."""
+    graph = sample_synthetic_dag(num_nodes=12, degree=3, seed=seed)
+    quantized = quantize_graph(graph)
+    assert quantized.node_names == graph.node_names
+    for node in graph.nodes:
+        q = quantized.node(node.name)
+        assert q.output_bytes <= node.output_bytes
+        if node.param_bytes == 0:
+            assert q.param_bytes == 0
+        assert q.macs == node.macs
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=_seeds, num_stages=_stages)
+def test_simulated_period_bounded_below_by_theory(seed, num_stages):
+    """The DES steady-state period can never beat the resource bound."""
+    graph = quantize_graph(sample_synthetic_dag(num_nodes=12, degree=2, seed=seed))
+    schedule = ListScheduler().schedule(graph, num_stages).schedule
+    system = PipelinedTpuSystem()
+    report = system.run(graph, schedule, num_inferences=80)
+    bound = system.theoretical_period(report.profiles)
+    # Rigorous bound: every resource performs N * work seconds of busy
+    # time inside the makespan, so makespan / N >= max resource work.
+    assert report.makespan_seconds / report.num_inferences >= bound * (1 - 1e-9)
+    # The tail-window period estimator can be biased low when the
+    # bottleneck sits early (downstream queues drain with compressed
+    # spacing); it still may not beat the bound by a wide margin.
+    assert report.steady_period_seconds >= bound * 0.9
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=_seeds, num_stages=_stages)
+def test_profile_bytes_consistent_with_schedule(seed, num_stages):
+    """Stage-profile byte accounting matches the schedule's own metrics."""
+    graph = quantize_graph(sample_synthetic_dag(num_nodes=12, degree=3, seed=seed))
+    schedule = ListScheduler().schedule(graph, num_stages).schedule
+    profiles = compute_stage_profiles(graph, schedule, default_spec())
+    on_off = sum(p.on_chip_bytes + p.off_chip_bytes for p in profiles)
+    assert on_off == graph.total_param_bytes
+    # Conservation: a cross-stage tensor is uploaded to the host once
+    # (out) and delivered to between 1 and (num_stages - 1) consumer
+    # stages (in); model inputs/outputs terminate at the host.
+    total_in = sum(p.input_bytes for p in profiles)
+    total_out = sum(p.output_bytes for p in profiles)
+    model_in = sum(graph.node(s).output_bytes for s in graph.sources)
+    model_out = sum(graph.node(s).output_bytes for s in graph.sinks)
+    uploads = total_out - model_out        # producer tensors sent up
+    deliveries = total_in - model_in       # copies sent back down
+    assert uploads >= 0
+    assert deliveries >= uploads
+    assert deliveries <= max(1, num_stages - 1) * max(uploads, 1)

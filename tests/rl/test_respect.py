@@ -1,0 +1,80 @@
+"""Tests for the end-to-end RESPECT scheduler and checkpoint handling."""
+
+import numpy as np
+import pytest
+
+from repro.embedding.features import EmbeddingConfig
+from repro.errors import CheckpointError, SchedulingError
+from repro.graphs.sampler import sample_synthetic_dag
+from repro.rl.ptrnet import PointerNetworkPolicy
+from repro.rl.respect import (
+    RespectScheduler,
+    load_policy,
+    load_pretrained_policy,
+    save_policy,
+)
+
+
+@pytest.fixture(scope="module")
+def pretrained():
+    return load_pretrained_policy()
+
+
+class TestCheckpointIo:
+    def test_save_load_round_trip(self, tmp_path):
+        policy = PointerNetworkPolicy(feature_dim=15, hidden_size=8, seed=4)
+        save_policy(policy, tmp_path, "unit")
+        restored = load_policy(tmp_path, "unit")
+        assert restored.hidden_size == 8
+        np.testing.assert_array_equal(
+            restored.w_emb.value, policy.w_emb.value
+        )
+
+    def test_missing_checkpoint_raises(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            load_policy(tmp_path, "ghost")
+
+    def test_pretrained_checkpoint_ships(self, pretrained):
+        assert pretrained.feature_dim == EmbeddingConfig().feature_dim
+
+
+class TestRespectScheduler:
+    def test_feature_dim_mismatch_rejected(self):
+        policy = PointerNetworkPolicy(feature_dim=3, hidden_size=8)
+        with pytest.raises(SchedulingError):
+            RespectScheduler(policy=policy)
+
+    def test_schedules_synthetic_graphs(self, pretrained):
+        scheduler = RespectScheduler(policy=pretrained)
+        for seed in range(3):
+            graph = sample_synthetic_dag(num_nodes=30, degree=3, seed=seed)
+            result = scheduler.schedule(graph, 4)
+            assert result.schedule.is_valid()
+            assert result.method == "respect"
+            assert result.solve_time > 0
+
+    def test_constrained_decoding_needs_no_repair(self, pretrained):
+        scheduler = RespectScheduler(policy=pretrained)
+        graph = sample_synthetic_dag(num_nodes=30, degree=4, seed=9)
+        result = scheduler.schedule(graph, 5)
+        assert result.extras["repaired_violations"] == 0
+
+    def test_generalizes_to_larger_graphs(self, pretrained):
+        """The paper's headline generalization claim: trained on |V|=30,
+        scheduling 100+-node graphs without retraining."""
+        scheduler = RespectScheduler(policy=pretrained)
+        graph = sample_synthetic_dag(num_nodes=120, degree=3, seed=1)
+        result = scheduler.schedule(graph, 6)
+        assert result.schedule.is_valid()
+
+    def test_sibling_rule_option(self, pretrained):
+        scheduler = RespectScheduler(policy=pretrained, enforce_siblings=True)
+        graph = sample_synthetic_dag(num_nodes=20, degree=3, seed=2)
+        result = scheduler.schedule(graph, 3)
+        assert result.schedule.sibling_violations() == []
+
+    def test_invalid_stage_count_rejected(self, pretrained):
+        scheduler = RespectScheduler(policy=pretrained)
+        graph = sample_synthetic_dag(num_nodes=10, degree=2, seed=0)
+        with pytest.raises(SchedulingError):
+            scheduler.schedule(graph, 0)

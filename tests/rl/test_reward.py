@@ -1,0 +1,71 @@
+"""Unit + property tests for the reward functions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rl.reward import (
+    exact_match_fraction,
+    sequence_cosine_reward,
+    stage_cosine_reward,
+)
+
+
+class TestSequenceCosine:
+    def test_identical_sequences_score_one(self):
+        assert sequence_cosine_reward([0, 1, 2], [0, 1, 2]) == pytest.approx(1.0)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            sequence_cosine_reward([0, 1], [0, 1, 2])
+
+    def test_different_sequences_below_one(self):
+        assert sequence_cosine_reward([2, 1, 0], [0, 1, 2]) < 1.0
+
+    def test_zero_index_contributes(self):
+        # Without the +1 shift, a leading 0 would be invisible.
+        r1 = sequence_cosine_reward([0, 1], [0, 1])
+        r2 = sequence_cosine_reward([1, 0], [0, 1])
+        assert r1 == pytest.approx(1.0)
+        assert r2 < r1
+
+
+class TestStageCosine:
+    def test_identical_all_zero_stages_score_one(self):
+        assert stage_cosine_reward([0, 0, 0], [0, 0, 0]) == pytest.approx(1.0)
+
+    def test_identical_stages_score_one(self):
+        assert stage_cosine_reward([0, 1, 2, 2], [0, 1, 2, 2]) == pytest.approx(1.0)
+
+    def test_divergent_stages_penalized(self):
+        close = stage_cosine_reward([0, 1, 1, 2], [0, 1, 2, 2])
+        far = stage_cosine_reward([2, 2, 0, 0], [0, 0, 2, 2])
+        assert far < close < 1.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            stage_cosine_reward([0], [0, 1])
+
+
+class TestExactMatch:
+    def test_full_match(self):
+        assert exact_match_fraction([3, 1, 2], [3, 1, 2]) == 1.0
+
+    def test_partial_match(self):
+        assert exact_match_fraction([3, 1, 2], [3, 2, 1]) == pytest.approx(1 / 3)
+
+    def test_empty_sequences(self):
+        assert exact_match_fraction([], []) == 1.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(st.integers(min_value=0, max_value=5), min_size=1, max_size=20)
+)
+def test_rewards_bounded(stages):
+    """Property: cosine rewards of non-negative vectors lie in [0, 1]."""
+    other = list(reversed(stages))
+    r = stage_cosine_reward(stages, other)
+    assert 0.0 <= r <= 1.0 + 1e-12
+    assert stage_cosine_reward(stages, stages) == pytest.approx(1.0)

@@ -1,0 +1,109 @@
+"""Tests for the imitation and REINFORCE trainers (CPU-scale smoke runs)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import generate_dataset
+from repro.errors import TrainingError
+from repro.rl.imitation import ImitationConfig, ImitationTrainer
+from repro.rl.ptrnet import PointerNetworkPolicy
+from repro.rl.reinforce import ReinforceConfig, ReinforceTrainer
+from repro.rl.trainer import RespectTrainingConfig, train_respect_policy
+
+
+@pytest.fixture(scope="module")
+def tiny_dataset():
+    return generate_dataset(24, num_nodes=8, degrees=(2, 3),
+                            stage_choices=(2, 3), seed=5)
+
+
+@pytest.fixture
+def tiny_policy(tiny_dataset):
+    feature_dim = tiny_dataset[0].queue.features.shape[1]
+    return PointerNetworkPolicy(feature_dim=feature_dim, hidden_size=16, seed=3)
+
+
+class TestImitation:
+    def test_loss_decreases(self, tiny_policy, tiny_dataset):
+        trainer = ImitationTrainer(
+            tiny_policy, tiny_dataset, ImitationConfig(batch_size=8, seed=1)
+        )
+        history = trainer.train(25)
+        assert history[-1].loss < history[0].loss
+
+    def test_token_accuracy_improves(self, tiny_policy, tiny_dataset):
+        trainer = ImitationTrainer(
+            tiny_policy, tiny_dataset, ImitationConfig(batch_size=8, seed=1)
+        )
+        history = trainer.train(30)
+        assert history[-1].token_accuracy > history[0].token_accuracy
+
+    def test_empty_dataset_rejected(self, tiny_policy):
+        with pytest.raises(TrainingError):
+            ImitationTrainer(tiny_policy, [])
+
+    def test_zero_steps_rejected(self, tiny_policy, tiny_dataset):
+        trainer = ImitationTrainer(tiny_policy, tiny_dataset)
+        with pytest.raises(TrainingError):
+            trainer.train(0)
+
+
+class TestReinforce:
+    def test_runs_and_records_history(self, tiny_policy, tiny_dataset):
+        trainer = ReinforceTrainer(
+            tiny_policy,
+            tiny_dataset,
+            ReinforceConfig(batch_size=8, baseline="batch_mean", seed=2),
+        )
+        history = trainer.train(5)
+        assert len(history) == 5
+        assert all(0.0 <= m.mean_cost <= 2.0 for m in history)
+
+    def test_rollout_baseline_initialized(self, tiny_policy, tiny_dataset):
+        trainer = ReinforceTrainer(
+            tiny_policy,
+            tiny_dataset,
+            ReinforceConfig(batch_size=8, baseline="rollout", seed=2),
+        )
+        history = trainer.train(3)
+        # Rollout baselines come from greedy decoding, so they are
+        # cost-scaled (not zero like the "none" baseline).
+        assert any(m.mean_baseline != 0.0 for m in history) or history[0].mean_cost == 0
+
+    def test_unknown_baseline_rejected(self, tiny_policy, tiny_dataset):
+        with pytest.raises(TrainingError):
+            ReinforceTrainer(
+                tiny_policy, tiny_dataset, ReinforceConfig(baseline="magic")
+            )
+
+
+class TestPipeline:
+    def test_end_to_end_training_improves_imitation(self):
+        config = RespectTrainingConfig(
+            dataset_size=16,
+            num_nodes=8,
+            degrees=(2,),
+            stage_choices=(2, 3),
+            hidden_size=16,
+            imitation_steps=20,
+            reinforce_steps=3,
+            imitation=ImitationConfig(batch_size=8, seed=0),
+            reinforce=ReinforceConfig(batch_size=8, seed=0,
+                                      baseline="batch_mean"),
+            seed=0,
+        )
+        result = train_respect_policy(config)
+        metrics = result.final_metrics()
+        assert metrics["imitation_token_accuracy"] > 0.5
+        assert "reinforce_reward" in metrics
+
+    def test_reuses_supplied_examples_and_policy(self, tiny_dataset, tiny_policy):
+        config = RespectTrainingConfig(
+            imitation_steps=2, reinforce_steps=0,
+            imitation=ImitationConfig(batch_size=8),
+        )
+        result = train_respect_policy(
+            config, examples=tiny_dataset, policy=tiny_policy
+        )
+        assert result.policy is tiny_policy
+        assert len(result.examples) == len(tiny_dataset)

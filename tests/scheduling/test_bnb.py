@@ -1,0 +1,68 @@
+"""Unit tests for the branch-and-bound exact scheduler."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.graphs.sampler import sample_synthetic_dag
+from repro.scheduling.bnb import BranchAndBoundScheduler
+from repro.scheduling.heuristics import ListScheduler
+from repro.scheduling.schedule import Schedule
+
+
+class TestLimits:
+    def test_rejects_large_graphs(self):
+        graph = sample_synthetic_dag(num_nodes=30, degree=2, seed=0)
+        scheduler = BranchAndBoundScheduler(max_nodes=20)
+        with pytest.raises(SchedulingError):
+            scheduler.schedule(graph, 2)
+
+    def test_rejects_unknown_objective(self):
+        with pytest.raises(SchedulingError):
+            BranchAndBoundScheduler(objective="quantum")
+
+    def test_node_budget_enforced(self):
+        graph = sample_synthetic_dag(num_nodes=20, degree=2, seed=3)
+        scheduler = BranchAndBoundScheduler(node_budget=5)
+        with pytest.raises(SchedulingError):
+            scheduler.schedule(graph, 4)
+
+
+class TestOptimality:
+    def test_diamond_optimum(self, diamond_graph):
+        result = BranchAndBoundScheduler(peak_tolerance=0.0).schedule(
+            diamond_graph, 2
+        )
+        assert result.objective == 600  # peak memory optimum
+        assert result.schedule.is_valid()
+        assert result.status == "optimal"
+
+    def test_never_worse_than_list_heuristic(self):
+        bnb = BranchAndBoundScheduler(objective="weighted", comm_weight=0.1)
+        heuristic = ListScheduler()
+        for seed in range(4):
+            graph = sample_synthetic_dag(num_nodes=12, degree=3, seed=seed)
+            exact = bnb.schedule(graph, 3)
+            approx = heuristic.schedule(graph, 3)
+            assert exact.objective <= approx.schedule.objective(0.1) + 1e-9
+
+    def test_single_stage_trivial(self, diamond_graph):
+        result = BranchAndBoundScheduler().schedule(diamond_graph, 1)
+        assert set(result.schedule.assignment.values()) == {0}
+
+    def test_more_stages_never_hurt_peak(self, diamond_graph):
+        peaks = []
+        for stages in (1, 2, 3, 4):
+            result = BranchAndBoundScheduler(peak_tolerance=0.0).schedule(
+                diamond_graph, stages
+            )
+            peaks.append(result.schedule.peak_stage_param_bytes)
+        assert peaks == sorted(peaks, reverse=True)
+
+    def test_lexicographic_comm_minimal_within_cap(self, diamond_graph):
+        result = BranchAndBoundScheduler(peak_tolerance=0.0).schedule(
+            diamond_graph, 2
+        )
+        # With peak fixed at 600 (b and c apart), the cheapest valid
+        # schedule keeps d with c: a,b | c,d has cuts a->c (100) and
+        # b->d (200) = 300 hop-weighted bytes.
+        assert result.extras["comm_bytes"] == 300

@@ -1,0 +1,69 @@
+"""Unit tests for the Edge TPU compiler proxy."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.graphs.sampler import sample_synthetic_dag
+from repro.scheduling.compiler_proxy import EdgeTpuCompilerProxy
+from repro.scheduling.schedule import Schedule
+
+
+class TestParameterBalancing:
+    def test_contiguous_segments(self, chain_graph):
+        result = EdgeTpuCompilerProxy().schedule(chain_graph, 3)
+        order = chain_graph.topological_order()
+        stages = [result.schedule.assignment[n] for n in order]
+        assert stages == sorted(stages)
+
+    def test_valid_on_branchy_graphs(self):
+        for seed in range(4):
+            graph = sample_synthetic_dag(num_nodes=20, degree=4, seed=seed)
+            result = EdgeTpuCompilerProxy().schedule(graph, 4)
+            assert result.schedule.is_valid()
+
+    def test_segments_roughly_balanced(self, chain_graph):
+        result = EdgeTpuCompilerProxy().schedule(chain_graph, 2)
+        sizes = result.schedule.stage_param_bytes()
+        total = chain_graph.total_param_bytes
+        # Greedy per-segment target: first segment crosses total/2.
+        assert sizes[0] >= total / 2
+
+    def test_more_stages_than_nodes(self, diamond_graph):
+        result = EdgeTpuCompilerProxy().schedule(diamond_graph, 10)
+        assert result.schedule.is_valid()
+
+    def test_status_heuristic(self, diamond_graph):
+        result = EdgeTpuCompilerProxy().schedule(diamond_graph, 2)
+        assert result.status == "heuristic"
+
+
+class TestProfilingPartitioner:
+    def test_profiler_improves_or_matches(self, chain_graph):
+        # A profiler that scores the true peak memory: profiling search
+        # must then not return a worse-peak partition than no profiling.
+        def peak_profiler(schedule: Schedule) -> float:
+            return float(schedule.peak_stage_param_bytes)
+
+        plain = EdgeTpuCompilerProxy().schedule(chain_graph, 3)
+        profiled = EdgeTpuCompilerProxy(profiler=peak_profiler).schedule(
+            chain_graph, 3
+        )
+        assert (
+            profiled.schedule.peak_stage_param_bytes
+            <= plain.schedule.peak_stage_param_bytes
+        )
+        assert profiled.extras["profile_iterations"] >= 1
+
+    def test_profiling_cost_is_paid_in_solve_time(self, chain_graph):
+        calls = []
+
+        def counting_profiler(schedule: Schedule) -> float:
+            calls.append(1)
+            return float(schedule.peak_stage_param_bytes)
+
+        EdgeTpuCompilerProxy(profiler=counting_profiler).schedule(chain_graph, 3)
+        assert len(calls) >= 2  # initial + at least one candidate
+
+    def test_negative_iterations_rejected(self):
+        with pytest.raises(SchedulingError):
+            EdgeTpuCompilerProxy(max_profile_iterations=-1)

@@ -1,0 +1,97 @@
+"""Unit tests for list scheduling, Hu, force-directed, annealing, DP."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.graphs.sampler import sample_synthetic_dag
+from repro.scheduling.annealing import SimulatedAnnealingScheduler
+from repro.scheduling.dp_budget import DpBudgetScheduler
+from repro.scheduling.force_directed import ForceDirectedScheduler
+from repro.scheduling.heuristics import HuScheduler, ListScheduler
+from repro.scheduling.ilp import IlpScheduler
+
+ALL_HEURISTICS = [
+    ListScheduler,
+    HuScheduler,
+    ForceDirectedScheduler,
+    SimulatedAnnealingScheduler,
+    DpBudgetScheduler,
+]
+
+
+@pytest.mark.parametrize("scheduler_cls", ALL_HEURISTICS)
+def test_heuristics_produce_valid_schedules(scheduler_cls):
+    scheduler = scheduler_cls()
+    for seed in range(3):
+        graph = sample_synthetic_dag(num_nodes=18, degree=3, seed=seed)
+        for stages in (1, 3, 5):
+            result = scheduler.schedule(graph, stages)
+            assert result.schedule.is_valid(), f"{scheduler_cls.__name__}"
+            assert result.solve_time >= 0
+
+
+@pytest.mark.parametrize("scheduler_cls", ALL_HEURISTICS)
+def test_heuristics_never_beat_exact_peak(scheduler_cls):
+    """Sanity: the exact peak optimum lower-bounds every heuristic."""
+    scheduler = scheduler_cls()
+    exact = IlpScheduler(peak_tolerance=0.0)
+    graph = sample_synthetic_dag(num_nodes=15, degree=2, seed=42)
+    optimal = exact.schedule(graph, 4).extras["peak_optimum_bytes"]
+    heuristic = scheduler.schedule(graph, 4)
+    assert heuristic.schedule.peak_stage_param_bytes >= optimal
+
+
+class TestListScheduler:
+    def test_budget_slack_validated(self):
+        with pytest.raises(SchedulingError):
+            ListScheduler(budget_slack=0)
+
+    def test_memory_spread_across_stages(self, chain_graph):
+        result = ListScheduler().schedule(chain_graph, 3)
+        used_stages = {s for s in result.schedule.assignment.values()}
+        assert len(used_stages) >= 2
+
+
+class TestHuScheduler:
+    def test_level_proportional_mapping(self, chain_graph):
+        result = HuScheduler().schedule(chain_graph, 3)
+        # Chain of 6 levels into 3 stages: two levels per stage.
+        stages = [result.schedule.assignment[f"n{i}"] for i in range(6)]
+        assert stages == sorted(stages)
+        assert stages[0] == 0
+        assert stages[-1] == 2
+
+
+class TestSimulatedAnnealing:
+    def test_deterministic_given_seed(self):
+        graph = sample_synthetic_dag(num_nodes=12, degree=2, seed=9)
+        a = SimulatedAnnealingScheduler(iterations=300, seed=5).schedule(graph, 3)
+        b = SimulatedAnnealingScheduler(iterations=300, seed=5).schedule(graph, 3)
+        assert a.schedule.assignment == b.schedule.assignment
+
+    def test_improves_or_matches_initial_list_schedule(self):
+        graph = sample_synthetic_dag(num_nodes=14, degree=3, seed=11)
+        start = ListScheduler().schedule(graph, 4).schedule.objective(0.25)
+        annealed = SimulatedAnnealingScheduler(iterations=500, seed=1).schedule(
+            graph, 4
+        )
+        assert annealed.objective <= start + 1e-9
+
+    def test_config_validation(self):
+        with pytest.raises(SchedulingError):
+            SimulatedAnnealingScheduler(iterations=0)
+        with pytest.raises(SchedulingError):
+            SimulatedAnnealingScheduler(initial_temperature=-1)
+
+
+class TestDpBudget:
+    def test_contiguous_cuts(self, chain_graph):
+        result = DpBudgetScheduler().schedule(chain_graph, 3)
+        order = chain_graph.topological_order()
+        stages = [result.schedule.assignment[n] for n in order]
+        assert stages == sorted(stages)
+
+    def test_budget_is_minimal_contiguous(self, chain_graph):
+        result = DpBudgetScheduler().schedule(chain_graph, 3)
+        # sizes [0,100,250,50,700,300] into 3 contiguous parts: peak 700.
+        assert result.extras["budget"] == 700

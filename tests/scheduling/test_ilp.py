@@ -1,0 +1,113 @@
+"""Unit tests for the exact ILP scheduler (both encodings, both objectives)."""
+
+import pytest
+
+from repro.errors import SolverError
+from repro.graphs.sampler import SyntheticDAGSampler
+from repro.scheduling.bnb import BranchAndBoundScheduler
+from repro.scheduling.ilp import IlpScheduler
+
+
+class TestConfig:
+    def test_rejects_unknown_objective(self):
+        with pytest.raises(SolverError):
+            IlpScheduler(objective="psychic")
+
+    def test_rejects_unknown_formulation(self):
+        with pytest.raises(SolverError):
+            IlpScheduler(formulation="tensor")
+
+    def test_rejects_negative_weight(self):
+        with pytest.raises(SolverError):
+            IlpScheduler(comm_weight=-1)
+
+
+class TestTrivialCases:
+    def test_single_stage(self, diamond_graph):
+        result = IlpScheduler().schedule(diamond_graph, 1)
+        assert set(result.schedule.assignment.values()) == {0}
+        assert result.status == "optimal"
+
+    def test_zero_stage_rejected(self, diamond_graph):
+        with pytest.raises(SolverError):
+            IlpScheduler().schedule(diamond_graph, 0)
+
+
+class TestOptimality:
+    def test_diamond_two_stages_balances_memory(self, diamond_graph):
+        result = IlpScheduler(peak_tolerance=0.0).schedule(diamond_graph, 2)
+        # params: b=400, c=600 -> optimal peak 600.
+        assert result.extras["peak_optimum_bytes"] == 600
+        assert result.schedule.is_valid()
+
+    def test_chain_three_stages(self, chain_graph):
+        result = IlpScheduler(peak_tolerance=0.0).schedule(chain_graph, 3)
+        # sizes [0,100,250,50,700,300]: optimal contiguous peak is 700.
+        assert result.extras["peak_optimum_bytes"] == 700
+
+    def test_weighted_matches_bnb(self, small_sampler):
+        ilp = IlpScheduler(objective="weighted", comm_weight=0.05)
+        bnb = BranchAndBoundScheduler(objective="weighted", comm_weight=0.05)
+        for _ in range(3):
+            graph = small_sampler.sample()
+            for stages in (2, 4):
+                a = ilp.schedule(graph, stages)
+                b = bnb.schedule(graph, stages)
+                assert a.objective == pytest.approx(b.objective, rel=1e-9)
+
+    def test_lexicographic_matches_bnb(self):
+        sampler = SyntheticDAGSampler(num_nodes=10, degree=2, seed=77)
+        ilp = IlpScheduler(peak_tolerance=0.0)
+        bnb = BranchAndBoundScheduler(peak_tolerance=0.0)
+        for _ in range(3):
+            graph = sampler.sample()
+            a = ilp.schedule(graph, 3)
+            b = bnb.schedule(graph, 3)
+            assert a.objective == pytest.approx(b.objective)
+            assert a.extras["comm_bytes"] == pytest.approx(b.extras["comm_bytes"])
+
+    def test_step_and_assignment_encodings_agree(self, small_sampler):
+        step = IlpScheduler(peak_tolerance=0.0)
+        onehot = IlpScheduler(peak_tolerance=0.0, formulation="assignment")
+        graph = small_sampler.sample()
+        a = step.schedule(graph, 4)
+        b = onehot.schedule(graph, 4)
+        assert a.objective == pytest.approx(b.objective)
+
+
+class TestLexicographicStructure:
+    def test_phase2_respects_cap(self, small_sampler):
+        graph = small_sampler.sample()
+        result = IlpScheduler(peak_tolerance=0.05).schedule(graph, 3)
+        assert (
+            result.schedule.peak_stage_param_bytes
+            <= result.extras["peak_cap_bytes"]
+        )
+
+    def test_phase2_never_raises_comm_above_weighted_peak_only(self, small_sampler):
+        """Phase 2 must not worsen communication vs the phase-1 schedule's
+        trivially achievable comm (it minimizes comm within the cap)."""
+        graph = small_sampler.sample()
+        lex = IlpScheduler(peak_tolerance=0.0).schedule(graph, 3)
+        peak_only = IlpScheduler(objective="weighted", comm_weight=0.0).schedule(
+            graph, 3
+        )
+        assert (
+            lex.schedule.hop_weighted_comm_bytes()
+            <= peak_only.schedule.hop_weighted_comm_bytes()
+        )
+
+    def test_extras_populated(self, diamond_graph):
+        result = IlpScheduler().schedule(diamond_graph, 2)
+        assert "peak_optimum_bytes" in result.extras
+        assert "comm_bytes" in result.extras
+        assert result.extras["objective_mode"] == "lexicographic"
+
+
+class TestValidity:
+    def test_schedules_always_dependency_valid(self, small_sampler):
+        scheduler = IlpScheduler()
+        for _ in range(4):
+            graph = small_sampler.sample()
+            result = scheduler.schedule(graph, 5)
+            assert result.schedule.is_valid()

@@ -1,0 +1,95 @@
+"""Unit tests for post-inference processing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.sampler import sample_synthetic_dag
+from repro.scheduling.postprocess import (
+    enforce_sibling_rule,
+    postprocess_schedule,
+    repair_dependencies,
+)
+from repro.scheduling.schedule import Schedule
+
+
+class TestRepairDependencies:
+    def test_noop_on_valid_schedule(self, diamond_graph):
+        schedule = Schedule(diamond_graph, 2, {"a": 0, "b": 0, "c": 1, "d": 1})
+        repaired = repair_dependencies(schedule)
+        assert repaired.assignment == schedule.assignment
+
+    def test_pushes_node_forward(self, diamond_graph):
+        schedule = Schedule(diamond_graph, 3, {"a": 1, "b": 0, "c": 1, "d": 0})
+        repaired = repair_dependencies(schedule)
+        assert repaired.is_valid()
+        # `a` stays, children move to at least a's stage.
+        assert repaired.assignment["b"] >= 1
+        assert repaired.assignment["d"] >= repaired.assignment["c"]
+
+    def test_cascading_repair(self, chain_graph):
+        assignment = {f"n{i}": 0 for i in range(6)}
+        assignment["n0"] = 2
+        repaired = repair_dependencies(Schedule(chain_graph, 3, assignment))
+        assert repaired.is_valid()
+        assert all(s == 2 for s in repaired.assignment.values())
+
+    def test_original_untouched(self, diamond_graph):
+        schedule = Schedule(diamond_graph, 3, {"a": 1, "b": 0, "c": 1, "d": 0})
+        repair_dependencies(schedule)
+        assert schedule.assignment["b"] == 0
+
+
+class TestSiblingRule:
+    def test_groups_children_to_earliest_stage(self, diamond_graph):
+        schedule = Schedule(diamond_graph, 3, {"a": 0, "b": 0, "c": 2, "d": 2})
+        grouped = enforce_sibling_rule(schedule)
+        assert grouped.assignment["b"] == grouped.assignment["c"]
+        assert grouped.is_valid()
+
+    def test_noop_when_children_already_together(self, diamond_graph):
+        schedule = Schedule(diamond_graph, 2, {"a": 0, "b": 1, "c": 1, "d": 1})
+        grouped = enforce_sibling_rule(schedule)
+        assert grouped.assignment == schedule.assignment
+
+    def test_result_has_no_sibling_violations(self, small_sampler):
+        for _ in range(5):
+            graph = small_sampler.sample()
+            base = Schedule(
+                graph, 4,
+                {n: i % 4 for i, n in enumerate(graph.node_names)},
+            )
+            base = repair_dependencies(base)
+            grouped = enforce_sibling_rule(base)
+            assert grouped.is_valid()
+            # Grouping may interact with repair, but must converge to a
+            # state without sibling violations (fixed point).
+            assert grouped.sibling_violations() == []
+
+
+class TestPostprocess:
+    def test_combined_pipeline(self, diamond_graph):
+        schedule = Schedule(diamond_graph, 3, {"a": 1, "b": 0, "c": 2, "d": 2})
+        out = postprocess_schedule(schedule, enforce_siblings=True)
+        assert out.is_valid()
+        assert out.sibling_violations() == []
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    num_stages=st.integers(min_value=1, max_value=6),
+)
+def test_repair_always_produces_valid_schedules(seed, num_stages):
+    """Property: dependency repair fixes arbitrary stage assignments and
+    never moves a node backwards."""
+    graph = sample_synthetic_dag(num_nodes=12, degree=3, seed=seed)
+    rng_assignment = {
+        name: (seed + i * 7) % num_stages
+        for i, name in enumerate(graph.node_names)
+    }
+    schedule = Schedule(graph, num_stages, rng_assignment)
+    repaired = repair_dependencies(schedule)
+    assert repaired.is_valid()
+    for name in graph.node_names:
+        assert repaired.assignment[name] >= schedule.assignment[name]

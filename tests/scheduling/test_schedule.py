@@ -1,0 +1,119 @@
+"""Unit tests for the Schedule representation and its metrics."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.scheduling.schedule import Schedule, ScheduleResult
+
+
+@pytest.fixture
+def diamond_schedule(diamond_graph):
+    return Schedule(diamond_graph, 3, {"a": 0, "b": 0, "c": 1, "d": 2})
+
+
+class TestValidation:
+    def test_missing_node_rejected(self, diamond_graph):
+        with pytest.raises(SchedulingError):
+            Schedule(diamond_graph, 2, {"a": 0, "b": 0, "c": 1})
+
+    def test_unknown_node_rejected(self, diamond_graph):
+        with pytest.raises(SchedulingError):
+            Schedule(diamond_graph, 2,
+                     {"a": 0, "b": 0, "c": 1, "d": 1, "ghost": 0})
+
+    def test_out_of_range_stage_rejected(self, diamond_graph):
+        with pytest.raises(SchedulingError):
+            Schedule(diamond_graph, 2, {"a": 0, "b": 0, "c": 1, "d": 2})
+
+    def test_zero_stages_rejected(self, diamond_graph):
+        with pytest.raises(SchedulingError):
+            Schedule(diamond_graph, 0, {})
+
+
+class TestStructure:
+    def test_stage_nodes(self, diamond_schedule):
+        assert diamond_schedule.stage_nodes(0) == ["a", "b"]
+        assert diamond_schedule.stage_nodes(1) == ["c"]
+        assert diamond_schedule.stages() == [["a", "b"], ["c"], ["d"]]
+
+    def test_stage_of(self, diamond_schedule):
+        assert diamond_schedule.stage_of("c") == 1
+
+
+class TestMemoryMetrics:
+    def test_stage_param_bytes(self, diamond_schedule):
+        assert diamond_schedule.stage_param_bytes() == [400, 600, 0]
+
+    def test_peak(self, diamond_schedule):
+        assert diamond_schedule.peak_stage_param_bytes == 600
+
+
+class TestCommunication:
+    def test_cut_edges(self, diamond_schedule):
+        assert set(diamond_schedule.cut_edges()) == {
+            ("a", "c"), ("b", "d"), ("c", "d"),
+        }
+
+    def test_hop_weighted_comm(self, diamond_schedule):
+        # a->c: 100*1, b->d: 200*2, c->d: 300*1.
+        assert diamond_schedule.hop_weighted_comm_bytes() == 100 + 400 + 300
+
+    def test_transfer_bytes_dedups_consumer_stages(self, diamond_graph):
+        # Both children of `a` in stage 1: one transfer of a's tensor.
+        schedule = Schedule(diamond_graph, 2, {"a": 0, "b": 1, "c": 1, "d": 1})
+        assert schedule.transfer_bytes() == 100
+
+    def test_transfer_bytes_counts_distinct_stages(self, diamond_graph):
+        schedule = Schedule(diamond_graph, 3, {"a": 0, "b": 1, "c": 2, "d": 2})
+        # a feeds stage 1 and stage 2: two transfers; b feeds stage 2.
+        assert schedule.transfer_bytes() == 2 * 100 + 200
+
+
+class TestValidity:
+    def test_valid_schedule(self, diamond_schedule):
+        assert diamond_schedule.is_valid()
+        assert diamond_schedule.dependency_violations() == []
+
+    def test_violation_detected(self, diamond_graph):
+        schedule = Schedule(diamond_graph, 2, {"a": 1, "b": 0, "c": 1, "d": 1})
+        assert not schedule.is_valid()
+        assert ("a", "b") in schedule.dependency_violations()
+
+    def test_sibling_violations(self, diamond_graph):
+        schedule = Schedule(diamond_graph, 2, {"a": 0, "b": 0, "c": 1, "d": 1})
+        assert schedule.sibling_violations() == ["a"]
+        same = Schedule(diamond_graph, 2, {"a": 0, "b": 1, "c": 1, "d": 1})
+        assert same.sibling_violations() == []
+
+
+class TestObjectiveAndSequence:
+    def test_objective_combines_terms(self, diamond_schedule):
+        assert diamond_schedule.objective(0.0) == 600
+        assert diamond_schedule.objective(1.0) == 600 + 800
+
+    def test_to_sequence_stage_major(self, diamond_schedule):
+        assert diamond_schedule.to_sequence() == ["a", "b", "c", "d"]
+
+    def test_copy_independent(self, diamond_schedule):
+        clone = diamond_schedule.copy()
+        clone.assignment["d"] = 1
+        assert diamond_schedule.assignment["d"] == 2
+
+    def test_equality(self, diamond_graph, diamond_schedule):
+        same = Schedule(diamond_graph, 3, dict(diamond_schedule.assignment))
+        assert same == diamond_schedule
+
+
+class TestScheduleResult:
+    def test_objective_defaults_from_schedule(self, diamond_schedule):
+        result = ScheduleResult(
+            schedule=diamond_schedule, solve_time=0.1, method="test"
+        )
+        assert result.objective == diamond_schedule.objective()
+
+    def test_explicit_objective_kept(self, diamond_schedule):
+        result = ScheduleResult(
+            schedule=diamond_schedule, solve_time=0.1, method="test",
+            objective=123.0,
+        )
+        assert result.objective == 123.0

@@ -1,0 +1,78 @@
+"""Tests for the deployment flow and the energy model."""
+
+import pytest
+
+from repro.errors import DeploymentError
+from repro.scheduling.ilp import IlpScheduler
+from repro.scheduling.schedule import Schedule
+from repro.tpu.deploy import deploy
+from repro.tpu.power import EnergyReport, PowerModel, estimate_energy
+from repro.tpu.quantize import is_quantized, quantize_graph
+
+
+class TestDeploy:
+    def test_quantizes_float_graphs(self, diamond_graph):
+        schedule = Schedule(diamond_graph, 2, {"a": 0, "b": 0, "c": 1, "d": 1})
+        pipeline = deploy(diamond_graph, schedule)
+        assert is_quantized(pipeline.graph)
+        assert pipeline.num_stages == 2
+
+    def test_partitions_into_stage_subgraphs(self, diamond_graph):
+        schedule = Schedule(diamond_graph, 2, {"a": 0, "b": 0, "c": 1, "d": 1})
+        pipeline = deploy(diamond_graph, schedule)
+        assert [len(s) for s in pipeline.subgraphs] == [2, 2]
+        assert pipeline.subgraphs[0].node_names == ["a", "b"]
+
+    def test_repair_fixes_invalid_schedules(self, diamond_graph):
+        bad = Schedule(diamond_graph, 2, {"a": 1, "b": 0, "c": 0, "d": 0})
+        pipeline = deploy(diamond_graph, bad, repair=True)
+        assert pipeline.schedule.is_valid()
+
+    def test_no_repair_rejects_invalid(self, diamond_graph):
+        bad = Schedule(diamond_graph, 2, {"a": 1, "b": 0, "c": 0, "d": 0})
+        with pytest.raises(DeploymentError):
+            deploy(diamond_graph, bad, repair=False)
+
+    def test_simulate_smoke(self, small_sampler):
+        graph = small_sampler.sample()
+        quantized = quantize_graph(graph)
+        result = IlpScheduler().schedule(quantized, 3)
+        pipeline = deploy(quantized, result.schedule)
+        report = pipeline.simulate(num_inferences=20)
+        assert report.num_inferences == 20
+        assert report.seconds_per_inference > 0
+
+    def test_summary_mentions_every_stage(self, diamond_graph):
+        schedule = Schedule(diamond_graph, 2, {"a": 0, "b": 0, "c": 1, "d": 1})
+        summary = deploy(diamond_graph, schedule).summary()
+        assert "stage 0" in summary
+        assert "stage 1" in summary
+
+
+class TestEnergyModel:
+    def _report(self, diamond_graph):
+        schedule = Schedule(diamond_graph, 2, {"a": 0, "b": 0, "c": 1, "d": 1})
+        return deploy(diamond_graph, schedule).simulate(num_inferences=50)
+
+    def test_energy_positive_and_decomposed(self, diamond_graph):
+        report = self._report(diamond_graph)
+        energy = estimate_energy(report)
+        assert isinstance(energy, EnergyReport)
+        assert energy.total_joules > 0
+        assert energy.joules_per_inference == pytest.approx(
+            energy.total_joules / 50
+        )
+        assert set(energy.breakdown) == {"tpu_active", "tpu_idle", "host", "usb"}
+        assert energy.total_joules == pytest.approx(
+            sum(energy.breakdown.values())
+        )
+
+    def test_higher_power_higher_energy(self, diamond_graph):
+        report = self._report(diamond_graph)
+        low = estimate_energy(report, PowerModel(tpu_active_watts=1.0))
+        high = estimate_energy(report, PowerModel(tpu_active_watts=4.0))
+        assert high.total_joules > low.total_joules
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(DeploymentError):
+            PowerModel(tpu_active_watts=-1.0)

@@ -1,0 +1,159 @@
+"""Tests for the latency model and the pipeline discrete-event simulator."""
+
+import pytest
+
+from repro.errors import DeploymentError
+from repro.graphs import ops
+from repro.graphs.dag import ComputationalGraph, OpNode
+from repro.scheduling.schedule import Schedule
+from repro.tpu.caching import CachingPlan
+from repro.tpu.latency import op_compute_seconds, weight_stream_seconds
+from repro.tpu.pipeline import (
+    PipelinedTpuSystem,
+    compute_stage_profiles,
+)
+from repro.tpu.quantize import quantize_graph
+from repro.tpu.spec import EdgeTPUSpec, UsbSpec, default_spec
+
+
+@pytest.fixture
+def spec():
+    return default_spec()
+
+
+class TestOpLatency:
+    def test_compute_op_uses_mac_model(self, spec):
+        node = OpNode(name="conv", op_type=ops.CONV2D, macs=10**9,
+                      output_bytes=1000)
+        seconds = op_compute_seconds(node, spec)
+        assert seconds == pytest.approx(
+            10**9 / spec.sustained_macs_per_s(ops.CONV2D)
+        )
+
+    def test_elementwise_uses_byte_model(self, spec):
+        node = OpNode(name="relu", op_type=ops.ACTIVATION, output_bytes=32_000)
+        assert op_compute_seconds(node, spec) == pytest.approx(
+            32_000 / spec.elementwise_bytes_per_s
+        )
+
+    def test_input_is_free(self, spec):
+        node = OpNode(name="in", op_type=ops.INPUT, output_bytes=10**6)
+        assert op_compute_seconds(node, spec) == 0.0
+
+    def test_depthwise_slower_per_mac_than_conv(self, spec):
+        conv = OpNode(name="a", op_type=ops.CONV2D, macs=10**8)
+        depthwise = OpNode(name="b", op_type=ops.DEPTHWISE_CONV2D, macs=10**8)
+        assert op_compute_seconds(depthwise, spec) > op_compute_seconds(conv, spec)
+
+    def test_weight_streaming_includes_overhead(self, spec):
+        raw = spec.usb.transfer_seconds(10**6)
+        assert weight_stream_seconds(10**6, spec) == pytest.approx(
+            raw * spec.weight_stream_overhead
+        )
+        assert weight_stream_seconds(0, spec) == 0.0
+
+
+class TestUsbSpec:
+    def test_transfer_latency_plus_bandwidth(self):
+        usb = UsbSpec(bandwidth_bytes_per_s=100e6, per_transfer_latency_s=1e-3)
+        assert usb.transfer_seconds(100_000_000) == pytest.approx(1.001)
+
+    def test_zero_bytes_free(self):
+        assert UsbSpec().transfer_seconds(0) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(DeploymentError):
+            UsbSpec().transfer_seconds(-1)
+
+
+class TestStageProfiles:
+    def test_profile_accounting(self, diamond_graph, spec):
+        graph = quantize_graph(diamond_graph)
+        schedule = Schedule(graph, 2, {"a": 0, "b": 0, "c": 1, "d": 1})
+        profiles = compute_stage_profiles(graph, schedule, spec)
+        assert len(profiles) == 2
+        # Stage 1 receives a's tensor (its child c lives there) and b's
+        # tensor (child d) -> 25 + 50 bytes.
+        assert profiles[1].input_bytes == 25 + 50
+        # Stage 0 sends a and b once each; stage 1 emits the model output.
+        assert profiles[0].output_bytes == 25 + 50
+        assert profiles[1].output_bytes == graph.node("d").output_bytes
+
+    def test_model_input_charged_to_stage0(self, chain_graph, spec):
+        graph = quantize_graph(chain_graph)
+        schedule = Schedule(
+            graph, 2, {n: (0 if i < 3 else 1)
+                       for i, n in enumerate(graph.node_names)}
+        )
+        profiles = compute_stage_profiles(graph, schedule, spec)
+        assert profiles[0].input_bytes == graph.node("n0").output_bytes
+
+
+class TestPipelineSimulation:
+    def _simple_system(self, stream_stage1=False):
+        graph = ComputationalGraph("toy")
+        graph.add_op("in", op_type=ops.INPUT, output_bytes=1000)
+        graph.add_op("c1", op_type=ops.CONV2D, param_bytes=5000,
+                     output_bytes=1000, macs=10**7, inputs=["in"])
+        graph.add_op("c2", op_type=ops.CONV2D,
+                     param_bytes=90_000 if stream_stage1 else 5000,
+                     output_bytes=500, macs=10**7, inputs=["c1"])
+        for node in graph.nodes:
+            node.attrs["quantized"] = True
+        schedule = Schedule(graph, 2, {"in": 0, "c1": 0, "c2": 1})
+        return graph, schedule
+
+    def test_throughput_approaches_theoretical_period(self, spec):
+        graph, schedule = self._simple_system()
+        system = PipelinedTpuSystem(spec)
+        report = system.run(graph, schedule, num_inferences=300)
+        period = system.theoretical_period(report.profiles)
+        assert report.steady_period_seconds == pytest.approx(period, rel=0.05)
+
+    def test_more_inferences_amortize_fill(self, spec):
+        graph, schedule = self._simple_system()
+        system = PipelinedTpuSystem(spec)
+        short = system.run(graph, schedule, num_inferences=5)
+        long = system.run(graph, schedule, num_inferences=200)
+        assert long.seconds_per_inference < short.seconds_per_inference
+
+    def test_cache_overflow_creates_bottleneck(self):
+        tiny_sram = EdgeTPUSpec(sram_bytes=10_000)
+        system = PipelinedTpuSystem(tiny_sram)
+        graph, schedule = self._simple_system(stream_stage1=True)
+        report = system.run(graph, schedule, num_inferences=50)
+        assert report.profiles[1].off_chip_bytes == 90_000
+        assert report.bottleneck in ("stage_1", "link_1")
+        assert report.profiles[1].weight_stream_seconds > 0
+
+    def test_shared_bus_slower_than_per_stage(self, spec):
+        graph, schedule = self._simple_system()
+        per_stage = PipelinedTpuSystem(spec, bus_mode="per_stage").run(
+            graph, schedule, 100
+        )
+        shared = PipelinedTpuSystem(spec, bus_mode="shared").run(
+            graph, schedule, 100
+        )
+        assert shared.seconds_per_inference >= per_stage.seconds_per_inference
+
+    def test_invalid_schedule_rejected(self, spec):
+        graph, _ = self._simple_system()
+        bad = Schedule(graph, 2, {"in": 1, "c1": 0, "c2": 1})
+        with pytest.raises(DeploymentError):
+            PipelinedTpuSystem(spec).run(graph, bad, 10)
+
+    def test_unknown_bus_mode_rejected(self, spec):
+        with pytest.raises(DeploymentError):
+            PipelinedTpuSystem(spec, bus_mode="warp")
+
+    def test_zero_inferences_rejected(self, spec):
+        graph, schedule = self._simple_system()
+        with pytest.raises(DeploymentError):
+            PipelinedTpuSystem(spec).run(graph, schedule, 0)
+
+    def test_report_bus_utilization_bounded(self, spec):
+        graph, schedule = self._simple_system()
+        report = PipelinedTpuSystem(spec, bus_mode="shared").run(
+            graph, schedule, 100
+        )
+        assert 0.0 <= report.bus_utilization <= 1.0 + 1e-9

@@ -1,0 +1,97 @@
+"""Unit tests for quantization and the parameter-cache allocator."""
+
+import pytest
+
+from repro.errors import DeploymentError
+from repro.graphs.dag import ComputationalGraph
+from repro.tpu.caching import allocate_parameter_cache
+from repro.tpu.quantize import is_quantized, quantize_graph
+
+
+class TestQuantize:
+    def test_param_bytes_follow_int8_model(self, diamond_graph):
+        quantized = quantize_graph(diamond_graph)
+        # 600 float bytes = 150 elements; conv without a recorded shape
+        # falls back to 16 channels of calibration metadata + header.
+        assert quantized.node("c").param_bytes == 150 + 16 * 8 + 64
+
+    def test_param_bytes_shrink_about_4x_on_real_tensors(self):
+        from repro.models.builder import LayerGraphBuilder
+
+        b = LayerGraphBuilder("q")
+        x = b.input((28, 28, 64))
+        y = b.conv(x, 128, 3, use_bias=False)
+        graph = b.finish()
+        quantized = quantize_graph(graph)
+        original = graph.node(y).param_bytes
+        new = quantized.node(y).param_bytes
+        # 73728 weights: 4x shrink dominates the 128-channel overhead.
+        assert original / 4 < new < original / 3
+
+    def test_activation_bytes_shrink_4x(self, diamond_graph):
+        quantized = quantize_graph(diamond_graph)
+        assert quantized.node("a").output_bytes == 25  # 100 / 4
+
+    def test_zero_param_nodes_stay_zero(self, diamond_graph):
+        quantized = quantize_graph(diamond_graph)
+        assert quantized.node("d").param_bytes == 0
+
+    def test_marks_nodes_quantized(self, diamond_graph):
+        assert not is_quantized(diamond_graph)
+        assert is_quantized(quantize_graph(diamond_graph))
+
+    def test_structure_preserved(self, diamond_graph):
+        quantized = quantize_graph(diamond_graph)
+        assert quantized.node_names == diamond_graph.node_names
+        assert list(quantized.edges()) == list(diamond_graph.edges())
+
+    def test_macs_unchanged(self, diamond_graph):
+        quantized = quantize_graph(diamond_graph)
+        assert quantized.node("c").macs == diamond_graph.node("c").macs
+
+
+class TestCachingAllocator:
+    def test_everything_fits(self, diamond_graph):
+        plan = allocate_parameter_cache(
+            diamond_graph, diamond_graph.node_names, sram_bytes=10_000
+        )
+        assert plan.fits_entirely()
+        assert plan.on_chip_total == diamond_graph.total_param_bytes
+
+    def test_overflow_streams_whole_tensors(self, diamond_graph):
+        # b=400 fits in 500; c=600 does not -> streamed entirely.
+        plan = allocate_parameter_cache(
+            diamond_graph, diamond_graph.node_names, sram_bytes=500
+        )
+        assert plan.on_chip == {"b": 400}
+        assert plan.off_chip == {"c": 600}
+        assert not plan.fits_entirely()
+
+    def test_zero_sram_streams_everything(self, diamond_graph):
+        plan = allocate_parameter_cache(
+            diamond_graph, diamond_graph.node_names, sram_bytes=0
+        )
+        assert plan.on_chip_total == 0
+        assert plan.off_chip_total == 1000
+
+    def test_execution_order_priority(self, chain_graph):
+        # First-fit in topological order: early tensors win the SRAM.
+        plan = allocate_parameter_cache(
+            chain_graph, chain_graph.node_names, sram_bytes=400
+        )
+        assert "n1" in plan.on_chip
+        assert "n4" in plan.off_chip
+
+    def test_subset_of_nodes_only(self, diamond_graph):
+        plan = allocate_parameter_cache(diamond_graph, ["b"], sram_bytes=10_000)
+        assert plan.total == 400
+
+    def test_negative_sram_rejected(self, diamond_graph):
+        with pytest.raises(DeploymentError):
+            allocate_parameter_cache(diamond_graph, ["b"], sram_bytes=-1)
+
+    def test_bad_order_rejected(self, diamond_graph):
+        with pytest.raises(DeploymentError):
+            allocate_parameter_cache(
+                diamond_graph, ["b", "c"], sram_bytes=100, order=["b"]
+            )

@@ -1,0 +1,45 @@
+"""Unit tests for device specifications."""
+
+import pytest
+
+from repro.errors import DeploymentError
+from repro.graphs import ops
+from repro.tpu.spec import EdgeTPUSpec, UsbSpec, default_spec
+
+
+class TestEdgeTPUSpec:
+    def test_default_values_sane(self):
+        spec = default_spec()
+        assert 7 * 2**20 < spec.sram_bytes < 8.1 * 2**20
+        assert spec.peak_macs_per_s == pytest.approx(2e12)
+
+    def test_sustained_rate_per_op_kind(self):
+        spec = default_spec()
+        conv = spec.sustained_macs_per_s(ops.CONV2D)
+        depthwise = spec.sustained_macs_per_s(ops.DEPTHWISE_CONV2D)
+        assert conv > depthwise > 0
+        assert conv <= spec.peak_macs_per_s
+
+    def test_unknown_op_falls_back_to_conv(self):
+        spec = default_spec()
+        assert spec.sustained_macs_per_s("generic") == spec.sustained_macs_per_s(
+            ops.CONV2D
+        )
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(DeploymentError):
+            EdgeTPUSpec(sram_bytes=0)
+        with pytest.raises(DeploymentError):
+            EdgeTPUSpec(peak_macs_per_s=-1)
+        with pytest.raises(DeploymentError):
+            EdgeTPUSpec(weight_stream_overhead=0.5)
+
+
+class TestUsb:
+    def test_bigger_transfers_take_longer(self):
+        usb = UsbSpec()
+        assert usb.transfer_seconds(2_000_000) > usb.transfer_seconds(1_000_000)
+
+    def test_latency_floor(self):
+        usb = UsbSpec()
+        assert usb.transfer_seconds(1) >= usb.per_transfer_latency_s

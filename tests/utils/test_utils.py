@@ -1,0 +1,97 @@
+"""Tests for the shared utility helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import resolve_rng, spawn_rngs, stable_hash
+from repro.utils.stats import geometric_mean, mean, ratio_summary, stddev
+from repro.utils.tables import format_table
+from repro.utils.timing import Timer, time_call
+
+
+class TestRng:
+    def test_int_seed_deterministic(self):
+        assert resolve_rng(5).integers(1000) == resolve_rng(5).integers(1000)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(1)
+        assert resolve_rng(gen) is gen
+
+    def test_bad_seed_type_rejected(self):
+        with pytest.raises(TypeError):
+            resolve_rng("seed")
+
+    def test_spawn_independent_streams(self):
+        children = spawn_rngs(7, 3)
+        draws = [c.integers(10**9) for c in children]
+        assert len(set(draws)) == 3
+
+    def test_spawn_reproducible(self):
+        a = [g.integers(10**6) for g in spawn_rngs(3, 2)]
+        b = [g.integers(10**6) for g in spawn_rngs(3, 2)]
+        assert a == b
+
+    def test_spawn_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(1, -1)
+
+    def test_stable_hash_deterministic_and_bounded(self):
+        assert stable_hash("conv1") == stable_hash("conv1")
+        assert stable_hash("conv1") != stable_hash("conv2")
+        assert 0 <= stable_hash("x", 100) < 100
+
+    def test_stable_hash_bad_modulus(self):
+        with pytest.raises(ValueError):
+            stable_hash("x", 0)
+
+
+class TestStats:
+    def test_mean_and_stddev(self):
+        assert mean([1, 2, 3]) == 2.0
+        assert stddev([2, 2, 2]) == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1, 100]) == pytest.approx(10.0)
+
+    def test_geometric_mean_requires_positive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_ratio_summary_keys(self):
+        summary = ratio_summary([2.0, 8.0])
+        assert summary["min"] == 2.0
+        assert summary["max"] == 8.0
+        assert summary["geomean"] == pytest.approx(4.0)
+
+
+class TestTables:
+    def test_renders_headers_and_rows(self):
+        table = format_table(["a", "b"], [[1, 2.5], ["x", 0.001]])
+        assert "| a" in table
+        assert "2.5" in table
+        assert "0.001" in table
+
+    def test_title_included(self):
+        assert format_table(["c"], [[1]], title="T1").startswith("T1")
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+
+class TestTiming:
+    def test_timer_measures(self):
+        with Timer() as t:
+            sum(range(10_000))
+        assert t.elapsed > 0
+
+    def test_time_call_returns_result(self):
+        result, seconds = time_call(lambda x: x * 2, 21)
+        assert result == 42
+        assert seconds >= 0
