@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Batched scheduling: amortize RESPECT's network cost over many DAGs.
+
+A scheduling service rarely sees one graph at a time — it sees bursts of
+requests for different models.  ``RespectScheduler.schedule_batch`` pads
+every encoder queue into one ``[B, N, F]`` tensor, runs a single masked
+greedy decode for the whole burst, and packs/post-processes per graph.
+Schedules are identical to per-graph ``schedule()`` calls; only the
+wall-clock changes.
+
+Usage::
+
+    PYTHONPATH=src python examples/batched_scheduling.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.graphs.sampler import sample_synthetic_dag
+from repro.rl.respect import RespectScheduler
+
+BATCH_SIZE = 32
+NUM_STAGES = 4
+
+
+def main() -> None:
+    scheduler = RespectScheduler()
+    # A mixed-size burst: the padding/masking handles heterogeneity.
+    graphs = [
+        sample_synthetic_dag(num_nodes=20 + (seed % 4) * 5, degree=3, seed=seed)
+        for seed in range(BATCH_SIZE)
+    ]
+    scheduler.schedule(graphs[0], NUM_STAGES)  # warm the inference path
+
+    start = time.perf_counter()
+    sequential = [scheduler.schedule(g, NUM_STAGES) for g in graphs]
+    seq_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    batched = scheduler.schedule_batch(graphs, NUM_STAGES)
+    batch_seconds = time.perf_counter() - start
+
+    identical = all(
+        a.schedule.assignment == b.schedule.assignment
+        for a, b in zip(sequential, batched)
+    )
+    print(f"batch of {BATCH_SIZE} graphs, {NUM_STAGES}-stage pipelines")
+    print(f"  sequential : {seq_seconds * 1e3:7.1f} ms "
+          f"({BATCH_SIZE / seq_seconds:5.0f} graphs/s)")
+    print(f"  batched    : {batch_seconds * 1e3:7.1f} ms "
+          f"({BATCH_SIZE / batch_seconds:5.0f} graphs/s)")
+    print(f"  speedup    : {seq_seconds / batch_seconds:.2f}x")
+    print(f"  schedules identical: {identical}")
+
+
+if __name__ == "__main__":
+    main()

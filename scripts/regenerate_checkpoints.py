@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Regenerate the pretrained checkpoints shipped with the package.
+
+Replays every registered training recipe (or a named subset) with its
+embedded seeds and writes the ``<name>.npz`` + ``<name>.json`` pairs —
+including versioned metadata and provenance — into
+``src/repro/rl/pretrained`` (override with ``--out``).  The recipes are
+deterministic end to end, so a regenerated artifact reproduces the
+committed one on the same platform.
+
+Usage::
+
+    PYTHONPATH=src python scripts/regenerate_checkpoints.py
+    PYTHONPATH=src python scripts/regenerate_checkpoints.py \
+        --names respect_small --out /tmp/ckpts
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.rl.checkpoints import (  # noqa: E402
+    PRETRAINED_DIR,
+    available_checkpoints,
+    get_checkpoint_spec,
+    load_checkpoint,
+    train_checkpoint,
+)
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--names",
+        nargs="*",
+        default=None,
+        help="checkpoint names to regenerate (default: every registered one)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=PRETRAINED_DIR,
+        help=f"output directory (default: {PRETRAINED_DIR})",
+    )
+    return parser.parse_args()
+
+
+def main() -> None:
+    args = parse_args()
+    names = args.names if args.names else available_checkpoints()
+    for name in names:
+        spec = get_checkpoint_spec(name)
+        print(f"[{name}] {spec.description}")
+        start = time.perf_counter()
+        policy = train_checkpoint(name, directory=args.out)
+        elapsed = time.perf_counter() - start
+        print(
+            f"[{name}] trained {policy.num_parameters()} parameters "
+            f"in {elapsed:.1f}s -> {args.out / name}.npz (+ .json)"
+        )
+        # Round-trip through the validated loader as a self-check.
+        load_checkpoint(args.out, name)
+        print(f"[{name}] reload + validation OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,12 +1,35 @@
-"""Legacy setup shim.
+"""Packaging for the RESPECT reproduction library.
 
-The offline environment ships setuptools without the ``wheel`` package, so
-PEP 660 editable installs (which need ``bdist_wheel``) fail.  This shim
-lets ``pip install -e . --no-build-isolation --no-use-pep517`` use the
-classic ``setup.py develop`` path instead.  All metadata lives in
-``pyproject.toml``.
+The offline environment ships setuptools without the ``wheel`` package,
+so PEP 660 editable installs (which need ``bdist_wheel``) fail; this
+classic ``setup.py`` keeps ``pip install -e . --no-build-isolation
+--no-use-pep517`` working.  ``package_data`` ships the pretrained
+checkpoint artifacts (``repro/rl/pretrained/*.{npz,json}``) — without it
+a pip install would silently drop them and every default-constructed
+``RespectScheduler`` would have to retrain on first use.
 """
 
-from setuptools import setup
+import re
+from pathlib import Path
 
-setup()
+from setuptools import find_packages, setup
+
+_INIT = Path(__file__).parent / "src" / "repro" / "__init__.py"
+VERSION = re.search(r'__version__ = "([^"]+)"', _INIT.read_text()).group(1)
+
+setup(
+    name="respect-repro",
+    version=VERSION,
+    description=(
+        "Reproduction of RESPECT: Reinforcement Learning based Edge "
+        "Scheduling on Pipelined Coral Edge TPUs (DAC 2023)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    include_package_data=True,
+    package_data={
+        "repro.rl": ["pretrained/*.npz", "pretrained/*.json"],
+    },
+    python_requires=">=3.8",
+    install_requires=["numpy"],
+)

@@ -9,6 +9,7 @@ from repro.embedding.queue import (
     EncoderQueue,
     build_encoder_queue,
     build_precedence_matrix,
+    pad_queues,
 )
 
 __all__ = [
@@ -18,4 +19,5 @@ __all__ = [
     "build_precedence_matrix",
     "embed_graph",
     "embedding_feature_names",
+    "pad_queues",
 ]

@@ -3,11 +3,12 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
 from repro.embedding.features import EmbeddingConfig, embed_graph
+from repro.errors import EmbeddingError
 from repro.graphs.dag import ComputationalGraph
 
 
@@ -44,6 +45,35 @@ def build_precedence_matrix(
         for parent in graph.parents(name):
             matrix[i, position[parent]] = True
     return matrix
+
+
+def pad_queues(
+    queues: Sequence[EncoderQueue],
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Pad variable-size queues into one batch for vectorized decoding.
+
+    Returns ``(features [B, N, F], precedence [B, N, N], lengths [B])``
+    where ``N = max |V|``.  Padded feature rows are zero and padded
+    precedence entries are False; row ``b``'s real content occupies its
+    first ``lengths[b]`` positions.  Every queue must share one feature
+    dimension (i.e. one :class:`EmbeddingConfig`).
+    """
+    if not queues:
+        raise EmbeddingError("pad_queues needs at least one queue")
+    feature_dims = {queue.features.shape[1] for queue in queues}
+    if len(feature_dims) != 1:
+        raise EmbeddingError(
+            f"queues mix feature dimensions {sorted(feature_dims)}; "
+            f"they must share one embedding config"
+        )
+    lengths = np.array([len(queue) for queue in queues], dtype=int)
+    batch, max_nodes = len(queues), int(lengths.max())
+    features = np.zeros((batch, max_nodes, feature_dims.pop()))
+    precedence = np.zeros((batch, max_nodes, max_nodes), dtype=bool)
+    for b, queue in enumerate(queues):
+        features[b, : lengths[b], :] = queue.features
+        precedence[b, : lengths[b], : lengths[b]] = queue.precedence
+    return features, precedence, lengths
 
 
 def build_encoder_queue(

@@ -42,7 +42,7 @@ from repro.rl.reward import (
 )
 from repro.scheduling.compiler_proxy import EdgeTpuCompilerProxy
 from repro.scheduling.ilp import IlpScheduler
-from repro.scheduling.postprocess import repair_dependencies
+from repro.scheduling.postprocess import postprocess_schedule, repair_dependencies
 from repro.scheduling.sequence import pack_sequence
 from repro.tpu.pipeline import PipelinedTpuSystem
 from repro.tpu.quantize import quantize_graph
@@ -180,6 +180,7 @@ def ablate_postprocessing(
     """Compare constrained vs unconstrained decoding, before/after repair."""
     base = respect or RespectScheduler()
     out: Dict[str, PostprocessAblation] = {}
+    graphs = [quantize_graph(build_model(name)) for name in models]
     for constrained in (True, False):
         scheduler = RespectScheduler(
             policy=base.policy,
@@ -191,18 +192,9 @@ def ablate_postprocessing(
         violations_rep: List[float] = []
         peak_raw: List[float] = []
         peak_rep: List[float] = []
-        for name in models:
-            graph = quantize_graph(build_model(name))
-            from repro.embedding.queue import build_encoder_queue
-
-            queue = build_encoder_queue(graph, scheduler.embedding_config)
-            precedence = (
-                queue.precedence[None, :, :] if constrained else None
-            )
-            rollout = scheduler.policy.forward(
-                queue.features[None, :, :], mode="greedy", precedence=precedence
-            )
-            order = queue.names_for(rollout.actions[0])
+        # One padded batched decode covers every model in this variant.
+        orders = scheduler.decode_orders(graphs)
+        for graph, order in zip(graphs, orders):
             raw = pack_sequence(graph, order, num_stages)
             repaired = repair_dependencies(raw)
             violations_raw.append(len(raw.dependency_violations()))
@@ -256,14 +248,14 @@ def ablate_budget_slack(
     """Peak memory of the packed schedule as the rho budget slack varies."""
     base = respect or RespectScheduler()
     graph = quantize_graph(build_model(model))
+    # The greedy decode is slack-independent: decode once, re-pack per
+    # slack (same schedules as one full scheduler run per slack).
+    order = base.decode_orders([graph])[0]
     out: Dict[float, int] = {}
     for slack in slacks:
-        scheduler = RespectScheduler(
-            policy=base.policy,
-            embedding_config=base.embedding_config,
-            budget_slack=slack,
-            constrain_topological=base.constrain_topological,
+        packed = pack_sequence(graph, order, num_stages, budget_slack=slack)
+        schedule = postprocess_schedule(
+            packed, enforce_siblings=base.enforce_siblings
         )
-        result = scheduler.schedule(graph, num_stages)
-        out[slack] = result.schedule.peak_stage_param_bytes
+        out[slack] = schedule.peak_stage_param_bytes
     return out

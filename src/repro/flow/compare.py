@@ -18,6 +18,7 @@ from repro.scheduling.compiler_proxy import EdgeTpuCompilerProxy
 from repro.scheduling.ilp import IlpScheduler
 from repro.scheduling.postprocess import postprocess_schedule
 from repro.scheduling.schedule import ScheduleResult
+from repro.scheduling.sequence import normalize_stage_counts
 from repro.tpu.pipeline import PipelinedTpuSystem, PipelineReport
 from repro.tpu.quantize import is_quantized, quantize_graph
 from repro.tpu.spec import EdgeTPUSpec, default_spec
@@ -49,6 +50,55 @@ def default_methods() -> Dict[str, SchedulerFactory]:
     }
 
 
+def schedule_many(
+    scheduler: object,
+    graphs: Sequence[ComputationalGraph],
+    num_stages,
+) -> List[ScheduleResult]:
+    """Schedule every graph, batched when the scheduler supports it.
+
+    Schedulers exposing ``schedule_batch`` (the RESPECT batched engine)
+    solve all graphs in one vectorized pass; everything else falls back
+    to a sequential loop.  ``num_stages`` is an int shared by all graphs
+    or a per-graph sequence.
+    """
+    graphs = list(graphs)
+    stage_counts = normalize_stage_counts(num_stages, len(graphs))
+    batch = getattr(scheduler, "schedule_batch", None)
+    if callable(batch):
+        return batch(graphs, stage_counts)
+    return [
+        scheduler.schedule(graph, stages)  # type: ignore[attr-defined]
+        for graph, stages in zip(graphs, stage_counts)
+    ]
+
+
+def _outcome_from_result(
+    graph: ComputationalGraph,
+    result: ScheduleResult,
+    num_stages: int,
+    num_inferences: int,
+    spec: Optional[EdgeTPUSpec],
+    model_name: str,
+    method_name: str,
+) -> MethodOutcome:
+    """Deploy + simulate one already-solved schedule."""
+    schedule = postprocess_schedule(result.schedule)
+    system = PipelinedTpuSystem(spec or default_spec())
+    report = system.run(graph, schedule, num_inferences=num_inferences)
+    return MethodOutcome(
+        model=model_name or graph.name,
+        method=method_name or result.method,
+        num_stages=num_stages,
+        solve_time_seconds=result.solve_time,
+        seconds_per_inference=report.seconds_per_inference,
+        peak_stage_param_bytes=schedule.peak_stage_param_bytes,
+        objective=result.objective,
+        report=report,
+        schedule_result=result,
+    )
+
+
 def run_method(
     graph: ComputationalGraph,
     scheduler: object,
@@ -68,20 +118,47 @@ def run_method(
             "run_method expects a quantized graph; call quantize_graph first"
         )
     result: ScheduleResult = scheduler.schedule(graph, num_stages)  # type: ignore[attr-defined]
-    schedule = postprocess_schedule(result.schedule)
-    system = PipelinedTpuSystem(spec or default_spec())
-    report = system.run(graph, schedule, num_inferences=num_inferences)
-    return MethodOutcome(
-        model=model_name or graph.name,
-        method=method_name or result.method,
-        num_stages=num_stages,
-        solve_time_seconds=result.solve_time,
-        seconds_per_inference=report.seconds_per_inference,
-        peak_stage_param_bytes=schedule.peak_stage_param_bytes,
-        objective=result.objective,
-        report=report,
-        schedule_result=result,
+    return _outcome_from_result(
+        graph, result, num_stages, num_inferences, spec, model_name, method_name
     )
+
+
+def run_method_batch(
+    graphs: Sequence[ComputationalGraph],
+    scheduler: object,
+    num_stages: int,
+    num_inferences: int = 1000,
+    spec: Optional[EdgeTPUSpec] = None,
+    model_names: Optional[Sequence[str]] = None,
+    method_name: str = "",
+) -> List[MethodOutcome]:
+    """Batched :func:`run_method` over many graphs with one scheduler.
+
+    Uses :func:`schedule_many`, so the RESPECT batched engine solves the
+    whole set in a single vectorized decode before each schedule is
+    deployed and simulated individually.
+    """
+    graphs = list(graphs)
+    for graph in graphs:
+        if not is_quantized(graph):
+            raise SchedulingError(
+                "run_method_batch expects quantized graphs; call "
+                "quantize_graph first"
+            )
+    names = list(model_names) if model_names is not None else [
+        graph.name for graph in graphs
+    ]
+    if len(names) != len(graphs):
+        raise SchedulingError(
+            f"model_names has {len(names)} entries for {len(graphs)} graphs"
+        )
+    results = schedule_many(scheduler, graphs, num_stages)
+    return [
+        _outcome_from_result(
+            graph, result, num_stages, num_inferences, spec, name, method_name
+        )
+        for graph, result, name in zip(graphs, results, names)
+    ]
 
 
 def compare_methods(
@@ -107,3 +184,39 @@ def compare_methods(
             method_name=name,
         )
     return outcomes
+
+
+def compare_methods_over_models(
+    graphs: Sequence[ComputationalGraph],
+    methods: Dict[str, SchedulerFactory],
+    num_stages: int,
+    num_inferences: int = 1000,
+    spec: Optional[EdgeTPUSpec] = None,
+) -> List[Dict[str, MethodOutcome]]:
+    """Run every method over a whole fleet of models.
+
+    Each method instantiates once and schedules the entire set via
+    :func:`schedule_many` — batched schedulers amortize their network
+    cost over the fleet.  Returns one ``{method: outcome}`` dict per
+    graph, index-aligned with ``graphs``.
+    """
+    quantized = [
+        graph if is_quantized(graph) else quantize_graph(graph)
+        for graph in graphs
+    ]
+    names = [graph.name for graph in graphs]
+    per_graph: List[Dict[str, MethodOutcome]] = [{} for _ in quantized]
+    for name, factory in methods.items():
+        scheduler = factory()
+        outcomes = run_method_batch(
+            quantized,
+            scheduler,
+            num_stages,
+            num_inferences=num_inferences,
+            spec=spec,
+            model_names=names,
+            method_name=name,
+        )
+        for slot, outcome in zip(per_graph, outcomes):
+            slot[name] = outcome
+    return per_graph

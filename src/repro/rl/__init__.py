@@ -3,10 +3,20 @@
 The LSTM pointer-network policy (Fig. 1b / Algorithm 1 of the paper),
 the cosine-similarity rewards (Eq. 1/3), REINFORCE training with a
 rollout baseline (Eq. 5/6), the supervised-imitation variant used for
-warm starting, and the end-to-end :class:`RespectScheduler` that turns a
-trained policy into a drop-in scheduler.
+warm starting, the checkpoint lifecycle (registry, validation,
+train-on-first-use regeneration), and the end-to-end
+:class:`RespectScheduler` that turns a trained policy into a drop-in
+scheduler with both single-graph and batched inference.
 """
 
+from repro.rl.checkpoints import (
+    available_checkpoints,
+    checkpoint_cache_dir,
+    ensure_pretrained,
+    load_checkpoint,
+    save_checkpoint,
+    train_checkpoint,
+)
 from repro.rl.ptrnet import PointerNetworkPolicy, PolicyRollout
 from repro.rl.respect import RespectScheduler, load_pretrained_policy
 from repro.rl.reward import (
@@ -19,8 +29,14 @@ __all__ = [
     "PointerNetworkPolicy",
     "PolicyRollout",
     "RespectScheduler",
+    "available_checkpoints",
+    "checkpoint_cache_dir",
+    "ensure_pretrained",
     "exact_match_fraction",
+    "load_checkpoint",
     "load_pretrained_policy",
+    "save_checkpoint",
     "sequence_cosine_reward",
     "stage_cosine_reward",
+    "train_checkpoint",
 ]

@@ -1,0 +1,376 @@
+"""Checkpoint lifecycle: registry, validation, provenance, train-on-first-use.
+
+A checkpoint is a pair of files — ``<name>.npz`` holding the parameter
+arrays and a ``<name>.json`` *sidecar* holding everything needed to
+rebuild and audit the policy: the constructor arguments, the full
+training recipe, the seed, and provenance (who wrote it, from which git
+state, with which format version).
+
+Three storage tiers are searched in order by :func:`ensure_pretrained`:
+
+1. the **packaged** directory ``repro/rl/pretrained`` shipped with the
+   library (the committed ``respect_small`` artifact lives here);
+2. the **user cache** (``$REPRO_CHECKPOINT_CACHE`` or
+   ``~/.cache/respect-repro/checkpoints``);
+3. **deterministic regeneration**: the name's registered training recipe
+   is replayed (seeded end to end) via ``train_respect_policy`` and the
+   result is written to the user cache for next time.
+
+``scripts/regenerate_checkpoints.py`` drives the same registry to
+(re)create the packaged artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.errors import CheckpointError
+from repro.rl.ptrnet import PointerNetworkPolicy
+
+#: Bumped when the on-disk layout changes incompatibly.
+CHECKPOINT_FORMAT_VERSION = 1
+
+#: Directory holding checkpoints shipped with the package.
+PRETRAINED_DIR = Path(__file__).parent / "pretrained"
+
+#: Default checkpoint name (the paper's CPU-scale synthetic recipe).
+DEFAULT_CHECKPOINT = "respect_small"
+
+#: JSON sidecar keys that must always be present.
+_REQUIRED_CONFIG_KEYS = ("feature_dim", "hidden_size")
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CheckpointSpec:
+    """A named, reproducible training recipe.
+
+    ``config_factory`` returns a fresh ``RespectTrainingConfig`` (built
+    lazily so importing this module does not pull in the training stack);
+    replaying it with its embedded seed regenerates the artifact
+    deterministically.
+    """
+
+    name: str
+    description: str
+    config_factory: Callable[[], object]
+
+
+_REGISTRY: Dict[str, CheckpointSpec] = {}
+
+
+def register_checkpoint(spec: CheckpointSpec) -> CheckpointSpec:
+    """Register (or replace) a named training recipe."""
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def get_checkpoint_spec(name: str) -> CheckpointSpec:
+    """Look up a registered recipe; unknown names raise CheckpointError."""
+    if name not in _REGISTRY:
+        raise CheckpointError(
+            f"no registered training recipe for checkpoint {name!r}; "
+            f"known: {sorted(_REGISTRY)}"
+        )
+    return _REGISTRY[name]
+
+
+def available_checkpoints() -> List[str]:
+    """Names with a registered recipe (regenerable on any machine)."""
+    return sorted(_REGISTRY)
+
+
+def _default_small_config() -> object:
+    from repro.rl.trainer import RespectTrainingConfig
+
+    return RespectTrainingConfig()
+
+
+register_checkpoint(
+    CheckpointSpec(
+        name=DEFAULT_CHECKPOINT,
+        description=(
+            "CPU-scale synthetic-only recipe: 300 labeled |V|=30 graphs "
+            "(degrees 2..6, 4..6 stages), hidden 64, 150 imitation + 50 "
+            "REINFORCE steps, seed 0"
+        ),
+        config_factory=_default_small_config,
+    )
+)
+
+
+# ----------------------------------------------------------------------
+# metadata / provenance
+# ----------------------------------------------------------------------
+def _git_describe() -> Optional[str]:
+    """Best-effort git provenance of the working tree; None when absent."""
+    try:
+        out = subprocess.run(
+            ["git", "describe", "--always", "--dirty"],
+            cwd=Path(__file__).parent,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if out.returncode != 0:
+        return None
+    return out.stdout.strip() or None
+
+
+def _config_to_dict(config: object) -> Dict[str, object]:
+    """JSON-serializable view of a RespectTrainingConfig (best effort)."""
+    out: Dict[str, object] = {}
+    for key, value in vars(config).items():
+        if hasattr(value, "__dict__") and not isinstance(value, type):
+            out[key] = {k: _jsonable(v) for k, v in vars(value).items()}
+        else:
+            out[key] = _jsonable(value)
+    return out
+
+
+def _jsonable(value: object) -> object:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    return repr(value)
+
+
+def checkpoint_metadata(
+    policy: PointerNetworkPolicy,
+    name: str,
+    training_config: Optional[object] = None,
+    seed: Optional[int] = None,
+    source: str = "api",
+) -> Dict[str, object]:
+    """Build the JSON-sidecar dict for ``policy``.
+
+    The constructor arguments (``feature_dim``/``hidden_size``/
+    ``logit_clip``) stay at the top level so older readers keep working;
+    versioned metadata rides alongside them.
+    """
+    meta: Dict[str, object] = dict(policy.config_dict())
+    meta["format_version"] = CHECKPOINT_FORMAT_VERSION
+    meta["name"] = name
+    meta["num_parameters"] = policy.num_parameters()
+    if seed is not None:
+        meta["seed"] = int(seed)
+    if training_config is not None:
+        meta["training_config"] = _config_to_dict(training_config)
+        if seed is None and hasattr(training_config, "seed"):
+            meta["seed"] = int(training_config.seed)  # type: ignore[arg-type]
+    meta["provenance"] = {
+        "created_by": source,
+        "git": _git_describe(),
+        "library": "respect-repro",
+    }
+    return meta
+
+
+# ----------------------------------------------------------------------
+# validated save / load
+# ----------------------------------------------------------------------
+def save_checkpoint(
+    policy: PointerNetworkPolicy,
+    directory: Union[str, Path],
+    name: str,
+    metadata: Optional[Dict[str, object]] = None,
+) -> Path:
+    """Persist ``policy`` as ``<dir>/<name>.npz`` + ``<name>.json``.
+
+    ``metadata`` defaults to :func:`checkpoint_metadata` with no training
+    record; pass a richer dict to capture the recipe and provenance.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    meta = metadata if metadata is not None else checkpoint_metadata(policy, name)
+    for key in _REQUIRED_CONFIG_KEYS:
+        if key not in meta:
+            raise CheckpointError(f"checkpoint metadata misses key {key!r}")
+    # Write-then-rename so an interrupted save never leaves a torn
+    # artifact behind (a half-written pair would poison the cache tier).
+    npz_tmp = directory / f"{name}.npz.tmp"
+    json_tmp = directory / f"{name}.json.tmp"
+    with open(npz_tmp, "wb") as handle:
+        np.savez(handle, **policy.state_dict())
+    json_tmp.write_text(json.dumps(meta, indent=2))
+    os.replace(npz_tmp, directory / f"{name}.npz")
+    os.replace(json_tmp, directory / f"{name}.json")
+    return directory / f"{name}.npz"
+
+
+def read_metadata(directory: Union[str, Path], name: str) -> Dict[str, object]:
+    """Parse and validate the JSON sidecar of checkpoint ``name``."""
+    config_path = Path(directory) / f"{name}.json"
+    if not config_path.exists():
+        raise CheckpointError(
+            f"checkpoint {name!r} not found under {Path(directory)} "
+            f"(expected {name}.json and {name}.npz)"
+        )
+    try:
+        meta = json.loads(config_path.read_text())
+    except (ValueError, OSError) as exc:
+        raise CheckpointError(
+            f"checkpoint sidecar {config_path} is not valid JSON: {exc}"
+        ) from exc
+    if not isinstance(meta, dict):
+        raise CheckpointError(
+            f"checkpoint sidecar {config_path} must hold a JSON object"
+        )
+    missing = [k for k in _REQUIRED_CONFIG_KEYS if k not in meta]
+    if missing:
+        raise CheckpointError(
+            f"checkpoint sidecar {config_path} misses required keys "
+            f"{missing}; it may predate format v{CHECKPOINT_FORMAT_VERSION} "
+            f"or be corrupt"
+        )
+    return meta
+
+
+def load_checkpoint(directory: Union[str, Path], name: str) -> PointerNetworkPolicy:
+    """Load and *validate* a checkpoint written by :func:`save_checkpoint`.
+
+    Every failure mode of a corrupt or mismatched artifact — unreadable
+    JSON, missing config keys, a truncated/garbage ``.npz``, weight names
+    or shapes that disagree with the sidecar's architecture — surfaces as
+    :class:`CheckpointError` with a message naming the file, never as a
+    deep ``numpy``/``zipfile`` error.
+    """
+    directory = Path(directory)
+    meta = read_metadata(directory, name)
+    weights_path = directory / f"{name}.npz"
+    if not weights_path.exists():
+        raise CheckpointError(
+            f"checkpoint {name!r} not found under {directory} "
+            f"(expected {name}.json and {name}.npz)"
+        )
+    try:
+        policy = PointerNetworkPolicy(
+            feature_dim=int(meta["feature_dim"]),  # type: ignore[arg-type]
+            hidden_size=int(meta["hidden_size"]),  # type: ignore[arg-type]
+            logit_clip=float(meta.get("logit_clip", 10.0)),  # type: ignore[arg-type]
+        )
+    except (TypeError, ValueError) as exc:
+        raise CheckpointError(
+            f"checkpoint sidecar {name}.json holds non-numeric architecture "
+            f"fields: {exc}"
+        ) from exc
+    try:
+        with np.load(weights_path) as data:
+            state = {key: data[key] for key in data.files}
+    except CheckpointError:
+        raise
+    except Exception as exc:  # zipfile/pickle/ValueError — corrupt archive
+        raise CheckpointError(
+            f"checkpoint weights {weights_path} are unreadable "
+            f"(truncated or corrupt archive): {exc}"
+        ) from exc
+    try:
+        policy.load_state_dict(state)
+    except CheckpointError as exc:
+        raise CheckpointError(
+            f"checkpoint {name!r} under {directory} does not match the "
+            f"architecture its sidecar declares "
+            f"(feature_dim={policy.feature_dim}, "
+            f"hidden_size={policy.hidden_size}): {exc}"
+        ) from exc
+    return policy
+
+
+# ----------------------------------------------------------------------
+# the three-tier lookup
+# ----------------------------------------------------------------------
+def checkpoint_cache_dir() -> Path:
+    """User cache for regenerated checkpoints.
+
+    ``$REPRO_CHECKPOINT_CACHE`` overrides the default
+    ``$XDG_CACHE_HOME/respect-repro/checkpoints`` (falling back to
+    ``~/.cache``).
+    """
+    override = os.environ.get("REPRO_CHECKPOINT_CACHE")
+    if override:
+        return Path(override)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "respect-repro" / "checkpoints"
+
+
+def _has_checkpoint(directory: Path, name: str) -> bool:
+    return (directory / f"{name}.json").exists() and (
+        directory / f"{name}.npz"
+    ).exists()
+
+
+def train_checkpoint(
+    name: str, directory: Optional[Union[str, Path]] = None
+) -> PointerNetworkPolicy:
+    """Deterministically (re)train checkpoint ``name`` from its recipe.
+
+    Writes the artifact (with full metadata) to ``directory`` when given;
+    the same seeds produce the same parameters on every replay.
+    """
+    from repro.rl.trainer import train_respect_policy
+
+    spec = get_checkpoint_spec(name)
+    config = spec.config_factory()
+    result = train_respect_policy(config)
+    if directory is not None:
+        meta = checkpoint_metadata(
+            result.policy,
+            name,
+            training_config=config,
+            source="repro.rl.checkpoints.train_checkpoint",
+        )
+        save_checkpoint(result.policy, directory, name, metadata=meta)
+    return result.policy
+
+
+def ensure_pretrained(name: str = DEFAULT_CHECKPOINT) -> PointerNetworkPolicy:
+    """Load checkpoint ``name``, regenerating it on first use if missing.
+
+    Lookup order: the packaged ``repro/rl/pretrained`` directory, then
+    the user cache (:func:`checkpoint_cache_dir`), then deterministic
+    retraining via the registered recipe (cached for subsequent calls).
+    A name that is neither shipped nor registered raises
+    :class:`CheckpointError`.
+    """
+    if _has_checkpoint(PRETRAINED_DIR, name):
+        try:
+            return load_checkpoint(PRETRAINED_DIR, name)
+        except CheckpointError:
+            # A damaged shipped artifact (partial clone, disk error)
+            # must not brick the default scheduler; fall through to the
+            # cache / regeneration tiers when a recipe exists.
+            if name not in _REGISTRY:
+                raise
+    cache = checkpoint_cache_dir()
+    if _has_checkpoint(cache, name):
+        try:
+            return load_checkpoint(cache, name)
+        except CheckpointError:
+            # A corrupt cached artifact must not brick every future
+            # load; fall through to regeneration when a recipe exists.
+            if name not in _REGISTRY:
+                raise
+    if name not in _REGISTRY:
+        raise CheckpointError(
+            f"checkpoint {name!r} is neither shipped under {PRETRAINED_DIR} "
+            f"nor cached under {cache}, and no training recipe is "
+            f"registered for it (known recipes: {sorted(_REGISTRY)})"
+        )
+    return train_checkpoint(name, directory=cache)

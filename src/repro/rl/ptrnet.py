@@ -70,6 +70,9 @@ class PolicyRollout:
     contexts: np.ndarray
     enc_caches: List[Dict[str, np.ndarray]]
     steps: List[_StepCache]
+    #: Real node counts per row for padded batches; ``None`` when every
+    #: row uses the full unroll.  ``actions[b, lengths[b]:]`` is padding.
+    lengths: Optional[np.ndarray] = None
 
 
 class PointerNetworkPolicy(Module):
@@ -121,6 +124,8 @@ class PointerNetworkPolicy(Module):
         target: Optional[np.ndarray] = None,
         rng: SeedLike = None,
         precedence: Optional[np.ndarray] = None,
+        lengths: Optional[np.ndarray] = None,
+        keep_caches: bool = True,
     ) -> PolicyRollout:
         """Unroll the policy over ``features`` (``[B, T, F]``).
 
@@ -135,6 +140,23 @@ class PointerNetworkPolicy(Module):
         This is how the pointer decoder "reinforces the dependency
         constraints among nodes": any decoded order is then a valid
         topological order of the DAG.
+
+        ``lengths`` (optional, ``[B]`` int) enables *padded* batches of
+        graphs with different node counts: row ``b`` treats only its
+        first ``lengths[b]`` queue positions as real nodes.  Padded
+        positions are never glimpsed at nor pointed to, the encoder state
+        of a row freezes at its own final real node, and a row that has
+        emitted all of its nodes keeps decoding dummies (position 0, zero
+        log-probability contribution) until the longest row finishes, so
+        ``actions[b, :lengths[b]]`` is exactly the permutation a solo
+        unpadded decode of the same graph would produce.  Greedy-mode
+        only — padded rollouts carry no consistent caches for BPTT.
+
+        ``keep_caches=False`` drops the per-step BPTT intermediates
+        (``O(T^2 H)`` memory).  Inference-only callers should disable
+        them: retaining a fresh ``[B, T, H]`` array per head per step
+        defeats numpy's buffer reuse and slows large-graph decoding
+        several-fold.  A cacheless rollout cannot be ``backward``-ed.
         """
         if mode not in _MODES:
             raise TrainingError(f"unknown decode mode {mode!r}")
@@ -159,6 +181,21 @@ class PointerNetworkPolicy(Module):
         # Compute in the parameters' dtype (float32 for inference clones).
         features = np.asarray(features, dtype=self.w_emb.value.dtype)
         batch, num_nodes, _ = features.shape
+        if lengths is not None:
+            if mode != "greedy":
+                raise TrainingError(
+                    "variable-length (padded) batches support greedy "
+                    "decoding only"
+                )
+            lengths = np.asarray(lengths, dtype=int)
+            if lengths.shape != (batch,):
+                raise TrainingError(
+                    f"lengths must be [batch], got shape {lengths.shape}"
+                )
+            if (lengths < 1).any() or (lengths > num_nodes).any():
+                raise TrainingError(
+                    f"lengths must lie in [1, {num_nodes}], got {lengths}"
+                )
         remaining: Optional[np.ndarray] = None
         if precedence is not None:
             precedence = np.asarray(precedence, dtype=bool)
@@ -171,13 +208,21 @@ class PointerNetworkPolicy(Module):
 
         emb = features @ self.w_emb.value + self.b_emb.value  # [B, T, H]
 
-        # Encoder pass.
+        # Encoder pass.  With ``lengths``, a row's state freezes once its
+        # real nodes run out, so the decoder is seeded by the same final
+        # latent state a solo unpadded encode would produce.
         h, c = self.encoder.initial_state(batch)
         enc_caches: List[Dict[str, np.ndarray]] = []
         context_list: List[np.ndarray] = []
         for t in range(num_nodes):
-            h, c, cache = self.encoder.forward(emb[:, t, :], h, c)
-            enc_caches.append(cache)
+            h_next, c_next, cache = self.encoder.forward(emb[:, t, :], h, c)
+            if lengths is not None:
+                active = (t < lengths)[:, None]
+                h_next = np.where(active, h_next, h)
+                c_next = np.where(active, c_next, c)
+            h, c = h_next, c_next
+            if keep_caches:
+                enc_caches.append(cache)
             context_list.append(h)
         contexts = np.stack(context_list, axis=1)  # [B, T, H]
 
@@ -187,7 +232,11 @@ class PointerNetworkPolicy(Module):
         pointer_ref = self.pointer.precompute_ref(contexts)
         dh, dc = h, c  # final encoder latent state seeds the decoder
         d = np.tile(self.d0.value, (batch, 1))
+        # Padded positions start out "visited": never glimpsed, never
+        # pointed to, and (having no precedence entries) never unmasked.
         visited = np.zeros((batch, num_nodes), dtype=bool)
+        if lengths is not None:
+            visited |= np.arange(num_nodes)[None, :] >= lengths[:, None]
         log_prob = np.zeros(batch)
         entropy = np.zeros(batch)
         steps: List[_StepCache] = []
@@ -199,6 +248,15 @@ class PointerNetworkPolicy(Module):
             mask = ~visited
             if remaining is not None:
                 mask &= remaining == 0
+            finished: Optional[np.ndarray] = None
+            if lengths is not None:
+                # Rows that already emitted every real node have an
+                # all-False mask; give them a dummy choice (position 0,
+                # probability one) so the softmax stays finite.  Their
+                # log-probability contribution is log(1) = 0 and their
+                # trailing actions are sliced off by the caller.
+                finished = i >= lengths
+                mask[finished, 0] = True
             glimpse_vec, glimpse_cache = self.glimpse.forward(
                 contexts, dh, mask, ref=glimpse_ref
             )
@@ -221,28 +279,35 @@ class PointerNetworkPolicy(Module):
                 acts = np.array(
                     [rng.choice(num_nodes, p=probs[b]) for b in range(batch)]
                 )
-            log_prob += log_probs[rows, acts]
+            step_log_prob = log_probs[rows, acts]
+            if finished is not None:
+                step_log_prob = np.where(finished, 0.0, step_log_prob)
+            log_prob += step_log_prob
             if mode != "greedy":
                 # Entropy is a training diagnostic; skip it on the
                 # inference path.
                 with np.errstate(divide="ignore", invalid="ignore"):
                     plogp = np.where(probs > 0, probs * log_probs, 0.0)
                 entropy -= plogp.sum(axis=1) / num_nodes
-            steps.append(
-                _StepCache(
-                    lstm_cache=lstm_cache,
-                    glimpse_cache=glimpse_cache,
-                    pointer_cache=pointer_cache,
-                    mask=mask.copy(),
-                    probs=probs,
-                    actions=acts.copy(),
-                    prev_actions=prev_actions,
+            if keep_caches:
+                steps.append(
+                    _StepCache(
+                        lstm_cache=lstm_cache,
+                        glimpse_cache=glimpse_cache,
+                        pointer_cache=pointer_cache,
+                        mask=mask.copy(),
+                        probs=probs,
+                        actions=acts.copy(),
+                        prev_actions=prev_actions,
+                    )
                 )
-            )
             actions_out[:, i] = acts
             visited[rows, acts] = True
             if remaining is not None:
-                remaining -= precedence[rows, :, acts].astype(int)
+                delta = precedence[rows, :, acts].astype(int)
+                if finished is not None:
+                    delta[finished] = 0  # dummy picks must not corrupt
+                remaining -= delta
             d = emb[rows, acts, :]
             prev_actions = acts
         return PolicyRollout(
@@ -254,6 +319,7 @@ class PointerNetworkPolicy(Module):
             contexts=contexts,
             enc_caches=enc_caches,
             steps=steps,
+            lengths=lengths,
         )
 
     # ------------------------------------------------------------------
@@ -264,6 +330,16 @@ class PointerNetworkPolicy(Module):
         for supervised imitation.  Gradients accumulate into the module's
         parameters (call :meth:`zero_grad` between batches).
         """
+        if rollout.lengths is not None:
+            raise TrainingError(
+                "cannot backprop through a variable-length (padded) rollout; "
+                "train on uniform-size batches instead"
+            )
+        if not rollout.steps:
+            raise TrainingError(
+                "cannot backprop through a rollout decoded with "
+                "keep_caches=False"
+            )
         coeff = np.asarray(coeff, dtype=float)
         batch, num_nodes, _ = rollout.features.shape
         if coeff.shape != (batch,):

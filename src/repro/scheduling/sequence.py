@@ -22,6 +22,27 @@ from repro.scheduling.schedule import Schedule
 DEFAULT_BUDGET_SLACK = 1.05
 
 
+def normalize_stage_counts(num_stages, count: int) -> List[int]:
+    """Broadcast/validate per-graph stage counts for batched scheduling.
+
+    ``num_stages`` is either one int shared by ``count`` graphs or a
+    sequence with exactly ``count`` entries; every entry must be >= 1.
+    The single validation point shared by ``RespectScheduler
+    .schedule_batch`` and ``flow.compare.schedule_many``.
+    """
+    if hasattr(num_stages, "__iter__"):
+        counts = [int(stages) for stages in num_stages]
+        if len(counts) != count:
+            raise SchedulingError(
+                f"num_stages has {len(counts)} entries for {count} graphs"
+            )
+    else:
+        counts = [int(num_stages)] * count
+    if any(stages < 1 for stages in counts):
+        raise SchedulingError("num_stages must be at least 1")
+    return counts
+
+
 def validate_sequence(graph: ComputationalGraph, order: Sequence[str]) -> None:
     """Ensure ``order`` is a permutation of the graph's nodes."""
     if len(order) != graph.num_nodes:

@@ -1,0 +1,208 @@
+"""Tests for the checkpoint lifecycle subsystem."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.embedding.features import EmbeddingConfig
+from repro.errors import CheckpointError
+from repro.rl.checkpoints import (
+    CheckpointSpec,
+    PRETRAINED_DIR,
+    available_checkpoints,
+    checkpoint_cache_dir,
+    checkpoint_metadata,
+    ensure_pretrained,
+    load_checkpoint,
+    read_metadata,
+    register_checkpoint,
+    save_checkpoint,
+    _REGISTRY,
+)
+from repro.rl.ptrnet import PointerNetworkPolicy
+from repro.rl.respect import load_pretrained_policy
+
+
+def _make_policy(feature_dim=15, hidden_size=8, seed=3):
+    return PointerNetworkPolicy(
+        feature_dim=feature_dim, hidden_size=hidden_size, seed=seed
+    )
+
+
+class TestRoundTrip:
+    def test_save_load_round_trip(self, tmp_path):
+        policy = _make_policy()
+        save_checkpoint(policy, tmp_path, "unit")
+        restored = load_checkpoint(tmp_path, "unit")
+        assert restored.hidden_size == policy.hidden_size
+        for name, param in policy.parameters().items():
+            np.testing.assert_array_equal(
+                restored.parameters()[name].value, param.value
+            )
+
+    def test_metadata_records_recipe_and_provenance(self, tmp_path):
+        from repro.rl.trainer import RespectTrainingConfig
+
+        policy = _make_policy()
+        config = RespectTrainingConfig(dataset_size=7, seed=11)
+        meta = checkpoint_metadata(
+            policy, "unit", training_config=config, source="unit-test"
+        )
+        save_checkpoint(policy, tmp_path, "unit", metadata=meta)
+        read = read_metadata(tmp_path, "unit")
+        assert read["format_version"] == 1
+        assert read["seed"] == 11
+        assert read["training_config"]["dataset_size"] == 7
+        assert read["provenance"]["created_by"] == "unit-test"
+
+
+class TestCorruption:
+    def test_truncated_npz_raises_checkpoint_error(self, tmp_path):
+        policy = _make_policy()
+        save_checkpoint(policy, tmp_path, "unit")
+        weights = tmp_path / "unit.npz"
+        weights.write_bytes(weights.read_bytes()[: 100])
+        with pytest.raises(CheckpointError, match="truncated or corrupt"):
+            load_checkpoint(tmp_path, "unit")
+
+    def test_garbage_npz_raises_checkpoint_error(self, tmp_path):
+        policy = _make_policy()
+        save_checkpoint(policy, tmp_path, "unit")
+        (tmp_path / "unit.npz").write_bytes(b"not an archive at all")
+        with pytest.raises(CheckpointError):
+            load_checkpoint(tmp_path, "unit")
+
+    def test_feature_dim_mismatch_raises_checkpoint_error(self, tmp_path):
+        # Weights trained at feature_dim=10 but a sidecar declaring 15.
+        save_checkpoint(_make_policy(feature_dim=10), tmp_path, "unit")
+        meta = json.loads((tmp_path / "unit.json").read_text())
+        meta["feature_dim"] = 15
+        (tmp_path / "unit.json").write_text(json.dumps(meta))
+        with pytest.raises(CheckpointError, match="does not match"):
+            load_checkpoint(tmp_path, "unit")
+
+    def test_missing_config_key_raises_checkpoint_error(self, tmp_path):
+        save_checkpoint(_make_policy(), tmp_path, "unit")
+        meta = json.loads((tmp_path / "unit.json").read_text())
+        del meta["hidden_size"]
+        (tmp_path / "unit.json").write_text(json.dumps(meta))
+        with pytest.raises(CheckpointError, match="required keys"):
+            load_checkpoint(tmp_path, "unit")
+
+    def test_invalid_json_sidecar_raises_checkpoint_error(self, tmp_path):
+        save_checkpoint(_make_policy(), tmp_path, "unit")
+        (tmp_path / "unit.json").write_text("{ not json")
+        with pytest.raises(CheckpointError, match="not valid JSON"):
+            load_checkpoint(tmp_path, "unit")
+
+    def test_missing_files_raise_checkpoint_error(self, tmp_path):
+        with pytest.raises(CheckpointError, match="not found"):
+            load_checkpoint(tmp_path, "ghost")
+
+
+class TestFreshCheckout:
+    def test_respect_small_artifact_is_committed(self):
+        """Regression for the original bug: the default checkpoint must
+        ship with the repository so a fresh checkout works offline."""
+        assert (PRETRAINED_DIR / "respect_small.json").exists()
+        assert (PRETRAINED_DIR / "respect_small.npz").exists()
+
+    def test_load_pretrained_policy_fresh_checkout(self):
+        policy = load_pretrained_policy()
+        assert policy.feature_dim == EmbeddingConfig().feature_dim
+
+    def test_shipped_sidecar_has_versioned_metadata(self):
+        meta = read_metadata(PRETRAINED_DIR, "respect_small")
+        assert meta["format_version"] == 1
+        assert "training_config" in meta
+        assert "provenance" in meta
+
+
+class TestEnsurePretrained:
+    def test_default_checkpoint_registered(self):
+        assert "respect_small" in available_checkpoints()
+
+    def test_unknown_name_raises(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CHECKPOINT_CACHE", str(tmp_path))
+        with pytest.raises(CheckpointError, match="no training recipe"):
+            ensure_pretrained("no_such_checkpoint")
+
+    def test_cache_dir_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CHECKPOINT_CACHE", str(tmp_path / "cc"))
+        assert checkpoint_cache_dir() == tmp_path / "cc"
+
+    def test_train_on_first_use_then_cache_hit(self, tmp_path, monkeypatch):
+        from repro.rl.trainer import RespectTrainingConfig
+
+        monkeypatch.setenv("REPRO_CHECKPOINT_CACHE", str(tmp_path))
+        spec = CheckpointSpec(
+            name="unit_tiny",
+            description="tiny recipe for tests",
+            config_factory=lambda: RespectTrainingConfig(
+                dataset_size=4,
+                num_nodes=6,
+                degrees=(2,),
+                stage_choices=(2,),
+                hidden_size=8,
+                imitation_steps=2,
+                reinforce_steps=0,
+                seed=0,
+            ),
+        )
+        register_checkpoint(spec)
+        try:
+            trained = ensure_pretrained("unit_tiny")
+            assert (tmp_path / "unit_tiny.npz").exists()
+            meta = read_metadata(tmp_path, "unit_tiny")
+            assert meta["training_config"]["dataset_size"] == 4
+            # Second call must hit the cache, not retrain.
+            def boom(*args, **kwargs):
+                raise AssertionError("retrained despite cached artifact")
+
+            monkeypatch.setattr(
+                "repro.rl.checkpoints.train_checkpoint", boom
+            )
+            cached = ensure_pretrained("unit_tiny")
+            for name, param in trained.parameters().items():
+                np.testing.assert_array_equal(
+                    cached.parameters()[name].value, param.value
+                )
+        finally:
+            _REGISTRY.pop("unit_tiny", None)
+
+
+class TestCorruptCacheRecovery:
+    def test_torn_cache_artifact_triggers_regeneration(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.rl.trainer import RespectTrainingConfig
+
+        monkeypatch.setenv("REPRO_CHECKPOINT_CACHE", str(tmp_path))
+        register_checkpoint(
+            CheckpointSpec(
+                name="unit_torn",
+                description="tiny recipe for torn-cache test",
+                config_factory=lambda: RespectTrainingConfig(
+                    dataset_size=4,
+                    num_nodes=6,
+                    degrees=(2,),
+                    stage_choices=(2,),
+                    hidden_size=8,
+                    imitation_steps=2,
+                    reinforce_steps=0,
+                    seed=0,
+                ),
+            )
+        )
+        try:
+            # Simulate an interrupted first-use save: both files exist
+            # but the sidecar is torn.
+            (tmp_path / "unit_torn.npz").write_bytes(b"garbage")
+            (tmp_path / "unit_torn.json").write_text("{ torn")
+            policy = ensure_pretrained("unit_torn")
+            assert policy.hidden_size == 8
+            # The cache was repaired: a second load succeeds directly.
+            load_checkpoint(tmp_path, "unit_torn")
+        finally:
+            _REGISTRY.pop("unit_torn", None)

@@ -140,3 +140,65 @@ class TestBackward:
         clone = PointerNetworkPolicy(**config)
         assert clone.hidden_size == tiny_policy.hidden_size
         assert clone.feature_dim == tiny_policy.feature_dim
+
+
+class TestPaddedBatches:
+    """Variable-length (padded) greedy decoding via ``lengths``."""
+
+    def test_padded_rows_match_solo_decodes(self, tiny_policy, rng):
+        sizes = [3, 5, 2, 4]
+        rows = [rng.normal(size=(n, 4)) for n in sizes]
+        features = np.zeros((len(sizes), max(sizes), 4))
+        for b, row in enumerate(rows):
+            features[b, : len(row)] = row
+        batched = tiny_policy.forward(
+            features, mode="greedy", lengths=np.array(sizes)
+        )
+        for b, row in enumerate(rows):
+            solo = tiny_policy.forward(row[None, :, :], mode="greedy")
+            np.testing.assert_array_equal(
+                batched.actions[b, : sizes[b]], solo.actions[0]
+            )
+            assert batched.log_prob[b] == pytest.approx(solo.log_prob[0])
+
+    def test_padded_rows_are_permutations_of_real_positions(
+        self, tiny_policy, rng
+    ):
+        sizes = np.array([2, 5, 3])
+        features = rng.normal(size=(3, 5, 4))
+        rollout = tiny_policy.forward(features, mode="greedy", lengths=sizes)
+        for b, n in enumerate(sizes):
+            assert sorted(rollout.actions[b, :n]) == list(range(n))
+
+    def test_lengths_require_greedy_mode(self, tiny_policy, features):
+        with pytest.raises(TrainingError):
+            tiny_policy.forward(
+                features, mode="sample", lengths=np.array([5, 3])
+            )
+
+    def test_out_of_range_lengths_rejected(self, tiny_policy, features):
+        with pytest.raises(TrainingError):
+            tiny_policy.forward(features, lengths=np.array([5, 6]))
+        with pytest.raises(TrainingError):
+            tiny_policy.forward(features, lengths=np.array([0, 5]))
+        with pytest.raises(TrainingError):
+            tiny_policy.forward(features, lengths=np.array([5]))
+
+    def test_backward_rejects_padded_rollouts(self, tiny_policy, features):
+        rollout = tiny_policy.forward(
+            features, mode="greedy", lengths=np.array([5, 3])
+        )
+        with pytest.raises(TrainingError):
+            tiny_policy.backward(rollout, np.ones(2))
+
+    def test_keep_caches_false_matches_and_blocks_backward(
+        self, tiny_policy, features
+    ):
+        cached = tiny_policy.forward(features, mode="greedy")
+        cacheless = tiny_policy.forward(
+            features, mode="greedy", keep_caches=False
+        )
+        np.testing.assert_array_equal(cacheless.actions, cached.actions)
+        assert cacheless.steps == [] and cacheless.enc_caches == []
+        with pytest.raises(TrainingError):
+            tiny_policy.backward(cacheless, np.ones(2))

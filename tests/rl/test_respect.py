@@ -78,3 +78,109 @@ class TestRespectScheduler:
         graph = sample_synthetic_dag(num_nodes=10, degree=2, seed=0)
         with pytest.raises(SchedulingError):
             scheduler.schedule(graph, 0)
+
+
+class TestScheduleBatch:
+    def test_batched_identical_to_sequential_mixed_sizes(self, pretrained):
+        """B=8 mixed-size graphs: schedule_batch must reproduce the exact
+        per-graph schedule() outputs (the padding/masking must not leak
+        into any row's decode)."""
+        scheduler = RespectScheduler(policy=pretrained)
+        configs = [
+            (10, 2), (14, 3), (18, 2), (22, 4),
+            (26, 3), (30, 3), (34, 4), (30, 2),
+        ]
+        graphs = [
+            sample_synthetic_dag(num_nodes=n, degree=d, seed=seed)
+            for seed, (n, d) in enumerate(configs)
+        ]
+        stage_counts = [4, 5, 4, 6, 5, 4, 6, 5]
+        sequential = [
+            scheduler.schedule(graph, stages)
+            for graph, stages in zip(graphs, stage_counts)
+        ]
+        batched = scheduler.schedule_batch(graphs, stage_counts)
+        assert len(batched) == len(graphs)
+        for seq, bat in zip(sequential, batched):
+            assert bat.schedule.assignment == seq.schedule.assignment
+            assert bat.schedule.is_valid()
+            assert bat.method == "respect"
+            assert bat.extras["batch_size"] == len(graphs)
+
+    def test_shared_stage_count_broadcasts(self, pretrained):
+        scheduler = RespectScheduler(policy=pretrained)
+        graphs = [
+            sample_synthetic_dag(num_nodes=12, degree=2, seed=s)
+            for s in range(3)
+        ]
+        results = scheduler.schedule_batch(graphs, 4)
+        for graph, result in zip(graphs, results):
+            expected = scheduler.schedule(graph, 4)
+            assert result.schedule.assignment == expected.schedule.assignment
+
+    def test_amortized_solve_time_reported(self, pretrained):
+        scheduler = RespectScheduler(policy=pretrained)
+        graphs = [
+            sample_synthetic_dag(num_nodes=10, degree=2, seed=s)
+            for s in range(4)
+        ]
+        results = scheduler.schedule_batch(graphs, 3)
+        for result in results:
+            assert result.solve_time > 0
+            assert result.solve_time == pytest.approx(
+                result.extras["batch_seconds"] / 4
+            )
+
+    def test_empty_batch(self, pretrained):
+        scheduler = RespectScheduler(policy=pretrained)
+        assert scheduler.schedule_batch([], 4) == []
+
+    def test_stage_list_length_mismatch_rejected(self, pretrained):
+        scheduler = RespectScheduler(policy=pretrained)
+        graphs = [sample_synthetic_dag(num_nodes=8, degree=2, seed=0)]
+        with pytest.raises(SchedulingError):
+            scheduler.schedule_batch(graphs, [4, 5])
+
+    def test_invalid_stage_count_rejected(self, pretrained):
+        scheduler = RespectScheduler(policy=pretrained)
+        graphs = [sample_synthetic_dag(num_nodes=8, degree=2, seed=0)]
+        with pytest.raises(SchedulingError):
+            scheduler.schedule_batch(graphs, 0)
+
+    def test_decode_orders_match_schedule_orders(self, pretrained):
+        scheduler = RespectScheduler(policy=pretrained)
+        graphs = [
+            sample_synthetic_dag(num_nodes=n, degree=2, seed=s)
+            for s, n in enumerate([9, 15, 12])
+        ]
+        orders = scheduler.decode_orders(graphs)
+        for graph, order in zip(graphs, orders):
+            assert sorted(order) == sorted(n.name for n in graph.nodes)
+        assert scheduler.decode_orders([]) == []
+
+
+class TestScheduleStageSweep:
+    def test_sweep_identical_to_per_stage_schedules(self, pretrained):
+        scheduler = RespectScheduler(policy=pretrained)
+        graph = sample_synthetic_dag(num_nodes=24, degree=3, seed=5)
+        stage_counts = (3, 4, 6)
+        sweep = scheduler.schedule_stage_sweep(graph, stage_counts)
+        assert len(sweep) == 3
+        for result, num_stages in zip(sweep, stage_counts):
+            expected = scheduler.schedule(graph, num_stages)
+            assert result.schedule.assignment == expected.schedule.assignment
+            assert result.extras["sweep_size"] == 3
+            assert result.solve_time == pytest.approx(
+                result.extras["sweep_seconds"] / 3
+            )
+
+    def test_empty_sweep(self, pretrained):
+        scheduler = RespectScheduler(policy=pretrained)
+        graph = sample_synthetic_dag(num_nodes=8, degree=2, seed=0)
+        assert scheduler.schedule_stage_sweep(graph, []) == []
+
+    def test_invalid_stage_count_rejected(self, pretrained):
+        scheduler = RespectScheduler(policy=pretrained)
+        graph = sample_synthetic_dag(num_nodes=8, degree=2, seed=0)
+        with pytest.raises(SchedulingError):
+            scheduler.schedule_stage_sweep(graph, [4, 0])
