@@ -10,7 +10,7 @@ unrolls uniformly within a batch.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -46,14 +46,18 @@ def generate_dataset(
     degrees: Sequence[int] = (2, 3, 4, 5, 6),
     stage_choices: Sequence[int] = (4, 5, 6),
     solver: str = "ilp",
-    embedding: EmbeddingConfig = EmbeddingConfig(),
+    embedding: Optional[EmbeddingConfig] = None,
     seed: SeedLike = 0,
 ) -> List[LabeledExample]:
     """Sample and label ``count`` graphs (uniform mix over ``degrees``).
 
     Mirrors the paper's synthetic recipe: equal shares per degree, the
     number of pipeline stages drawn per sample from ``stage_choices``.
+    ``embedding`` defaults to a fresh ``EmbeddingConfig()`` per call (a
+    default argument would be evaluated once at definition time).
     """
+    if embedding is None:
+        embedding = EmbeddingConfig()
     if count < 1:
         raise TrainingError("dataset count must be positive")
     if not degrees:

@@ -46,3 +46,7 @@ class CheckpointError(RespectError):
 
 class EmbeddingError(RespectError):
     """Raised when a graph cannot be embedded into the encoder queue."""
+
+
+class ServiceError(RespectError):
+    """Raised by the scheduling service (bad requests, closed service)."""

@@ -3,16 +3,24 @@
 from repro.flow.compare import (
     MethodOutcome,
     compare_methods,
+    compare_methods_over_models,
     default_methods,
     run_method,
+    run_method_batch,
+    schedule_many,
+    serve_methods,
 )
 from repro.flow.multimodel import merge_graphs, split_schedule
 
 __all__ = [
     "MethodOutcome",
     "compare_methods",
+    "compare_methods_over_models",
     "default_methods",
     "merge_graphs",
     "run_method",
+    "run_method_batch",
+    "schedule_many",
+    "serve_methods",
     "split_schedule",
 ]

@@ -10,7 +10,7 @@ evaluation section reports: schedule *solving time* (Fig. 3), simulated
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.errors import SchedulingError
 from repro.graphs.dag import ComputationalGraph
@@ -126,7 +126,7 @@ def run_method(
 def run_method_batch(
     graphs: Sequence[ComputationalGraph],
     scheduler: object,
-    num_stages: int,
+    num_stages: Union[int, Sequence[int]],
     num_inferences: int = 1000,
     spec: Optional[EdgeTPUSpec] = None,
     model_names: Optional[Sequence[str]] = None,
@@ -136,9 +136,12 @@ def run_method_batch(
 
     Uses :func:`schedule_many`, so the RESPECT batched engine solves the
     whole set in a single vectorized decode before each schedule is
-    deployed and simulated individually.
+    deployed and simulated individually.  ``num_stages`` is an int shared
+    by all graphs or a per-graph sequence; each outcome records its own
+    graph's stage count.
     """
     graphs = list(graphs)
+    stage_counts = normalize_stage_counts(num_stages, len(graphs))
     for graph in graphs:
         if not is_quantized(graph):
             raise SchedulingError(
@@ -152,12 +155,14 @@ def run_method_batch(
         raise SchedulingError(
             f"model_names has {len(names)} entries for {len(graphs)} graphs"
         )
-    results = schedule_many(scheduler, graphs, num_stages)
+    results = schedule_many(scheduler, graphs, stage_counts)
     return [
         _outcome_from_result(
-            graph, result, num_stages, num_inferences, spec, name, method_name
+            graph, result, stages, num_inferences, spec, name, method_name
         )
-        for graph, result, name in zip(graphs, results, names)
+        for graph, result, stages, name in zip(
+            graphs, results, stage_counts, names
+        )
     ]
 
 
@@ -189,7 +194,7 @@ def compare_methods(
 def compare_methods_over_models(
     graphs: Sequence[ComputationalGraph],
     methods: Dict[str, SchedulerFactory],
-    num_stages: int,
+    num_stages: Union[int, Sequence[int]],
     num_inferences: int = 1000,
     spec: Optional[EdgeTPUSpec] = None,
 ) -> List[Dict[str, MethodOutcome]]:
@@ -197,8 +202,9 @@ def compare_methods_over_models(
 
     Each method instantiates once and schedules the entire set via
     :func:`schedule_many` — batched schedulers amortize their network
-    cost over the fleet.  Returns one ``{method: outcome}`` dict per
-    graph, index-aligned with ``graphs``.
+    cost over the fleet.  ``num_stages`` is shared or per-graph (each
+    outcome carries its own graph's count).  Returns one
+    ``{method: outcome}`` dict per graph, index-aligned with ``graphs``.
     """
     quantized = [
         graph if is_quantized(graph) else quantize_graph(graph)
@@ -220,3 +226,44 @@ def compare_methods_over_models(
         for slot, outcome in zip(per_graph, outcomes):
             slot[name] = outcome
     return per_graph
+
+
+def serve_methods(
+    methods: Dict[str, SchedulerFactory],
+    cache_capacity: int = 512,
+    max_batch_size: int = 32,
+    batch_window_s: float = 0.002,
+) -> Dict[str, SchedulerFactory]:
+    """Route a method dict through the scheduling service layer.
+
+    Wraps every factory so it yields a
+    :class:`repro.service.SchedulingService` around the underlying
+    scheduler.  The service duck-types as a scheduler
+    (``schedule``/``schedule_batch``/``method_name``), so
+    :func:`compare_methods`, :func:`run_method_batch` and
+    :func:`compare_methods_over_models` transparently gain the
+    fingerprint cache and micro-batching — with schedules bit-identical
+    to the unserved path.  Each wrapped method owns one
+    :class:`~repro.service.ScheduleCache` *shared across every service
+    its factory creates*, so repeated models are solved once per method
+    even across separate comparison calls (safe: cache keys embed each
+    scheduler instance's options fingerprint).  Idle services retire
+    their worker threads automatically, so factory-created services
+    need no explicit ``close()``.
+    """
+    from repro.service import ScheduleCache, SchedulingService
+
+    def wrap(factory: SchedulerFactory) -> SchedulerFactory:
+        shared_cache = ScheduleCache(cache_capacity)
+
+        def make() -> object:
+            return SchedulingService(
+                factory(),
+                cache=shared_cache,
+                max_batch_size=max_batch_size,
+                batch_window_s=batch_window_s,
+            )
+
+        return make
+
+    return {name: wrap(factory) for name, factory in methods.items()}

@@ -9,6 +9,7 @@ training-graph sampler from Sec. III of the paper.
 """
 
 from repro.graphs.dag import ComputationalGraph, OpNode
+from repro.graphs.fingerprint import graph_fingerprint, structural_fingerprint
 from repro.graphs.sampler import SyntheticDAGSampler, sample_synthetic_dag
 from repro.graphs.topology import (
     alap_levels,
@@ -33,6 +34,8 @@ __all__ = [
     "critical_path",
     "descendants",
     "graph_depth",
+    "graph_fingerprint",
+    "structural_fingerprint",
     "level_sets",
     "mobility",
     "sample_synthetic_dag",

@@ -1,0 +1,196 @@
+"""Content-addressed fingerprints of computational graphs.
+
+A scheduling service that caches solved schedules needs a key that is
+*exactly* as discriminating as the scheduler itself: two graphs may share
+a cache entry only if every input the scheduling pipeline consumes is
+identical.  For this library that input set is larger than "topology plus
+byte sizes" — the embedding hashes node *names* into features and fills
+parent slots in *parent insertion order* (see
+:mod:`repro.embedding.features`), and the encoder queue follows the
+graph's insertion-stable topological order — so the exact fingerprint
+covers names, node insertion order, parent order, op types and every
+resource attribute.
+
+Two fingerprints are provided:
+
+:func:`graph_fingerprint`
+    The cache key.  SHA-256 over a canonical, length-prefixed binary
+    serialization of the graph.  Every field is emitted with an explicit
+    length or fixed width, so no two distinct graphs serialize to the
+    same byte stream (the classic ``"ab"+"c"`` vs ``"a"+"bc"``
+    concatenation collision cannot occur); collision resistance then
+    reduces to SHA-256's.  Equal fingerprint <=> equal serialization,
+    which implies every deterministic scheduler produces bit-identical
+    schedules for the two graphs.
+
+:func:`structural_fingerprint`
+    An isomorphism-invariant digest that *ignores* node names and
+    insertion order: Weisfeiler-Lehman color refinement over
+    ``(op_type, param_bytes, output_bytes, macs)``-seeded colors, hashed
+    as an unordered multiset.  Isomorphic graphs (same shape and
+    attributes under any renaming/reordering) always agree; use it for
+    workload analytics and dedup reporting, never as a schedule cache
+    key — the scheduler is *not* invariant under renaming.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from typing import Dict, List
+
+from repro.graphs.dag import ComputationalGraph
+
+#: Bump when the serialization layout changes so stale persisted keys
+#: can never alias fresh ones.
+FINGERPRINT_VERSION = "repro-graph-fp-v1"
+
+
+def _hash_str(hasher, text: str) -> None:
+    """Length-prefixed UTF-8 write (prefixing prevents concat collisions)."""
+    data = text.encode("utf-8")
+    hasher.update(struct.pack("<Q", len(data)))
+    hasher.update(data)
+
+
+def _hash_int(hasher, value: int) -> None:
+    value = int(value)
+    # Arbitrary-precision ints fall back to the length-prefixed string
+    # path; the fixed-width fast path covers every realistic byte count.
+    if -(2**63) <= value < 2**63:
+        hasher.update(b"i")
+        hasher.update(struct.pack("<q", value))
+    else:
+        hasher.update(b"I")
+        _hash_str(hasher, str(value))
+
+
+def _canonical_value(value: object) -> str:
+    """Deterministic string form of a free-form attr value.
+
+    Containers are canonicalized recursively (dicts by sorted key) so
+    attr equality — not dict insertion order — decides fingerprint
+    equality.  The type name is included so ``1`` and ``1.0`` and
+    ``True`` stay distinct.
+    """
+    if isinstance(value, dict):
+        items = sorted(
+            ((repr(k), _canonical_value(v)) for k, v in value.items()),
+            key=lambda kv: kv[0],
+        )
+        return "dict{" + ",".join(f"{k}:{v}" for k, v in items) + "}"
+    if isinstance(value, (list, tuple)):
+        inner = ",".join(_canonical_value(v) for v in value)
+        return f"{type(value).__name__}[{inner}]"
+    if isinstance(value, (set, frozenset)):
+        inner = ",".join(sorted(_canonical_value(v) for v in value))
+        return f"{type(value).__name__}{{{inner}}}"
+    return f"{type(value).__name__}:{value!r}"
+
+
+def graph_fingerprint(
+    graph: ComputationalGraph, include_attrs: bool = True
+) -> str:
+    """Exact content fingerprint of ``graph`` (64 hex chars).
+
+    Covers, in canonical order: node count; then per node in insertion
+    order its name, op type, ``param_bytes``, ``output_bytes``, ``macs``,
+    parent indices in parent insertion order, and (unless
+    ``include_attrs=False``) its free-form attrs canonicalized by sorted
+    key.  The graph's display ``name`` is deliberately excluded — it
+    never reaches any scheduler.
+
+    Equal fingerprints guarantee that every deterministic scheduler in
+    this library produces identical schedules for the two graphs, which
+    is what makes the fingerprint safe as a schedule-cache key (see
+    :class:`repro.service.ScheduleCache`).
+    """
+    hasher = hashlib.sha256()
+    _hash_str(hasher, FINGERPRINT_VERSION)
+    _hash_int(hasher, graph.num_nodes)
+    index = graph.build_index()
+    for name in graph.node_names:
+        node = graph.node(name)
+        _hash_str(hasher, node.name)
+        _hash_str(hasher, node.op_type)
+        _hash_int(hasher, node.param_bytes)
+        _hash_int(hasher, node.output_bytes)
+        _hash_int(hasher, node.macs)
+        parents = graph.parents(name)
+        _hash_int(hasher, len(parents))
+        for parent in parents:
+            _hash_int(hasher, index[parent])
+        if include_attrs:
+            items = sorted(
+                ((repr(k), _canonical_value(v)) for k, v in node.attrs.items()),
+                key=lambda kv: kv[0],
+            )
+            _hash_int(hasher, len(items))
+            for key, value in items:
+                _hash_str(hasher, key)
+                _hash_str(hasher, value)
+        else:
+            _hash_int(hasher, -1)
+    return hasher.hexdigest()
+
+
+def _digest(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def structural_fingerprint(graph: ComputationalGraph) -> str:
+    """Isomorphism-invariant fingerprint (names and order ignored).
+
+    Weisfeiler-Lehman refinement: every node starts with a color derived
+    from ``(op_type, param_bytes, output_bytes, macs)`` and is repeatedly
+    re-colored with the sorted multisets of its parents' and children's
+    colors until the color partition stabilizes (at most ``|V|`` rounds).
+    The digest hashes the final color multiset plus the edge-color-pair
+    multiset, so any renaming or insertion reordering of the same graph
+    agrees.  WL cannot distinguish *every* non-isomorphic pair, but
+    differing fingerprints always mean non-isomorphic graphs.
+    """
+    names = graph.node_names
+    colors: Dict[str, str] = {
+        name: _digest(
+            "wl-seed|"
+            + "|".join(
+                str(v)
+                for v in (
+                    graph.node(name).op_type,
+                    graph.node(name).param_bytes,
+                    graph.node(name).output_bytes,
+                    graph.node(name).macs,
+                )
+            )
+        )
+        for name in names
+    }
+    distinct = len(set(colors.values()))
+    for _ in range(max(1, graph.num_nodes)):
+        colors = {
+            name: _digest(
+                colors[name]
+                + "|P:" + ",".join(sorted(colors[p] for p in graph.parents(name)))
+                + "|C:" + ",".join(sorted(colors[c] for c in graph.children(name)))
+            )
+            for name in names
+        }
+        refined = len(set(colors.values()))
+        if refined == distinct:
+            break
+        distinct = refined
+    node_part: List[str] = sorted(colors.values())
+    edge_part: List[str] = sorted(
+        f"{colors[u]}->{colors[v]}" for u, v in graph.edges()
+    )
+    return _digest(
+        "wl-final|" + ";".join(node_part) + "|E|" + ";".join(edge_part)
+    )
+
+
+__all__ = [
+    "FINGERPRINT_VERSION",
+    "graph_fingerprint",
+    "structural_fingerprint",
+]

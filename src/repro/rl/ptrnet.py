@@ -323,11 +323,25 @@ class PointerNetworkPolicy(Module):
         )
 
     # ------------------------------------------------------------------
-    def backward(self, rollout: PolicyRollout, coeff: np.ndarray) -> None:
-        """Accumulate grads of ``sum_b coeff_b * (-log p(pi_b))``.
+    def backward(
+        self,
+        rollout: PolicyRollout,
+        coeff: np.ndarray,
+        entropy_coeff: Optional[np.ndarray] = None,
+    ) -> None:
+        """Accumulate grads of the REINFORCE surrogate loss.
+
+        The loss is ``sum_b [coeff_b * (-log p(pi_b))
+        - entropy_coeff_b * H_b]`` where ``H_b`` is the rollout's mean
+        per-step pointer entropy (exactly ``rollout.entropy[b]``), so a
+        positive ``entropy_coeff`` *rewards* entropy — the standard
+        exploration bonus.  The entropy gradient is exact (not a score
+        -function estimate): per step ``dH/dz_j = -p_j (log p_j + H)``
+        for the masked softmax ``p``.
 
         ``coeff`` is ``[B]``: advantage values for REINFORCE, or ``1/B``
-        for supervised imitation.  Gradients accumulate into the module's
+        for supervised imitation.  ``entropy_coeff`` is ``[B]`` or
+        ``None`` (no bonus).  Gradients accumulate into the module's
         parameters (call :meth:`zero_grad` between batches).
         """
         if rollout.lengths is not None:
@@ -344,6 +358,12 @@ class PointerNetworkPolicy(Module):
         batch, num_nodes, _ = rollout.features.shape
         if coeff.shape != (batch,):
             raise TrainingError(f"coeff must be [batch], got {coeff.shape}")
+        if entropy_coeff is not None:
+            entropy_coeff = np.asarray(entropy_coeff, dtype=float)
+            if entropy_coeff.shape != (batch,):
+                raise TrainingError(
+                    f"entropy_coeff must be [batch], got {entropy_coeff.shape}"
+                )
         rows = np.arange(batch)
         demb = np.zeros_like(rollout.emb)       # [B, T, H]
         dcontexts = np.zeros_like(rollout.contexts)
@@ -354,6 +374,8 @@ class PointerNetworkPolicy(Module):
             # have probs == 0 and are never the action, and the mask
             # blocks gradient flow to the raw logits there anyway.
             dlogits = _probs_minus_onehot(step, coeff)
+            if entropy_coeff is not None:
+                dlogits += _entropy_grad(step, entropy_coeff, num_nodes)
             dctx_ptr, dglimpse = self.pointer.backward(dlogits, step.pointer_cache)
             dctx_glimpse, ddh_glimpse = self.glimpse.backward(
                 dglimpse, step.glimpse_cache
@@ -395,5 +417,25 @@ def _probs_minus_onehot(step: _StepCache, coeff: np.ndarray) -> np.ndarray:
     rows = np.arange(grad.shape[0])
     grad[rows, step.actions] -= 1.0
     grad *= coeff[:, None]
+    grad[~step.mask] = 0.0
+    return grad
+
+
+def _entropy_grad(
+    step: _StepCache, entropy_coeff: np.ndarray, num_nodes: int
+) -> np.ndarray:
+    """Gradient of ``-entropy_coeff * H_step / T`` w.r.t. masked logits.
+
+    For ``p = softmax(z)`` and ``H = -sum_j p_j log p_j`` the exact
+    per-entry derivative is ``dH/dz_j = -p_j (log p_j + H)``; the
+    ``1/num_nodes`` factor matches the per-step averaging used by
+    ``PolicyRollout.entropy``.
+    """
+    probs = step.probs
+    with np.errstate(divide="ignore", invalid="ignore"):
+        log_probs = np.where(probs > 0, np.log(probs), 0.0)
+    step_entropy = -(probs * log_probs).sum(axis=1, keepdims=True)
+    grad = probs * (log_probs + step_entropy)
+    grad *= (entropy_coeff / num_nodes)[:, None]
     grad[~step.mask] = 0.0
     return grad

@@ -41,7 +41,7 @@ class ReinforceConfig:
     learning_rate: float = 1e-4
     baseline: str = "rollout"  # "rollout" | "batch_mean" | "none"
     budget_slack: Optional[float] = None  # None -> minimal-budget rho
-    entropy_bonus: float = 0.0
+    entropy_bonus: float = 0.0  # weight of the exploration entropy bonus
     grad_clip_norm: float = 2.0
     baseline_refresh_interval: int = 10
     eval_fraction: float = 0.1
@@ -57,6 +57,7 @@ class TrainingMetrics:
     mean_baseline: float
     mean_reward: float
     grad_norm: float
+    mean_entropy: float = 0.0
 
 
 class ReinforceTrainer:
@@ -75,9 +76,17 @@ class ReinforceTrainer:
         self.policy = policy
         self.config = config
         self._rng = resolve_rng(config.seed)
-        split = max(1, int(len(examples) * config.eval_fraction))
+        # Eval and train splits must stay disjoint: cap the eval share at
+        # len - 1 so a large ``eval_fraction`` (or a tiny dataset) never
+        # silently evaluates the rollout baseline on its own training
+        # data.  A singleton dataset trains on its one example and skips
+        # held-out evaluation (``_evaluate`` returns 0.0).
+        split = int(len(examples) * config.eval_fraction)
+        if config.eval_fraction > 0.0:
+            split = max(1, split)
+        split = min(split, len(examples) - 1)
         self.eval_examples = list(examples[:split])
-        self.train_examples = list(examples[split:]) or list(examples)
+        self.train_examples = list(examples[split:])
         self.optimizer = Adam(
             policy, lr=config.learning_rate, grad_clip_norm=config.grad_clip_norm
         )
@@ -164,8 +173,16 @@ class ReinforceTrainer:
         else:
             baselines = np.zeros_like(costs)
         coeff = (costs - baselines) / len(chunk)
+        entropy_coeff = None
+        if config.entropy_bonus:
+            # Loss gains -beta * H per sample (normalized like the policy
+            # term), so a positive bonus rewards exploration; the exact
+            # entropy gradient flows through PointerNetworkPolicy.backward.
+            entropy_coeff = np.full(
+                len(chunk), config.entropy_bonus / len(chunk)
+            )
         self.policy.zero_grad()
-        self.policy.backward(rollout, coeff)
+        self.policy.backward(rollout, coeff, entropy_coeff=entropy_coeff)
         grad_norm = self.optimizer.step()
 
         self._step += 1
@@ -183,6 +200,7 @@ class ReinforceTrainer:
             mean_baseline=float(baselines.mean()),
             mean_reward=float(1.0 - costs.mean()),
             grad_norm=grad_norm,
+            mean_entropy=float(rollout.entropy.mean()),
         )
         self.history.append(metrics)
         return metrics

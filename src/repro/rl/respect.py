@@ -10,6 +10,7 @@ compares against the compiler and the ILP.
 
 from __future__ import annotations
 
+import hashlib
 from typing import List, Optional, Sequence, Union
 
 import numpy as np
@@ -125,6 +126,47 @@ class RespectScheduler:
         self.budget_slack = budget_slack
         self.enforce_siblings = enforce_siblings
         self.constrain_topological = constrain_topological
+        self._options_fingerprint: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    def options_fingerprint(self) -> str:
+        """Stable digest of everything besides the graph that shapes output.
+
+        Covers the packer/post-processing options, the (frozen) embedding
+        configuration and the *policy weights*, so the scheduling service
+        (:class:`repro.service.SchedulingService`) can safely share one
+        :class:`~repro.service.ScheduleCache` across scheduler instances:
+        two ``RespectScheduler``\\ s collide on a cache key only when they
+        are guaranteed to produce bit-identical schedules.  Computed once
+        and memoized (hashing the weights is O(model size)).
+        """
+        if self._options_fingerprint is None:
+            hasher = hashlib.sha256()
+            for part in (
+                "respect-options-v1",
+                self.method_name,
+                repr(self.budget_slack),
+                repr(self.enforce_siblings),
+                repr(self.constrain_topological),
+                repr(self.embedding_config),
+                # Architecture + logit clipping shape the greedy argmax
+                # beyond what the weight arrays alone capture.
+                repr(sorted(self._inference_policy.config_dict().items())),
+            ):
+                hasher.update(part.encode("utf-8"))
+                hasher.update(b"\x00")
+            # Hash the frozen float32 inference clone — the weights the
+            # decode actually uses — not the caller's live training
+            # policy, which may drift after construction.
+            state = self._inference_policy.state_dict()
+            for key in sorted(state):
+                array = np.ascontiguousarray(state[key])
+                hasher.update(key.encode("utf-8"))
+                hasher.update(str(array.dtype).encode("utf-8"))
+                hasher.update(repr(array.shape).encode("utf-8"))
+                hasher.update(array.tobytes())
+            self._options_fingerprint = hasher.hexdigest()
+        return self._options_fingerprint
 
     # ------------------------------------------------------------------
     def schedule(self, graph: ComputationalGraph, num_stages: int) -> ScheduleResult:

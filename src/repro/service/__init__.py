@@ -1,0 +1,32 @@
+"""High-throughput scheduling service (fingerprint cache + micro-batching).
+
+The serving layer toward the ROADMAP's production north star: an LRU
+:class:`ScheduleCache` keyed by exact graph content fingerprints, and a
+:class:`SchedulingService` that accepts concurrent ``submit`` requests,
+coalesces identical in-flight ones, aggregates the rest into
+micro-batches for the scheduler's vectorized ``schedule_batch``, and
+returns futures whose schedules are bit-identical to direct
+``scheduler.schedule`` calls.
+"""
+
+from repro.service.cache import (
+    CachedSchedule,
+    CacheKey,
+    CacheStats,
+    ScheduleCache,
+)
+from repro.service.service import (
+    SchedulingService,
+    ServiceStats,
+    scheduler_options_key,
+)
+
+__all__ = [
+    "CachedSchedule",
+    "CacheKey",
+    "CacheStats",
+    "ScheduleCache",
+    "SchedulingService",
+    "ServiceStats",
+    "scheduler_options_key",
+]

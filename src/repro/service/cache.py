@@ -1,0 +1,130 @@
+"""Thread-safe LRU cache of solved schedules.
+
+The cache stores *graph-independent* payloads: a stage assignment plus
+the scheduler's reported method/objective/status.  A
+:class:`CachedSchedule` deliberately does not hold the
+:class:`~repro.graphs.dag.ComputationalGraph` it was solved on — the
+service rebinds the assignment to whichever (content-identical) graph
+object the requester supplied, so cached entries never pin large graphs
+in memory and a served :class:`~repro.scheduling.schedule.Schedule`
+always references the caller's own graph.
+
+Keys are built by :meth:`ScheduleCache.make_key` from the graph's exact
+content fingerprint, the requested stage count, and the scheduler's
+options fingerprint (packer options + policy weights for RESPECT); see
+:func:`repro.graphs.fingerprint.graph_fingerprint` for why that key is
+exactly as discriminating as the scheduler itself.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.errors import ServiceError
+
+#: Cache key: (graph fingerprint, num_stages, scheduler options key).
+CacheKey = Tuple[str, int, str]
+
+
+@dataclass(frozen=True)
+class CachedSchedule:
+    """Graph-independent payload of one solved schedule."""
+
+    assignment: Mapping[str, int]
+    num_stages: int
+    method: str
+    objective: float
+    status: str
+    solve_time: float
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Point-in-time snapshot of cache counters."""
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+    capacity: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups (0.0 before the first lookup)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+
+class ScheduleCache:
+    """Bounded LRU mapping from :data:`CacheKey` to :class:`CachedSchedule`.
+
+    All operations are safe under concurrent access; a hit refreshes the
+    entry's recency, insertion beyond ``capacity`` evicts the least
+    recently used entry.
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ServiceError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[CacheKey, CachedSchedule]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    @staticmethod
+    def make_key(fingerprint: str, num_stages: int, options_key: str) -> CacheKey:
+        """Canonical cache key for one (graph, stage count, scheduler)."""
+        return (str(fingerprint), int(num_stages), str(options_key))
+
+    # ------------------------------------------------------------------
+    def get(self, key: CacheKey) -> Optional[CachedSchedule]:
+        """Return the cached payload for ``key`` (refreshing recency)."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return entry
+
+    def put(self, key: CacheKey, value: CachedSchedule) -> None:
+        """Insert/refresh ``key``, evicting LRU entries beyond capacity."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: CacheKey) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def clear(self) -> None:
+        """Drop every entry (counters are preserved)."""
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                size=len(self._entries),
+                capacity=self.capacity,
+            )
+
+
+__all__ = ["CacheKey", "CachedSchedule", "CacheStats", "ScheduleCache"]

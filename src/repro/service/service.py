@@ -1,0 +1,473 @@
+"""Concurrent scheduling service: fingerprint cache + micro-batching.
+
+:class:`SchedulingService` turns any scheduler with a
+``schedule(graph, num_stages)`` method into a high-throughput request
+server.  Three mechanisms amortize the per-request cost:
+
+1. **Fingerprint cache** — requests are keyed by
+   ``(graph_fingerprint, num_stages, scheduler options fingerprint)``;
+   a previously solved graph is answered from an LRU
+   :class:`~repro.service.cache.ScheduleCache` without touching the
+   scheduler at all.
+2. **In-flight coalescing** — concurrent identical requests (a thundering
+   herd on a cache miss) share one solve: later submitters attach to the
+   pending request instead of enqueuing a duplicate.
+3. **Micro-batching** — distinct pending requests are aggregated by a
+   worker thread (up to ``max_batch_size``, waiting at most
+   ``batch_window_s`` after the first) and routed through the
+   scheduler's vectorized ``schedule_batch`` when it has one (the
+   RESPECT batched decode engine); schedulers without a batched path
+   fall back to a sequential loop on the worker.
+
+Served schedules are *bit-identical* to direct ``scheduler.schedule``
+calls: the batched decode is equivalence-tested against the sequential
+path, and cache keys are exactly as discriminating as the scheduler
+(see :mod:`repro.graphs.fingerprint`).  Every result's schedule is bound
+to the requesting caller's own graph object even when it was solved for
+(or cached from) a content-identical twin.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ServiceError
+from repro.graphs.dag import ComputationalGraph
+from repro.graphs.fingerprint import graph_fingerprint
+from repro.scheduling.schedule import Schedule, ScheduleResult
+from repro.scheduling.sequence import normalize_stage_counts
+from repro.service.cache import (
+    CachedSchedule,
+    CacheKey,
+    CacheStats,
+    ScheduleCache,
+)
+from repro.utils.stats import percentile
+
+#: How many recent per-request service latencies feed the percentile
+#: stats; a bounded window keeps a long-lived service O(1) in memory.
+_LATENCY_WINDOW = 4096
+
+#: How long an idle worker thread lingers before retiring.  Retirement
+#: drops the thread's reference to the service, so an abandoned
+#: (unclosed) service becomes garbage-collectable instead of leaking a
+#: polling thread; the next submit restarts the worker transparently.
+_WORKER_IDLE_S = 1.0
+
+_SCALARS = (bool, int, float, str, bytes, type(None))
+
+
+def _option_value_key(name: str, value: object) -> str:
+    """One attribute's contribution to the fallback options key.
+
+    Scalars and shallow scalar containers are keyed by value.  Anything
+    else (a profiler object, a numpy array, ...) is keyed by *identity*:
+    conservative in the safe direction — two scheduler instances holding
+    distinct objects never alias a cache entry, at worst they miss one
+    they could have shared.
+    """
+    if isinstance(value, _SCALARS):
+        return f"{name}={value!r}"
+    if isinstance(value, (list, tuple, set, frozenset)) and all(
+        isinstance(v, _SCALARS) for v in value
+    ):
+        items = sorted(map(repr, value)) if isinstance(
+            value, (set, frozenset)
+        ) else [repr(v) for v in value]
+        return f"{name}={type(value).__name__}[{','.join(items)}]"
+    if isinstance(value, dict) and all(
+        isinstance(k, _SCALARS) and isinstance(v, _SCALARS)
+        for k, v in value.items()
+    ):
+        items = sorted(f"{k!r}:{v!r}" for k, v in value.items())
+        return f"{name}=dict{{{','.join(items)}}}"
+    return f"{name}={type(value).__qualname__}@{id(value)}"
+
+
+def scheduler_options_key(scheduler: object) -> str:
+    """Stable digest of everything (besides the graph) that shapes output.
+
+    Schedulers exposing ``options_fingerprint()`` (e.g.
+    :class:`~repro.rl.respect.RespectScheduler`, whose digest covers the
+    packer options, embedding config *and policy weights*) supply their
+    own.  The fallback hashes the scheduler's class identity plus every
+    public attribute: scalar-valued options by value, object-valued ones
+    by identity — so differently-configured instances of the same
+    baseline never share cache entries (instances holding equivalent but
+    distinct option *objects* also don't; define ``options_fingerprint``
+    on the scheduler to key those by content).
+    """
+    custom = getattr(scheduler, "options_fingerprint", None)
+    if callable(custom):
+        return str(custom())
+    parts = [
+        type(scheduler).__module__,
+        type(scheduler).__qualname__,
+        str(getattr(scheduler, "method_name", "")),
+    ]
+    attrs = getattr(scheduler, "__dict__", None) or {}
+    for name in sorted(attrs):
+        if name.startswith("_"):  # internal state (locks, counters, ...)
+            continue
+        parts.append(_option_value_key(name, attrs[name]))
+    return hashlib.sha256("|".join(parts).encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """Point-in-time service counters and latency summary.
+
+    ``mean_batch_size`` averages over scheduler batches actually solved;
+    latencies cover the last :data:`_LATENCY_WINDOW` requests
+    (submit -> result available), cache hits included.
+    """
+
+    requests: int
+    cache_hits: int
+    coalesced: int
+    batches: int
+    scheduled_graphs: int
+    mean_batch_size: float
+    hit_rate: float
+    latency_mean_s: float
+    latency_p50_s: float
+    latency_p99_s: float
+    cache: CacheStats
+
+
+class _PendingRequest:
+    """One enqueued unique (fingerprint, stages, options) solve."""
+
+    __slots__ = ("key", "graph", "num_stages", "waiters")
+
+    def __init__(self, key: CacheKey, graph: ComputationalGraph, num_stages: int):
+        self.key = key
+        self.graph = graph
+        self.num_stages = num_stages
+        #: ``(future, graph, submit_time)`` per attached caller.
+        self.waiters: List[Tuple[Future, ComputationalGraph, float]] = []
+
+
+class SchedulingService:
+    """Thread-safe scheduling front-end over one scheduler instance.
+
+    Parameters
+    ----------
+    scheduler:
+        Any object with ``schedule(graph, num_stages)``; a vectorized
+        ``schedule_batch(graphs, stage_counts)`` is used when present.
+    cache:
+        A (possibly shared) :class:`ScheduleCache`; by default a private
+        cache of ``cache_capacity`` entries is created.  Sharing is safe
+        because keys embed the scheduler options fingerprint.
+    max_batch_size:
+        Upper bound on requests aggregated into one scheduler batch.
+    batch_window_s:
+        How long the worker waits for additional requests after the
+        first of a batch arrives.  ``0`` disables waiting (each batch is
+        whatever is already queued).
+
+    Use as a context manager or call :meth:`close` to stop the worker;
+    ``close`` drains already-accepted requests first.
+    """
+
+    def __init__(
+        self,
+        scheduler: object,
+        cache: Optional[ScheduleCache] = None,
+        cache_capacity: int = 1024,
+        max_batch_size: int = 32,
+        batch_window_s: float = 0.002,
+    ) -> None:
+        if not callable(getattr(scheduler, "schedule", None)):
+            raise ServiceError(
+                "scheduler must expose a schedule(graph, num_stages) method"
+            )
+        if max_batch_size < 1:
+            raise ServiceError(
+                f"max_batch_size must be >= 1, got {max_batch_size}"
+            )
+        if batch_window_s < 0:
+            raise ServiceError(
+                f"batch_window_s must be >= 0, got {batch_window_s}"
+            )
+        self.scheduler = scheduler
+        self.method_name = str(
+            getattr(scheduler, "method_name", type(scheduler).__name__)
+        )
+        self.cache = cache if cache is not None else ScheduleCache(cache_capacity)
+        self.max_batch_size = max_batch_size
+        self.batch_window_s = batch_window_s
+        self._options_key = scheduler_options_key(scheduler)
+        self._cond = threading.Condition()
+        self._queue: Deque[_PendingRequest] = deque()
+        self._inflight: Dict[CacheKey, _PendingRequest] = {}
+        self._closed = False
+        self._worker: Optional[threading.Thread] = None
+        # -- counters (guarded by self._cond's lock) --------------------
+        self._requests = 0
+        self._cache_hits = 0
+        self._coalesced = 0
+        self._batches = 0
+        self._scheduled_graphs = 0
+        self._latencies: Deque[float] = deque(maxlen=_LATENCY_WINDOW)
+
+    # ------------------------------------------------------------------
+    # request path
+    # ------------------------------------------------------------------
+    def submit(
+        self, graph: ComputationalGraph, num_stages: int
+    ) -> "Future[ScheduleResult]":
+        """Accept one request; returns a future resolving to its result.
+
+        Cache hits resolve the future before ``submit`` returns; misses
+        are queued for the micro-batching worker (identical in-flight
+        requests are coalesced onto one solve).
+        """
+        (stages,) = normalize_stage_counts(num_stages, 1)
+        start = time.perf_counter()
+        # Fingerprinting is the expensive part of the key; stay unlocked.
+        key = ScheduleCache.make_key(
+            graph_fingerprint(graph), stages, self._options_key
+        )
+        future: "Future[ScheduleResult]" = Future()
+        with self._cond:
+            if self._closed:
+                raise ServiceError("service is closed")
+            self._requests += 1
+            # Check in-flight before the cache: the worker publishes to
+            # the cache *before* retiring the in-flight entry, so under
+            # this lock a key is always in at least one of the two once
+            # first submitted — no duplicate-solve window.
+            pending = self._inflight.get(key)
+            if pending is not None:
+                self._coalesced += 1
+                pending.waiters.append((future, graph, start))
+                self._cond.notify_all()
+                return future
+            cached = self.cache.get(key)
+            if cached is None:
+                pending = _PendingRequest(key, graph, stages)
+                pending.waiters.append((future, graph, start))
+                self._inflight[key] = pending
+                self._queue.append(pending)
+                self._ensure_worker()
+                self._cond.notify_all()
+                return future
+            self._cache_hits += 1
+        # Cache hit: rebind to the caller's graph outside the lock.
+        result = self._bind(
+            cached,
+            graph,
+            cache_hit=True,
+            lookup_seconds=time.perf_counter() - start,
+        )
+        with self._cond:
+            self._latencies.append(time.perf_counter() - start)
+        future.set_result(result)
+        return future
+
+    def schedule(self, graph: ComputationalGraph, num_stages: int) -> ScheduleResult:
+        """Blocking single-request convenience (same result as direct)."""
+        return self.submit(graph, num_stages).result()
+
+    def schedule_batch(
+        self,
+        graphs: Sequence[ComputationalGraph],
+        num_stages: Union[int, Sequence[int]],
+    ) -> List[ScheduleResult]:
+        """Submit a whole burst and gather results in order.
+
+        Duck-type compatible with
+        :meth:`repro.rl.respect.RespectScheduler.schedule_batch`, which
+        lets the service drop into :func:`repro.flow.compare
+        .schedule_many` and friends as a scheduler.  All requests enter
+        the queue before the first gather, so the worker naturally
+        aggregates them into micro-batches.
+        """
+        graphs = list(graphs)
+        stage_counts = normalize_stage_counts(num_stages, len(graphs))
+        futures = [
+            self.submit(graph, stages)
+            for graph, stages in zip(graphs, stage_counts)
+        ]
+        return [future.result() for future in futures]
+
+    # ------------------------------------------------------------------
+    # worker
+    # ------------------------------------------------------------------
+    def _ensure_worker(self) -> None:
+        # Caller holds self._cond.
+        if self._worker is None or not self._worker.is_alive():
+            self._worker = threading.Thread(
+                target=self._worker_loop,
+                name="scheduling-service-worker",
+                daemon=True,
+            )
+            self._worker.start()
+
+    def _worker_loop(self) -> None:
+        idle_deadline = time.perf_counter() + _WORKER_IDLE_S
+        while True:
+            with self._cond:
+                while not self._queue and not self._closed:
+                    remaining = idle_deadline - time.perf_counter()
+                    if remaining <= 0:
+                        # Idle long enough: retire (under the lock, so a
+                        # concurrent submit either sees us alive or
+                        # starts a fresh worker — never neither).
+                        self._worker = None
+                        return
+                    self._cond.wait(timeout=remaining)
+                if not self._queue:
+                    if self._closed:
+                        return
+                    continue
+                batch = [self._queue.popleft()]
+                deadline = time.perf_counter() + self.batch_window_s
+                while len(batch) < self.max_batch_size:
+                    if self._queue:
+                        batch.append(self._queue.popleft())
+                        continue
+                    remaining = deadline - time.perf_counter()
+                    if remaining <= 0 or self._closed:
+                        break
+                    self._cond.wait(timeout=remaining)
+            self._solve_batch(batch)
+            idle_deadline = time.perf_counter() + _WORKER_IDLE_S
+
+    def _solve_batch(self, batch: List[_PendingRequest]) -> None:
+        graphs = [request.graph for request in batch]
+        counts = [request.num_stages for request in batch]
+        try:
+            batched = getattr(self.scheduler, "schedule_batch", None)
+            if callable(batched) and len(batch) > 1:
+                results: List[ScheduleResult] = batched(graphs, counts)
+            else:
+                results = [
+                    self.scheduler.schedule(graph, stages)  # type: ignore[attr-defined]
+                    for graph, stages in zip(graphs, counts)
+                ]
+            if len(results) != len(batch):
+                raise ServiceError(
+                    f"scheduler returned {len(results)} results for a "
+                    f"batch of {len(batch)}"
+                )
+        except BaseException as exc:  # propagate to every waiter
+            with self._cond:
+                for request in batch:
+                    self._inflight.pop(request.key, None)
+                waiters = [w for request in batch for w in request.waiters]
+            for future, _, _ in waiters:
+                if not future.done():
+                    future.set_exception(exc)
+            return
+        with self._cond:
+            self._batches += 1
+            self._scheduled_graphs += len(batch)
+        for request, result in zip(batch, results):
+            result.extras.setdefault("cache_hit", False)
+            result.extras.setdefault("service", self.method_name)
+            payload = CachedSchedule(
+                assignment=dict(result.schedule.assignment),
+                num_stages=request.num_stages,
+                method=result.method,
+                objective=result.objective,
+                status=result.status,
+                solve_time=result.solve_time,
+            )
+            # Publish to the cache *before* retiring the in-flight entry
+            # so a concurrent submit always finds the key in one of the
+            # two (no duplicate solve window).
+            self.cache.put(request.key, payload)
+            now = time.perf_counter()
+            with self._cond:
+                self._inflight.pop(request.key, None)
+                waiters = list(request.waiters)
+                for _, _, submitted in waiters:
+                    self._latencies.append(now - submitted)
+            for future, waiter_graph, _ in waiters:
+                if waiter_graph is result.schedule.graph:
+                    served = result
+                else:
+                    served = self._bind(payload, waiter_graph, cache_hit=False)
+                future.set_result(served)
+
+    # ------------------------------------------------------------------
+    def _bind(
+        self,
+        payload: CachedSchedule,
+        graph: ComputationalGraph,
+        cache_hit: bool,
+        lookup_seconds: float = 0.0,
+    ) -> ScheduleResult:
+        """Materialize a cached payload against the caller's graph."""
+        schedule = Schedule(graph, payload.num_stages, dict(payload.assignment))
+        return ScheduleResult(
+            schedule=schedule,
+            solve_time=lookup_seconds if cache_hit else payload.solve_time,
+            method=payload.method,
+            objective=payload.objective,
+            status=payload.status,
+            extras={
+                "cache_hit": cache_hit,
+                "service": self.method_name,
+                "solver_seconds": payload.solve_time,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # stats / lifecycle
+    # ------------------------------------------------------------------
+    def stats(self) -> ServiceStats:
+        """Snapshot of counters, batch sizes and service latency."""
+        with self._cond:
+            requests = self._requests
+            hits = self._cache_hits
+            coalesced = self._coalesced
+            batches = self._batches
+            scheduled = self._scheduled_graphs
+            latencies = list(self._latencies)
+        return ServiceStats(
+            requests=requests,
+            cache_hits=hits,
+            coalesced=coalesced,
+            batches=batches,
+            scheduled_graphs=scheduled,
+            mean_batch_size=scheduled / batches if batches else 0.0,
+            hit_rate=hits / requests if requests else 0.0,
+            latency_mean_s=sum(latencies) / len(latencies) if latencies else 0.0,
+            latency_p50_s=percentile(latencies, 50) if latencies else 0.0,
+            latency_p99_s=percentile(latencies, 99) if latencies else 0.0,
+            cache=self.cache.stats(),
+        )
+
+    def close(self, timeout: Optional[float] = 10.0) -> None:
+        """Stop accepting requests and drain the already-accepted queue."""
+        with self._cond:
+            self._closed = True
+            worker = self._worker
+            self._cond.notify_all()
+        if worker is not None and worker is not threading.current_thread():
+            worker.join(timeout=timeout)
+
+    def __enter__(self) -> "SchedulingService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self.close(timeout=0.1)
+        except Exception:
+            pass
+
+
+__all__ = ["SchedulingService", "ServiceStats", "scheduler_options_key"]

@@ -87,6 +87,11 @@ class PipelineReport:
     num_inferences: int
     makespan_seconds: float
     throughput_per_second: float
+    #: Mean per-inference sojourn time: completion minus *admission* (the
+    #: instant the host hands the inference to the pipeline).  Under
+    #: steady pipelining this approaches the sum of per-stage times plus
+    #: queueing — a different quantity from the throughput-style
+    #: :attr:`seconds_per_inference` (makespan / count).
     mean_latency_seconds: float
     steady_period_seconds: float
     stage_busy_seconds: List[float]
@@ -236,6 +241,9 @@ class PipelinedTpuSystem:
         stage_free = [0.0] * num_stages
         stage_busy = [0.0] * num_stages
         completions: List[float] = [0.0] * num_inferences
+        # Admission = when the host makes the inference ready for its
+        # stage-0 input submission; latency is completion - admission.
+        admissions: List[float] = [0.0] * num_inferences
 
         def link_index(stage: int) -> int:
             return 0 if shared else stage
@@ -263,6 +271,7 @@ class PipelinedTpuSystem:
                 if k == 0 and next_inference < num_inferences:
                     # Admit the next inference once this input is on the
                     # wire; the host pipelines input submissions.
+                    admissions[next_inference] = end
                     heapq.heappush(heap, (end, next_inference, 0))
                     next_inference += 1
             elif sub == 1:  # weight streaming (link+device), then compute
@@ -303,7 +312,10 @@ class PipelinedTpuSystem:
             num_inferences=num_inferences,
             makespan_seconds=makespan,
             throughput_per_second=num_inferences / makespan if makespan else 0.0,
-            mean_latency_seconds=makespan / num_inferences,
+            mean_latency_seconds=(
+                sum(c - a for c, a in zip(completions, admissions))
+                / num_inferences
+            ),
             steady_period_seconds=period,
             stage_busy_seconds=stage_busy,
             bus_busy_seconds=sum(link_busy),

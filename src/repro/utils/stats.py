@@ -34,6 +34,29 @@ def geometric_mean(values: Sequence[float]) -> float:
     return math.exp(sum(math.log(v) for v in values) / len(values))
 
 
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linearly interpolated ``q``-th percentile, ``q`` in [0, 100].
+
+    Matches numpy's default ("linear") method; used by the scheduling
+    service for p50/p99 latency without pulling the full numpy import
+    into the stats hot path.  Raises on empty input.
+    """
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q must be in [0, 100], got {q}")
+    data = sorted(values)
+    if len(data) == 1:
+        return float(data[0])
+    pos = (len(data) - 1) * (q / 100.0)
+    lower = math.floor(pos)
+    upper = math.ceil(pos)
+    if lower == upper:
+        return float(data[lower])
+    frac = pos - lower
+    return float(data[lower] * (1.0 - frac) + data[upper] * frac)
+
+
 def ratio_summary(values: Sequence[float]) -> Dict[str, float]:
     """Summarize a set of ratios: min / max / arithmetic & geometric mean."""
     return {

@@ -104,3 +104,23 @@ class TestBatching:
         for ex in examples:
             packed = pack_sequence(ex.graph, ex.gamma_names, ex.num_stages)
             assert packed.is_valid()
+
+
+class TestEmbeddingDefault:
+    def test_embedding_default_is_per_call(self):
+        """Regression: the embedding config used to be an evaluated-at-def
+        default (one shared instance baked in at import time)."""
+        import inspect
+
+        from repro.datasets.synthetic import generate_dataset as gd
+
+        assert inspect.signature(gd).parameters["embedding"].default is None
+
+    def test_explicit_and_default_embeddings_agree(self):
+        from repro.embedding.features import EmbeddingConfig
+
+        default = generate_dataset(2, num_nodes=6, seed=6)
+        explicit = generate_dataset(2, num_nodes=6, seed=6,
+                                    embedding=EmbeddingConfig())
+        for a, b in zip(default, explicit):
+            assert (a.queue.features == b.queue.features).all()

@@ -130,10 +130,58 @@ class TestBackward:
                     f"{name}[{i}]"
                 )
 
+    def test_entropy_gradient_check(self, rng):
+        """Finite-difference check of the exact entropy-bonus gradient.
+
+        Teacher mode pins the trajectory, so the rollout's mean per-step
+        entropy is a deterministic, differentiable function of the
+        parameters; the surrogate loss ``-sum_b ec_b * H_b`` must match
+        central differences.
+        """
+        policy = PointerNetworkPolicy(feature_dim=3, hidden_size=5,
+                                      logit_clip=5.0, seed=2)
+        features = rng.normal(size=(2, 4, 3))
+        target = np.stack([rng.permutation(4) for _ in range(2)])
+        entropy_coeff = np.array([0.7, -0.4])
+
+        def loss():
+            r = policy.forward(features, mode="teacher", target=target)
+            return float(np.sum(-entropy_coeff * r.entropy))
+
+        policy.zero_grad()
+        rollout = policy.forward(features, mode="teacher", target=target)
+        policy.backward(rollout, np.zeros(2), entropy_coeff=entropy_coeff)
+
+        eps = 1e-6
+        for name, param in policy.named_parameters():
+            flat = param.value.ravel()
+            gflat = param.grad.ravel()
+            indices = rng.choice(flat.size, size=min(5, flat.size),
+                                 replace=False)
+            for i in indices:
+                old = flat[i]
+                flat[i] = old + eps
+                up = loss()
+                flat[i] = old - eps
+                down = loss()
+                flat[i] = old
+                numeric = (up - down) / (2 * eps)
+                assert numeric == pytest.approx(gflat[i], rel=1e-4, abs=1e-7), (
+                    f"{name}[{i}]"
+                )
+
     def test_backward_rejects_bad_coeff_shape(self, tiny_policy, features):
         rollout = tiny_policy.forward(features, mode="greedy")
         with pytest.raises(TrainingError):
             tiny_policy.backward(rollout, np.zeros(3))
+
+    def test_backward_rejects_bad_entropy_coeff_shape(
+        self, tiny_policy, features
+    ):
+        rollout = tiny_policy.forward(features, mode="sample", rng=0)
+        with pytest.raises(TrainingError):
+            tiny_policy.backward(rollout, np.zeros(2),
+                                 entropy_coeff=np.zeros(3))
 
     def test_config_dict_round_trip(self, tiny_policy):
         config = tiny_policy.config_dict()

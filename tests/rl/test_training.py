@@ -77,6 +77,93 @@ class TestReinforce:
             )
 
 
+class TestEvalTrainSplit:
+    def test_default_split_disjoint(self, tiny_policy, tiny_dataset):
+        trainer = ReinforceTrainer(
+            tiny_policy, tiny_dataset,
+            ReinforceConfig(baseline="none", eval_fraction=0.25),
+        )
+        eval_ids = {id(e) for e in trainer.eval_examples}
+        train_ids = {id(e) for e in trainer.train_examples}
+        assert not eval_ids & train_ids
+        assert len(eval_ids) + len(train_ids) == len(tiny_dataset)
+
+    def test_full_eval_fraction_never_overlaps(self, tiny_policy, tiny_dataset):
+        # Regression: eval_fraction rounding to the whole dataset used to
+        # fall back to training on *all* examples, overlapping the eval
+        # split the rollout baseline is refreshed against.
+        trainer = ReinforceTrainer(
+            tiny_policy, tiny_dataset,
+            ReinforceConfig(baseline="none", eval_fraction=1.0),
+        )
+        assert trainer.train_examples  # never empty
+        eval_ids = {id(e) for e in trainer.eval_examples}
+        assert not eval_ids & {id(e) for e in trainer.train_examples}
+        assert len(trainer.eval_examples) == len(tiny_dataset) - 1
+
+    def test_zero_eval_fraction_trains_on_everything(
+        self, tiny_policy, tiny_dataset
+    ):
+        trainer = ReinforceTrainer(
+            tiny_policy, tiny_dataset,
+            ReinforceConfig(baseline="none", eval_fraction=0.0),
+        )
+        assert not trainer.eval_examples
+        assert len(trainer.train_examples) == len(tiny_dataset)
+
+    def test_singleton_dataset_trains(self, tiny_policy, tiny_dataset):
+        trainer = ReinforceTrainer(
+            tiny_policy, tiny_dataset[:1],
+            ReinforceConfig(baseline="none", batch_size=1),
+        )
+        assert len(trainer.train_examples) == 1
+        assert not trainer.eval_examples
+        trainer.train(1)  # still trainable
+
+
+class TestEntropyBonus:
+    def test_entropy_bonus_changes_gradients(self, tiny_policy, tiny_dataset):
+        import copy
+
+        from repro.datasets.synthetic import batch_examples
+
+        chunk, features, _ = next(
+            batch_examples(tiny_dataset, 8, shuffle=False)
+        )
+        plain = copy.deepcopy(tiny_policy)
+        trainer = ReinforceTrainer(
+            plain, tiny_dataset,
+            ReinforceConfig(baseline="batch_mean", entropy_bonus=0.0, seed=4),
+        )
+        trainer.train_step(chunk, features)
+
+        bonused = copy.deepcopy(tiny_policy)
+        trainer_b = ReinforceTrainer(
+            bonused, tiny_dataset,
+            ReinforceConfig(baseline="batch_mean", entropy_bonus=0.5, seed=4),
+        )
+        trainer_b.train_step(chunk, features)
+
+        # Same seed -> same sampled rollout; only the entropy term in the
+        # surrogate loss differs, so the resulting parameters diverge.
+        diffs = [
+            float(np.abs(a - b).max())
+            for a, b in zip(
+                plain.state_dict().values(), bonused.state_dict().values()
+            )
+        ]
+        assert max(diffs) > 0.0
+
+    def test_metrics_record_entropy(self, tiny_policy, tiny_dataset):
+        trainer = ReinforceTrainer(
+            tiny_policy, tiny_dataset,
+            ReinforceConfig(baseline="none", entropy_bonus=0.1, seed=4),
+        )
+        history = trainer.train(2)
+        assert all(m.mean_entropy >= 0.0 for m in history)
+        assert any(m.mean_entropy > 0.0 for m in history)
+
+
 class TestPipeline:
     def test_end_to_end_training_improves_imitation(self):
         config = RespectTrainingConfig(

@@ -1,0 +1,110 @@
+"""Tests for the LRU schedule cache."""
+
+import threading
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service import CachedSchedule, ScheduleCache
+
+
+def _payload(tag: int) -> CachedSchedule:
+    return CachedSchedule(
+        assignment={"a": 0, "b": tag % 2},
+        num_stages=2,
+        method="fake",
+        objective=float(tag),
+        status="ok",
+        solve_time=0.001,
+    )
+
+
+def _key(tag: int):
+    return ScheduleCache.make_key(f"fp{tag}", 2, "opts")
+
+
+class TestScheduleCache:
+    def test_put_get_round_trip(self):
+        cache = ScheduleCache(capacity=4)
+        cache.put(_key(1), _payload(1))
+        assert cache.get(_key(1)) == _payload(1)
+        assert cache.get(_key(2)) is None
+
+    def test_lru_eviction_order(self):
+        cache = ScheduleCache(capacity=2)
+        cache.put(_key(1), _payload(1))
+        cache.put(_key(2), _payload(2))
+        cache.get(_key(1))  # refresh 1 -> 2 becomes LRU
+        cache.put(_key(3), _payload(3))
+        assert cache.get(_key(2)) is None
+        assert cache.get(_key(1)) is not None
+        assert cache.get(_key(3)) is not None
+        assert len(cache) == 2
+
+    def test_put_refreshes_existing_key(self):
+        cache = ScheduleCache(capacity=2)
+        cache.put(_key(1), _payload(1))
+        cache.put(_key(2), _payload(2))
+        cache.put(_key(1), _payload(9))  # refresh, not insert
+        cache.put(_key(3), _payload(3))  # evicts 2, not 1
+        assert cache.get(_key(1)).objective == 9.0
+        assert cache.get(_key(2)) is None
+
+    def test_counters(self):
+        cache = ScheduleCache(capacity=1)
+        cache.get(_key(1))
+        cache.put(_key(1), _payload(1))
+        cache.get(_key(1))
+        cache.put(_key(2), _payload(2))  # evicts 1
+        stats = cache.stats()
+        assert stats.hits == 1
+        assert stats.misses == 1
+        assert stats.evictions == 1
+        assert stats.size == 1
+        assert stats.capacity == 1
+        assert stats.hit_rate == pytest.approx(0.5)
+
+    def test_hit_rate_without_lookups(self):
+        assert ScheduleCache().stats().hit_rate == 0.0
+
+    def test_clear_keeps_counters(self):
+        cache = ScheduleCache(capacity=4)
+        cache.put(_key(1), _payload(1))
+        cache.get(_key(1))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.get(_key(1)) is None
+        assert cache.stats().hits == 1
+
+    def test_contains(self):
+        cache = ScheduleCache(capacity=4)
+        cache.put(_key(1), _payload(1))
+        assert _key(1) in cache
+        assert _key(2) not in cache
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ServiceError):
+            ScheduleCache(capacity=0)
+
+    def test_concurrent_hammering_stays_consistent(self):
+        cache = ScheduleCache(capacity=16)
+        errors = []
+
+        def worker(base: int) -> None:
+            try:
+                for i in range(200):
+                    tag = base * 200 + i
+                    cache.put(_key(tag % 32), _payload(tag % 32))
+                    entry = cache.get(_key(tag % 32))
+                    if entry is not None:
+                        assert entry.objective == float(tag % 32)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(b,)) for b in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(cache) <= 16

@@ -157,3 +157,46 @@ class TestPipelineSimulation:
             graph, schedule, 100
         )
         assert 0.0 <= report.bus_utilization <= 1.0 + 1e-9
+
+
+class TestMeanLatency:
+    def _system(self):
+        g = ComputationalGraph("toy")
+        g.add_op("in", op_type=ops.INPUT, output_bytes=1000)
+        g.add_op("c1", op_type=ops.CONV2D, param_bytes=5000,
+                 output_bytes=1000, macs=10**7, inputs=["in"])
+        g.add_op("c2", op_type=ops.CONV2D, param_bytes=5000,
+                 output_bytes=500, macs=10**7, inputs=["c1"])
+        for node in g.nodes:
+            node.attrs["quantized"] = True
+        return g, Schedule(g, 2, {"in": 0, "c1": 0, "c2": 1})
+
+    def test_single_inference_latency_is_makespan(self, spec):
+        graph, schedule = self._system()
+        report = PipelinedTpuSystem(spec).run(graph, schedule, 1)
+        assert report.mean_latency_seconds == pytest.approx(
+            report.makespan_seconds
+        )
+
+    def test_latency_is_not_inverse_throughput(self, spec):
+        # Regression: mean_latency_seconds used to be makespan / count,
+        # a duplicate of seconds_per_inference.  True latency (completion
+        # minus admission) spans the whole pipeline per inference and
+        # therefore *exceeds* the steady-state per-inference period.
+        graph, schedule = self._system()
+        report = PipelinedTpuSystem(spec).run(graph, schedule, 200)
+        assert report.mean_latency_seconds > report.seconds_per_inference
+        assert report.mean_latency_seconds >= report.steady_period_seconds
+
+    def test_latency_at_least_unloaded_flight_time(self, spec):
+        graph, schedule = self._system()
+        system = PipelinedTpuSystem(spec)
+        solo = system.run(graph, schedule, 1)
+        loaded = system.run(graph, schedule, 200)
+        # Queueing can only add to the unloaded (single-inference) time.
+        assert loaded.mean_latency_seconds >= solo.mean_latency_seconds - 1e-12
+
+    def test_latency_bounded_by_makespan(self, spec):
+        graph, schedule = self._system()
+        report = PipelinedTpuSystem(spec).run(graph, schedule, 50)
+        assert report.mean_latency_seconds <= report.makespan_seconds
