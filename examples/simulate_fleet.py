@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Fleet walkthrough: scenario -> fleet -> router comparison table.
+
+Serving millions of users means many pipelined Edge TPU rigs behind a
+router, not one.  This walkthrough builds the skewed-tenant scenario
+(three tenants, three zoo models), compiles the catalog onto a
+heterogeneous four-replica fleet through one shared
+``SchedulingService`` (watch the schedule-reuse hit rate), then replays
+the *identical* seeded request trace under three routing policies and
+prints the comparison.
+
+Usage::
+
+    PYTHONPATH=src python examples/simulate_fleet.py
+"""
+
+from __future__ import annotations
+
+from repro.cluster import build_fleet, default_routers, simulate_scenario
+from repro.cluster.scenarios import (
+    heterogeneous_fleet,
+    scenario_models,
+    skewed_tenants_scenario,
+)
+from repro.scheduling.heuristics import ListScheduler
+from repro.service import SchedulingService
+from repro.utils.tables import format_table
+
+SEED = 0
+
+
+def main() -> None:
+    # 1. Scenario: a heavy tight-SLO tenant plus two light ones, over
+    #    three zoo models.
+    scenario = skewed_tenants_scenario(duration_s=4.0)
+    models = scenario_models(scenario)
+    print(f"scenario {scenario.name!r}:")
+    for tenant in scenario.tenants:
+        print(
+            f"  {tenant.name:<14} {tenant.rate_per_s:>5.1f} req/s  "
+            f"SLO {tenant.slo_seconds * 1000:.0f} ms  mix {dict(tenant.model_mix)}"
+        )
+
+    # 2. Fleet: four heterogeneous replicas; every (model, stage count)
+    #    schedule flows through one shared SchedulingService, so equal
+    #    stage counts are answered from the fingerprint cache.
+    with SchedulingService(ListScheduler()) as service:
+        fleet = build_fleet(heterogeneous_fleet(4), models, service=service)
+    stats = fleet.build_stats
+    print(
+        f"\nfleet of {len(fleet)} replicas; schedule requests: "
+        f"{stats.schedule_requests}, cache hits: {stats.cache_hits} "
+        f"({100 * stats.hit_rate:.0f}% reuse across replicas)"
+    )
+
+    # 3. Same seeded trace, three routers.
+    rows = []
+    for router in default_routers():
+        report = simulate_scenario(scenario, fleet, router, seed=SEED)
+        heavy = report.tenant("heavy")
+        rows.append(
+            [
+                router.name,
+                report.completed,
+                100.0 * report.slo_attainment,
+                100.0 * heavy.slo_attainment,
+                1000.0 * heavy.latency_p99_s,
+                report.joules_per_completed,
+                max(r.utilization for r in report.replicas),
+            ]
+        )
+    print()
+    print(
+        format_table(
+            [
+                "router",
+                "completed",
+                "SLO%",
+                "heavy SLO%",
+                "heavy p99 (ms)",
+                "J/req",
+                "peak util",
+            ],
+            rows,
+            title=f"router comparison, seed={SEED}",
+        )
+    )
+    print(
+        "\nThe SLO-aware router predicts each replica's completion time "
+        "from its backlog,\nper-model stage profiles and model-switch "
+        "reloads, keeping the heavy tenant's\ntight deadline off the "
+        "2-stage and shared-bus replicas that round-robin\nblindly feeds."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Fleet simulation & SLO-aware routing over pipelined Edge TPU replicas.
+
+The cluster layer composes everything below it end to end: multi-tenant
+request streams (:mod:`~repro.cluster.workload`) are dispatched by a
+:class:`Router` policy across a :class:`Fleet` of heterogeneous pipeline
+replicas whose per-model stage profiles come from schedules served by
+the shared :class:`~repro.service.SchedulingService`; the fleet
+discrete-event simulation (:mod:`~repro.cluster.simulate`) then charges
+true pipeline/link/bus contention — plus model-switch weight reloads —
+and folds the run into a :class:`FleetReport` (per-tenant SLO
+attainment and latency percentiles, per-replica utilization and energy).
+"""
+
+from repro.cluster.fleet import (
+    Fleet,
+    FleetBuildStats,
+    ModelDeployment,
+    Replica,
+    ReplicaSpec,
+    build_fleet,
+)
+from repro.cluster.report import FleetReport, ReplicaReport, TenantReport
+from repro.cluster.router import (
+    LeastOutstandingWorkRouter,
+    ReplicaState,
+    Router,
+    RoundRobinRouter,
+    SloAwareRouter,
+    default_routers,
+)
+from repro.cluster.simulate import FleetSimulator, simulate_scenario
+from repro.cluster.workload import (
+    ArrivalProcess,
+    BurstyArrivals,
+    PoissonArrivals,
+    Request,
+    Scenario,
+    TenantSpec,
+    TraceArrivals,
+    generate_requests,
+)
+
+__all__ = [
+    "ArrivalProcess",
+    "BurstyArrivals",
+    "Fleet",
+    "FleetBuildStats",
+    "FleetReport",
+    "FleetSimulator",
+    "LeastOutstandingWorkRouter",
+    "ModelDeployment",
+    "PoissonArrivals",
+    "Replica",
+    "ReplicaReport",
+    "ReplicaSpec",
+    "ReplicaState",
+    "Request",
+    "RoundRobinRouter",
+    "Router",
+    "Scenario",
+    "SloAwareRouter",
+    "TenantReport",
+    "TenantSpec",
+    "TraceArrivals",
+    "build_fleet",
+    "default_routers",
+    "generate_requests",
+    "simulate_scenario",
+]

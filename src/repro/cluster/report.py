@@ -1,0 +1,135 @@
+"""Fleet simulation reports.
+
+:class:`FleetReport` aggregates one simulated run three ways: per tenant
+(throughput, latency percentiles, SLO attainment), per replica
+(utilization, served count, energy via
+:func:`repro.tpu.power.estimate_energy`) and fleet-wide totals.  All
+fields are plain deterministic dataclasses, so two runs of the same
+``(seed, scenario, fleet, router)`` produce *equal* reports — tests
+assert bit-identical replay on exactly this equality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.tpu.power import EnergyReport
+from repro.utils.stats import percentile
+
+
+@dataclass(frozen=True)
+class TenantReport:
+    """Per-tenant service quality over one simulated run."""
+
+    tenant: str
+    slo_seconds: float
+    requests: int
+    completed: int
+    rejected: int
+    throughput_per_s: float
+    latency_mean_s: float
+    latency_p50_s: float
+    latency_p99_s: float
+    #: Fraction of *all* the tenant's requests that completed within the
+    #: SLO — rejected requests count as misses, so admission control
+    #: cannot inflate attainment by shedding load.
+    slo_attainment: float
+
+
+@dataclass(frozen=True)
+class ReplicaReport:
+    """Per-replica load, utilization and energy over one simulated run."""
+
+    replica: str
+    num_stages: int
+    bus_mode: str
+    served: int
+    #: Busiest stage's busy fraction of the horizon (<= 1 by construction).
+    utilization: float
+    stage_utilization: Tuple[float, ...]
+    bus_utilization: float
+    energy: EnergyReport
+
+
+@dataclass(frozen=True)
+class FleetReport:
+    """Everything measured for one (scenario, fleet, router, seed) run."""
+
+    scenario: str
+    router: str
+    horizon_s: float
+    requests: int
+    completed: int
+    rejected: int
+    tenants: Tuple[TenantReport, ...]
+    replicas: Tuple[ReplicaReport, ...]
+    schedule_reuse_hit_rate: float = 0.0
+
+    @property
+    def throughput_per_s(self) -> float:
+        if self.horizon_s == 0:
+            return 0.0
+        return self.completed / self.horizon_s
+
+    @property
+    def slo_attainment(self) -> float:
+        """Fleet-wide fraction of requests served within their SLO."""
+        if self.requests == 0:
+            return 0.0
+        within = sum(t.slo_attainment * t.requests for t in self.tenants)
+        return within / self.requests
+
+    @property
+    def total_joules(self) -> float:
+        return sum(r.energy.total_joules for r in self.replicas)
+
+    @property
+    def joules_per_completed(self) -> float:
+        if self.completed == 0:
+            return 0.0
+        return self.total_joules / self.completed
+
+    def tenant(self, name: str) -> TenantReport:
+        for report in self.tenants:
+            if report.tenant == name:
+                return report
+        raise KeyError(f"no tenant named {name!r} in the report")
+
+    def replica(self, name: str) -> ReplicaReport:
+        for report in self.replicas:
+            if report.replica == name:
+                return report
+        raise KeyError(f"no replica named {name!r} in the report")
+
+
+def summarize_tenant(
+    tenant: str,
+    slo_seconds: float,
+    requests: int,
+    rejected: int,
+    latencies: List[float],
+    within: int,
+    horizon_s: float,
+) -> TenantReport:
+    """Fold one tenant's completion latencies into a :class:`TenantReport`.
+
+    ``within`` is the count of completions that met their *own*
+    request's deadline — scored per request by the simulator, so ad-hoc
+    streams with per-request SLOs are judged against the same deadlines
+    the admission policies see.  ``slo_seconds`` is the tenant's
+    declared SLO, carried for display.
+    """
+    completed = len(latencies)
+    return TenantReport(
+        tenant=tenant,
+        slo_seconds=slo_seconds,
+        requests=requests,
+        completed=completed,
+        rejected=rejected,
+        throughput_per_s=completed / horizon_s if horizon_s else 0.0,
+        latency_mean_s=sum(latencies) / completed if completed else 0.0,
+        latency_p50_s=percentile(latencies, 50) if latencies else 0.0,
+        latency_p99_s=percentile(latencies, 99) if latencies else 0.0,
+        slo_attainment=within / requests if requests else 0.0,
+    )

@@ -1,0 +1,209 @@
+"""Routing and admission policies for the fleet simulator.
+
+A :class:`Router` sees, per incoming request, one read-only
+:class:`ReplicaState` per fleet member — queue depth, an outstanding-work
+estimate, and per-model cost estimates derived from the replica's
+:class:`~repro.tpu.pipeline.StageProfile` deployments — and returns the
+index of the replica that should serve the request (or ``None`` to
+reject it, for admission-controlled policies).
+
+The interface is deliberately tiny and stateless-by-default so an RL
+router (a policy network mapping the same state vector to a replica
+choice) can slot in later without touching the simulator.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.cluster.fleet import Replica
+from repro.cluster.workload import Request
+from repro.errors import DeploymentError
+
+
+class ReplicaState:
+    """Mutable routing-time view of one replica, owned by the simulator.
+
+    ``busy_until_s`` is a fluid estimate maintained at routing time: each
+    admitted request advances it by its model's bottleneck period on this
+    replica.  The true discrete-event timing is computed independently by
+    the simulator; routers only ever see this optimistic estimate, which
+    is exactly the information a production dispatcher would have.
+    """
+
+    __slots__ = (
+        "index",
+        "replica",
+        "queue_len",
+        "busy_until_s",
+        "served",
+        "last_model",
+    )
+
+    def __init__(self, index: int, replica: Replica) -> None:
+        self.index = index
+        self.replica = replica
+        self.queue_len = 0
+        self.busy_until_s = 0.0
+        self.served = 0
+        #: Model of the most recently admitted request — routing's view
+        #: of which weights are resident (model affinity).
+        self.last_model: Optional[str] = None
+
+    @property
+    def name(self) -> str:
+        return self.replica.name
+
+    def outstanding_seconds(self, now: float) -> float:
+        """Estimated backlog still ahead of a request admitted at ``now``."""
+        return max(0.0, self.busy_until_s - now)
+
+    def serves(self, model: str) -> bool:
+        return model in self.replica.deployments
+
+    def period_seconds(self, model: str) -> float:
+        """Marginal queue cost of one more ``model`` request here."""
+        return self.replica.deployment(model).period_seconds
+
+    def latency_seconds(self, model: str) -> float:
+        """Uncontended pipeline traversal time of ``model`` here."""
+        return self.replica.deployment(model).latency_seconds
+
+    def estimated_completion(self, model: str, now: float) -> float:
+        """Predicted completion time of a ``model`` request admitted now.
+
+        Accounts for the model-switch weight reload when this request
+        would break the replica's current model affinity.
+        """
+        deployment = self.replica.deployment(model)
+        switch = (
+            deployment.switch_latency_seconds
+            if self.last_model is not None and self.last_model != model
+            else 0.0
+        )
+        return max(now, self.busy_until_s) + deployment.latency_seconds + switch
+
+    # -- simulator-side bookkeeping ------------------------------------
+    def admit(self, model: str, now: float) -> None:
+        deployment = self.replica.deployment(model)
+        cost = deployment.period_seconds
+        if self.last_model is not None and self.last_model != model:
+            cost += deployment.switch_period_seconds
+        self.queue_len += 1
+        self.busy_until_s = max(now, self.busy_until_s) + cost
+        self.last_model = model
+
+    def complete(self) -> None:
+        self.queue_len -= 1
+        self.served += 1
+
+
+class Router:
+    """Strategy interface: pick a replica for each arriving request."""
+
+    name = "router"
+
+    def reset(self, num_replicas: int) -> None:
+        """Called once per simulation before the first request."""
+
+    def route(
+        self, request: Request, states: Sequence[ReplicaState], now: float
+    ) -> Optional[int]:
+        """Replica index to serve ``request``, or ``None`` to reject it."""
+        raise NotImplementedError
+
+
+def _eligible(
+    request: Request, states: Sequence[ReplicaState]
+) -> List[ReplicaState]:
+    eligible = [s for s in states if s.serves(request.model)]
+    if not eligible:
+        raise DeploymentError(
+            f"no replica deploys model {request.model!r} "
+            f"(request from tenant {request.tenant!r})"
+        )
+    return eligible
+
+
+class RoundRobinRouter(Router):
+    """Cycle through the replicas, skipping ones without the model."""
+
+    name = "round_robin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def reset(self, num_replicas: int) -> None:
+        self._next = 0
+
+    def route(
+        self, request: Request, states: Sequence[ReplicaState], now: float
+    ) -> Optional[int]:
+        _eligible(request, states)
+        for offset in range(len(states)):
+            candidate = states[(self._next + offset) % len(states)]
+            if candidate.serves(request.model):
+                self._next = (candidate.index + 1) % len(states)
+                return candidate.index
+        return None  # unreachable: _eligible raised already
+
+
+class LeastOutstandingWorkRouter(Router):
+    """Join the replica with the least estimated outstanding work.
+
+    Blind to the request's own cost on each candidate — it only balances
+    backlog, which is ideal on homogeneous fleets and the classic
+    production baseline (least-outstanding-requests weighted by work).
+    """
+
+    name = "least_outstanding_work"
+
+    def route(
+        self, request: Request, states: Sequence[ReplicaState], now: float
+    ) -> Optional[int]:
+        eligible = _eligible(request, states)
+        return min(
+            eligible, key=lambda s: (s.outstanding_seconds(now), s.index)
+        ).index
+
+
+class SloAwareRouter(Router):
+    """Deadline-aware dispatch using per-replica, per-model cost estimates.
+
+    Predicts each replica's completion time for *this* request — current
+    backlog plus the model's pipeline latency on that replica's hardware
+    — and picks the earliest.  Unlike least-outstanding-work it accounts
+    for heterogeneity (a heavy model may be far slower on a 2-stage
+    replica whose SRAM it overflows), so it keeps tight-SLO traffic off
+    replicas that cannot meet the deadline even when they are idle.
+
+    With ``reject_infeasible=True`` the router doubles as admission
+    control: requests whose best predicted completion already misses the
+    deadline are rejected instead of queued (protecting the SLO of the
+    traffic behind them).
+    """
+
+    name = "slo_aware"
+
+    def __init__(self, reject_infeasible: bool = False) -> None:
+        self.reject_infeasible = reject_infeasible
+
+    def route(
+        self, request: Request, states: Sequence[ReplicaState], now: float
+    ) -> Optional[int]:
+        eligible = _eligible(request, states)
+        best = min(
+            eligible,
+            key=lambda s: (s.estimated_completion(request.model, now), s.index),
+        )
+        if (
+            self.reject_infeasible
+            and best.estimated_completion(request.model, now) > request.deadline_s
+        ):
+            return None
+        return best.index
+
+
+def default_routers() -> List[Router]:
+    """The three built-in policies, in increasing order of sophistication."""
+    return [RoundRobinRouter(), LeastOutstandingWorkRouter(), SloAwareRouter()]

@@ -1,0 +1,182 @@
+"""Standard scenario and fleet suites for routing experiments.
+
+The ROADMAP's scenario-diversity axis starts here: canned multi-tenant
+workloads (skewed, homogeneous, bursty) over the paper's model zoo, plus
+heterogeneous/homogeneous fleet spec builders.  Experiments, the example
+walkthrough and the cluster benchmark all draw from this module so every
+entry point compares routers on the same footing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Sequence, Tuple
+
+from repro.cluster.fleet import ReplicaSpec
+from repro.cluster.workload import (
+    BurstyArrivals,
+    Scenario,
+    TenantSpec,
+)
+from repro.errors import DeploymentError
+from repro.graphs.dag import ComputationalGraph
+from repro.models.zoo import build_model
+from repro.tpu.spec import EdgeTPUSpec, UsbSpec, default_spec
+
+#: The three smallest zoo members — the default fleet catalog.  Small
+#: keeps scenario setup fast while still spanning a ~2.6x node-count
+#: range, enough for per-model cost heterogeneity to matter.
+DEFAULT_MODELS: Tuple[str, ...] = ("Xception", "ResNet50", "ResNet101")
+
+
+def scenario_models(scenario: Scenario) -> Dict[str, ComputationalGraph]:
+    """Build every zoo model the scenario's tenants reference."""
+    return {name: build_model(name) for name in scenario.model_names()}
+
+
+# ----------------------------------------------------------------------
+# fleets
+# ----------------------------------------------------------------------
+def homogeneous_fleet(
+    num_replicas: int = 4, num_stages: int = 4
+) -> List[ReplicaSpec]:
+    """``num_replicas`` identical per-stage-bus replicas."""
+    return [
+        ReplicaSpec(name=f"replica_{i}", num_stages=num_stages)
+        for i in range(num_replicas)
+    ]
+
+
+def heterogeneous_fleet(num_replicas: int = 4) -> List[ReplicaSpec]:
+    """A mixed rig: strong 4-stage boxes, a short pipeline, a slow link.
+
+    The first two replicas are the paper's 4-TPU testbed; then a 2-stage
+    replica (big models overflow its aggregate SRAM and pay weight
+    streaming) and a 4-stage replica on a degraded shared USB controller
+    alternate — the heterogeneity the SLO-aware router exploits.
+    """
+    if num_replicas < 1:
+        raise DeploymentError("num_replicas must be >= 1")
+    slow_usb = EdgeTPUSpec(
+        name="coral_usb_slow",
+        usb=UsbSpec(bandwidth_bytes_per_s=120e6, per_transfer_latency_s=4e-4),
+    )
+    fast = default_spec()
+    template = [
+        ReplicaSpec(name="fast_a", num_stages=4, spec=fast),
+        ReplicaSpec(name="fast_b", num_stages=4, spec=fast),
+        ReplicaSpec(name="short_pipe", num_stages=2, spec=fast),
+        ReplicaSpec(
+            name="slow_bus", num_stages=4, spec=slow_usb, bus_mode="shared"
+        ),
+    ]
+    specs: List[ReplicaSpec] = []
+    for i in range(num_replicas):
+        base = template[i % len(template)]
+        suffix = i // len(template)
+        specs.append(
+            base if suffix == 0 else replace(base, name=f"{base.name}_{suffix}")
+        )
+    return specs
+
+
+# ----------------------------------------------------------------------
+# scenarios
+# ----------------------------------------------------------------------
+def skewed_tenants_scenario(
+    duration_s: float = 4.0, load: float = 1.0
+) -> Scenario:
+    """One heavy tight-SLO tenant dominating two light background tenants.
+
+    The heavy tenant's mix leans on the largest model; round-robin keeps
+    sending those requests to replicas that serve them slowly, while an
+    SLO-aware router steers them to fast 4-stage boxes — the scenario the
+    router tests assert a strict attainment gap on.
+    """
+    return Scenario(
+        name="skewed_tenants",
+        tenants=(
+            TenantSpec(
+                name="heavy",
+                model_mix={"ResNet101": 0.8, "ResNet50": 0.2},
+                rate_per_s=18.0 * load,
+                slo_seconds=0.25,
+            ),
+            TenantSpec(
+                name="light_vision",
+                model_mix={"Xception": 1.0},
+                rate_per_s=6.0 * load,
+                slo_seconds=0.5,
+            ),
+            TenantSpec(
+                name="light_mixed",
+                model_mix={"Xception": 0.5, "ResNet50": 0.5},
+                rate_per_s=4.0 * load,
+                slo_seconds=0.5,
+            ),
+        ),
+        duration_s=duration_s,
+    )
+
+
+def homogeneous_scenario(
+    duration_s: float = 4.0, load: float = 1.0
+) -> Scenario:
+    """A single steady tenant — the load-balancing baseline scenario."""
+    return Scenario(
+        name="homogeneous",
+        tenants=(
+            TenantSpec(
+                name="steady",
+                model_mix={"ResNet50": 1.0},
+                rate_per_s=24.0 * load,
+                slo_seconds=0.5,
+            ),
+        ),
+        duration_s=duration_s,
+    )
+
+
+def bursty_scenario(duration_s: float = 4.0, load: float = 1.0) -> Scenario:
+    """Bursty (MMPP) tenants against a steady background stream."""
+    return Scenario(
+        name="bursty",
+        tenants=(
+            TenantSpec(
+                name="bursty_video",
+                model_mix={"ResNet101": 0.5, "ResNet50": 0.5},
+                rate_per_s=12.0 * load,
+                slo_seconds=0.4,
+                arrivals=BurstyArrivals(
+                    burst_factor=4.0, on_fraction=0.2, mean_burst_s=0.4
+                ),
+            ),
+            TenantSpec(
+                name="steady_iot",
+                model_mix={"Xception": 1.0},
+                rate_per_s=8.0 * load,
+                slo_seconds=0.6,
+            ),
+            TenantSpec(
+                name="bursty_batch",
+                model_mix={"ResNet50": 1.0},
+                rate_per_s=6.0 * load,
+                slo_seconds=1.0,
+                arrivals=BurstyArrivals(
+                    burst_factor=3.0, on_fraction=0.25, mean_burst_s=0.6
+                ),
+            ),
+        ),
+        duration_s=duration_s,
+    )
+
+
+def standard_suite(
+    duration_s: float = 4.0, load: float = 1.0
+) -> List[Tuple[Scenario, List[ReplicaSpec]]]:
+    """The (scenario, fleet) pairs every routing comparison runs over."""
+    return [
+        (skewed_tenants_scenario(duration_s, load), heterogeneous_fleet(4)),
+        (homogeneous_scenario(duration_s, load), homogeneous_fleet(3)),
+        (bursty_scenario(duration_s, load), heterogeneous_fleet(4)),
+    ]

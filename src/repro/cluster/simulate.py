@@ -1,0 +1,426 @@
+"""Fleet discrete-event simulation: arrival stream -> router -> replicas.
+
+One global event loop drives every replica's pipelined execution under a
+multi-tenant request stream.  Each replica runs the same three-phase
+stage machinery as :class:`repro.tpu.pipeline.PipelinedTpuSystem`
+(input transfer, weight stream + compute, output transfer; FIFO link
+grants in ready-time order), generalized in two ways:
+
+* inferences arrive at *workload times* and carry *per-model* stage
+  profiles, so heterogeneous models interleave on one replica;
+* when consecutive inferences at a stage belong to different models, the
+  stage pays a **model-switch reload** — streaming the incoming model's
+  resident (on-chip) weights over the link before computing — which
+  makes tenant-affinity a real routing concern, exactly as on physical
+  Edge TPUs whose SRAM holds one model's parameters at a time.
+
+Routing decisions happen at arrival time against the fluid
+:class:`~repro.cluster.router.ReplicaState` estimates; the DES then
+charges true resource-contention timing.  Everything is deterministic:
+same requests + fleet + router => the identical :class:`FleetReport`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.cluster.fleet import Fleet, Replica
+from repro.cluster.report import (
+    FleetReport,
+    ReplicaReport,
+    TenantReport,
+    summarize_tenant,
+)
+from repro.cluster.router import ReplicaState, Router
+from repro.cluster.workload import Request, Scenario, TenantSpec, generate_requests
+from repro.errors import DeploymentError
+from repro.tpu.latency import weight_stream_seconds
+from repro.tpu.pipeline import PipelineReport, StageProfile
+from repro.tpu.power import PowerModel, estimate_energy
+from repro.utils.rng import SeedLike
+
+_ARRIVAL = -1
+
+
+class _ReplicaRuntime:
+    """Mutable per-replica simulation state (resources + accumulators)."""
+
+    def __init__(self, index: int, replica: Replica) -> None:
+        self.replica = replica
+        self.state = ReplicaState(index, replica)
+        shared = replica.spec.bus_mode == "shared"
+        links = 1 if shared else replica.num_stages
+        self.shared = shared
+        self.link_free = [0.0] * links
+        self.link_busy = [0.0] * links
+        self.stage_free = [0.0] * replica.num_stages
+        self.stage_busy = [0.0] * replica.num_stages
+        self.last_model: List[Optional[str]] = [None] * replica.num_stages
+        # Per-stage accumulators feeding the energy/utilization report.
+        self.in_bytes = [0] * replica.num_stages
+        self.out_bytes = [0] * replica.num_stages
+        self.stream_bytes = [0] * replica.num_stages
+        self.compute_seconds = [0.0] * replica.num_stages
+        self.stream_seconds = [0.0] * replica.num_stages
+        self.in_transfer_seconds = [0.0] * replica.num_stages
+        self.out_transfer_seconds = [0.0] * replica.num_stages
+        self.latencies: List[float] = []
+        # Host-side input submission is paced exactly like the tier-1
+        # pipeline simulator: one stage-0 input on the wire at a time,
+        # the next admitted when it finishes.  Without this, a burst of
+        # arrivals would book the stage-0 link far ahead of earlier
+        # requests' pending mid-pipeline transfers (a head-of-line
+        # inversion the real host cannot produce).
+        self.input_queue: Deque[int] = deque()
+        self.input_busy = False
+
+    def link_index(self, stage: int) -> int:
+        return 0 if self.shared else stage
+
+
+class FleetSimulator:
+    """Simulate a routed multi-tenant request stream over a fleet.
+
+    Parameters
+    ----------
+    fleet:
+        The replicas and their model deployments.
+    router:
+        Routing/admission policy consulted once per arriving request.
+    model_switch_reload:
+        Charge the on-chip weight reload when a stage switches models
+        between consecutive inferences (default on).  Disable to model
+        replicas with per-model SRAM partitions.
+    power:
+        Power model used for the per-replica energy reports.
+    """
+
+    def __init__(
+        self,
+        fleet: Fleet,
+        router: Router,
+        model_switch_reload: bool = True,
+        power: PowerModel = PowerModel(),
+    ) -> None:
+        self.fleet = fleet
+        self.router = router
+        self.model_switch_reload = model_switch_reload
+        self.power = power
+
+    # ------------------------------------------------------------------
+    def simulate(
+        self,
+        requests: Sequence[Request],
+        duration_s: float = 0.0,
+        scenario_name: str = "adhoc",
+        tenants: Optional[Sequence[TenantSpec]] = None,
+    ) -> FleetReport:
+        """Run the stream to drain and fold the outcome into a report.
+
+        The horizon is ``max(duration_s, last completion)``: utilization
+        and idle energy are charged over the full window even when the
+        fleet drains early, and over the drain tail when it does not.
+        """
+        requests = sorted(requests, key=lambda r: (r.arrival_s, r.index))
+        runtimes = [
+            _ReplicaRuntime(i, replica)
+            for i, replica in enumerate(self.fleet.replicas)
+        ]
+        states = [runtime.state for runtime in runtimes]
+        self.router.reset(len(runtimes))
+
+        assigned: Dict[int, Tuple[_ReplicaRuntime, Tuple[StageProfile, ...]]] = {}
+        rejected: Dict[int, bool] = {}
+        completion_latency: Dict[int, float] = {}
+        by_index = {request.index: request for request in requests}
+        if len(by_index) != len(requests):
+            raise DeploymentError("request indices must be unique")
+
+        # Event heap: (time, seq, request index, phase); phase -1 = arrival.
+        heap: List[Tuple[float, int, int, int]] = []
+        seq = 0
+        for request in requests:
+            heapq.heappush(heap, (request.arrival_s, seq, request.index, _ARRIVAL))
+            seq += 1
+
+        last_completion = 0.0
+        while heap:
+            now, _, req_index, phase = heapq.heappop(heap)
+            request = by_index[req_index]
+            if phase == _ARRIVAL:
+                choice = self.router.route(request, states, now)
+                if choice is None:
+                    rejected[req_index] = True
+                    continue
+                if not 0 <= choice < len(runtimes):
+                    raise DeploymentError(
+                        f"router {self.router.name!r} returned replica index "
+                        f"{choice} for a fleet of {len(runtimes)}"
+                    )
+                runtime = runtimes[choice]
+                deployment = runtime.replica.deployment(request.model)
+                runtime.state.admit(request.model, now)
+                assigned[req_index] = (runtime, deployment.profiles)
+                if runtime.input_busy:
+                    runtime.input_queue.append(req_index)
+                else:
+                    runtime.input_busy = True
+                    heapq.heappush(heap, (now, seq, req_index, 0))
+                    seq += 1
+                continue
+
+            runtime, profiles = assigned[req_index]
+            k, sub = phase // 3, phase % 3
+            profile = profiles[k]
+            link = runtime.link_index(k)
+            if sub == 0:  # host -> device input transfer
+                start = max(now, runtime.link_free[link])
+                duration = profile.input_transfer_seconds
+                end = start + duration
+                runtime.link_free[link] = end
+                runtime.link_busy[link] += duration
+                runtime.in_bytes[k] += profile.input_bytes
+                runtime.in_transfer_seconds[k] += duration
+                heapq.heappush(heap, (end, seq, req_index, phase + 1))
+                seq += 1
+                if k == 0:
+                    # This input is on the wire: submit the next queued
+                    # request's input once it completes.
+                    if runtime.input_queue:
+                        heapq.heappush(
+                            heap, (end, seq, runtime.input_queue.popleft(), 0)
+                        )
+                        seq += 1
+                    else:
+                        runtime.input_busy = False
+            elif sub == 1:  # weight (re)stream then compute, on the device
+                device_ready = max(now, runtime.stage_free[k])
+                stream = profile.weight_stream_seconds
+                stream_bytes = profile.off_chip_bytes
+                if (
+                    self.model_switch_reload
+                    and runtime.last_model[k] is not None
+                    and runtime.last_model[k] != request.model
+                    and profile.on_chip_bytes > 0
+                ):
+                    stream += weight_stream_seconds(
+                        profile.on_chip_bytes, runtime.replica.spec.spec
+                    )
+                    stream_bytes += profile.on_chip_bytes
+                runtime.last_model[k] = request.model
+                if stream > 0.0:
+                    start = max(device_ready, runtime.link_free[link])
+                    runtime.link_free[link] = start + stream
+                    runtime.link_busy[link] += stream
+                    compute_start = start + stream
+                else:
+                    compute_start = device_ready
+                compute_end = compute_start + profile.compute_seconds
+                runtime.stage_free[k] = compute_end
+                runtime.stage_busy[k] += stream + profile.compute_seconds
+                runtime.stream_bytes[k] += stream_bytes
+                runtime.stream_seconds[k] += stream
+                runtime.compute_seconds[k] += profile.compute_seconds
+                heapq.heappush(heap, (compute_end, seq, req_index, phase + 1))
+                seq += 1
+            else:  # device -> host output transfer
+                start = max(now, runtime.link_free[link])
+                duration = profile.output_transfer_seconds
+                end = start + duration
+                runtime.link_free[link] = end
+                runtime.link_busy[link] += duration
+                runtime.out_bytes[k] += profile.output_bytes
+                runtime.out_transfer_seconds[k] += duration
+                if k + 1 < len(profiles):
+                    heapq.heappush(heap, (end, seq, req_index, phase + 1))
+                    seq += 1
+                else:
+                    runtime.state.complete()
+                    latency = end - request.arrival_s
+                    runtime.latencies.append(latency)
+                    completion_latency[req_index] = latency
+                    last_completion = max(last_completion, end)
+
+        horizon = max(float(duration_s), last_completion)
+        return self._build_report(
+            requests,
+            runtimes,
+            rejected,
+            completion_latency,
+            horizon,
+            scenario_name,
+            tenants,
+        )
+
+    # ------------------------------------------------------------------
+    def _build_report(
+        self,
+        requests: Sequence[Request],
+        runtimes: Sequence[_ReplicaRuntime],
+        rejected: Dict[int, bool],
+        completion_latency: Dict[int, float],
+        horizon: float,
+        scenario_name: str,
+        tenants: Optional[Sequence[TenantSpec]],
+    ) -> FleetReport:
+        # -- tenants ----------------------------------------------------
+        tenant_latencies: Dict[str, List[float]] = {}
+        tenant_requests: Dict[str, int] = {}
+        tenant_rejected: Dict[str, int] = {}
+        tenant_within: Dict[str, int] = {}
+        tenant_slo: Dict[str, float] = {}
+        if tenants is not None:
+            for spec in tenants:
+                tenant_latencies[spec.name] = []
+                tenant_requests[spec.name] = 0
+                tenant_rejected[spec.name] = 0
+                tenant_within[spec.name] = 0
+                tenant_slo[spec.name] = spec.slo_seconds
+        for request in requests:
+            tenant_requests[request.tenant] = (
+                tenant_requests.get(request.tenant, 0) + 1
+            )
+            tenant_latencies.setdefault(request.tenant, [])
+            tenant_rejected.setdefault(request.tenant, 0)
+            tenant_within.setdefault(request.tenant, 0)
+            tenant_slo.setdefault(request.tenant, request.slo_seconds)
+            if rejected.get(request.index):
+                tenant_rejected[request.tenant] += 1
+            elif request.index in completion_latency:
+                latency = completion_latency[request.index]
+                tenant_latencies[request.tenant].append(latency)
+                # Score against the request's own deadline — the same
+                # one the admission policies judge — so per-request SLOs
+                # in ad-hoc streams are honored.
+                if latency <= request.slo_seconds:
+                    tenant_within[request.tenant] += 1
+        tenant_reports = tuple(
+            summarize_tenant(
+                name,
+                tenant_slo[name],
+                tenant_requests.get(name, 0),
+                tenant_rejected.get(name, 0),
+                tenant_latencies[name],
+                tenant_within.get(name, 0),
+                horizon,
+            )
+            for name in tenant_latencies
+        )
+
+        # -- replicas ---------------------------------------------------
+        replica_reports = tuple(
+            self._replica_report(runtime, horizon) for runtime in runtimes
+        )
+        completed = sum(t.completed for t in tenant_reports)
+        return FleetReport(
+            scenario=scenario_name,
+            router=self.router.name,
+            horizon_s=horizon,
+            requests=len(requests),
+            completed=completed,
+            rejected=sum(t.rejected for t in tenant_reports),
+            tenants=tenant_reports,
+            replicas=replica_reports,
+            schedule_reuse_hit_rate=self.fleet.build_stats.hit_rate,
+        )
+
+    # ------------------------------------------------------------------
+    def _replica_report(
+        self, runtime: _ReplicaRuntime, horizon: float
+    ) -> ReplicaReport:
+        replica = runtime.replica
+        served = runtime.state.served
+        num_stages = replica.num_stages
+        spec = replica.spec.spec
+        profiles: List[StageProfile] = []
+        if served:
+            for k in range(num_stages):
+                profiles.append(
+                    StageProfile(
+                        stage=k,
+                        compute_seconds=runtime.compute_seconds[k] / served,
+                        weight_stream_seconds=runtime.stream_seconds[k] / served,
+                        input_bytes=runtime.in_bytes[k] // served,
+                        output_bytes=runtime.out_bytes[k] // served,
+                        input_transfer_seconds=(
+                            runtime.in_transfer_seconds[k] / served
+                        ),
+                        output_transfer_seconds=(
+                            runtime.out_transfer_seconds[k] / served
+                        ),
+                        on_chip_bytes=0,
+                        off_chip_bytes=runtime.stream_bytes[k] // served,
+                    )
+                )
+        stage_util = tuple(
+            (busy / horizon if horizon else 0.0) for busy in runtime.stage_busy
+        )
+        bus_busy = sum(runtime.link_busy)
+        bus_capacity = horizon * len(runtime.link_free)
+        pipeline_report = PipelineReport(
+            num_inferences=served,
+            makespan_seconds=horizon,
+            throughput_per_second=served / horizon if horizon else 0.0,
+            mean_latency_seconds=(
+                sum(runtime.latencies) / served if served else 0.0
+            ),
+            steady_period_seconds=horizon / served if served else 0.0,
+            stage_busy_seconds=list(runtime.stage_busy),
+            bus_busy_seconds=bus_busy,
+            bottleneck=self._bottleneck(runtime),
+            bus_mode=replica.spec.bus_mode,
+            profiles=profiles,
+        )
+        return ReplicaReport(
+            replica=replica.name,
+            num_stages=num_stages,
+            bus_mode=replica.spec.bus_mode,
+            served=served,
+            utilization=max(stage_util, default=0.0),
+            stage_utilization=stage_util,
+            bus_utilization=bus_busy / bus_capacity if bus_capacity else 0.0,
+            energy=estimate_energy(pipeline_report, self.power),
+        )
+
+    @staticmethod
+    def _bottleneck(runtime: _ReplicaRuntime) -> str:
+        # Mirrors PipelinedTpuSystem._bottleneck: the busiest device
+        # stage vs the busiest single link (shared mode: the one bus).
+        if runtime.state.served == 0:
+            return "idle"
+        stage = max(
+            range(len(runtime.stage_busy)), key=lambda k: runtime.stage_busy[k]
+        )
+        if runtime.shared:
+            if runtime.link_busy[0] > runtime.stage_busy[stage]:
+                return "usb_host_bus"
+            return f"stage_{stage}"
+        link = max(
+            range(len(runtime.link_busy)), key=lambda i: runtime.link_busy[i]
+        )
+        if runtime.link_busy[link] > runtime.stage_busy[stage]:
+            return f"link_{link}"
+        return f"stage_{stage}"
+
+
+def simulate_scenario(
+    scenario: Scenario,
+    fleet: Fleet,
+    router: Router,
+    seed: SeedLike,
+    model_switch_reload: bool = True,
+    power: PowerModel = PowerModel(),
+) -> FleetReport:
+    """Generate the scenario's stream under ``seed`` and simulate it."""
+    requests = generate_requests(scenario, seed)
+    simulator = FleetSimulator(
+        fleet, router, model_switch_reload=model_switch_reload, power=power
+    )
+    return simulator.simulate(
+        requests,
+        duration_s=scenario.duration_s,
+        scenario_name=scenario.name,
+        tenants=scenario.tenants,
+    )

@@ -1,0 +1,238 @@
+"""Multi-tenant workload generation for fleet simulation.
+
+A fleet serves *request streams*, not back-to-back inference loops: each
+tenant owns a model mix, an average request rate, a latency SLO and an
+arrival process.  This module turns a :class:`Scenario` (a set of
+tenants plus a time horizon) into one deterministic, time-ordered list
+of :class:`Request` objects — the input of
+:class:`repro.cluster.simulate.FleetSimulator`.
+
+Determinism contract: every stochastic choice flows through
+:mod:`repro.utils.rng`.  Each tenant draws from its own child generator
+(spawned from the scenario seed via ``SeedSequence``), so a
+``(seed, scenario)`` pair replays the identical trace regardless of how
+many tenants exist or in which order they are listed elsewhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import DeploymentError
+from repro.utils.rng import SeedLike, spawn_rngs
+
+
+class ArrivalProcess:
+    """Strategy producing request arrival times over ``[0, duration_s)``."""
+
+    name = "arrival"
+
+    def sample_times(
+        self, rate_per_s: float, duration_s: float, rng: np.random.Generator
+    ) -> List[float]:
+        raise NotImplementedError
+
+
+class PoissonArrivals(ArrivalProcess):
+    """Homogeneous Poisson process: i.i.d. exponential inter-arrivals."""
+
+    name = "poisson"
+
+    def sample_times(
+        self, rate_per_s: float, duration_s: float, rng: np.random.Generator
+    ) -> List[float]:
+        if rate_per_s <= 0:
+            return []
+        times: List[float] = []
+        t = float(rng.exponential(1.0 / rate_per_s))
+        while t < duration_s:
+            times.append(t)
+            t += float(rng.exponential(1.0 / rate_per_s))
+        return times
+
+
+class BurstyArrivals(ArrivalProcess):
+    """Two-state Markov-modulated Poisson process (MMPP-2).
+
+    The stream alternates between an ON state (bursts, rate
+    ``burst_factor`` times the nominal rate) and an OFF state whose rate
+    is chosen so the *long-run average* still equals ``rate_per_s``:
+    ``on_fraction * burst_factor + (1 - on_fraction) * off_factor = 1``.
+    Sojourn times in each state are exponential with means
+    ``mean_burst_s`` (ON) and ``mean_burst_s * (1 - on_fraction) /
+    on_fraction`` (OFF), so the process spends ``on_fraction`` of the
+    time bursting.
+    """
+
+    name = "bursty"
+
+    def __init__(
+        self,
+        burst_factor: float = 4.0,
+        on_fraction: float = 0.2,
+        mean_burst_s: float = 0.5,
+    ) -> None:
+        if not 0.0 < on_fraction < 1.0:
+            raise DeploymentError("on_fraction must be in (0, 1)")
+        if burst_factor < 1.0:
+            raise DeploymentError("burst_factor must be >= 1")
+        if burst_factor * on_fraction > 1.0:
+            raise DeploymentError(
+                "burst_factor * on_fraction must be <= 1 so the OFF-state "
+                "rate stays non-negative"
+            )
+        if mean_burst_s <= 0:
+            raise DeploymentError("mean_burst_s must be positive")
+        self.burst_factor = burst_factor
+        self.on_fraction = on_fraction
+        self.mean_burst_s = mean_burst_s
+
+    def sample_times(
+        self, rate_per_s: float, duration_s: float, rng: np.random.Generator
+    ) -> List[float]:
+        if rate_per_s <= 0:
+            return []
+        off_factor = (1.0 - self.on_fraction * self.burst_factor) / (
+            1.0 - self.on_fraction
+        )
+        mean_off_s = self.mean_burst_s * (1.0 - self.on_fraction) / self.on_fraction
+        on = bool(rng.random() < self.on_fraction)
+        times: List[float] = []
+        t = 0.0
+        while t < duration_s:
+            sojourn = float(
+                rng.exponential(self.mean_burst_s if on else mean_off_s)
+            )
+            state_end = min(t + sojourn, duration_s)
+            rate = rate_per_s * (self.burst_factor if on else off_factor)
+            if rate > 0:
+                arrival = t + float(rng.exponential(1.0 / rate))
+                while arrival < state_end:
+                    times.append(arrival)
+                    arrival += float(rng.exponential(1.0 / rate))
+            t = state_end
+            on = not on
+        return times
+
+
+class TraceArrivals(ArrivalProcess):
+    """Replay an explicit list of arrival times (clipped to the horizon)."""
+
+    name = "trace"
+
+    def __init__(self, times: Sequence[float]) -> None:
+        if any(t < 0 for t in times):
+            raise DeploymentError("trace arrival times must be non-negative")
+        self.times = tuple(sorted(float(t) for t in times))
+
+    def sample_times(
+        self, rate_per_s: float, duration_s: float, rng: np.random.Generator
+    ) -> List[float]:
+        return [t for t in self.times if t < duration_s]
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant: a model mix, an arrival stream and a latency SLO."""
+
+    name: str
+    model_mix: Mapping[str, float]
+    rate_per_s: float
+    slo_seconds: float
+    arrivals: ArrivalProcess = field(default_factory=PoissonArrivals)
+
+    def __post_init__(self) -> None:
+        if not self.model_mix:
+            raise DeploymentError(f"tenant {self.name!r} has an empty model mix")
+        if any(w <= 0 for w in self.model_mix.values()):
+            raise DeploymentError(
+                f"tenant {self.name!r} model-mix weights must be positive"
+            )
+        if self.rate_per_s < 0:
+            raise DeploymentError(f"tenant {self.name!r} rate must be >= 0")
+        if self.slo_seconds <= 0:
+            raise DeploymentError(f"tenant {self.name!r} SLO must be positive")
+
+
+@dataclass(frozen=True)
+class Request:
+    """One inference request as seen by the fleet router."""
+
+    index: int
+    tenant: str
+    model: str
+    arrival_s: float
+    slo_seconds: float
+
+    @property
+    def deadline_s(self) -> float:
+        return self.arrival_s + self.slo_seconds
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named multi-tenant workload over a fixed time horizon."""
+
+    name: str
+    tenants: Tuple[TenantSpec, ...]
+    duration_s: float
+
+    def __post_init__(self) -> None:
+        if not self.tenants:
+            raise DeploymentError("scenario needs at least one tenant")
+        names = [t.name for t in self.tenants]
+        if len(set(names)) != len(names):
+            raise DeploymentError(f"tenant names must be unique, got {names}")
+        if self.duration_s <= 0:
+            raise DeploymentError("scenario duration must be positive")
+
+    def model_names(self) -> List[str]:
+        """Every model referenced by some tenant mix (sorted, unique)."""
+        return sorted({m for t in self.tenants for m in t.model_mix})
+
+
+def generate_requests(scenario: Scenario, seed: SeedLike) -> List[Request]:
+    """Materialize the scenario's request stream, time-ordered.
+
+    Each tenant consumes its own spawned child generator (arrival times
+    first, then per-arrival model draws), so traces are reproducible and
+    independent across tenants.  Ties in arrival time break by tenant
+    order then per-tenant sequence, making the merged stream — and the
+    global request indices — deterministic.
+    """
+    rngs = spawn_rngs(seed, len(scenario.tenants))
+    merged: List[Tuple[float, int, int, str, str, float]] = []
+    for tenant_idx, (tenant, rng) in enumerate(zip(scenario.tenants, rngs)):
+        times = tenant.arrivals.sample_times(
+            tenant.rate_per_s, scenario.duration_s, rng
+        )
+        models = sorted(tenant.model_mix)
+        weights = np.array([tenant.model_mix[m] for m in models], dtype=float)
+        weights /= weights.sum()
+        choices = rng.choice(len(models), size=len(times), p=weights)
+        for seq, (t, c) in enumerate(zip(times, choices)):
+            merged.append(
+                (t, tenant_idx, seq, tenant.name, models[int(c)], tenant.slo_seconds)
+            )
+    merged.sort(key=lambda entry: (entry[0], entry[1], entry[2]))
+    return [
+        Request(
+            index=i,
+            tenant=tenant,
+            model=model,
+            arrival_s=t,
+            slo_seconds=slo,
+        )
+        for i, (t, _, _, tenant, model, slo) in enumerate(merged)
+    ]
+
+
+def tenant_request_counts(requests: Sequence[Request]) -> Dict[str, int]:
+    """Requests per tenant (insertion order follows first appearance)."""
+    counts: Dict[str, int] = {}
+    for request in requests:
+        counts[request.tenant] = counts.get(request.tenant, 0) + 1
+    return counts

@@ -9,14 +9,20 @@ from repro.experiments.table1 import run_table1, format_table1
 from repro.experiments.fig3 import run_fig3, format_fig3
 from repro.experiments.fig4 import run_fig4, format_fig4
 from repro.experiments.fig5 import run_fig5, format_fig5
+from repro.experiments.fleet_routing import (
+    format_fleet_routing,
+    run_fleet_routing,
+)
 
 __all__ = [
     "format_fig3",
     "format_fig4",
     "format_fig5",
+    "format_fleet_routing",
     "format_table1",
     "run_fig3",
     "run_fig4",
     "run_fig5",
+    "run_fleet_routing",
     "run_table1",
 ]

@@ -2,6 +2,7 @@
 
 from repro.flow.compare import (
     MethodOutcome,
+    ServedMethodStats,
     compare_methods,
     compare_methods_over_models,
     default_methods,
@@ -9,11 +10,13 @@ from repro.flow.compare import (
     run_method_batch,
     schedule_many,
     serve_methods,
+    served_method_stats,
 )
 from repro.flow.multimodel import merge_graphs, split_schedule
 
 __all__ = [
     "MethodOutcome",
+    "ServedMethodStats",
     "compare_methods",
     "compare_methods_over_models",
     "default_methods",
@@ -22,5 +25,6 @@ __all__ = [
     "run_method_batch",
     "schedule_many",
     "serve_methods",
+    "served_method_stats",
     "split_schedule",
 ]

@@ -9,6 +9,7 @@ evaluation section reports: schedule *solving time* (Fig. 3), simulated
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
@@ -228,6 +229,78 @@ def compare_methods_over_models(
     return per_graph
 
 
+@dataclass(frozen=True)
+class ServedMethodStats:
+    """Aggregated service counters of one :func:`serve_methods` method.
+
+    Sums the :class:`~repro.service.ServiceStats` counters over every
+    service the wrapped factory created (they share one cache, so
+    ``hit_rate`` reflects reuse across separate comparison calls) —
+    fleet experiments report schedule-reuse numbers from here instead of
+    reaching into service internals.
+    """
+
+    method: str
+    services: int
+    requests: int
+    cache_hits: int
+    coalesced: int
+    batches: int
+    scheduled_graphs: int
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cache_hits / self.requests if self.requests else 0.0
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.scheduled_graphs / self.batches if self.batches else 0.0
+
+
+def served_method_stats(
+    methods: Dict[str, SchedulerFactory],
+) -> Dict[str, ServedMethodStats]:
+    """Per-method cache/service stats of a :func:`serve_methods` dict.
+
+    Raises :class:`SchedulingError` when given a method dict that never
+    went through :func:`serve_methods` (there is nothing to report).
+    """
+    stats: Dict[str, ServedMethodStats] = {}
+    for name, factory in methods.items():
+        collect = getattr(factory, "service_stats", None)
+        if not callable(collect):
+            raise SchedulingError(
+                f"method {name!r} was not wrapped by serve_methods; "
+                "service stats are only available for served method dicts"
+            )
+        stats[name] = collect()
+    return stats
+
+
+class _ServedService:
+    """Façade over a :class:`SchedulingService` created by a served factory.
+
+    Delegates every attribute to the wrapped service, and on garbage
+    collection triggers ``finalizer(service)`` — letting
+    :func:`serve_methods` fold the service's final counters into its
+    per-method tallies at exactly the moment the caller abandons it,
+    without the factory ever holding a strong reference.
+    """
+
+    def __init__(self, service: object, finalizer: Callable) -> None:
+        self._service = service
+        weakref.finalize(self, finalizer, service)
+
+    def __getattr__(self, name: str) -> object:
+        return getattr(object.__getattribute__(self, "_service"), name)
+
+    def __enter__(self) -> "_ServedService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._service.close()  # type: ignore[attr-defined]
+
+
 def serve_methods(
     methods: Dict[str, SchedulerFactory],
     cache_capacity: int = 512,
@@ -250,20 +323,75 @@ def serve_methods(
     scheduler instance's options fingerprint).  Idle services retire
     their worker threads automatically, so factory-created services
     need no explicit ``close()``.
+
+    Each returned factory additionally exposes ``service_stats()`` —
+    aggregated over all services it created — which
+    :func:`served_method_stats` collects into per-method cache hit rates
+    and mean micro-batch sizes.
     """
     from repro.service import ScheduleCache, SchedulingService
 
-    def wrap(factory: SchedulerFactory) -> SchedulerFactory:
+    def wrap(name: str, factory: SchedulerFactory) -> SchedulerFactory:
         shared_cache = ScheduleCache(cache_capacity)
+        # Created services are handed out behind `_ServedService` façades
+        # tracked only weakly, so a long-lived served dict does not keep
+        # every service it ever created alive.  When a caller drops its
+        # façade, the finalizer reads the real service's *final* counters
+        # into the running tallies — stats stay exact whether a service
+        # is still in use or long abandoned.
+        tracked: List["weakref.ref[_ServedService]"] = []
+        folded = {
+            "services": 0,
+            "requests": 0,
+            "cache_hits": 0,
+            "coalesced": 0,
+            "batches": 0,
+            "scheduled_graphs": 0,
+        }
+
+        def fold(service: "SchedulingService") -> None:
+            stats = service.stats()
+            folded["services"] += 1
+            folded["requests"] += stats.requests
+            folded["cache_hits"] += stats.cache_hits
+            folded["coalesced"] += stats.coalesced
+            folded["batches"] += stats.batches
+            folded["scheduled_graphs"] += stats.scheduled_graphs
 
         def make() -> object:
-            return SchedulingService(
+            service = SchedulingService(
                 factory(),
                 cache=shared_cache,
                 max_batch_size=max_batch_size,
                 batch_window_s=batch_window_s,
             )
+            served = _ServedService(service, fold)
+            tracked[:] = [ref for ref in tracked if ref() is not None]
+            tracked.append(weakref.ref(served))
+            return served
 
+        def service_stats() -> ServedMethodStats:
+            live = []
+            for ref in tracked:
+                served = ref()
+                if served is not None:
+                    live.append(served.stats())
+            return ServedMethodStats(
+                method=name,
+                services=folded["services"] + len(live),
+                requests=folded["requests"] + sum(s.requests for s in live),
+                cache_hits=(
+                    folded["cache_hits"] + sum(s.cache_hits for s in live)
+                ),
+                coalesced=folded["coalesced"] + sum(s.coalesced for s in live),
+                batches=folded["batches"] + sum(s.batches for s in live),
+                scheduled_graphs=(
+                    folded["scheduled_graphs"]
+                    + sum(s.scheduled_graphs for s in live)
+                ),
+            )
+
+        make.service_stats = service_stats  # type: ignore[attr-defined]
         return make
 
-    return {name: wrap(factory) for name, factory in methods.items()}
+    return {name: wrap(name, factory) for name, factory in methods.items()}

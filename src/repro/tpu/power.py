@@ -68,7 +68,11 @@ def estimate_energy(
     total = device_active + device_idle + host + usb
     return EnergyReport(
         total_joules=total,
-        joules_per_inference=total / report.num_inferences,
+        # An empty run (e.g. an idle fleet replica) still burns idle/host
+        # energy but has no inferences to amortize it over.
+        joules_per_inference=(
+            total / report.num_inferences if report.num_inferences else 0.0
+        ),
         breakdown={
             "tpu_active": device_active,
             "tpu_idle": device_idle,

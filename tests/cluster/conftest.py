@@ -1,0 +1,94 @@
+"""Shared fixtures for the cluster test suite.
+
+Synthetic two-model catalogs over artificially small-SRAM device specs
+keep the fleet tests fast while still exhibiting the heterogeneity the
+routers exploit (weight streaming on short pipelines, a slow shared
+bus, model-switch reloads).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import pytest
+
+from repro.cluster import Fleet, ReplicaSpec, Scenario, TenantSpec, build_fleet
+from repro.graphs.dag import ComputationalGraph
+from repro.graphs.sampler import sample_synthetic_dag
+from repro.scheduling.heuristics import ListScheduler
+from repro.tpu.spec import EdgeTPUSpec, UsbSpec
+
+
+@pytest.fixture(scope="session")
+def catalog() -> Dict[str, ComputationalGraph]:
+    tiny = sample_synthetic_dag(num_nodes=10, degree=2, seed=1)
+    tiny.name = "tiny"
+    big = sample_synthetic_dag(num_nodes=40, degree=3, seed=2)
+    big.name = "big"
+    return {"tiny": tiny, "big": big}
+
+
+@pytest.fixture(scope="session")
+def small_sram_spec() -> EdgeTPUSpec:
+    return EdgeTPUSpec(name="small_sram", sram_bytes=400_000)
+
+
+@pytest.fixture(scope="session")
+def slow_bus_spec() -> EdgeTPUSpec:
+    return EdgeTPUSpec(
+        name="slow_bus",
+        sram_bytes=400_000,
+        usb=UsbSpec(bandwidth_bytes_per_s=80e6, per_transfer_latency_s=5e-4),
+    )
+
+
+@pytest.fixture(scope="session")
+def hetero_specs(small_sram_spec, slow_bus_spec) -> List[ReplicaSpec]:
+    return [
+        ReplicaSpec("fast_a", 4, small_sram_spec),
+        ReplicaSpec("fast_b", 4, small_sram_spec),
+        ReplicaSpec("short", 2, small_sram_spec),
+        ReplicaSpec("slowbus", 4, slow_bus_spec, bus_mode="shared"),
+    ]
+
+
+@pytest.fixture(scope="session")
+def hetero_fleet(hetero_specs, catalog) -> Fleet:
+    return build_fleet(hetero_specs, catalog, scheduler=ListScheduler())
+
+
+@pytest.fixture(scope="session")
+def homo_fleet(catalog) -> Fleet:
+    specs = [ReplicaSpec(f"r{i}", 4) for i in range(3)]
+    return build_fleet(specs, {"tiny": catalog["tiny"]}, scheduler=ListScheduler())
+
+
+@pytest.fixture
+def skewed_scenario() -> Scenario:
+    """Heavy tight-SLO tenant on the big model over light background."""
+    return Scenario(
+        name="skewed_synth",
+        tenants=(
+            TenantSpec("heavy", {"big": 1.0}, rate_per_s=100.0, slo_seconds=0.03),
+            TenantSpec("light", {"tiny": 1.0}, rate_per_s=60.0, slo_seconds=0.06),
+            TenantSpec(
+                "mixed",
+                {"tiny": 0.5, "big": 0.5},
+                rate_per_s=20.0,
+                slo_seconds=0.06,
+            ),
+        ),
+        duration_s=2.0,
+    )
+
+
+@pytest.fixture
+def overload_scenario() -> Scenario:
+    """One tenant pushing past a single replica's capacity."""
+    return Scenario(
+        name="homog_overload",
+        tenants=(
+            TenantSpec("steady", {"tiny": 1.0}, rate_per_s=4000.0, slo_seconds=0.1),
+        ),
+        duration_s=0.5,
+    )

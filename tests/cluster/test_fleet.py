@@ -1,0 +1,98 @@
+"""Fleet construction: service-backed schedules, reuse stats, validation."""
+
+import pytest
+
+from repro.cluster import ReplicaSpec, build_fleet
+from repro.errors import DeploymentError
+from repro.scheduling.heuristics import ListScheduler
+from repro.service import SchedulingService
+from repro.tpu.quantize import is_quantized
+
+
+class TestReplicaSpec:
+    def test_rejects_zero_stages(self):
+        with pytest.raises(DeploymentError):
+            ReplicaSpec("r", 0)
+
+    def test_rejects_unknown_bus_mode(self):
+        with pytest.raises(DeploymentError):
+            ReplicaSpec("r", 2, bus_mode="token_ring")
+
+
+class TestBuildFleet:
+    def test_schedule_reuse_across_equal_stage_replicas(self, catalog):
+        specs = [ReplicaSpec("a", 4), ReplicaSpec("b", 4), ReplicaSpec("c", 2)]
+        fleet = build_fleet(specs, catalog, scheduler=ListScheduler())
+        stats = fleet.build_stats
+        # 3 replicas x 2 models = 6 requests; replica b's two schedules
+        # come straight from replica a's cache entries.
+        assert stats.schedule_requests == 6
+        assert stats.cache_hits == 2
+        assert stats.unique_solves == 4
+        assert stats.hit_rate == pytest.approx(2 / 6)
+        hits = [
+            d.schedule_cache_hit
+            for replica in fleet.replicas
+            for d in replica.deployments.values()
+        ]
+        assert sum(hits) == 2
+
+    def test_external_service_is_shared_and_left_open(self, catalog):
+        with SchedulingService(ListScheduler()) as service:
+            first = build_fleet(
+                [ReplicaSpec("a", 4)], catalog, service=service
+            )
+            second = build_fleet(
+                [ReplicaSpec("b", 4)], catalog, service=service
+            )
+            # The second fleet reuses the first fleet's schedules.
+            assert first.build_stats.cache_hits == 0
+            assert second.build_stats.cache_hits == 2
+            assert service.stats().requests == 4
+
+    def test_deployments_match_replica_stage_counts(self, hetero_fleet):
+        for replica in hetero_fleet.replicas:
+            for deployment in replica.deployments.values():
+                assert deployment.num_stages == replica.num_stages
+                assert deployment.period_seconds > 0
+                assert deployment.latency_seconds >= deployment.period_seconds
+                assert deployment.switch_latency_seconds >= (
+                    deployment.switch_period_seconds
+                )
+
+    def test_models_are_quantized_once(self, hetero_fleet):
+        for graph in hetero_fleet.models.values():
+            assert is_quantized(graph)
+
+    def test_requires_exactly_one_scheduling_backend(self, catalog):
+        scheduler = ListScheduler()
+        with pytest.raises(DeploymentError):
+            build_fleet([ReplicaSpec("a", 2)], catalog)
+        with SchedulingService(scheduler) as service:
+            with pytest.raises(DeploymentError):
+                build_fleet(
+                    [ReplicaSpec("a", 2)],
+                    catalog,
+                    scheduler=scheduler,
+                    service=service,
+                )
+
+    def test_duplicate_replica_names_rejected(self, catalog):
+        specs = [ReplicaSpec("same", 2), ReplicaSpec("same", 4)]
+        with pytest.raises(DeploymentError):
+            build_fleet(specs, catalog, scheduler=ListScheduler())
+
+    def test_empty_inputs_rejected(self, catalog):
+        with pytest.raises(DeploymentError):
+            build_fleet([], catalog, scheduler=ListScheduler())
+        with pytest.raises(DeploymentError):
+            build_fleet(
+                [ReplicaSpec("a", 2)], {}, scheduler=ListScheduler()
+            )
+
+    def test_replica_lookup(self, hetero_fleet):
+        assert hetero_fleet.replica("fast_a").name == "fast_a"
+        with pytest.raises(DeploymentError):
+            hetero_fleet.replica("missing")
+        with pytest.raises(DeploymentError):
+            hetero_fleet.replicas[0].deployment("unknown_model")

@@ -1,0 +1,120 @@
+"""Router policies: SLO-aware vs round-robin, balancing, admission."""
+
+import pytest
+
+from repro.cluster import (
+    FleetSimulator,
+    LeastOutstandingWorkRouter,
+    Request,
+    RoundRobinRouter,
+    Router,
+    SloAwareRouter,
+    default_routers,
+    simulate_scenario,
+)
+from repro.cluster.workload import Scenario, TenantSpec
+from repro.errors import DeploymentError
+
+
+class TestRoundRobin:
+    def test_cycles_evenly(self, hetero_fleet, skewed_scenario):
+        report = simulate_scenario(
+            skewed_scenario, hetero_fleet, RoundRobinRouter(), seed=3
+        )
+        served = [r.served for r in report.replicas]
+        assert max(served) - min(served) <= 1
+
+
+class TestLeastOutstandingWork:
+    def test_balances_overloaded_homogeneous_fleet(
+        self, homo_fleet, overload_scenario
+    ):
+        report = simulate_scenario(
+            overload_scenario, homo_fleet, LeastOutstandingWorkRouter(), seed=5
+        )
+        served = [r.served for r in report.replicas]
+        # Past one replica's capacity the backlog spills across the whole
+        # fleet: every replica carries a substantial share of the load.
+        assert all(s >= report.completed / (2 * len(served)) for s in served)
+        assert report.slo_attainment == 1.0
+
+    def test_prefers_idle_replicas(self, hetero_fleet, skewed_scenario):
+        report = simulate_scenario(
+            skewed_scenario, hetero_fleet, LeastOutstandingWorkRouter(), seed=3
+        )
+        # The slow shared-bus replica should receive almost nothing while
+        # the fast boxes absorb the stream.
+        assert report.replica("slowbus").served < report.replica("fast_a").served
+
+
+class TestSloAware:
+    def test_beats_round_robin_on_skewed_tenants(
+        self, hetero_fleet, skewed_scenario
+    ):
+        rr = simulate_scenario(
+            skewed_scenario, hetero_fleet, RoundRobinRouter(), seed=3
+        )
+        slo = simulate_scenario(
+            skewed_scenario, hetero_fleet, SloAwareRouter(), seed=3
+        )
+        assert slo.slo_attainment > rr.slo_attainment
+        heavy_rr = rr.tenant("heavy")
+        heavy_slo = slo.tenant("heavy")
+        assert heavy_slo.slo_attainment > heavy_rr.slo_attainment
+        assert heavy_slo.latency_p99_s < heavy_rr.latency_p99_s
+
+    def test_admission_control_rejects_hopeless_requests(self, hetero_fleet):
+        # An SLO far below any replica's pipeline latency is infeasible
+        # from the first request on.
+        scenario = Scenario(
+            name="hopeless",
+            tenants=(
+                TenantSpec("t", {"big": 1.0}, rate_per_s=50.0, slo_seconds=1e-6),
+            ),
+            duration_s=0.5,
+        )
+        report = simulate_scenario(
+            scenario, hetero_fleet, SloAwareRouter(reject_infeasible=True), seed=0
+        )
+        assert report.rejected == report.requests
+        assert report.completed == 0
+        assert report.slo_attainment == 0.0
+
+    def test_rejections_count_as_slo_misses(self, hetero_fleet, skewed_scenario):
+        report = simulate_scenario(
+            skewed_scenario,
+            hetero_fleet,
+            SloAwareRouter(reject_infeasible=True),
+            seed=3,
+        )
+        for tenant in report.tenants:
+            within = tenant.slo_attainment * tenant.requests
+            assert within <= tenant.completed + 1e-9
+
+
+class TestRouterContract:
+    def test_default_routers_cover_all_policies(self):
+        names = [router.name for router in default_routers()]
+        assert names == [
+            "round_robin",
+            "least_outstanding_work",
+            "slo_aware",
+        ]
+
+    def test_unknown_model_raises(self, homo_fleet):
+        request = Request(0, "t", "not_deployed", arrival_s=0.0, slo_seconds=1.0)
+        simulator = FleetSimulator(homo_fleet, RoundRobinRouter())
+        with pytest.raises(DeploymentError):
+            simulator.simulate([request])
+
+    def test_bad_router_index_raises(self, homo_fleet):
+        class BadRouter(Router):
+            name = "bad"
+
+            def route(self, request, states, now):
+                return 99
+
+        request = Request(0, "t", "tiny", arrival_s=0.0, slo_seconds=1.0)
+        simulator = FleetSimulator(homo_fleet, BadRouter())
+        with pytest.raises(DeploymentError):
+            simulator.simulate([request])

@@ -1,0 +1,197 @@
+"""Fleet DES: pipeline equivalence, report invariants, determinism."""
+
+import pytest
+
+from repro.cluster import (
+    FleetSimulator,
+    ReplicaSpec,
+    RoundRobinRouter,
+    SloAwareRouter,
+    build_fleet,
+    default_routers,
+    simulate_scenario,
+)
+from repro.cluster.workload import Request
+from repro.scheduling.heuristics import ListScheduler
+from repro.scheduling.postprocess import postprocess_schedule
+from repro.tpu.pipeline import PipelinedTpuSystem
+from repro.tpu.power import estimate_energy
+from repro.tpu.quantize import quantize_graph
+
+
+def _burst(model: str, count: int) -> list:
+    return [
+        Request(i, "t", model, arrival_s=0.0, slo_seconds=10.0)
+        for i in range(count)
+    ]
+
+
+class TestPipelineEquivalence:
+    """One replica + one model + a t=0 burst must reproduce the tier-1
+    pipeline simulator exactly: same completions, busy times and energy."""
+
+    @pytest.fixture(scope="class")
+    def single_fleet(self, catalog):
+        return build_fleet(
+            [ReplicaSpec("only", 4)],
+            {"tiny": catalog["tiny"]},
+            scheduler=ListScheduler(),
+        )
+
+    def test_burst_matches_pipelined_tpu_system(self, catalog, single_fleet):
+        num = 40
+        graph = quantize_graph(catalog["tiny"])
+        schedule = postprocess_schedule(
+            ListScheduler().schedule(graph, 4).schedule
+        )
+        system = PipelinedTpuSystem()
+        pipeline_report = system.run(graph, schedule, num_inferences=num)
+
+        simulator = FleetSimulator(single_fleet, RoundRobinRouter())
+        fleet_report = simulator.simulate(_burst("tiny", num))
+        replica = fleet_report.replicas[0]
+
+        assert fleet_report.horizon_s == pytest.approx(
+            pipeline_report.makespan_seconds, rel=1e-12
+        )
+        assert replica.served == num
+        for util, busy in zip(
+            replica.stage_utilization, pipeline_report.stage_busy_seconds
+        ):
+            assert util * fleet_report.horizon_s == pytest.approx(busy, rel=1e-9)
+        # Identical byte flows + busy times => identical energy estimate.
+        energy = estimate_energy(pipeline_report)
+        assert replica.energy.total_joules == pytest.approx(
+            energy.total_joules, rel=1e-6
+        )
+
+
+class TestReportInvariants:
+    @pytest.mark.parametrize("router_index", [0, 1, 2])
+    def test_invariants_hold_for_every_router(
+        self, hetero_fleet, skewed_scenario, router_index
+    ):
+        router = default_routers()[router_index]
+        report = simulate_scenario(skewed_scenario, hetero_fleet, router, seed=3)
+        # Drain: every admitted request completes.
+        assert report.completed + report.rejected == report.requests
+        assert sum(t.completed for t in report.tenants) == report.completed
+        assert sum(t.requests for t in report.tenants) == report.requests
+        assert sum(r.served for r in report.replicas) == report.completed
+        # Utilization is a busy fraction of the horizon.
+        for replica in report.replicas:
+            assert 0.0 <= replica.utilization <= 1.0
+            assert all(0.0 <= u <= 1.0 for u in replica.stage_utilization)
+            assert 0.0 <= replica.bus_utilization <= 1.0
+            assert replica.utilization == max(replica.stage_utilization)
+        assert report.throughput_per_s == pytest.approx(
+            report.completed / report.horizon_s
+        )
+        assert 0.0 <= report.slo_attainment <= 1.0
+        # Latencies are causal: nothing completes faster than its
+        # uncontended pipeline traversal on the fastest replica.
+        fastest = min(
+            replica.deployment(name).latency_seconds
+            for replica in hetero_fleet.replicas
+            for name in hetero_fleet.models
+        )
+        for tenant in report.tenants:
+            if tenant.completed:
+                assert tenant.latency_p50_s >= fastest
+                assert tenant.latency_p99_s >= tenant.latency_p50_s
+
+    def test_empty_stream(self, hetero_fleet):
+        simulator = FleetSimulator(hetero_fleet, RoundRobinRouter())
+        report = simulator.simulate([], duration_s=1.0)
+        assert report.requests == 0
+        assert report.completed == 0
+        assert report.horizon_s == 1.0
+        assert report.slo_attainment == 0.0
+        assert report.throughput_per_s == 0.0
+        for replica in report.replicas:
+            assert replica.served == 0
+            assert replica.utilization == 0.0
+            # Idle replicas still burn idle/host power (the power-model
+            # regression: no ZeroDivisionError on zero inferences).
+            assert replica.energy.total_joules > 0
+            assert replica.energy.joules_per_inference == 0.0
+
+    def test_attainment_scored_per_request_slo(self, homo_fleet):
+        # Two requests from one tenant with different deadlines: the
+        # impossible 1ns SLO must count as a miss even though the
+        # tenant's first-seen SLO is generous.
+        requests = [
+            Request(0, "t", "tiny", arrival_s=0.0, slo_seconds=5.0),
+            Request(1, "t", "tiny", arrival_s=0.0, slo_seconds=1e-9),
+        ]
+        simulator = FleetSimulator(homo_fleet, RoundRobinRouter())
+        report = simulator.simulate(requests)
+        tenant = report.tenant("t")
+        assert tenant.completed == 2
+        assert tenant.slo_attainment == pytest.approx(0.5)
+        assert report.slo_attainment == pytest.approx(0.5)
+
+    def test_duplicate_request_indices_rejected(self, homo_fleet):
+        from repro.errors import DeploymentError
+
+        requests = [
+            Request(0, "t", "tiny", arrival_s=0.0, slo_seconds=1.0),
+            Request(0, "t", "tiny", arrival_s=0.1, slo_seconds=1.0),
+        ]
+        simulator = FleetSimulator(homo_fleet, RoundRobinRouter())
+        with pytest.raises(DeploymentError):
+            simulator.simulate(requests)
+
+
+class TestModelSwitchReload:
+    def test_switching_models_costs_time(self, catalog):
+        fleet = build_fleet(
+            [ReplicaSpec("only", 2)], catalog, scheduler=ListScheduler()
+        )
+        requests = []
+        for i in range(20):
+            model = "tiny" if i % 2 == 0 else "big"
+            requests.append(
+                Request(i, "t", model, arrival_s=0.0, slo_seconds=10.0)
+            )
+        with_reload = FleetSimulator(
+            fleet, RoundRobinRouter(), model_switch_reload=True
+        ).simulate(requests)
+        without = FleetSimulator(
+            fleet, RoundRobinRouter(), model_switch_reload=False
+        ).simulate(requests)
+        assert with_reload.horizon_s > without.horizon_s
+
+    def test_single_model_unaffected_by_reload_flag(self, catalog):
+        fleet = build_fleet(
+            [ReplicaSpec("only", 2)],
+            {"tiny": catalog["tiny"]},
+            scheduler=ListScheduler(),
+        )
+        on = FleetSimulator(
+            fleet, RoundRobinRouter(), model_switch_reload=True
+        ).simulate(_burst("tiny", 10))
+        off = FleetSimulator(
+            fleet, RoundRobinRouter(), model_switch_reload=False
+        ).simulate(_burst("tiny", 10))
+        assert on == off
+
+
+class TestDeterminism:
+    def test_same_seed_same_report(self, hetero_fleet, skewed_scenario):
+        first = simulate_scenario(
+            skewed_scenario, hetero_fleet, SloAwareRouter(), seed=11
+        )
+        second = simulate_scenario(
+            skewed_scenario, hetero_fleet, SloAwareRouter(), seed=11
+        )
+        assert first == second
+
+    def test_different_seed_different_trace(self, hetero_fleet, skewed_scenario):
+        first = simulate_scenario(
+            skewed_scenario, hetero_fleet, SloAwareRouter(), seed=11
+        )
+        other = simulate_scenario(
+            skewed_scenario, hetero_fleet, SloAwareRouter(), seed=12
+        )
+        assert first != other

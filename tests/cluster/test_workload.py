@@ -1,0 +1,134 @@
+"""Workload generation: arrival processes, tenants, replay determinism."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.workload import (
+    BurstyArrivals,
+    PoissonArrivals,
+    Request,
+    Scenario,
+    TenantSpec,
+    TraceArrivals,
+    generate_requests,
+    tenant_request_counts,
+)
+from repro.errors import DeploymentError
+
+
+def _scenario(**overrides):
+    defaults = dict(
+        name="s",
+        tenants=(
+            TenantSpec("a", {"m1": 0.7, "m2": 0.3}, rate_per_s=50.0, slo_seconds=0.1),
+            TenantSpec(
+                "b",
+                {"m2": 1.0},
+                rate_per_s=20.0,
+                slo_seconds=0.2,
+                arrivals=BurstyArrivals(),
+            ),
+        ),
+        duration_s=2.0,
+    )
+    defaults.update(overrides)
+    return Scenario(**defaults)
+
+
+class TestArrivalProcesses:
+    def test_poisson_rate_roughly_matches(self):
+        rng = np.random.default_rng(0)
+        times = PoissonArrivals().sample_times(100.0, 50.0, rng)
+        assert 0.8 * 5000 < len(times) < 1.2 * 5000
+        assert all(0 <= t < 50.0 for t in times)
+        assert times == sorted(times)
+
+    def test_poisson_zero_rate_is_silent(self):
+        rng = np.random.default_rng(0)
+        assert PoissonArrivals().sample_times(0.0, 10.0, rng) == []
+
+    def test_bursty_preserves_mean_rate(self):
+        rng = np.random.default_rng(1)
+        times = BurstyArrivals(burst_factor=4.0, on_fraction=0.2).sample_times(
+            100.0, 50.0, rng
+        )
+        assert 0.7 * 5000 < len(times) < 1.3 * 5000
+        assert times == sorted(times)
+
+    def test_bursty_validates_parameters(self):
+        with pytest.raises(DeploymentError):
+            BurstyArrivals(on_fraction=0.0)
+        with pytest.raises(DeploymentError):
+            BurstyArrivals(burst_factor=0.5)
+        with pytest.raises(DeploymentError):
+            BurstyArrivals(burst_factor=10.0, on_fraction=0.5)
+        with pytest.raises(DeploymentError):
+            BurstyArrivals(mean_burst_s=0.0)
+
+    def test_trace_replays_and_clips(self):
+        rng = np.random.default_rng(0)
+        trace = TraceArrivals([0.5, 0.1, 3.0])
+        assert trace.sample_times(123.0, 2.0, rng) == [0.1, 0.5]
+
+    def test_trace_rejects_negative_times(self):
+        with pytest.raises(DeploymentError):
+            TraceArrivals([-1.0])
+
+
+class TestTenantAndScenarioValidation:
+    def test_empty_mix_rejected(self):
+        with pytest.raises(DeploymentError):
+            TenantSpec("t", {}, 1.0, 0.1)
+
+    def test_nonpositive_weight_rejected(self):
+        with pytest.raises(DeploymentError):
+            TenantSpec("t", {"m": 0.0}, 1.0, 0.1)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(DeploymentError):
+            TenantSpec("t", {"m": 1.0}, -1.0, 0.1)
+
+    def test_nonpositive_slo_rejected(self):
+        with pytest.raises(DeploymentError):
+            TenantSpec("t", {"m": 1.0}, 1.0, 0.0)
+
+    def test_duplicate_tenants_rejected(self):
+        tenant = TenantSpec("t", {"m": 1.0}, 1.0, 0.1)
+        with pytest.raises(DeploymentError):
+            Scenario("s", (tenant, tenant), 1.0)
+
+    def test_model_names_sorted_union(self):
+        assert _scenario().model_names() == ["m1", "m2"]
+
+
+class TestGenerateRequests:
+    def test_replay_is_identical(self):
+        scenario = _scenario()
+        first = generate_requests(scenario, seed=42)
+        second = generate_requests(scenario, seed=42)
+        assert first == second  # Request is frozen => field-exact equality
+        assert first != generate_requests(scenario, seed=43)
+
+    def test_stream_is_time_ordered_with_contiguous_indices(self):
+        requests = generate_requests(_scenario(), seed=0)
+        assert [r.index for r in requests] == list(range(len(requests)))
+        times = [r.arrival_s for r in requests]
+        assert times == sorted(times)
+
+    def test_requests_respect_tenant_mix_and_slo(self):
+        requests = generate_requests(_scenario(), seed=0)
+        for request in requests:
+            assert isinstance(request, Request)
+            if request.tenant == "a":
+                assert request.model in {"m1", "m2"}
+                assert request.slo_seconds == 0.1
+            else:
+                assert request.model == "m2"
+                assert request.slo_seconds == 0.2
+        counts = tenant_request_counts(requests)
+        assert set(counts) == {"a", "b"}
+        assert counts["a"] > counts["b"]  # 50 req/s vs 20 req/s
+
+    def test_deadline_property(self):
+        request = Request(0, "t", "m", arrival_s=1.5, slo_seconds=0.25)
+        assert request.deadline_s == pytest.approx(1.75)

@@ -1,0 +1,69 @@
+"""Per-method service stats exposed from serve_methods results."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.flow.compare import (
+    compare_methods,
+    default_methods,
+    serve_methods,
+    served_method_stats,
+)
+from repro.graphs.sampler import sample_synthetic_dag
+from repro.scheduling.heuristics import ListScheduler
+from repro.tpu.quantize import quantize_graph
+
+
+@pytest.fixture
+def graph():
+    return quantize_graph(sample_synthetic_dag(num_nodes=12, degree=2, seed=0))
+
+
+def test_stats_report_cache_reuse_across_comparisons(graph):
+    methods = serve_methods({"list": ListScheduler})
+    compare_methods(graph, methods, num_stages=2)
+    compare_methods(graph, methods, num_stages=2)
+    stats = served_method_stats(methods)
+    assert set(stats) == {"list"}
+    listed = stats["list"]
+    assert listed.method == "list"
+    assert listed.services == 2  # one service per compare_methods call
+    assert listed.requests == 2
+    assert listed.cache_hits == 1  # second call hits the shared cache
+    assert listed.hit_rate == pytest.approx(0.5)
+    assert listed.scheduled_graphs == 1
+    assert listed.batches == 1
+    assert listed.mean_batch_size == pytest.approx(1.0)
+
+
+def test_stats_before_any_request_are_zeroed():
+    methods = serve_methods({"list": ListScheduler})
+    stats = served_method_stats(methods)["list"]
+    assert stats.services == 0
+    assert stats.requests == 0
+    assert stats.hit_rate == 0.0
+    assert stats.mean_batch_size == 0.0
+
+
+def test_unserved_methods_are_rejected(graph):
+    with pytest.raises(SchedulingError):
+        served_method_stats(default_methods())
+
+
+def test_abandoned_services_fold_without_retention(graph):
+    # Factories track their services only weakly: once a comparison call
+    # abandons its service, the finalizer folds the final counters into
+    # running tallies — stats stay exact over arbitrarily many calls
+    # while no service object is retained by the method dict.
+    import gc
+
+    methods = serve_methods({"list": ListScheduler})
+    rounds = 7
+    for _ in range(rounds):
+        compare_methods(graph, methods, num_stages=2)
+    gc.collect()  # ensure abandoned façades have finalized
+    stats = served_method_stats(methods)["list"]
+    assert stats.services == rounds
+    assert stats.requests == rounds
+    assert stats.cache_hits == rounds - 1
+    assert stats.scheduled_graphs == 1

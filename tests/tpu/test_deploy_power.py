@@ -6,6 +6,7 @@ from repro.errors import DeploymentError
 from repro.scheduling.ilp import IlpScheduler
 from repro.scheduling.schedule import Schedule
 from repro.tpu.deploy import deploy
+from repro.tpu.pipeline import PipelineReport
 from repro.tpu.power import EnergyReport, PowerModel, estimate_energy
 from repro.tpu.quantize import is_quantized, quantize_graph
 
@@ -76,3 +77,24 @@ class TestEnergyModel:
     def test_negative_power_rejected(self):
         with pytest.raises(DeploymentError):
             PowerModel(tpu_active_watts=-1.0)
+
+    def test_empty_run_has_zero_joules_per_inference(self):
+        # Regression: an idle window (e.g. a fleet replica that served
+        # nothing) used to crash with ZeroDivisionError; it should report
+        # its idle/host energy with joules_per_inference == 0.0.
+        report = PipelineReport(
+            num_inferences=0,
+            makespan_seconds=2.0,
+            throughput_per_second=0.0,
+            mean_latency_seconds=0.0,
+            steady_period_seconds=0.0,
+            stage_busy_seconds=[0.0, 0.0],
+            bus_busy_seconds=0.0,
+            bottleneck="idle",
+            profiles=[],
+        )
+        energy = estimate_energy(report)
+        assert energy.joules_per_inference == 0.0
+        assert energy.total_joules > 0  # idle + host power over 2 s
+        assert energy.breakdown["usb"] == 0.0
+        assert energy.breakdown["tpu_active"] == 0.0
