@@ -27,7 +27,7 @@ def test_reward_definitions(benchmark, emit, respect_scheduler):
         [[k, f"{v:.4f}"] for k, v in rewards.items()],
         title="E6a — reward definitions on pretrained-policy rollouts",
     )
-    emit("ablation_rewards", table)
+    emit("ablation_rewards", table, metrics=rewards, seed=3)
     # Stage cosine (the training signal) is the most forgiving, sequence
     # cosine sits between it and strict exact match.
     assert rewards["stage_cosine_eq3"] >= rewards["exact_match"]
@@ -56,6 +56,8 @@ def test_baseline_variants(benchmark, emit):
             rows,
             title="E6b — REINFORCE baseline variants (Eq. 6)",
         ),
+        metrics=out,
+        seed=4,
     )
     assert out["rollout"]["advantage_std"] <= out["none"]["advantage_std"]
 
@@ -72,6 +74,7 @@ def test_embedding_columns(benchmark, emit):
             [[k, f"{v:.3f}"] for k, v in out.items()],
             title="E6c — embedding column ablation",
         ),
+        metrics=out,
     )
     assert out["full"] > 0.4
 
@@ -102,6 +105,15 @@ def test_postprocessing(benchmark, emit, respect_scheduler):
             rows,
             title="E6d — post-inference processing ablation",
         ),
+        metrics={
+            kind: {
+                "violations_raw": v.mean_violations_raw,
+                "violations_repaired": v.mean_violations_repaired,
+                "peak_bytes_raw": v.mean_peak_bytes_raw,
+                "peak_bytes_repaired": v.mean_peak_bytes_repaired,
+            }
+            for kind, v in out.items()
+        },
     )
     assert out["constrained"].mean_violations_raw == 0.0
     assert out["unconstrained"].mean_violations_repaired == 0.0
@@ -122,6 +134,7 @@ def test_bus_topology(benchmark, emit):
             rows,
             title="E6e — USB topology ablation (ResNet50, 6 stages)",
         ),
+        metrics=out,
     )
     for v in out.values():
         assert v["shared"] >= v["per_stage"] * 0.999
@@ -143,5 +156,6 @@ def test_budget_slack(benchmark, emit, respect_scheduler):
             rows,
             title="E6f — rho budget-slack sensitivity (ResNet50, 4 stages)",
         ),
+        metrics={f"{slack:.2f}": peak for slack, peak in out.items()},
     )
     assert len(out) == 5

@@ -74,5 +74,13 @@ def test_batched_scheduling_throughput(emit, respect_scheduler):
     emit(
         "batched_scheduling",
         table + f"\nspeedup: {speedup:.2f}x (acceptance bar: >= 2x)",
+        metrics={
+            "sequential_seconds": seq_seconds,
+            "batch_seconds": batch_seconds,
+            "speedup": speedup,
+            "batch_size": BATCH_SIZE,
+            "num_nodes": NUM_NODES,
+        },
+        seed=0,
     )
     assert speedup >= 2.0

@@ -111,15 +111,27 @@ def run_cluster_bench(
         fleet.build_stats.schedule_requests for fleet in fleets.values()
     )
     build_hits = sum(fleet.build_stats.cache_hits for fleet in fleets.values())
+    # Aggregated over every fleet build against the shared service: later
+    # fleets hit the already-warm cache, so this reflects the cross-fleet
+    # reuse the sweep exercises, not just the first build.
+    reuse_hit_rate = build_hits / build_requests if build_requests else 0.0
     measurements: Dict[str, object] = {
         "reports": reports,
         "fleet_sizes": tuple(fleet_sizes),
-        # Aggregated over every fleet build against the shared service:
-        # later fleets hit the already-warm cache, so this reflects the
-        # cross-fleet reuse the sweep exercises, not just the first build.
-        "schedule_reuse_hit_rate": (
-            build_hits / build_requests if build_requests else 0.0
-        ),
+        "schedule_reuse_hit_rate": reuse_hit_rate,
+        "metrics": {
+            "schedule_reuse_hit_rate": reuse_hit_rate,
+            "cells": {
+                f"{router}_x{n}": {
+                    "throughput_per_s": report.throughput_per_s,
+                    "slo_attainment": report.slo_attainment,
+                    "worst_p99_s": max(
+                        t.latency_p99_s for t in report.tenants
+                    ),
+                }
+                for (router, n), report in reports.items()
+            },
+        },
     }
     return table, measurements
 
@@ -138,7 +150,7 @@ def _replay_identical(duration_s: float, seed: int) -> bool:
 def test_cluster_routing(emit):
     """Full acceptance run: SLO-aware bars + deterministic replay."""
     rendered, measured = run_cluster_bench()
-    emit("cluster", rendered)
+    emit("cluster", rendered, metrics=measured["metrics"], seed=SEED)
     reports = measured["reports"]
     assert (
         reports[("slo_aware", 4)].slo_attainment
@@ -170,6 +182,9 @@ def main(argv=None) -> int:
         )
     else:
         rendered, measured = run_cluster_bench()
+    from bench_json import write_bench_json
+
+    write_bench_json("cluster", measured["metrics"], seed=SEED)
     print(rendered)
     reports = measured["reports"]
     gap = (

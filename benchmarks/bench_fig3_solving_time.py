@@ -17,7 +17,19 @@ def test_fig3_solving_time(benchmark, emit, respect_scheduler):
     rows = benchmark.pedantic(
         run_fig3, kwargs={"respect": respect_scheduler}, rounds=1, iterations=1
     )
-    emit("fig3_solving_time", format_fig3(rows))
+    emit(
+        "fig3_solving_time",
+        format_fig3(rows),
+        metrics={
+            "geomean_speedup_over_compiler": geometric_mean(
+                [row.speedup_over_compiler for row in rows]
+            ),
+            "geomean_speedup_over_ilp": geometric_mean(
+                [row.speedup_over_ilp for row in rows]
+            ),
+            "cells": len(rows),
+        },
+    )
     assert len(rows) == 10 * 3
     # The paper's ordering claims: RESPECT solves faster than the ILP on
     # every configuration, and faster than the profiling compiler flow

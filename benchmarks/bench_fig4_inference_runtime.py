@@ -15,13 +15,27 @@ def test_fig4_inference_runtime(benchmark, emit, respect_scheduler):
     rows = benchmark.pedantic(
         run_fig4, kwargs={"respect": respect_scheduler}, rounds=1, iterations=1
     )
-    emit("fig4_inference_runtime", format_fig4(rows))
-    assert len(rows) == 10 * 3
-
     def avg_relative(num_stages: int) -> float:
         return mean(
             [r.relative_respect for r in rows if r.num_stages == num_stages]
         )
+
+    # Emit before asserting so a failing run still leaves the artifacts.
+    emit(
+        "fig4_inference_runtime",
+        format_fig4(rows),
+        metrics={
+            "avg_relative_respect": {
+                str(stages): avg_relative(stages)
+                for stages in sorted({r.num_stages for r in rows})
+            },
+            "best_speedup_6_stages": max(
+                (r.respect_speedup for r in rows if r.num_stages == 6),
+                default=None,
+            ),
+        },
+    )
+    assert len(rows) == 10 * 3
 
     # Paper: average RESPECT speedups of 1.06x / 1.08x / 1.65x at 4/5/6
     # stages; we assert the direction and the stage trend, not the exact

@@ -13,9 +13,16 @@ def test_fig5_gap_to_optimal(benchmark, emit, respect_scheduler):
     rows = benchmark.pedantic(
         run_fig5, kwargs={"respect": respect_scheduler}, rounds=1, iterations=1
     )
-    emit("fig5_gap_to_optimal", format_fig5(rows))
-    assert len(rows) == 12 * 3
     gaps = average_gaps(rows)
+    # Emit before asserting so a failing run still leaves the artifacts.
+    emit(
+        "fig5_gap_to_optimal",
+        format_fig5(rows),
+        metrics={
+            "average_gap_pct": {str(k): v for k, v in gaps.items()}
+        },
+    )
+    assert len(rows) == 12 * 3
     for num_stages, gap in gaps.items():
         assert gap >= 0.0, "RESPECT cannot beat the exact optimum"
         assert gap < 10.0, (

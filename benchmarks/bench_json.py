@@ -1,0 +1,80 @@
+"""Machine-readable benchmark artifacts: ``BENCH_<name>.json``.
+
+Every benchmark emits, next to its rendered table under
+``benchmarks/results/``, one JSON file at the repository root holding
+the *numbers* (plus git revision and seed), so the performance
+trajectory can be tracked across PRs by tooling instead of by reading
+tables.  Writing is atomic (write-then-rename) and values are sanitized
+to plain JSON types.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import subprocess
+import time
+from pathlib import Path
+from typing import Dict, Optional
+
+#: Repository root (benchmarks/ lives directly under it).
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def git_revision() -> Optional[str]:
+    """Best-effort git revision of the working tree (None outside git)."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if out.returncode != 0:
+        return None
+    return out.stdout.strip() or None
+
+
+def _sanitize(value):
+    if isinstance(value, dict):
+        return {str(k): _sanitize(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_sanitize(v) for v in value]
+    if isinstance(value, bool) or value is None or isinstance(value, str):
+        return value
+    if isinstance(value, (int,)):
+        return int(value)
+    try:
+        number = float(value)
+    except (TypeError, ValueError):
+        return repr(value)
+    if math.isnan(number) or math.isinf(number):
+        return repr(number)
+    return number
+
+
+def write_bench_json(
+    name: str,
+    metrics: Dict[str, object],
+    seed: Optional[int] = None,
+) -> Path:
+    """Write ``BENCH_<name>.json`` at the repo root; returns its path."""
+    payload = {
+        "bench": name,
+        "metrics": _sanitize(dict(metrics)),
+        "git_rev": git_revision(),
+        "seed": seed,
+        "created_unix": time.time(),
+    }
+    path = REPO_ROOT / f"BENCH_{name}.json"
+    tmp = path.with_suffix(".json.tmp")
+    tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    os.replace(tmp, path)
+    return path
+
+
+__all__ = ["REPO_ROOT", "git_revision", "write_bench_json"]

@@ -1,0 +1,189 @@
+"""Benchmark — online adaptation under workload drift.
+
+Runs the end-to-end drift experiment
+(:mod:`repro.experiments.online_adaptation`): one deterministic request
+stream whose tenants shift from compute-uniform CNN graphs to
+attention-heavy graphs mid-run, served by a frozen champion and by the
+drift-aware adaptive service.  Asserts the subsystem's acceptance bars:
+
+* the frozen champion's mean pipeline-efficiency reward degrades by at
+  least ``DEGRADATION_BAR`` after the drift point;
+* the adaptive service detects the drift, fine-tunes a challenger,
+  promotes it through the statistical gate, and its post-promotion
+  serves recover to within ``RECOVERY_BAR`` of the pre-drift quality;
+* the promoted checkpoint is loadable through the checkpoint lifecycle
+  and records the drift event in its provenance.
+
+Runs under pytest (full bars) or standalone for CI smoke::
+
+    PYTHONPATH=src python benchmarks/bench_online.py --smoke
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+if __name__ == "__main__":  # allow `python benchmarks/bench_online.py`
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.cluster.scenarios import attention_drift_scenario
+from repro.experiments.online_adaptation import (
+    format_online_adaptation,
+    run_online_adaptation,
+)
+from repro.online import AdaptationConfig
+from repro.rl.checkpoints import load_checkpoint, read_metadata
+
+SEED = 0
+#: Frozen champion must lose at least this fraction of mean reward.
+DEGRADATION_BAR = 0.08
+#: Adapted service must land within this fraction of pre-drift reward.
+RECOVERY_BAR = 0.05
+SMOKE_RECOVERY_BAR = 0.10
+
+
+def run_online_bench(smoke: bool = False, checkpoint_dir=None):
+    """Run the drift experiment at bench scale; returns (text, result)."""
+    start = time.perf_counter()
+    if smoke:
+        scenario = attention_drift_scenario(duration_s=20.0, drift_at_s=6.5)
+        result = run_online_adaptation(
+            seed=SEED,
+            scenario=scenario,
+            adaptation=AdaptationConfig(
+                max_adaptation_graphs=32,
+                fresh_graphs=24,
+                teacher_search_iters=500,
+                imitation_steps=500,
+                reinforce_steps=10,
+                seed=SEED,
+            ),
+            reference_size=20,
+            detector_window=12,
+            detector_threshold=1.8,
+            adapt_warmup_serves=12,
+            max_adaptations=2,
+            checkpoint_dir=checkpoint_dir,
+        )
+    else:
+        scenario = attention_drift_scenario(duration_s=30.0, drift_at_s=12.0)
+        result = run_online_adaptation(
+            seed=SEED,
+            scenario=scenario,
+            adaptation=AdaptationConfig(
+                max_adaptation_graphs=40,
+                fresh_graphs=24,
+                imitation_steps=500,
+                reinforce_steps=15,
+                seed=SEED,
+            ),
+            reference_size=40,
+            detector_window=20,
+            detector_threshold=2.0,
+            adapt_warmup_serves=20,
+            max_adaptations=2,
+            checkpoint_dir=checkpoint_dir,
+        )
+    wall = time.perf_counter() - start
+    rendered = (
+        format_online_adaptation(result)
+        + f"\nexperiment wall-clock: {wall:.0f}s"
+    )
+    return rendered, result
+
+
+def bench_metrics(result) -> dict:
+    return {
+        "pre_drift_reward": result.pre_drift_reward,
+        "frozen_post_reward": result.frozen_post_reward,
+        "adaptive_recovered_reward": (
+            result.adaptive_recovered_reward
+            if result.promotion_request_index is not None
+            else None
+        ),
+        "degradation": result.degradation,
+        "recovery_gap": (
+            result.recovery_gap
+            if result.promotion_request_index is not None
+            else None
+        ),
+        "requests": result.requests,
+        "promoted": result.promotion_request_index is not None,
+        "adaptations": len(result.adaptation_reports),
+    }
+
+
+def _check_promoted_checkpoint(checkpoint_dir: Path) -> None:
+    """The promoted artifact must load and carry drift provenance."""
+    policy = load_checkpoint(checkpoint_dir, "respect_online")
+    assert policy.num_parameters() > 0
+    meta = read_metadata(checkpoint_dir, "respect_online")
+    online = meta["online_adaptation"]
+    assert online["drift_event"]["at_observation"] >= 0
+    assert online["shadow_evaluation"]["promote"] is True
+
+
+def test_online_adaptation(emit):
+    """Full acceptance run: degradation, recovery and provenance bars."""
+    with tempfile.TemporaryDirectory() as tmp:
+        rendered, result = run_online_bench(smoke=False, checkpoint_dir=tmp)
+        emit("online_adaptation", rendered, metrics=bench_metrics(result),
+             seed=SEED)
+        assert result.promotion_request_index is not None
+        _check_promoted_checkpoint(Path(tmp))
+    assert result.degradation >= DEGRADATION_BAR
+    assert result.recovery_gap <= RECOVERY_BAR
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help=(
+            "reduced CI configuration: shorter trace and lighter "
+            "fine-tuning; promotion, degradation and a relaxed recovery "
+            "bar stay enforced"
+        ),
+    )
+    args = parser.parse_args(argv)
+    with tempfile.TemporaryDirectory() as tmp:
+        rendered, result = run_online_bench(
+            smoke=args.smoke, checkpoint_dir=tmp
+        )
+        print(rendered)
+        from bench_json import write_bench_json
+
+        write_bench_json(
+            "online_adaptation", bench_metrics(result), seed=SEED
+        )
+        if result.promotion_request_index is None:
+            print("FAIL: no challenger was promoted", file=sys.stderr)
+            return 1
+        _check_promoted_checkpoint(Path(tmp))
+    if result.degradation < DEGRADATION_BAR:
+        print(
+            f"FAIL: frozen degradation {result.degradation:.3f} below "
+            f"{DEGRADATION_BAR}",
+            file=sys.stderr,
+        )
+        return 1
+    recovery_bar = SMOKE_RECOVERY_BAR if args.smoke else RECOVERY_BAR
+    if result.recovery_gap > recovery_bar:
+        print(
+            f"FAIL: recovery gap {result.recovery_gap:.3f} above "
+            f"{recovery_bar}",
+            file=sys.stderr,
+        )
+        return 1
+    print("online adaptation OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

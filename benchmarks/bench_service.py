@@ -162,10 +162,21 @@ def run_service_bench(
     return table + "\n" + summary, measurements
 
 
+def _service_metrics(measured):
+    stats = measured["stats"]
+    return {
+        "cache_speedup": measured["cache_speedup"],
+        "throughput_speedup": measured["throughput_speedup"],
+        "mean_batch_size": stats.mean_batch_size,
+        "latency_p50_s": stats.latency_p50_s,
+        "latency_p99_s": stats.latency_p99_s,
+    }
+
+
 def test_service_throughput(emit, respect_scheduler):
     """Full acceptance run: both bars enforced."""
     rendered, measured = run_service_bench(respect_scheduler)
-    emit("service", rendered)
+    emit("service", rendered, metrics=_service_metrics(measured), seed=0)
     assert measured["cache_speedup"] >= 10.0
     assert measured["throughput_speedup"] >= 2.0
     assert measured["stats"].mean_batch_size > 1.0
@@ -196,6 +207,9 @@ def main(argv=None) -> int:
         )
     else:
         rendered, measured = run_service_bench(scheduler)
+    from bench_json import write_bench_json
+
+    write_bench_json("service", _service_metrics(measured), seed=0)
     print(rendered)
     if measured["cache_speedup"] < 10.0:
         print("FAIL: cache-hit speedup below 10x", file=sys.stderr)

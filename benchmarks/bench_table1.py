@@ -10,7 +10,14 @@ from repro.models.zoo import TABLE1_EXPECTED, build_model
 
 def test_table1(benchmark, emit):
     rows = benchmark.pedantic(run_table1, rounds=1, iterations=1)
-    emit("table1", format_table1(rows))
+    emit(
+        "table1",
+        format_table1(rows),
+        metrics={
+            "models": len(rows),
+            "all_match_paper": all(row.matches_paper for row in rows),
+        },
+    )
     assert all(row.matches_paper for row in rows)
     assert len(rows) == len(TABLE1_EXPECTED)
 

@@ -48,7 +48,17 @@ def test_training_convergence(benchmark, emit):
             f"{reinforce[-1].mean_cost:.4f} "
             f"(reward {reinforce[-1].mean_reward:.4f})"
         )
-    emit("training_convergence", table)
+    emit(
+        "training_convergence",
+        table,
+        metrics={
+            "imitation_first_loss": history[0].loss,
+            "imitation_final_loss": history[-1].loss,
+            "imitation_final_token_accuracy": history[-1].token_accuracy,
+            "reinforce_final_reward": reinforce[-1].mean_reward,
+        },
+        seed=0,
+    )
     assert history[-1].loss < history[0].loss * 0.8
     assert history[-1].token_accuracy > 0.5
     assert reinforce[-1].mean_reward > 0.7

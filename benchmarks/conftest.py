@@ -2,17 +2,24 @@
 
 Every benchmark regenerates one paper artifact (table or figure), prints
 the same rows/series the paper reports (directly to the terminal, past
-pytest's capture) and archives the rendered text under
-``benchmarks/results/``.
+pytest's capture), archives the rendered text under
+``benchmarks/results/`` and — via the ``emit`` fixture's ``metrics``
+argument — a machine-readable ``BENCH_<name>.json`` at the repository
+root (see :mod:`bench_json`) so the perf trajectory is tracked across
+PRs.
 """
 
 from __future__ import annotations
 
+import sys
 from pathlib import Path
 
 import pytest
 
-from repro.rl.respect import RespectScheduler
+sys.path.insert(0, str(Path(__file__).parent))
+from bench_json import write_bench_json  # noqa: E402
+
+from repro.rl.respect import RespectScheduler  # noqa: E402
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -31,10 +38,17 @@ def results_dir() -> Path:
 
 @pytest.fixture
 def emit(capsys, results_dir):
-    """Print a rendered artifact to the real terminal and archive it."""
+    """Print a rendered artifact, archive it, and write its JSON twin.
 
-    def _emit(name: str, text: str) -> None:
+    ``metrics`` (a flat-ish dict of numbers) lands in
+    ``BENCH_<name>.json`` at the repo root together with the git
+    revision and ``seed``; omitting it still records the run (empty
+    metrics), so every benchmark leaves a machine-readable trace.
+    """
+
+    def _emit(name: str, text: str, metrics=None, seed=None) -> None:
         (results_dir / f"{name}.txt").write_text(text + "\n")
+        write_bench_json(name, metrics or {}, seed=seed)
         with capsys.disabled():
             print(f"\n{text}\n")
 

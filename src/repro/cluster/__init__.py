@@ -11,6 +11,12 @@ and folds the run into a :class:`FleetReport` (per-tenant SLO
 attainment and latency percentiles, per-replica utilization and energy).
 """
 
+from repro.cluster.drifting import (
+    GraphDriftScenario,
+    GraphRequest,
+    GraphTenantSpec,
+    generate_graph_requests,
+)
 from repro.cluster.fleet import (
     Fleet,
     FleetBuildStats,
@@ -47,6 +53,9 @@ __all__ = [
     "FleetBuildStats",
     "FleetReport",
     "FleetSimulator",
+    "GraphDriftScenario",
+    "GraphRequest",
+    "GraphTenantSpec",
     "LeastOutstandingWorkRouter",
     "ModelDeployment",
     "PoissonArrivals",
@@ -64,6 +73,7 @@ __all__ = [
     "TraceArrivals",
     "build_fleet",
     "default_routers",
+    "generate_graph_requests",
     "generate_requests",
     "simulate_scenario",
 ]

@@ -1,0 +1,153 @@
+"""Drifting multi-tenant graph workloads for online-adaptation studies.
+
+The fleet scenarios of :mod:`repro.cluster.workload` name *models* from
+the zoo; drift studies need tenants whose **graph distribution itself
+changes mid-run** — the regime where a frozen learned scheduler starts
+serving stale decisions.  A :class:`GraphDriftScenario` describes
+tenants that draw whole computational graphs from a *pre-drift* family
+until ``drift_at_s`` and from a *post-drift* family afterwards (the
+canonical instance: compute-uniform CNN traffic shifting to
+attention-heavy graphs, see :mod:`repro.graphs.families`).
+
+Determinism mirrors :func:`repro.cluster.workload.generate_requests`:
+every tenant consumes its own spawned child generator for arrivals and
+family sampling, so a ``(seed, scenario)`` pair replays the identical
+graph trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Sequence, Tuple
+
+from repro.cluster.workload import ArrivalProcess, PoissonArrivals
+from repro.errors import DeploymentError
+from repro.graphs.dag import ComputationalGraph
+from repro.utils.rng import SeedLike, spawn_rngs
+
+#: Builds a seeded graph family (an object with ``sample()``).
+FamilyFactory = Callable[[object], object]
+
+
+@dataclass(frozen=True)
+class GraphTenantSpec:
+    """One tenant of a drifting-graph workload."""
+
+    name: str
+    rate_per_s: float
+    num_stages: int
+    arrivals: ArrivalProcess = field(default_factory=PoissonArrivals)
+
+    def __post_init__(self) -> None:
+        if self.rate_per_s < 0:
+            raise DeploymentError(f"tenant {self.name!r} rate must be >= 0")
+        if self.num_stages < 1:
+            raise DeploymentError(
+                f"tenant {self.name!r} needs at least one pipeline stage"
+            )
+
+
+@dataclass(frozen=True)
+class GraphRequest:
+    """One scheduling request carrying its own computational graph."""
+
+    index: int
+    tenant: str
+    graph: ComputationalGraph
+    num_stages: int
+    arrival_s: float
+    #: ``"pre"`` or ``"post"`` relative to the scenario's drift point.
+    phase: str
+
+
+@dataclass(frozen=True)
+class GraphDriftScenario:
+    """Tenants whose graph family shifts at ``drift_at_s``.
+
+    ``pre_family`` / ``post_family`` are factories ``f(seed) -> family``
+    (e.g. :class:`~repro.graphs.families.ComputeUniformFamily` /
+    :class:`~repro.graphs.families.AttentionAugmentedFamily`); each
+    tenant instantiates both with spawned child seeds so traces are
+    independent across tenants and reproducible under the scenario seed.
+    """
+
+    name: str
+    tenants: Tuple[GraphTenantSpec, ...]
+    duration_s: float
+    drift_at_s: float
+    pre_family: FamilyFactory
+    post_family: FamilyFactory
+
+    def __post_init__(self) -> None:
+        if not self.tenants:
+            raise DeploymentError("scenario needs at least one tenant")
+        names = [t.name for t in self.tenants]
+        if len(set(names)) != len(names):
+            raise DeploymentError(f"tenant names must be unique, got {names}")
+        if self.duration_s <= 0:
+            raise DeploymentError("scenario duration must be positive")
+        if not 0.0 < self.drift_at_s < self.duration_s:
+            raise DeploymentError(
+                "drift_at_s must fall strictly inside the scenario horizon"
+            )
+
+
+def generate_graph_requests(
+    scenario: GraphDriftScenario, seed: SeedLike
+) -> List[GraphRequest]:
+    """Materialize the drifting request stream, time-ordered.
+
+    Per tenant, three child generators are spawned (arrival times,
+    pre-drift family, post-drift family); graphs are drawn in arrival
+    order from the family active at each arrival.  Ties in arrival time
+    break by tenant order then per-tenant sequence, exactly like
+    :func:`repro.cluster.workload.generate_requests`.
+    """
+    rngs = spawn_rngs(seed, 3 * len(scenario.tenants))
+    merged: List[Tuple[float, int, int, str, ComputationalGraph, int, str]] = []
+    for tenant_index, tenant in enumerate(scenario.tenants):
+        arrival_rng, pre_rng, post_rng = rngs[
+            3 * tenant_index : 3 * tenant_index + 3
+        ]
+        pre_family = scenario.pre_family(pre_rng)
+        post_family = scenario.post_family(post_rng)
+        times = tenant.arrivals.sample_times(
+            tenant.rate_per_s, scenario.duration_s, arrival_rng
+        )
+        for sequence, arrival in enumerate(times):
+            drifted = arrival >= scenario.drift_at_s
+            family = post_family if drifted else pre_family
+            merged.append(
+                (
+                    arrival,
+                    tenant_index,
+                    sequence,
+                    tenant.name,
+                    family.sample(),
+                    tenant.num_stages,
+                    "post" if drifted else "pre",
+                )
+            )
+    merged.sort(key=lambda entry: (entry[0], entry[1], entry[2]))
+    return [
+        GraphRequest(
+            index=i,
+            tenant=tenant,
+            graph=graph,
+            num_stages=num_stages,
+            arrival_s=arrival,
+            phase=phase,
+        )
+        for i, (arrival, _, _, tenant, graph, num_stages, phase) in enumerate(
+            merged
+        )
+    ]
+
+
+__all__ = [
+    "FamilyFactory",
+    "GraphDriftScenario",
+    "GraphRequest",
+    "GraphTenantSpec",
+    "generate_graph_requests",
+]

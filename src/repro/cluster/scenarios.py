@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Dict, List, Sequence, Tuple
 
+from repro.cluster.drifting import GraphDriftScenario, GraphTenantSpec
 from repro.cluster.fleet import ReplicaSpec
 from repro.cluster.workload import (
     BurstyArrivals,
@@ -20,6 +21,7 @@ from repro.cluster.workload import (
 )
 from repro.errors import DeploymentError
 from repro.graphs.dag import ComputationalGraph
+from repro.graphs.families import AttentionAugmentedFamily, ComputeUniformFamily
 from repro.models.zoo import build_model
 from repro.tpu.spec import EdgeTPUSpec, UsbSpec, default_spec
 
@@ -180,3 +182,51 @@ def standard_suite(
         (homogeneous_scenario(duration_s, load), homogeneous_fleet(3)),
         (bursty_scenario(duration_s, load), heterogeneous_fleet(4)),
     ]
+
+
+# ----------------------------------------------------------------------
+# drifting workloads (online adaptation)
+# ----------------------------------------------------------------------
+def attention_drift_scenario(
+    duration_s: float = 40.0,
+    drift_at_s: float = 16.0,
+    load: float = 1.0,
+    num_nodes: int = 24,
+    num_stages: int = 4,
+    num_heads: int = 4,
+) -> GraphDriftScenario:
+    """Tenants shift from uniform CNN graphs to attention-heavy ones.
+
+    The canonical online-adaptation workload: two tenants submit
+    compute-uniform DNN graphs (the distribution the shipped checkpoint
+    is comfortable on) until ``drift_at_s``, then switch to
+    attention-augmented graphs whose hot ``mhsa`` branches dominate the
+    pipeline period — the regime where the frozen champion's decode
+    order misfires and the packer cannot save it (see
+    :mod:`repro.graphs.families`).  Used by
+    :mod:`repro.experiments.online_adaptation`, the online benchmark and
+    the acceptance tests.
+    """
+    return GraphDriftScenario(
+        name="attention_drift",
+        tenants=(
+            GraphTenantSpec(
+                name="vision_primary",
+                rate_per_s=3.0 * load,
+                num_stages=num_stages,
+            ),
+            GraphTenantSpec(
+                name="vision_background",
+                rate_per_s=1.5 * load,
+                num_stages=num_stages,
+            ),
+        ),
+        duration_s=duration_s,
+        drift_at_s=drift_at_s,
+        pre_family=lambda seed: ComputeUniformFamily(
+            num_nodes=num_nodes, degree=3, seed=seed
+        ),
+        post_family=lambda seed: AttentionAugmentedFamily(
+            num_nodes=num_nodes, degree=3, seed=seed, num_heads=num_heads
+        ),
+    )

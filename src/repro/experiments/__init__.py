@@ -13,16 +13,22 @@ from repro.experiments.fleet_routing import (
     format_fleet_routing,
     run_fleet_routing,
 )
+from repro.experiments.online_adaptation import (
+    format_online_adaptation,
+    run_online_adaptation,
+)
 
 __all__ = [
     "format_fig3",
     "format_fig4",
     "format_fig5",
     "format_fleet_routing",
+    "format_online_adaptation",
     "format_table1",
     "run_fig3",
     "run_fig4",
     "run_fig5",
     "run_fleet_routing",
+    "run_online_adaptation",
     "run_table1",
 ]

@@ -1,0 +1,379 @@
+"""Experiment — online adaptation under workload drift.
+
+The end-to-end composition of the online subsystem: one deterministic
+drifting request stream (:func:`repro.cluster.scenarios
+.attention_drift_scenario` — tenants shift from compute-uniform CNN
+graphs to attention-heavy graphs mid-run) is served twice by the same
+pretrained champion:
+
+* **frozen** — a plain :class:`~repro.service.SchedulingService`; after
+  the drift point its mean pipeline-efficiency reward collapses (the
+  champion's decode order colocates the hot attention heads and the
+  parameter-byte packer cannot see compute);
+* **adaptive** — the same service with an
+  :class:`~repro.online.AdaptationLoop` attached: drift is detected from
+  the served-fingerprint stream, a challenger is fine-tuned on the
+  drifted traffic, shadow-evaluated, promoted into the serving path via
+  hot-swap, and the post-promotion serves recover to (within a few
+  percent of) the pre-drift schedule quality.
+
+Both passes see the *identical* request trace under one seed, so the
+whole experiment — drift point, detection serve, promotion serve, every
+reward — replays bit-identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.cluster.drifting import GraphDriftScenario, generate_graph_requests
+from repro.cluster.scenarios import attention_drift_scenario
+from repro.online import (
+    AdaptationConfig,
+    AdaptationLoop,
+    AdaptationReport,
+    DriftDetector,
+    ExperienceBuffer,
+    PipelineLatencyReward,
+    default_reward_model,
+)
+from repro.rl.respect import RespectScheduler
+from repro.service import SchedulingService
+from repro.utils.rng import spawn_rngs
+from repro.utils.stats import percentile
+from repro.utils.tables import format_table
+
+#: Seed-domain offset separating the fresh fine-tuning stream from the
+#: served trace's tenant generators (which spawn from the bare seed).
+_FRESH_FAMILY_SEED_DOMAIN = 977_000_000
+
+
+@dataclass(frozen=True)
+class ServedPhaseStats:
+    """Reward/latency summary of one (series, phase) slice.
+
+    ``p99_gap_to_bound`` is the latency headline: the 99th percentile of
+    per-request relative overhead over the graph's own lower-bound
+    period.  (Absolute periods are not comparable across the drift point
+    — post-drift graphs carry inherently heavier operators — so the
+    per-graph normalization is what makes pre/post recovery claims
+    meaningful.)
+    """
+
+    series: str
+    phase: str
+    requests: int
+    mean_reward: float
+    p99_period_s: float
+    mean_gap_to_bound: float
+    p99_gap_to_bound: float
+
+
+@dataclass
+class OnlineAdaptationResult:
+    """Everything the drift experiment measures."""
+
+    scenario: str
+    seed: int
+    requests: int
+    drift_request_index: int
+    #: Every request index at which the detector raised an event (a
+    #: pre-drift entry is a false alarm — the promotion gate, not the
+    #: detector, is the last line of defense).
+    detection_request_indices: List[int]
+    promotion_request_index: Optional[int]
+    phases: List[ServedPhaseStats]
+    adaptation_reports: List[AdaptationReport]
+    #: Aligned per-request rewards: ``rewards[series][i]``.
+    rewards: Dict[str, List[float]]
+
+    # -- headline numbers ----------------------------------------------
+    def phase_stats(self, series: str, phase: str) -> ServedPhaseStats:
+        for stats in self.phases:
+            if stats.series == series and stats.phase == phase:
+                return stats
+        raise KeyError(f"no phase stats for {(series, phase)}")
+
+    @property
+    def pre_drift_reward(self) -> float:
+        """Champion quality on the pre-drift traffic (frozen pass)."""
+        return self.phase_stats("frozen", "pre").mean_reward
+
+    @property
+    def frozen_post_reward(self) -> float:
+        return self.phase_stats("frozen", "post").mean_reward
+
+    @property
+    def promoted(self) -> bool:
+        return self.promotion_request_index is not None
+
+    @property
+    def adaptive_recovered_reward(self) -> float:
+        """Adaptive-service quality on post-promotion serves.
+
+        Falls back to the whole post-drift slice when no challenger was
+        promoted (the adaptive service then just served the champion).
+        """
+        if not self.promoted:
+            return self.phase_stats("adaptive", "post").mean_reward
+        return self.phase_stats("adaptive", "post_promoted").mean_reward
+
+    @property
+    def degradation(self) -> float:
+        """Relative reward loss of the frozen champion after drift."""
+        if self.pre_drift_reward <= 0:
+            return 0.0
+        return 1.0 - self.frozen_post_reward / self.pre_drift_reward
+
+    @property
+    def recovery_gap(self) -> float:
+        """Relative shortfall of the adapted service vs pre-drift."""
+        if self.pre_drift_reward <= 0:
+            return 0.0
+        return 1.0 - self.adaptive_recovered_reward / self.pre_drift_reward
+
+
+def _phase_stats(
+    series: str,
+    phase: str,
+    rewards: Sequence[float],
+    periods: Sequence[float],
+) -> ServedPhaseStats:
+    if not rewards:
+        return ServedPhaseStats(series, phase, 0, 0.0, 0.0, 0.0, 0.0)
+    gaps = [1.0 / r - 1.0 for r in rewards if r > 0]
+    return ServedPhaseStats(
+        series=series,
+        phase=phase,
+        requests=len(rewards),
+        mean_reward=sum(rewards) / len(rewards),
+        p99_period_s=percentile(list(periods), 99),
+        mean_gap_to_bound=sum(gaps) / len(rewards),
+        p99_gap_to_bound=percentile(gaps, 99) if gaps else 0.0,
+    )
+
+
+def run_online_adaptation(
+    seed: int = 0,
+    scenario: Optional[GraphDriftScenario] = None,
+    adaptation: Optional[AdaptationConfig] = None,
+    reward_model: Optional[PipelineLatencyReward] = None,
+    reference_size: int = 48,
+    detector_window: int = 24,
+    detector_threshold: float = 2.0,
+    adapt_warmup_serves: int = 24,
+    max_adaptations: int = 2,
+    checkpoint_dir: Optional[Union[str, Path]] = None,
+) -> OnlineAdaptationResult:
+    """Serve one drifting trace frozen and adaptively; measure recovery.
+
+    ``adapt_warmup_serves`` delays the (synchronous) adaptation until
+    that many serves followed drift detection, so the experience
+    buffer's recent window is genuinely drifted — the live loop gets the
+    same effect from traffic arriving while fine-tuning runs in the
+    background.  ``max_adaptations`` bounds the fine-tuning rounds (the
+    promotion gate already rejects unhelpful challengers; the cap just
+    bounds the experiment's wall-clock).
+    """
+    scenario = scenario or attention_drift_scenario()
+    reward_model = reward_model or default_reward_model()
+    requests = generate_graph_requests(scenario, seed)
+    if not requests:
+        raise ValueError("scenario generated an empty request stream")
+    drift_index = next(
+        (i for i, r in enumerate(requests) if r.phase == "post"), len(requests)
+    )
+
+    def measure(request, result) -> Tuple[float, float]:
+        """(reward, period) with one stage-profile pass, not two."""
+        period = reward_model.period(request.graph, result.schedule)
+        bound = reward_model.bound_period(request.graph, request.num_stages)
+        return (bound / period if period > 0 else 1.0), period
+
+    # ------------------------------------------------------------- frozen
+    frozen_rewards: List[float] = []
+    frozen_periods: List[float] = []
+    with SchedulingService(RespectScheduler(), batch_window_s=0.0) as service:
+        for request in requests:
+            result = service.schedule(request.graph, request.num_stages)
+            reward, period = measure(request, result)
+            frozen_rewards.append(reward)
+            frozen_periods.append(period)
+
+    # ----------------------------------------------------------- adaptive
+    config = adaptation or AdaptationConfig(
+        max_adaptation_graphs=40,
+        fresh_graphs=24,
+        imitation_steps=600,
+        reinforce_steps=20,
+        seed=seed,
+    )
+    if checkpoint_dir is not None:
+        config = replace(config, checkpoint_dir=checkpoint_dir)
+    # Fresh drifted samples for fine-tuning come from the scenario's own
+    # post-drift family, on a child seed from a disjoint domain so the
+    # stream never collides with the served trace's tenant generators.
+    (fresh_rng,) = spawn_rngs(_FRESH_FAMILY_SEED_DOMAIN + seed, 1)
+    fresh_family = scenario.post_family(fresh_rng)
+
+    adaptive_rewards: List[float] = []
+    adaptive_periods: List[float] = []
+    detection_indices: List[int] = []
+    promotion_index: Optional[int] = None
+    reports: List[AdaptationReport] = []
+    with SchedulingService(RespectScheduler(), batch_window_s=0.0) as service:
+        loop = AdaptationLoop(
+            service,
+            buffer=ExperienceBuffer(capacity=256, seed=seed),
+            detector=DriftDetector(
+                reference_size=reference_size,
+                window_size=detector_window,
+                threshold=detector_threshold,
+            ),
+            config=config,
+            reward_model=reward_model,
+            graph_source=lambda count: fresh_family.sample_batch(count),
+        ).attach()
+        seen_event = None
+        serves_since_event = 0
+        for index, request in enumerate(requests):
+            result = service.schedule(request.graph, request.num_stages)
+            reward, period = measure(request, result)
+            adaptive_rewards.append(reward)
+            adaptive_periods.append(period)
+            event = loop.pending_event
+            if event is None:
+                continue
+            if event is not seen_event:
+                # A genuinely new detection (not the same unconsumed
+                # event observed again, e.g. after max_adaptations).
+                seen_event = event
+                serves_since_event = 0
+                detection_indices.append(index)
+            else:
+                serves_since_event += 1
+            if (
+                serves_since_event >= adapt_warmup_serves
+                or index == len(requests) - 1
+            ) and len(reports) < max_adaptations:
+                report = loop.run_pending()
+                if report is not None:
+                    reports.append(report)
+                    if report.promotion is not None:
+                        promotion_index = index + 1
+        loop.detach()
+
+    # ------------------------------------------------------------ summary
+    def split(series: str, rewards, periods) -> List[ServedPhaseStats]:
+        stats = [
+            _phase_stats(
+                series, "pre", rewards[:drift_index], periods[:drift_index]
+            ),
+            _phase_stats(
+                series, "post", rewards[drift_index:], periods[drift_index:]
+            ),
+        ]
+        if series == "adaptive" and promotion_index is not None:
+            stats.append(
+                _phase_stats(
+                    series,
+                    "post_frozen_window",
+                    rewards[drift_index:promotion_index],
+                    periods[drift_index:promotion_index],
+                )
+            )
+            stats.append(
+                _phase_stats(
+                    series,
+                    "post_promoted",
+                    rewards[promotion_index:],
+                    periods[promotion_index:],
+                )
+            )
+        return stats
+
+    phases = split("frozen", frozen_rewards, frozen_periods) + split(
+        "adaptive", adaptive_rewards, adaptive_periods
+    )
+    return OnlineAdaptationResult(
+        scenario=scenario.name,
+        seed=seed,
+        requests=len(requests),
+        drift_request_index=drift_index,
+        detection_request_indices=detection_indices,
+        promotion_request_index=promotion_index,
+        phases=phases,
+        adaptation_reports=reports,
+        rewards={"frozen": frozen_rewards, "adaptive": adaptive_rewards},
+    )
+
+
+def format_online_adaptation(result: OnlineAdaptationResult) -> str:
+    """Render the experiment's summary table."""
+    rows = [
+        [
+            stats.series,
+            stats.phase,
+            stats.requests,
+            stats.mean_reward,
+            100.0 * stats.mean_gap_to_bound,
+            100.0 * stats.p99_gap_to_bound,
+            stats.p99_period_s * 1e3,
+        ]
+        for stats in result.phases
+        if stats.requests
+    ]
+    table = format_table(
+        [
+            "series",
+            "phase",
+            "reqs",
+            "mean reward",
+            "gap %",
+            "p99 gap %",
+            "p99 period (ms)",
+        ],
+        rows,
+        title=(
+            f"Online adaptation under drift — scenario "
+            f"{result.scenario!r}, seed {result.seed}"
+        ),
+    )
+    lines = [
+        table,
+        (
+            f"drift at request {result.drift_request_index}, detections at "
+            f"{result.detection_request_indices}, promoted at "
+            f"{result.promotion_request_index}"
+        ),
+        (
+            f"frozen champion degradation: {100 * result.degradation:.1f}% | "
+            f"adaptive recovery gap vs pre-drift: "
+            f"{100 * result.recovery_gap:.1f}%"
+        ),
+    ]
+    for report in result.adaptation_reports:
+        evaluation = report.evaluation
+        lines.append(
+            f"adaptation [{report.status}]: teacher "
+            f"{report.teacher_mean_reward:.3f}, imitation accuracy "
+            f"{report.imitation_final_accuracy:.2f}"
+            + (
+                f", shadow champion {evaluation.champion_mean:.3f} vs "
+                f"challenger {evaluation.challenger_mean:.3f} "
+                f"(z={evaluation.z_score:.2f})"
+                if evaluation is not None
+                else ""
+            )
+        )
+    return "\n".join(lines)
+
+
+__all__ = [
+    "OnlineAdaptationResult",
+    "ServedPhaseStats",
+    "format_online_adaptation",
+    "run_online_adaptation",
+]

@@ -3,6 +3,8 @@
 from repro.flow.compare import (
     MethodOutcome,
     ServedMethodStats,
+    adapted_policy_method,
+    champion_challenger_methods,
     compare_methods,
     compare_methods_over_models,
     default_methods,
@@ -17,6 +19,8 @@ from repro.flow.multimodel import merge_graphs, split_schedule
 __all__ = [
     "MethodOutcome",
     "ServedMethodStats",
+    "adapted_policy_method",
+    "champion_challenger_methods",
     "compare_methods",
     "compare_methods_over_models",
     "default_methods",

@@ -51,6 +51,51 @@ def default_methods() -> Dict[str, SchedulerFactory]:
     }
 
 
+def adapted_policy_method(
+    checkpoint_dir, checkpoint_name: str = "respect_online", **scheduler_kwargs
+) -> SchedulerFactory:
+    """Factory for a RESPECT scheduler running a *promoted* checkpoint.
+
+    Loads the named artifact through the validated checkpoint lifecycle
+    (:func:`repro.rl.checkpoints.load_checkpoint` — online promotions
+    persist there with their drift provenance) and wraps it exactly like
+    the shipped policy, so an adapted policy is a first-class comparison
+    method anywhere a method dict is accepted.  The checkpoint is loaded
+    once per factory *call*, keeping the factory cheap to build and the
+    scheduler fresh per comparison.
+    """
+    from repro.rl.checkpoints import load_checkpoint
+    from repro.rl.respect import RespectScheduler
+
+    def factory() -> object:
+        policy = load_checkpoint(checkpoint_dir, checkpoint_name)
+        return RespectScheduler(policy=policy, **scheduler_kwargs)
+
+    return factory
+
+
+def champion_challenger_methods(
+    checkpoint_dir,
+    checkpoint_name: str = "respect_online",
+    champion_factory: Optional[SchedulerFactory] = None,
+) -> Dict[str, SchedulerFactory]:
+    """Method dict pitting the serving champion against a promoted policy.
+
+    ``compare_methods_over_models(graphs, champion_challenger_methods(d),
+    stages)`` replays any evaluation with both policies side by side —
+    the offline audit of what an online promotion actually changed.
+    ``champion_factory`` defaults to the shipped pretrained scheduler.
+    """
+    from repro.rl.respect import RespectScheduler
+
+    return {
+        "respect_champion": champion_factory or RespectScheduler,
+        "respect_adapted": adapted_policy_method(
+            checkpoint_dir, checkpoint_name
+        ),
+    }
+
+
 def schedule_many(
     scheduler: object,
     graphs: Sequence[ComputationalGraph],

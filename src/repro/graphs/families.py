@@ -1,0 +1,183 @@
+"""Compute-profile workload families for drift studies.
+
+The synthetic sampler (:mod:`repro.graphs.sampler`) controls *topology*;
+online-adaptation studies additionally need control over the **compute
+profile**, because the pipeline-latency reward is a statement about
+per-stage compute balance.  Two families are provided:
+
+:class:`ComputeUniformFamily`
+    DNN-shaped graphs whose operators all carry similar compute (drawn
+    from ``compute_ms_range``) and small, uniform parameter/activation
+    footprints.  Any balanced split pipelines well — the regime the
+    pretrained policy serves comfortably, used as pre-drift traffic.
+
+:class:`AttentionAugmentedFamily`
+    The same backbone plus ``num_heads`` *hot attention branches*:
+    side-branch operators (named ``mhsa_0 .. mhsa_{H-1}`` — fixed names,
+    so their hashed node-ID features are stable across graphs and a
+    policy can learn them) that each carry ``head_compute_ms`` of
+    compute, an order of magnitude above the backbone.  Pipeline quality
+    is now dominated by whether the decode *spreads* the hot heads
+    across stages; the ``rho`` packer cannot see compute, so the node
+    order — the learned policy — is load-bearing.  This is the drifted
+    traffic of the online-adaptation experiment: a workload family the
+    shipped checkpoint never trained on, where its learned preferences
+    actively misfire.
+
+Both families are deterministic under a seed and share one backbone
+generator, so pre- and post-drift graphs differ exactly by the hot
+heads and the compute normalization.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graphs import ops
+from repro.graphs.dag import ComputationalGraph, OpNode
+from repro.graphs.sampler import SyntheticDAGSampler
+from repro.tpu.spec import EdgeTPUSpec, default_spec
+from repro.utils.rng import SeedLike, resolve_rng
+
+
+class ComputeUniformFamily:
+    """Uniform-compute DNN-shaped graphs (the pre-drift workload).
+
+    Parameters
+    ----------
+    num_nodes / degree / chain_bias / merge_fraction:
+        Backbone topology knobs, forwarded to
+        :class:`~repro.graphs.sampler.SyntheticDAGSampler`.
+    compute_ms_range:
+        Per-operator compute drawn uniformly from this range (in
+        milliseconds on ``spec``'s conv MAC rate).
+    param_bytes / output_bytes:
+        Uniform per-operator footprints.  Defaults keep every stage far
+        under SRAM (no weight streaming) and activations cheap to move,
+        so the steady-state period is compute-bound — the regime where
+        the pipeline-efficiency reward is tight.
+    spec:
+        Device spec used to convert milliseconds to MACs.
+    seed:
+        Seed or generator for topology and compute draws.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int = 24,
+        degree: int = 3,
+        seed: SeedLike = None,
+        compute_ms_range: Tuple[float, float] = (1.0, 2.0),
+        param_bytes: int = 16384,
+        output_bytes: int = 32768,
+        chain_bias: float = 0.75,
+        merge_fraction: float = 0.3,
+        spec: Optional[EdgeTPUSpec] = None,
+    ) -> None:
+        if compute_ms_range[0] <= 0 or compute_ms_range[0] > compute_ms_range[1]:
+            raise GraphError("compute_ms_range must be positive and ordered")
+        if param_bytes < 0 or output_bytes <= 0:
+            raise GraphError("param_bytes must be >= 0 and output_bytes > 0")
+        self.spec = spec or default_spec()
+        self.compute_ms_range = compute_ms_range
+        self.param_bytes = param_bytes
+        self.output_bytes = output_bytes
+        self._rng = resolve_rng(seed)
+        self._backbone = SyntheticDAGSampler(
+            num_nodes=num_nodes,
+            degree=degree,
+            seed=self._rng,
+            chain_bias=chain_bias,
+            merge_fraction=merge_fraction,
+        )
+        self._macs_per_ms = self.spec.sustained_macs_per_s(ops.CONV2D) / 1e3
+
+    # ------------------------------------------------------------------
+    def _compute_macs(self) -> int:
+        low, high = self.compute_ms_range
+        return int(self._macs_per_ms * self._rng.uniform(low, high))
+
+    def sample(self) -> ComputationalGraph:
+        """Draw one graph with normalized compute/memory attributes."""
+        base = self._backbone.sample()
+        graph = ComputationalGraph(name=base.name)
+        for name in base.node_names:
+            is_input = base.node(name).op_type == ops.INPUT
+            graph.add_node(
+                OpNode(
+                    name=name,
+                    op_type=ops.INPUT if is_input else ops.CONV2D,
+                    param_bytes=0 if is_input else self.param_bytes,
+                    output_bytes=self.output_bytes,
+                    macs=0 if is_input else self._compute_macs(),
+                )
+            )
+        for parent, child in base.edges():
+            graph.add_edge(parent, child)
+        return self._augment(graph)
+
+    def sample_batch(self, count: int) -> list:
+        return [self.sample() for _ in range(count)]
+
+    def _augment(self, graph: ComputationalGraph) -> ComputationalGraph:
+        """Hook for subclasses; the uniform family returns as-is."""
+        return graph
+
+
+class AttentionAugmentedFamily(ComputeUniformFamily):
+    """Uniform backbone plus hot attention-head branches (drift traffic).
+
+    Each sampled graph gains ``num_heads`` childless side-branch nodes
+    ``mhsa_0 .. mhsa_{H-1}`` anchored at evenly spaced backbone depths.
+    Their compute (``head_compute_ms``) dominates the backbone's, so the
+    achievable pipeline period requires spreading them across stages —
+    a property of the *decode order* (the packer splits by parameter
+    bytes and is blind to compute).  Head names are fixed across graphs:
+    their hashed node-ID embedding features are the signature an adapted
+    policy learns.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int = 24,
+        degree: int = 3,
+        seed: SeedLike = None,
+        num_heads: int = 4,
+        head_compute_ms: float = 30.0,
+        head_op_name: str = "mhsa",
+        **kwargs: object,
+    ) -> None:
+        super().__init__(num_nodes=num_nodes, degree=degree, seed=seed, **kwargs)
+        if num_heads < 1:
+            raise GraphError("num_heads must be >= 1")
+        if head_compute_ms <= 0:
+            raise GraphError("head_compute_ms must be positive")
+        self.num_heads = num_heads
+        self.head_compute_ms = head_compute_ms
+        self.head_op_name = head_op_name
+
+    def _augment(self, graph: ComputationalGraph) -> ComputationalGraph:
+        backbone = list(graph.node_names)
+        anchor_positions = np.linspace(
+            1, len(backbone) - 2, self.num_heads
+        ).astype(int)
+        head_macs = int(self._macs_per_ms * self.head_compute_ms)
+        for head, position in enumerate(anchor_positions):
+            name = f"{self.head_op_name}_{head}"
+            graph.add_node(
+                OpNode(
+                    name=name,
+                    op_type=ops.CONV2D,
+                    param_bytes=self.param_bytes,
+                    output_bytes=self.output_bytes,
+                    macs=head_macs,
+                )
+            )
+            graph.add_edge(backbone[int(position)], name)
+        return graph
+
+
+__all__ = ["AttentionAugmentedFamily", "ComputeUniformFamily"]

@@ -1,0 +1,56 @@
+"""Online policy adaptation: drift-aware continual learning in serving.
+
+The first subsystem that lets the reproduction *improve itself* under
+load.  A live :class:`~repro.service.SchedulingService` streams every
+served schedule into an :class:`ExperienceBuffer` (scored by the
+pipeline-latency reward model); a :class:`DriftDetector` watches the
+workload's structural fingerprints and shape statistics; on drift, an
+:class:`AdaptationLoop` fine-tunes a challenger copy of the serving
+policy on the drifted traffic, shadow-evaluates it against the champion,
+and — only on a statistically better mean reward — persists it through
+the checkpoint lifecycle and hot-swaps it into the service with no
+downtime and no torn request.
+"""
+
+from repro.online.adapt import (
+    AdaptationConfig,
+    AdaptationLoop,
+    AdaptationReport,
+    latency_teacher_order,
+    teacher_example,
+)
+from repro.online.drift import DriftDetector, DriftEvent, GraphObservation
+from repro.online.experience import (
+    ExperienceBuffer,
+    ExperienceRecord,
+    ExperienceStats,
+)
+from repro.online.promotion import (
+    PromotionRecord,
+    ShadowEvaluation,
+    evaluate_challenger,
+    promote_challenger,
+    scheduler_with_policy,
+)
+from repro.online.rewards import PipelineLatencyReward, default_reward_model
+
+__all__ = [
+    "AdaptationConfig",
+    "AdaptationLoop",
+    "AdaptationReport",
+    "DriftDetector",
+    "DriftEvent",
+    "ExperienceBuffer",
+    "ExperienceRecord",
+    "ExperienceStats",
+    "GraphObservation",
+    "PipelineLatencyReward",
+    "PromotionRecord",
+    "ShadowEvaluation",
+    "default_reward_model",
+    "evaluate_challenger",
+    "latency_teacher_order",
+    "promote_challenger",
+    "scheduler_with_policy",
+    "teacher_example",
+]

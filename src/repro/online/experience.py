@@ -1,0 +1,182 @@
+"""Bounded, thread-safe experience recording for served schedules.
+
+Every request the :class:`~repro.service.SchedulingService` answers is a
+potential training signal: the graph that was served, the stage count,
+the schedule the policy produced, and the reward the pipeline-latency
+model assigns it.  :class:`ExperienceBuffer` records these tuples under
+two complementary retention policies, both O(1) memory under unbounded
+traffic:
+
+* a **reservoir** (Vitter's Algorithm R) holding a uniform random sample
+  of *all* traffic ever observed — the long-run workload memory used to
+  mix pre-drift graphs into fine-tuning sets and to sanity-check a
+  challenger against historical traffic;
+* a **recent window** (bounded deque) holding the newest records — the
+  post-drift slice adaptation fine-tunes on.
+
+Reservoir replacement draws from a seeded generator, so a replayed
+request stream reproduces the identical buffer state — the property the
+end-to-end drift experiment's determinism rests on.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional
+
+from repro.errors import ServiceError
+from repro.graphs.dag import ComputationalGraph
+from repro.graphs.fingerprint import structural_fingerprint
+from repro.scheduling.schedule import Schedule
+from repro.utils.rng import SeedLike, resolve_rng
+
+
+@dataclass(frozen=True)
+class ExperienceRecord:
+    """One served schedule with its reward."""
+
+    graph: ComputationalGraph
+    num_stages: int
+    schedule: Schedule
+    reward: float
+    #: Isomorphism-invariant workload fingerprint (drift analytics).
+    fingerprint: str
+    #: 0-based position in the service's serve stream.
+    serve_index: int
+
+
+@dataclass(frozen=True)
+class ExperienceStats:
+    """Point-in-time counters of an :class:`ExperienceBuffer`."""
+
+    observed: int
+    reservoir_size: int
+    reservoir_capacity: int
+    recent_size: int
+    recent_capacity: int
+    mean_recent_reward: float
+
+
+class ExperienceBuffer:
+    """Reservoir + recent-window store of :class:`ExperienceRecord` s.
+
+    Parameters
+    ----------
+    capacity:
+        Reservoir size (uniform sample over all observed traffic).
+    recent_capacity:
+        Size of the newest-records window (defaults to ``capacity``).
+    seed:
+        Seed of the reservoir-replacement generator; fixed seeds make
+        buffer contents a pure function of the record stream.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 512,
+        recent_capacity: Optional[int] = None,
+        seed: SeedLike = 0,
+    ) -> None:
+        if capacity < 1:
+            raise ServiceError(f"buffer capacity must be >= 1, got {capacity}")
+        if recent_capacity is not None and recent_capacity < 1:
+            raise ServiceError(
+                f"recent_capacity must be >= 1, got {recent_capacity}"
+            )
+        self.capacity = capacity
+        self.recent_capacity = (
+            recent_capacity if recent_capacity is not None else capacity
+        )
+        self._rng = resolve_rng(seed)
+        self._lock = threading.Lock()
+        self._reservoir: List[ExperienceRecord] = []
+        self._recent: Deque[ExperienceRecord] = deque(maxlen=self.recent_capacity)
+        self._observed = 0
+
+    # ------------------------------------------------------------------
+    def record(
+        self,
+        graph: ComputationalGraph,
+        num_stages: int,
+        schedule: Schedule,
+        reward: float,
+        fingerprint: Optional[str] = None,
+    ) -> ExperienceRecord:
+        """Append one served schedule; returns the stored record.
+
+        ``fingerprint`` may be supplied by callers that already computed
+        the structural fingerprint (the drift detector does); otherwise
+        it is derived here.
+        """
+        if fingerprint is None:
+            fingerprint = structural_fingerprint(graph)
+        with self._lock:
+            entry = ExperienceRecord(
+                graph=graph,
+                num_stages=int(num_stages),
+                schedule=schedule,
+                reward=float(reward),
+                fingerprint=fingerprint,
+                serve_index=self._observed,
+            )
+            self._observed += 1
+            self._recent.append(entry)
+            if len(self._reservoir) < self.capacity:
+                self._reservoir.append(entry)
+            else:
+                # Algorithm R: keep each observed record with equal
+                # probability capacity/observed.
+                slot = int(self._rng.integers(0, entry.serve_index + 1))
+                if slot < self.capacity:
+                    self._reservoir[slot] = entry
+            return entry
+
+    # ------------------------------------------------------------------
+    def sample(self) -> List[ExperienceRecord]:
+        """Snapshot of the reservoir (uniform over all observed)."""
+        with self._lock:
+            return list(self._reservoir)
+
+    def recent(self, count: Optional[int] = None) -> List[ExperienceRecord]:
+        """The newest ``count`` records, oldest first."""
+        with self._lock:
+            records = list(self._recent)
+        if count is None:
+            return records
+        if count < 0:
+            raise ServiceError(f"recent count must be >= 0, got {count}")
+        return records[-count:] if count else []
+
+    def since(self, serve_index: int) -> List[ExperienceRecord]:
+        """Recent-window records with ``serve_index >= serve_index``.
+
+        The post-drift slice: the drift detector reports the serve index
+        it triggered at, and adaptation fine-tunes on everything after.
+        Only the bounded recent window is searched, so the result cannot
+        grow with traffic volume.
+        """
+        with self._lock:
+            return [r for r in self._recent if r.serve_index >= serve_index]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._reservoir)
+
+    def stats(self) -> ExperienceStats:
+        with self._lock:
+            recent = list(self._recent)
+            return ExperienceStats(
+                observed=self._observed,
+                reservoir_size=len(self._reservoir),
+                reservoir_capacity=self.capacity,
+                recent_size=len(recent),
+                recent_capacity=self.recent_capacity,
+                mean_recent_reward=(
+                    sum(r.reward for r in recent) / len(recent) if recent else 0.0
+                ),
+            )
+
+
+__all__ = ["ExperienceBuffer", "ExperienceRecord", "ExperienceStats"]

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import copy
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -60,21 +60,37 @@ class TrainingMetrics:
     mean_entropy: float = 0.0
 
 
+#: Pluggable per-sample cost: ``cost_fn(example, order_names) -> float``.
+CostFn = Callable[[LabeledExample, List[str]], float]
+
+
 class ReinforceTrainer:
-    """Policy-gradient trainer over a labeled synthetic dataset."""
+    """Policy-gradient trainer over a labeled synthetic dataset.
+
+    ``cost_fn`` replaces the default Eq. 3 cosine cost with any
+    per-sample cost over the decoded node order (lower is better; keep
+    it roughly in ``[0, 1]`` so the configured learning rates transfer).
+    The online-adaptation loop uses this to fine-tune directly on the
+    pipeline-latency reward; the rollout baseline, evaluation split and
+    entropy bonus all apply unchanged.
+    """
 
     def __init__(
         self,
         policy: PointerNetworkPolicy,
         examples: Sequence[LabeledExample],
         config: ReinforceConfig = ReinforceConfig(),
+        cost_fn: Optional[CostFn] = None,
     ) -> None:
         if not examples:
             raise TrainingError("training requires a non-empty dataset")
         if config.baseline not in ("rollout", "batch_mean", "none"):
             raise TrainingError(f"unknown baseline kind {config.baseline!r}")
+        if cost_fn is not None and not callable(cost_fn):
+            raise TrainingError("cost_fn must be callable")
         self.policy = policy
         self.config = config
+        self.cost_fn = cost_fn
         self._rng = resolve_rng(config.seed)
         # Eval and train splits must stay disjoint: cap the eval share at
         # len - 1 so a large ``eval_fraction`` (or a tiny dataset) never
@@ -113,7 +129,18 @@ class ReinforceTrainer:
         examples: Sequence[LabeledExample],
         actions: np.ndarray,
     ) -> np.ndarray:
-        """``1 - R`` per batch row: pack the sequence, compare stages."""
+        """Per-row cost: ``cost_fn`` when given, else ``1 - R`` (Eq. 3)."""
+        if self.cost_fn is not None:
+            return np.array(
+                [
+                    float(
+                        self.cost_fn(
+                            example, example.queue.names_for(actions[b])
+                        )
+                    )
+                    for b, example in enumerate(examples)
+                ]
+            )
         costs = np.zeros(len(examples))
         for b, example in enumerate(examples):
             order = example.queue.names_for(actions[b])

@@ -50,6 +50,9 @@ class CacheStats:
     evictions: int
     size: int
     capacity: int
+    #: Entries dropped by :meth:`ScheduleCache.invalidate_options`
+    #: (counted separately from capacity evictions).
+    invalidations: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -75,6 +78,7 @@ class ScheduleCache:
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._invalidations = 0
 
     @staticmethod
     def make_key(fingerprint: str, num_stages: int, options_key: str) -> CacheKey:
@@ -116,6 +120,28 @@ class ScheduleCache:
         with self._lock:
             self._entries.clear()
 
+    def invalidate_options(self, options_key: str) -> int:
+        """Evict every entry keyed under ``options_key``; returns count.
+
+        Schedules depend on the scheduler's options fingerprint, so when
+        a scheduler configuration is retired — most prominently when a
+        hot-swap replaces the policy behind a
+        :class:`~repro.service.SchedulingService` — all entries solved
+        under the old fingerprint become unreachable garbage.  This drops
+        them eagerly (O(n) scan; the cache is bounded) instead of waiting
+        for LRU pressure.  LRU order of the surviving entries is
+        untouched, and hit/miss counters are preserved.
+        """
+        options_key = str(options_key)
+        with self._lock:
+            stale = [
+                key for key in self._entries if key[2] == options_key
+            ]
+            for key in stale:
+                del self._entries[key]
+            self._invalidations += len(stale)
+            return len(stale)
+
     def stats(self) -> CacheStats:
         with self._lock:
             return CacheStats(
@@ -124,6 +150,7 @@ class ScheduleCache:
                 evictions=self._evictions,
                 size=len(self._entries),
                 capacity=self.capacity,
+                invalidations=self._invalidations,
             )
 
 

@@ -25,6 +25,17 @@ path, and cache keys are exactly as discriminating as the scheduler
 (see :mod:`repro.graphs.fingerprint`).  Every result's schedule is bound
 to the requesting caller's own graph object even when it was solved for
 (or cached from) a content-identical twin.
+
+The scheduler behind a running service can be replaced without downtime
+via :meth:`SchedulingService.swap_scheduler` (the online-adaptation
+champion/challenger promotion path): the worker snapshots the scheduler
+per batch, so every request — before, during or after the swap — is
+served bit-identically by exactly one policy version, and post-swap
+requests key onto the new options fingerprint (evict the old entries
+with :meth:`~repro.service.ScheduleCache.invalidate_options`).
+Observers registered through
+:meth:`SchedulingService.add_serve_listener` see every resolved request
+— the hook the online experience recorder uses.
 """
 
 from __future__ import annotations
@@ -35,7 +46,16 @@ import time
 from collections import deque
 from concurrent.futures import Future
 from dataclasses import dataclass
-from typing import Deque, Dict, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Callable,
+    Deque,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.errors import ServiceError
 from repro.graphs.dag import ComputationalGraph
@@ -139,6 +159,8 @@ class ServiceStats:
     latency_p50_s: float
     latency_p99_s: float
     cache: CacheStats
+    #: Hot-swaps performed via :meth:`SchedulingService.swap_scheduler`.
+    swaps: int = 0
 
 
 class _PendingRequest:
@@ -210,12 +232,14 @@ class SchedulingService:
         self._inflight: Dict[CacheKey, _PendingRequest] = {}
         self._closed = False
         self._worker: Optional[threading.Thread] = None
+        self._listeners: List[Callable] = []
         # -- counters (guarded by self._cond's lock) --------------------
         self._requests = 0
         self._cache_hits = 0
         self._coalesced = 0
         self._batches = 0
         self._scheduled_graphs = 0
+        self._swaps = 0
         self._latencies: Deque[float] = deque(maxlen=_LATENCY_WINDOW)
 
     # ------------------------------------------------------------------
@@ -233,13 +257,16 @@ class SchedulingService:
         (stages,) = normalize_stage_counts(num_stages, 1)
         start = time.perf_counter()
         # Fingerprinting is the expensive part of the key; stay unlocked.
-        key = ScheduleCache.make_key(
-            graph_fingerprint(graph), stages, self._options_key
-        )
+        fingerprint = graph_fingerprint(graph)
         future: "Future[ScheduleResult]" = Future()
         with self._cond:
             if self._closed:
                 raise ServiceError("service is closed")
+            # The options key is read under the lock so a request
+            # submitted after a hot-swap can never key onto (or coalesce
+            # with) the previous scheduler's entries.
+            key = ScheduleCache.make_key(fingerprint, stages, self._options_key)
+            method_name = self.method_name
             self._requests += 1
             # Check in-flight before the cache: the worker publishes to
             # the cache *before* retiring the in-flight entry, so under
@@ -267,9 +294,11 @@ class SchedulingService:
             graph,
             cache_hit=True,
             lookup_seconds=time.perf_counter() - start,
+            method_name=method_name,
         )
         with self._cond:
             self._latencies.append(time.perf_counter() - start)
+        self._notify(graph, stages, result)
         future.set_result(result)
         return future
 
@@ -339,19 +368,33 @@ class SchedulingService:
                     if remaining <= 0 or self._closed:
                         break
                     self._cond.wait(timeout=remaining)
-            self._solve_batch(batch)
+                # Snapshot the scheduler under the lock: the whole batch
+                # is solved — and its cache entries published — by
+                # exactly one scheduler version even if a hot-swap lands
+                # mid-solve, so no request is ever served a torn mix of
+                # two policies.
+                scheduler = self.scheduler
+                options_key = self._options_key
+                method_name = self.method_name
+            self._solve_batch(batch, scheduler, options_key, method_name)
             idle_deadline = time.perf_counter() + _WORKER_IDLE_S
 
-    def _solve_batch(self, batch: List[_PendingRequest]) -> None:
+    def _solve_batch(
+        self,
+        batch: List[_PendingRequest],
+        scheduler: object,
+        options_key: str,
+        method_name: str,
+    ) -> None:
         graphs = [request.graph for request in batch]
         counts = [request.num_stages for request in batch]
         try:
-            batched = getattr(self.scheduler, "schedule_batch", None)
+            batched = getattr(scheduler, "schedule_batch", None)
             if callable(batched) and len(batch) > 1:
                 results: List[ScheduleResult] = batched(graphs, counts)
             else:
                 results = [
-                    self.scheduler.schedule(graph, stages)  # type: ignore[attr-defined]
+                    scheduler.schedule(graph, stages)  # type: ignore[attr-defined]
                     for graph, stages in zip(graphs, counts)
                 ]
             if len(results) != len(batch):
@@ -373,7 +416,7 @@ class SchedulingService:
             self._scheduled_graphs += len(batch)
         for request, result in zip(batch, results):
             result.extras.setdefault("cache_hit", False)
-            result.extras.setdefault("service", self.method_name)
+            result.extras.setdefault("service", method_name)
             payload = CachedSchedule(
                 assignment=dict(result.schedule.assignment),
                 num_stages=request.num_stages,
@@ -384,8 +427,19 @@ class SchedulingService:
             )
             # Publish to the cache *before* retiring the in-flight entry
             # so a concurrent submit always finds the key in one of the
-            # two (no duplicate solve window).
-            self.cache.put(request.key, payload)
+            # two (no duplicate solve window).  The entry is published
+            # under the options key of the scheduler that actually
+            # solved the batch: after a mid-flight hot-swap the request
+            # key's (pre-swap) options fingerprint no longer describes
+            # this result, and a fresh key is derived instead.
+            publish_key = (
+                request.key
+                if request.key[2] == options_key
+                else ScheduleCache.make_key(
+                    request.key[0], request.num_stages, options_key
+                )
+            )
+            self.cache.put(publish_key, payload)
             now = time.perf_counter()
             with self._cond:
                 self._inflight.pop(request.key, None)
@@ -396,7 +450,13 @@ class SchedulingService:
                 if waiter_graph is result.schedule.graph:
                     served = result
                 else:
-                    served = self._bind(payload, waiter_graph, cache_hit=False)
+                    served = self._bind(
+                        payload,
+                        waiter_graph,
+                        cache_hit=False,
+                        method_name=method_name,
+                    )
+                self._notify(waiter_graph, request.num_stages, served)
                 future.set_result(served)
 
     # ------------------------------------------------------------------
@@ -406,6 +466,7 @@ class SchedulingService:
         graph: ComputationalGraph,
         cache_hit: bool,
         lookup_seconds: float = 0.0,
+        method_name: Optional[str] = None,
     ) -> ScheduleResult:
         """Materialize a cached payload against the caller's graph."""
         schedule = Schedule(graph, payload.num_stages, dict(payload.assignment))
@@ -417,10 +478,81 @@ class SchedulingService:
             status=payload.status,
             extras={
                 "cache_hit": cache_hit,
-                "service": self.method_name,
+                "service": method_name if method_name is not None else self.method_name,
                 "solver_seconds": payload.solve_time,
             },
         )
+
+    # ------------------------------------------------------------------
+    # hot swap / observers
+    # ------------------------------------------------------------------
+    def swap_scheduler(self, scheduler: object) -> str:
+        """Atomically replace the scheduler behind this service.
+
+        The champion/challenger promotion path: once the new scheduler is
+        installed, every subsequent :meth:`submit` keys requests under
+        its options fingerprint, so stale cached schedules are naturally
+        keyed out (evict them eagerly with
+        :meth:`ScheduleCache.invalidate_options` using the returned old
+        key).  Requests already queued or in flight are solved entirely
+        by whichever scheduler version the worker snapshots for their
+        batch — each request is served bit-identically by exactly one of
+        the two versions, never a torn mix.
+
+        Returns the *previous* options fingerprint.
+        """
+        if not callable(getattr(scheduler, "schedule", None)):
+            raise ServiceError(
+                "scheduler must expose a schedule(graph, num_stages) method"
+            )
+        # The weight digest is O(model size); compute it outside the lock.
+        options_key = scheduler_options_key(scheduler)
+        method_name = str(
+            getattr(scheduler, "method_name", type(scheduler).__name__)
+        )
+        with self._cond:
+            if self._closed:
+                raise ServiceError("service is closed")
+            old_key = self._options_key
+            self.scheduler = scheduler
+            self.method_name = method_name
+            self._options_key = options_key
+            self._swaps += 1
+            self._cond.notify_all()
+        return old_key
+
+    def add_serve_listener(
+        self, listener: Callable[[ComputationalGraph, int, ScheduleResult], None]
+    ) -> None:
+        """Register ``listener(graph, num_stages, result)`` per serve.
+
+        Called once per resolved request (cache hits included) with the
+        caller's own graph and the result it received — the hook the
+        online-adaptation experience recorder attaches to.  Listeners run
+        on the serving thread outside the service lock; exceptions are
+        swallowed so a faulty observer can never fail a request.
+        """
+        if not callable(listener):
+            raise ServiceError("serve listener must be callable")
+        with self._cond:
+            self._listeners.append(listener)
+
+    def remove_serve_listener(self, listener: Callable) -> None:
+        """Detach a previously registered listener (missing ones no-op)."""
+        with self._cond:
+            if listener in self._listeners:
+                self._listeners.remove(listener)
+
+    def _notify(
+        self, graph: ComputationalGraph, num_stages: int, result: ScheduleResult
+    ) -> None:
+        with self._cond:
+            listeners = list(self._listeners)
+        for listener in listeners:
+            try:
+                listener(graph, num_stages, result)
+            except Exception:
+                pass
 
     # ------------------------------------------------------------------
     # stats / lifecycle
@@ -433,6 +565,7 @@ class SchedulingService:
             coalesced = self._coalesced
             batches = self._batches
             scheduled = self._scheduled_graphs
+            swaps = self._swaps
             latencies = list(self._latencies)
         return ServiceStats(
             requests=requests,
@@ -446,6 +579,7 @@ class SchedulingService:
             latency_p50_s=percentile(latencies, 50) if latencies else 0.0,
             latency_p99_s=percentile(latencies, 99) if latencies else 0.0,
             cache=self.cache.stats(),
+            swaps=swaps,
         )
 
     def close(self, timeout: Optional[float] = 10.0) -> None:

@@ -1,0 +1,99 @@
+"""Tests for the drifting-graph workload scenario."""
+
+import pytest
+
+from repro.cluster.drifting import (
+    GraphDriftScenario,
+    GraphTenantSpec,
+    generate_graph_requests,
+)
+from repro.cluster.scenarios import attention_drift_scenario
+from repro.errors import DeploymentError
+from repro.graphs.fingerprint import graph_fingerprint
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return attention_drift_scenario(duration_s=8.0, drift_at_s=3.0)
+
+
+class TestScenarioValidation:
+    def test_drift_point_must_be_inside_horizon(self, scenario):
+        with pytest.raises(DeploymentError):
+            GraphDriftScenario(
+                name="bad",
+                tenants=scenario.tenants,
+                duration_s=4.0,
+                drift_at_s=4.0,
+                pre_family=scenario.pre_family,
+                post_family=scenario.post_family,
+            )
+
+    def test_tenant_validation(self):
+        with pytest.raises(DeploymentError):
+            GraphTenantSpec(name="t", rate_per_s=-1.0, num_stages=4)
+        with pytest.raises(DeploymentError):
+            GraphTenantSpec(name="t", rate_per_s=1.0, num_stages=0)
+
+    def test_duplicate_tenants_rejected(self, scenario):
+        with pytest.raises(DeploymentError):
+            GraphDriftScenario(
+                name="dup",
+                tenants=(scenario.tenants[0], scenario.tenants[0]),
+                duration_s=8.0,
+                drift_at_s=3.0,
+                pre_family=scenario.pre_family,
+                post_family=scenario.post_family,
+            )
+
+
+class TestRequestGeneration:
+    def test_time_ordered_with_global_indices(self, scenario):
+        requests = generate_graph_requests(scenario, seed=0)
+        assert requests
+        assert [r.index for r in requests] == list(range(len(requests)))
+        arrivals = [r.arrival_s for r in requests]
+        assert arrivals == sorted(arrivals)
+        assert all(0 <= r.arrival_s < scenario.duration_s for r in requests)
+
+    def test_phase_splits_exactly_at_drift_point(self, scenario):
+        requests = generate_graph_requests(scenario, seed=0)
+        for request in requests:
+            expected = "post" if request.arrival_s >= scenario.drift_at_s else "pre"
+            assert request.phase == expected
+        phases = {r.phase for r in requests}
+        assert phases == {"pre", "post"}
+
+    def test_families_differ_across_phases(self, scenario):
+        requests = generate_graph_requests(scenario, seed=0)
+        pre_nodes = {r.graph.num_nodes for r in requests if r.phase == "pre"}
+        post_nodes = {r.graph.num_nodes for r in requests if r.phase == "post"}
+        # attention heads add nodes on top of the shared backbone size
+        assert pre_nodes == {24}
+        assert post_nodes == {28}
+        assert any(
+            "mhsa_0" in r.graph for r in requests if r.phase == "post"
+        )
+        assert not any(
+            "mhsa_0" in r.graph for r in requests if r.phase == "pre"
+        )
+
+    def test_deterministic_replay(self, scenario):
+        first = generate_graph_requests(scenario, seed=5)
+        second = generate_graph_requests(scenario, seed=5)
+        assert len(first) == len(second)
+        for a, b in zip(first, second):
+            assert a.arrival_s == b.arrival_s
+            assert a.tenant == b.tenant
+            assert a.phase == b.phase
+            assert graph_fingerprint(a.graph) == graph_fingerprint(b.graph)
+
+    def test_seeds_differ(self, scenario):
+        first = generate_graph_requests(scenario, seed=1)
+        second = generate_graph_requests(scenario, seed=2)
+        assert [r.arrival_s for r in first] != [r.arrival_s for r in second]
+
+    def test_every_tenant_contributes(self, scenario):
+        requests = generate_graph_requests(scenario, seed=0)
+        tenants = {r.tenant for r in requests}
+        assert tenants == {t.name for t in scenario.tenants}

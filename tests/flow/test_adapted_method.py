@@ -1,0 +1,99 @@
+"""The promoted/adapted policy as a first-class comparison method."""
+
+import pytest
+
+from repro.embedding.features import EmbeddingConfig
+from repro.errors import CheckpointError
+from repro.flow.compare import (
+    adapted_policy_method,
+    champion_challenger_methods,
+    compare_methods_over_models,
+)
+from repro.graphs.sampler import sample_synthetic_dag
+from repro.rl.checkpoints import load_checkpoint, save_checkpoint
+from repro.rl.ptrnet import PointerNetworkPolicy
+from repro.rl.respect import RespectScheduler
+from repro.tpu.quantize import quantize_graph
+
+
+@pytest.fixture(scope="module")
+def challenger_policy():
+    return PointerNetworkPolicy(
+        feature_dim=EmbeddingConfig().feature_dim, hidden_size=16, seed=9
+    )
+
+
+@pytest.fixture(scope="module")
+def checkpoint_dir(tmp_path_factory, challenger_policy):
+    directory = tmp_path_factory.mktemp("adapted_ckpt")
+    save_checkpoint(challenger_policy, directory, "respect_online")
+    return directory
+
+
+@pytest.fixture(scope="module")
+def graphs():
+    return [
+        quantize_graph(sample_synthetic_dag(num_nodes=10, degree=2, seed=s))
+        for s in (1, 2)
+    ]
+
+
+class TestAdaptedPolicyMethod:
+    def test_factory_builds_scheduler_with_promoted_weights(
+        self, checkpoint_dir, challenger_policy
+    ):
+        factory = adapted_policy_method(checkpoint_dir)
+        scheduler = factory()
+        assert isinstance(scheduler, RespectScheduler)
+        direct = RespectScheduler(
+            policy=load_checkpoint(checkpoint_dir, "respect_online")
+        )
+        assert scheduler.options_fingerprint() == direct.options_fingerprint()
+
+    def test_missing_checkpoint_surfaces_checkpoint_error(self, tmp_path):
+        factory = adapted_policy_method(tmp_path, "absent")
+        with pytest.raises(CheckpointError):
+            factory()
+
+    def test_scheduler_kwargs_forwarded(self, checkpoint_dir):
+        scheduler = adapted_policy_method(
+            checkpoint_dir, budget_slack=1.25
+        )()
+        assert scheduler.budget_slack == 1.25
+
+
+class TestChampionChallengerComparison:
+    def test_equivalence_with_direct_schedulers(
+        self, checkpoint_dir, challenger_policy, graphs
+    ):
+        """compare_methods_over_models pits champion vs promoted policy,
+        and each method's outcomes equal direct scheduler calls."""
+        methods = champion_challenger_methods(checkpoint_dir)
+        per_graph = compare_methods_over_models(
+            graphs, methods, num_stages=3, num_inferences=4
+        )
+        assert len(per_graph) == len(graphs)
+        champion = RespectScheduler()
+        adapted = RespectScheduler(
+            policy=load_checkpoint(checkpoint_dir, "respect_online")
+        )
+        for graph, outcomes in zip(graphs, per_graph):
+            assert set(outcomes) == {"respect_champion", "respect_adapted"}
+            champ_direct = champion.schedule(graph, 3)
+            adapted_direct = adapted.schedule(graph, 3)
+            assert (
+                outcomes["respect_champion"].schedule_result.schedule.assignment
+                == champ_direct.schedule.assignment
+            )
+            assert (
+                outcomes["respect_adapted"].schedule_result.schedule.assignment
+                == adapted_direct.schedule.assignment
+            )
+            assert outcomes["respect_adapted"].method == "respect_adapted"
+
+    def test_custom_champion_factory(self, checkpoint_dir, challenger_policy):
+        marker = RespectScheduler(policy=challenger_policy)
+        methods = champion_challenger_methods(
+            checkpoint_dir, champion_factory=lambda: marker
+        )
+        assert methods["respect_champion"]() is marker

@@ -1,0 +1,85 @@
+"""Tests for the compute-profile workload families."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs import ops
+from repro.graphs.families import (
+    AttentionAugmentedFamily,
+    ComputeUniformFamily,
+)
+from repro.graphs.validate import validate_graph
+from repro.tpu.latency import op_compute_seconds
+from repro.tpu.spec import default_spec
+
+
+class TestComputeUniformFamily:
+    def test_samples_are_valid_normalized_graphs(self):
+        family = ComputeUniformFamily(num_nodes=14, degree=3, seed=1)
+        graph = family.sample()
+        assert validate_graph(graph) == []
+        assert graph.num_nodes == 14
+        spec = default_spec()
+        for name in graph.node_names:
+            node = graph.node(name)
+            if node.op_type == ops.INPUT:
+                continue
+            assert node.op_type == ops.CONV2D
+            assert node.param_bytes == family.param_bytes
+            # Compute normalized into the configured millisecond range.
+            seconds = op_compute_seconds(node, spec)
+            assert 0.9e-3 <= seconds <= 2.1e-3
+
+    def test_deterministic_under_seed(self):
+        from repro.graphs.fingerprint import graph_fingerprint
+
+        first = ComputeUniformFamily(num_nodes=12, degree=2, seed=7)
+        second = ComputeUniformFamily(num_nodes=12, degree=2, seed=7)
+        for _ in range(3):
+            assert graph_fingerprint(first.sample()) == graph_fingerprint(
+                second.sample()
+            )
+
+    def test_parameter_validation(self):
+        with pytest.raises(GraphError):
+            ComputeUniformFamily(compute_ms_range=(2.0, 1.0))
+        with pytest.raises(GraphError):
+            ComputeUniformFamily(output_bytes=0)
+
+
+class TestAttentionAugmentedFamily:
+    def test_hot_heads_have_fixed_names_and_dominant_compute(self):
+        family = AttentionAugmentedFamily(
+            num_nodes=16, degree=3, seed=2, num_heads=4, head_compute_ms=25.0
+        )
+        spec = default_spec()
+        for _ in range(3):
+            graph = family.sample()
+            assert validate_graph(graph) == []
+            assert graph.num_nodes == 20
+            heads = [n for n in graph.node_names if n.startswith("mhsa_")]
+            assert sorted(heads) == [f"mhsa_{i}" for i in range(4)]
+            for head in heads:
+                node = graph.node(head)
+                assert graph.parents(head)  # anchored to the backbone
+                assert not graph.children(head)  # side branch
+                seconds = op_compute_seconds(node, spec)
+                assert seconds == pytest.approx(25.0e-3, rel=0.05)
+
+    def test_head_compute_dominates_backbone(self):
+        family = AttentionAugmentedFamily(num_nodes=16, degree=3, seed=3)
+        spec = default_spec()
+        graph = family.sample()
+        head = op_compute_seconds(graph.node("mhsa_0"), spec)
+        backbone = max(
+            op_compute_seconds(graph.node(n), spec)
+            for n in graph.node_names
+            if not n.startswith("mhsa_")
+        )
+        assert head > 10 * backbone
+
+    def test_head_validation(self):
+        with pytest.raises(GraphError):
+            AttentionAugmentedFamily(num_heads=0)
+        with pytest.raises(GraphError):
+            AttentionAugmentedFamily(head_compute_ms=0.0)

@@ -1,0 +1,270 @@
+"""Tests for the latency teacher and the adaptation loop."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.embedding.features import EmbeddingConfig
+from repro.errors import ServiceError
+from repro.graphs.families import AttentionAugmentedFamily, ComputeUniformFamily
+from repro.online import (
+    AdaptationConfig,
+    AdaptationLoop,
+    DriftDetector,
+    ExperienceBuffer,
+    default_reward_model,
+    latency_teacher_order,
+    teacher_example,
+)
+from repro.rl.respect import RespectScheduler
+from repro.scheduling.heuristics import ListScheduler
+from repro.service import SchedulingService
+
+
+@pytest.fixture(scope="module")
+def reward_model():
+    return default_reward_model()
+
+
+@pytest.fixture(scope="module")
+def hot_family():
+    return AttentionAugmentedFamily(num_nodes=18, degree=3, seed=31)
+
+
+class TestLatencyTeacher:
+    def test_never_worse_than_topological_order(self, reward_model, hot_family):
+        rng = np.random.default_rng(0)
+        for graph in hot_family.sample_batch(4):
+            baseline = reward_model.order_reward(
+                graph, graph.topological_order(), 4
+            )
+            order, reward = latency_teacher_order(
+                graph, 4, reward_model, iters=200, rng=rng
+            )
+            assert reward >= baseline - 1e-12
+            assert sorted(order) == sorted(graph.node_names)
+
+    def test_improves_hot_colocation_substantially(
+        self, reward_model, hot_family
+    ):
+        """From a worst-case order (all heads packed together) the
+        teacher recovers near-balanced schedules."""
+        rng = np.random.default_rng(1)
+        rewards = []
+        colocated_rewards = []
+        for graph in hot_family.sample_batch(6):
+            order = graph.topological_order()
+            heads = [n for n in order if n.startswith("mhsa_")]
+            colocated = [n for n in order if not n.startswith("mhsa_")] + heads
+            colocated_rewards.append(
+                reward_model.order_reward(graph, colocated, 4)
+            )
+            _, reward = latency_teacher_order(
+                graph, 4, reward_model, iters=300, rng=rng
+            )
+            rewards.append(reward)
+        assert np.mean(rewards) > np.mean(colocated_rewards) + 0.2
+        assert np.mean(rewards) > 0.85
+
+    def test_deterministic_under_rng(self, reward_model, hot_family):
+        graph = hot_family.sample()
+        first = latency_teacher_order(
+            graph, 4, reward_model, iters=150, rng=np.random.default_rng(3)
+        )
+        second = latency_teacher_order(
+            graph, 4, reward_model, iters=150, rng=np.random.default_rng(3)
+        )
+        assert first == second
+
+    def test_teacher_example_round_trip(self, reward_model, hot_family):
+        graph = hot_family.sample()
+        order, _ = latency_teacher_order(
+            graph, 3, reward_model, iters=100, rng=np.random.default_rng(4)
+        )
+        example = teacher_example(graph, 3, order, EmbeddingConfig())
+        assert example.gamma_names == list(order)
+        assert example.queue.names_for(example.gamma_indices) == list(order)
+        assert example.num_stages == 3
+
+
+class TestAdaptationLoopWiring:
+    def test_requires_respect_scheduler(self):
+        with SchedulingService(ListScheduler()) as service:
+            with pytest.raises(ServiceError):
+                AdaptationLoop(service)
+
+    def test_observation_plumbing(self, reward_model):
+        family = ComputeUniformFamily(num_nodes=12, degree=2, seed=8)
+        with SchedulingService(
+            RespectScheduler(), batch_window_s=0.0
+        ) as service:
+            buffer = ExperienceBuffer(capacity=32, seed=0)
+            loop = AdaptationLoop(
+                service,
+                buffer=buffer,
+                detector=DriftDetector(reference_size=8, window_size=4),
+                reward_model=reward_model,
+            ).attach()
+            for graph in family.sample_batch(6):
+                service.schedule(graph, 3)
+            assert buffer.stats().observed == 6
+            assert loop.detector.observations == 6
+            # Cache hits are serves too.
+            repeat = family.sample()
+            service.schedule(repeat, 3)
+            service.schedule(repeat, 3)
+            assert buffer.stats().observed == 8
+            loop.detach()
+            service.schedule(family.sample(), 3)
+            assert buffer.stats().observed == 8
+
+    def test_insufficient_data_reports_and_rearms(self, reward_model):
+        family = ComputeUniformFamily(num_nodes=12, degree=2, seed=9)
+        with SchedulingService(
+            RespectScheduler(), batch_window_s=0.0
+        ) as service:
+            detector = DriftDetector(reference_size=8, window_size=4)
+            loop = AdaptationLoop(
+                service,
+                buffer=ExperienceBuffer(capacity=32, recent_capacity=4, seed=0),
+                detector=detector,
+                config=AdaptationConfig(min_graphs=50, seed=0),
+                reward_model=reward_model,
+            ).attach()
+            hot = AttentionAugmentedFamily(num_nodes=12, degree=2, seed=10)
+            for graph in family.sample_batch(10):
+                service.schedule(graph, 3)
+            while loop.pending_event is None:
+                service.schedule(hot.sample(), 3)
+            report = loop.run_pending()
+            assert report.status == "insufficient_data"
+            assert report.evaluation is None
+            assert detector.armed
+            assert loop.run_pending() is None  # nothing pending anymore
+
+    def test_run_pending_without_event_is_noop(self, reward_model):
+        with SchedulingService(
+            RespectScheduler(), batch_window_s=0.0
+        ) as service:
+            loop = AdaptationLoop(service, reward_model=reward_model)
+            assert loop.run_pending() is None
+
+
+class TestAdaptationEndToEnd:
+    def test_synchronous_adapt_promotes_and_swaps(self, reward_model, tmp_path):
+        pre = ComputeUniformFamily(num_nodes=20, degree=3, seed=11)
+        post = AttentionAugmentedFamily(num_nodes=20, degree=3, seed=22)
+        champion = RespectScheduler()
+        with SchedulingService(champion, batch_window_s=0.0) as service:
+            loop = AdaptationLoop(
+                service,
+                buffer=ExperienceBuffer(capacity=128, seed=0),
+                detector=DriftDetector(
+                    reference_size=16, window_size=10, threshold=1.5
+                ),
+                config=AdaptationConfig(
+                    max_adaptation_graphs=24,
+                    fresh_graphs=16,
+                    teacher_search_iters=300,
+                    imitation_steps=220,
+                    reinforce_steps=5,
+                    checkpoint_dir=tmp_path,
+                    seed=0,
+                ),
+                reward_model=reward_model,
+                graph_source=lambda count: post.sample_batch(count),
+            ).attach()
+            for graph in pre.sample_batch(20):
+                service.schedule(graph, 4)
+            while loop.pending_event is None:
+                service.schedule(post.sample(), 4)
+            for _ in range(12):  # drifted window accumulates
+                service.schedule(post.sample(), 4)
+            report = loop.run_pending()
+            assert report.status == "promoted"
+            assert report.promotion is not None
+            assert service.scheduler is not champion
+            assert service.stats().swaps == 1
+            assert (tmp_path / "respect_online.npz").exists()
+            evaluation = report.evaluation
+            assert (
+                evaluation.challenger_mean
+                > evaluation.champion_mean
+            )
+            # Post-swap serves come from the promoted challenger.
+            probe = post.sample()
+            served = service.schedule(probe, 4)
+            direct = service.scheduler.schedule(probe, 4)
+            assert served.schedule.assignment == direct.schedule.assignment
+            assert loop.reports == [report]
+
+    def test_background_loop_survives_adaptation_failure(self, reward_model):
+        """A crashing adaptation must not kill the daemon silently."""
+        from repro.online.drift import DriftEvent
+
+        with SchedulingService(
+            RespectScheduler(), batch_window_s=0.0
+        ) as service:
+            loop = AdaptationLoop(service, reward_model=reward_model)
+            boom = RuntimeError("disk full")
+
+            def failing_adapt(event):
+                raise boom
+
+            loop._adapt = failing_adapt
+            event = DriftEvent(
+                at_observation=5,
+                statistic=2.0,
+                score=0.5,
+                reference_mean_score=0.1,
+                novelty_rate=1.0,
+                window_mean_nodes=20.0,
+                op_divergence=0.2,
+            )
+            loop.start()
+            try:
+                with loop._lock:
+                    loop._pending = event
+                    loop._wakeup.notify_all()
+                deadline = time.time() + 10.0
+                while not loop.errors and time.time() < deadline:
+                    time.sleep(0.01)
+                assert loop.errors == [boom]
+                assert loop._thread.is_alive()
+                assert loop.detector.armed  # re-armed for a retry
+            finally:
+                loop.stop()
+
+    def test_background_loop_adapts(self, reward_model):
+        pre = ComputeUniformFamily(num_nodes=18, degree=3, seed=51)
+        post = AttentionAugmentedFamily(num_nodes=18, degree=3, seed=52)
+        champion = RespectScheduler()
+        with SchedulingService(champion, batch_window_s=0.0) as service:
+            loop = AdaptationLoop(
+                service,
+                buffer=ExperienceBuffer(capacity=128, seed=0),
+                detector=DriftDetector(
+                    reference_size=12, window_size=8, threshold=1.5
+                ),
+                config=AdaptationConfig(
+                    max_adaptation_graphs=20,
+                    fresh_graphs=12,
+                    teacher_search_iters=200,
+                    imitation_steps=150,
+                    reinforce_steps=0,
+                    seed=0,
+                ),
+                reward_model=reward_model,
+                graph_source=lambda count: post.sample_batch(count),
+            ).start()
+            try:
+                for graph in pre.sample_batch(16):
+                    service.schedule(graph, 4)
+                deadline = time.time() + 120.0
+                while not loop.reports and time.time() < deadline:
+                    service.schedule(post.sample(), 4)
+                assert loop.reports, "background adaptation never ran"
+            finally:
+                loop.stop()
+            assert loop.reports[0].status in ("promoted", "rejected")

@@ -1,0 +1,132 @@
+"""Tests for the Page-Hinkley workload drift detector."""
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.graphs.families import AttentionAugmentedFamily, ComputeUniformFamily
+from repro.online import DriftDetector, GraphObservation
+
+
+def _stream(family, count):
+    return [GraphObservation.from_graph(family.sample()) for _ in range(count)]
+
+
+@pytest.fixture(scope="module")
+def pre_stream():
+    return _stream(ComputeUniformFamily(num_nodes=20, degree=3, seed=5), 140)
+
+
+@pytest.fixture(scope="module")
+def post_stream():
+    return _stream(
+        AttentionAugmentedFamily(num_nodes=20, degree=3, seed=6), 60
+    )
+
+
+class TestObservation:
+    def test_fields(self, pre_stream):
+        obs = pre_stream[0]
+        assert len(obs.fingerprint) == 64
+        assert obs.num_nodes == 20
+        assert obs.width >= 1
+        assert sum(obs.op_histogram.values()) == obs.num_nodes
+
+    def test_hot_family_histogram_same_ops_more_nodes(self, post_stream):
+        # Attention heads are conv2d too — drift shows in shape, not in
+        # new op names, which is exactly the harder detection case.
+        obs = post_stream[0]
+        assert obs.num_nodes == 24
+
+
+class TestCalibration:
+    def test_not_calibrated_before_reference(self, pre_stream):
+        detector = DriftDetector(reference_size=16, window_size=8)
+        for obs in pre_stream[:15]:
+            assert detector.update(obs) is None
+        assert not detector.calibrated
+        detector.update(pre_stream[15])
+        assert detector.calibrated
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ServiceError):
+            DriftDetector(reference_size=1)
+        with pytest.raises(ServiceError):
+            DriftDetector(window_size=0)
+        with pytest.raises(ServiceError):
+            DriftDetector(threshold=0.0)
+
+
+class TestDetection:
+    def test_stationary_stream_stays_quiet(self, pre_stream):
+        """Unique-fingerprint synthetic traffic is not drift."""
+        detector = DriftDetector(
+            reference_size=24, window_size=12, threshold=1.8
+        )
+        for i, obs in enumerate(pre_stream):
+            assert detector.update(obs) is None, f"false alarm at {i}"
+
+    def test_family_shift_detected(self, pre_stream, post_stream):
+        detector = DriftDetector(
+            reference_size=24, window_size=12, threshold=1.8
+        )
+        for obs in pre_stream[:40]:
+            assert detector.update(obs) is None
+        event = None
+        for lag, obs in enumerate(post_stream):
+            event = detector.update(obs)
+            if event is not None:
+                break
+        assert event is not None, "drift never detected"
+        assert lag < 30, f"detection too slow: {lag} drifted serves"
+        assert event.at_observation == 40 + lag
+        assert event.statistic > detector.threshold
+        assert event.window_mean_nodes > 20  # window already drifted
+        assert 0.0 <= event.novelty_rate <= 1.0
+        assert not detector.armed
+        # Disarmed: further observations never re-fire until rearmed.
+        assert detector.update(post_stream[-1]) is None
+
+    def test_event_summary_is_jsonable(self, pre_stream, post_stream):
+        import json
+
+        detector = DriftDetector(
+            reference_size=24, window_size=12, threshold=1.8
+        )
+        for obs in pre_stream[:40]:
+            detector.update(obs)
+        event = None
+        for obs in post_stream:
+            event = detector.update(obs)
+            if event:
+                break
+        json.dumps(event.summary())
+
+
+class TestRearmRebaseline:
+    def _triggered(self, pre_stream, post_stream):
+        detector = DriftDetector(
+            reference_size=24, window_size=12, threshold=1.8
+        )
+        for obs in pre_stream[:40]:
+            detector.update(obs)
+        for obs in post_stream:
+            if detector.update(obs) is not None:
+                return detector
+        raise AssertionError("no drift detected")
+
+    def test_rearm_keeps_reference_and_refires(self, pre_stream, post_stream):
+        detector = self._triggered(pre_stream, post_stream)
+        detector.rearm()
+        assert detector.armed
+        refired = any(
+            detector.update(obs) is not None for obs in post_stream[20:]
+        )
+        assert refired, "sustained drift must re-trigger after rearm"
+
+    def test_rebaseline_adopts_drifted_window(self, pre_stream, post_stream):
+        detector = self._triggered(pre_stream, post_stream)
+        detector.rebaseline()
+        assert detector.armed
+        # The drifted traffic is the new normal: no more events.
+        for obs in post_stream[20:]:
+            assert detector.update(obs) is None

@@ -1,0 +1,132 @@
+"""Tests for the reservoir + recent-window experience buffer."""
+
+import threading
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.graphs.sampler import sample_synthetic_dag
+from repro.online import ExperienceBuffer
+from repro.scheduling.sequence import pack_sequence
+
+
+def _record(buffer, graph, reward=0.5, num_stages=3, fingerprint=None):
+    schedule = pack_sequence(graph, graph.topological_order(), num_stages)
+    return buffer.record(
+        graph, num_stages, schedule, reward, fingerprint=fingerprint
+    )
+
+
+@pytest.fixture(scope="module")
+def graphs():
+    return [
+        sample_synthetic_dag(num_nodes=8, degree=2, seed=seed)
+        for seed in range(60)
+    ]
+
+
+class TestReservoir:
+    def test_fills_then_stays_bounded(self, graphs):
+        buffer = ExperienceBuffer(capacity=16, seed=0)
+        for graph in graphs:
+            _record(buffer, graph)
+        assert len(buffer) == 16
+        stats = buffer.stats()
+        assert stats.observed == len(graphs)
+        assert stats.reservoir_size == 16
+
+    def test_serve_indices_monotone_and_unique(self, graphs):
+        buffer = ExperienceBuffer(capacity=8, seed=1)
+        for graph in graphs[:20]:
+            _record(buffer, graph)
+        indices = [r.serve_index for r in buffer.sample()]
+        assert len(set(indices)) == len(indices)
+        assert all(0 <= i < 20 for i in indices)
+
+    def test_reservoir_deterministic_under_seed(self, graphs):
+        first = ExperienceBuffer(capacity=8, seed=7)
+        second = ExperienceBuffer(capacity=8, seed=7)
+        for graph in graphs:
+            _record(first, graph)
+            _record(second, graph)
+        assert [r.serve_index for r in first.sample()] == [
+            r.serve_index for r in second.sample()
+        ]
+
+    def test_reservoir_differs_across_seeds(self, graphs):
+        first = ExperienceBuffer(capacity=8, seed=1)
+        second = ExperienceBuffer(capacity=8, seed=2)
+        for graph in graphs:
+            _record(first, graph)
+            _record(second, graph)
+        assert [r.serve_index for r in first.sample()] != [
+            r.serve_index for r in second.sample()
+        ]
+
+
+class TestRecentWindow:
+    def test_recent_returns_newest_in_order(self, graphs):
+        buffer = ExperienceBuffer(capacity=64, recent_capacity=8, seed=0)
+        for graph in graphs[:20]:
+            _record(buffer, graph)
+        recent = buffer.recent()
+        assert [r.serve_index for r in recent] == list(range(12, 20))
+        assert [r.serve_index for r in buffer.recent(3)] == [17, 18, 19]
+        assert buffer.recent(0) == []
+
+    def test_since_filters_by_serve_index(self, graphs):
+        buffer = ExperienceBuffer(capacity=64, recent_capacity=16, seed=0)
+        for graph in graphs[:20]:
+            _record(buffer, graph)
+        since = buffer.since(15)
+        assert [r.serve_index for r in since] == [15, 16, 17, 18, 19]
+
+    def test_mean_recent_reward(self, graphs):
+        buffer = ExperienceBuffer(capacity=8, recent_capacity=4, seed=0)
+        for i, graph in enumerate(graphs[:8]):
+            _record(buffer, graph, reward=float(i))
+        assert buffer.stats().mean_recent_reward == pytest.approx(5.5)
+
+
+class TestRecordContent:
+    def test_record_carries_fingerprint_and_reward(self, graphs):
+        buffer = ExperienceBuffer(capacity=4, seed=0)
+        entry = _record(buffer, graphs[0], reward=0.25, fingerprint="fp-x")
+        assert entry.fingerprint == "fp-x"
+        assert entry.reward == 0.25
+        assert entry.schedule.num_stages == 3
+
+    def test_fingerprint_derived_when_missing(self, graphs):
+        buffer = ExperienceBuffer(capacity=4, seed=0)
+        entry = _record(buffer, graphs[0])
+        assert len(entry.fingerprint) == 64  # sha-256 hex
+
+    def test_invalid_capacities_rejected(self):
+        with pytest.raises(ServiceError):
+            ExperienceBuffer(capacity=0)
+        with pytest.raises(ServiceError):
+            ExperienceBuffer(capacity=4, recent_capacity=0)
+        buffer = ExperienceBuffer(capacity=4)
+        with pytest.raises(ServiceError):
+            buffer.recent(-1)
+
+
+class TestThreadSafety:
+    def test_concurrent_records_count_exactly(self, graphs):
+        buffer = ExperienceBuffer(capacity=32, seed=0)
+        per_thread = 50
+
+        def worker(offset):
+            for i in range(per_thread):
+                _record(buffer, graphs[(offset + i) % len(graphs)])
+
+        threads = [
+            threading.Thread(target=worker, args=(t,)) for t in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        stats = buffer.stats()
+        assert stats.observed == 8 * per_thread
+        assert stats.reservoir_size == 32

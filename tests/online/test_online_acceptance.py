@@ -1,0 +1,133 @@
+"""Acceptance — the end-to-end drift experiment.
+
+The PR-level bars: under one fixed seed the drifting-workload experiment
+must (a) replay deterministically, (b) show the frozen champion's mean
+pipeline-efficiency reward degrading after the drift point, (c) show the
+adaptive service recovering to within 5% of its pre-drift schedule
+quality, and (d) leave a promoted checkpoint that loads through
+``repro.rl.checkpoints`` with the drift event in its provenance.
+
+Scaled down from the full experiment/benchmark so the tier-1 suite stays
+fast; the bars are the same *shape*, with the recovery tolerance the
+acceptance criterion names.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.scenarios import attention_drift_scenario
+from repro.experiments.online_adaptation import run_online_adaptation
+from repro.online import AdaptationConfig
+from repro.rl.checkpoints import load_checkpoint, read_metadata
+
+SEED = 0
+#: Frozen champion must lose at least this share of mean reward.
+DEGRADATION_BAR = 0.08
+#: Adaptive service must return to within this share of pre-drift.
+RECOVERY_BAR = 0.05
+
+
+def _run(checkpoint_dir=None):
+    scenario = attention_drift_scenario(duration_s=20.0, drift_at_s=6.5)
+    return run_online_adaptation(
+        seed=SEED,
+        scenario=scenario,
+        adaptation=AdaptationConfig(
+            max_adaptation_graphs=32,
+            fresh_graphs=24,
+            teacher_search_iters=500,
+            imitation_steps=500,
+            reinforce_steps=10,
+            seed=SEED,
+        ),
+        reference_size=20,
+        detector_window=12,
+        detector_threshold=1.8,
+        adapt_warmup_serves=12,
+        max_adaptations=2,
+        checkpoint_dir=checkpoint_dir,
+    )
+
+
+@pytest.fixture(scope="module")
+def result(tmp_path_factory):
+    return _run(checkpoint_dir=tmp_path_factory.mktemp("online_ckpt"))
+
+
+@pytest.fixture(scope="module")
+def checkpoint_dir(result):
+    return result.adaptation_reports[-1].promotion.checkpoint_path.parent
+
+
+class TestDriftStory:
+    def test_frozen_champion_degrades(self, result):
+        assert result.pre_drift_reward > 0.8
+        assert result.degradation >= DEGRADATION_BAR, (
+            f"frozen champion only degraded "
+            f"{100 * result.degradation:.1f}%"
+        )
+
+    def test_drift_detected_after_drift_point(self, result):
+        assert any(
+            index >= result.drift_request_index
+            for index in result.detection_request_indices
+        )
+
+    def test_challenger_promoted_through_gate(self, result):
+        assert result.promoted
+        promoted = [
+            r for r in result.adaptation_reports if r.status == "promoted"
+        ]
+        assert len(promoted) == 1
+        evaluation = promoted[0].evaluation
+        assert evaluation.promote
+        assert evaluation.z_score > 1.64
+        assert evaluation.challenger_mean > evaluation.champion_mean
+
+    def test_adaptive_service_recovers(self, result):
+        assert result.recovery_gap <= RECOVERY_BAR, (
+            f"recovered reward {result.adaptive_recovered_reward:.3f} is "
+            f"{100 * result.recovery_gap:.1f}% below pre-drift "
+            f"{result.pre_drift_reward:.3f}"
+        )
+        # And far above what the frozen champion serves post-drift.
+        assert (
+            result.adaptive_recovered_reward
+            > result.frozen_post_reward + 0.05
+        )
+
+
+class TestPromotedCheckpoint:
+    def test_loadable_via_checkpoint_lifecycle(self, result, checkpoint_dir):
+        policy = load_checkpoint(checkpoint_dir, "respect_online")
+        assert policy.num_parameters() > 0
+
+    def test_provenance_records_drift_event(self, result, checkpoint_dir):
+        meta = read_metadata(checkpoint_dir, "respect_online")
+        online = meta["online_adaptation"]
+        event = online["drift_event"]
+        assert event["at_observation"] >= result.drift_request_index
+        assert event["statistic"] > 0
+        assert online["shadow_evaluation"]["promote"] is True
+        assert online["replaced_options_fingerprint"]
+
+
+class TestDeterminism:
+    def test_replay_is_bit_identical(self, result):
+        replay = _run()
+        assert replay.rewards == result.rewards
+        assert (
+            replay.detection_request_indices
+            == result.detection_request_indices
+        )
+        assert (
+            replay.promotion_request_index == result.promotion_request_index
+        )
+        assert [r.status for r in replay.adaptation_reports] == [
+            r.status for r in result.adaptation_reports
+        ]
+        first = result.adaptation_reports[-1].evaluation
+        second = replay.adaptation_reports[-1].evaluation
+        assert np.allclose(
+            first.challenger_rewards, second.challenger_rewards
+        )

@@ -1,0 +1,75 @@
+"""Tests for the pipeline-latency reward model."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.families import AttentionAugmentedFamily, ComputeUniformFamily
+from repro.online import default_reward_model, latency_teacher_order
+from repro.scheduling.sequence import pack_sequence
+
+
+@pytest.fixture(scope="module")
+def reward_model():
+    return default_reward_model()
+
+
+@pytest.fixture(scope="module")
+def uniform_graph():
+    return ComputeUniformFamily(num_nodes=16, degree=2, seed=3).sample()
+
+
+@pytest.fixture(scope="module")
+def hot_graph():
+    return AttentionAugmentedFamily(num_nodes=16, degree=2, seed=4).sample()
+
+
+class TestBoundAndReward:
+    def test_bound_is_positive_and_stage_monotone(self, reward_model, uniform_graph):
+        b2 = reward_model.bound_period(uniform_graph, 2)
+        b4 = reward_model.bound_period(uniform_graph, 4)
+        assert b2 > 0 and b4 > 0
+        # More stages can only lower (or keep) the balanced-split bound.
+        assert b4 <= b2
+
+    def test_reward_is_bound_over_achieved(self, reward_model, uniform_graph):
+        schedule = pack_sequence(uniform_graph, uniform_graph.topological_order(), 4)
+        reward = reward_model.reward(uniform_graph, schedule)
+        achieved = reward_model.period(uniform_graph, schedule)
+        bound = reward_model.bound_period(uniform_graph, 4)
+        assert reward == pytest.approx(bound / achieved)
+
+    def test_compute_bound_schedule_cannot_beat_bound(
+        self, reward_model, uniform_graph, hot_graph
+    ):
+        # These families are compute-dominated by construction, so the
+        # compute lower bound really is a lower bound on the period.
+        for graph in (uniform_graph, hot_graph):
+            schedule = pack_sequence(graph, graph.topological_order(), 4)
+            assert reward_model.reward(graph, schedule) <= 1.0 + 1e-9
+
+    def test_order_reward_matches_packed_reward(self, reward_model, hot_graph):
+        order = hot_graph.topological_order()
+        packed = pack_sequence(hot_graph, order, 4)
+        assert reward_model.order_reward(hot_graph, order, 4) == pytest.approx(
+            reward_model.reward(hot_graph, packed)
+        )
+
+    def test_gap_to_bound_is_inverse_reward(self, reward_model, uniform_graph):
+        schedule = pack_sequence(uniform_graph, uniform_graph.topological_order(), 3)
+        reward = reward_model.reward(uniform_graph, schedule)
+        gap = reward_model.gap_to_bound(uniform_graph, schedule)
+        assert gap == pytest.approx(1.0 / reward - 1.0)
+        assert gap >= -1e-9
+
+    def test_order_quality_separates_hot_colocations(self, reward_model, hot_graph):
+        """Colocating the hot heads must score strictly worse."""
+        order = list(hot_graph.topological_order())
+        heads = [n for n in order if n.startswith("mhsa_")]
+        others = [n for n in order if not n.startswith("mhsa_")]
+        # All heads last: they pile into the final stages together.
+        colocated = others + heads
+        _, spread_reward = latency_teacher_order(
+            hot_graph, 4, reward_model, iters=300, rng=np.random.default_rng(0)
+        )
+        colocated_reward = reward_model.order_reward(hot_graph, colocated, 4)
+        assert spread_reward > colocated_reward

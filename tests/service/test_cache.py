@@ -108,3 +108,62 @@ class TestScheduleCache:
             t.join()
         assert not errors
         assert len(cache) <= 16
+
+
+class TestInvalidateOptions:
+    def _key(self, tag: int, opts: str):
+        return ScheduleCache.make_key(f"fp{tag}", 2, opts)
+
+    def test_evicts_only_matching_options(self):
+        cache = ScheduleCache(capacity=8)
+        for tag in range(3):
+            cache.put(self._key(tag, "old"), _payload(tag))
+        for tag in range(2):
+            cache.put(self._key(tag, "new"), _payload(tag + 10))
+        removed = cache.invalidate_options("old")
+        assert removed == 3
+        assert len(cache) == 2
+        for tag in range(3):
+            assert cache.get(self._key(tag, "old")) is None
+        for tag in range(2):
+            assert cache.get(self._key(tag, "new")) is not None
+
+    def test_counts_invalidations_separately_from_evictions(self):
+        cache = ScheduleCache(capacity=2)
+        cache.put(self._key(1, "old"), _payload(1))
+        cache.put(self._key(2, "old"), _payload(2))
+        cache.put(self._key(3, "old"), _payload(3))  # LRU-evicts key 1
+        cache.invalidate_options("old")
+        stats = cache.stats()
+        assert stats.evictions == 1
+        assert stats.invalidations == 2
+        assert stats.size == 0
+
+    def test_missing_options_key_is_noop(self):
+        cache = ScheduleCache(capacity=4)
+        cache.put(self._key(1, "old"), _payload(1))
+        assert cache.invalidate_options("absent") == 0
+        assert len(cache) == 1
+        assert cache.stats().invalidations == 0
+
+    def test_lru_order_of_survivors_preserved(self):
+        cache = ScheduleCache(capacity=2)
+        cache.put(self._key(1, "keep"), _payload(1))
+        cache.put(self._key(2, "drop"), _payload(2))
+        cache.put(self._key(3, "keep"), _payload(3))  # evicts key 1 (LRU)
+        cache.invalidate_options("drop")
+        # Survivor (key 3) still evictable by LRU pressure as usual.
+        cache.put(self._key(4, "keep"), _payload(4))
+        cache.put(self._key(5, "keep"), _payload(5))
+        assert cache.get(self._key(3, "keep")) is None
+        assert cache.get(self._key(5, "keep")) is not None
+
+    def test_hit_miss_counters_survive_invalidation(self):
+        cache = ScheduleCache(capacity=4)
+        cache.put(self._key(1, "old"), _payload(1))
+        cache.get(self._key(1, "old"))   # hit
+        cache.get(self._key(2, "old"))   # miss
+        cache.invalidate_options("old")
+        stats = cache.stats()
+        assert stats.hits == 1
+        assert stats.misses == 1  # invalidation added no lookups
