@@ -1,0 +1,280 @@
+"""Benchmark — the sharded serving tier under a 64-client load test.
+
+Drives a 64-client load generator against
+:class:`~repro.service.ShardedSchedulingService` at 1, 2 and 4 shards
+and measures **aggregate throughput scaling**.  Two solver regimes:
+
+* **solver-bound** — each solve occupies the shard's worker for a fixed
+  wall-clock slice without holding the GIL, modeling the out-of-process
+  backends a production tier fronts (ILP solver, edgetpu-compiler
+  invocation, accelerator round-trip).  A single worker serializes
+  those occupancies; N shards overlap them — this is the regime
+  sharding targets, and the >= 2x (1 -> 4 shards) acceptance bar is
+  asserted here.
+* **respect policy** — the in-process numpy pointer-network decode.
+  Shard scaling is reported but not asserted: a pure-python/numpy solve
+  is GIL-bound, so its scaling is a property of the host's cores, not
+  of the tier (on a 1-core CI runner it is ~1x by construction).
+
+Every configuration asserts **bit-identical schedules**: sharded
+results must equal the single-shard service's results and direct
+``scheduler.schedule`` calls.  A backpressure round additionally runs
+the 4-shard tier with a tiny per-shard queue depth under the ``block``
+admission policy and asserts nothing is lost.
+
+Runs under pytest (full acceptance bars) or standalone for CI smoke::
+
+    PYTHONPATH=src python benchmarks/bench_sharded_service.py --smoke
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+if __name__ == "__main__":  # allow `python benchmarks/bench_sharded_service.py`
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.graphs.sampler import sample_synthetic_dag
+from repro.scheduling.heuristics import ListScheduler
+from repro.service import ShardedSchedulingService
+from repro.utils.tables import format_table
+
+NUM_CLIENTS = 64
+NUM_NODES = 12
+NUM_STAGES = 4
+REQUESTS_PER_CLIENT = 4
+SHARD_COUNTS = (1, 2, 4)
+#: Worker occupancy per solve in the solver-bound regime (wall-clock a
+#: backend holds the shard worker; no GIL, no CPU).
+SOLVE_OCCUPANCY_S = 0.002
+
+
+class ExternalSolverScheduler:
+    """Deterministic scheduler modeling an out-of-process backend.
+
+    Produces :class:`ListScheduler` schedules, but each solve first
+    occupies the calling worker for ``occupancy_s`` of wall-clock
+    (``time.sleep`` releases the GIL — exactly how a subprocess ILP
+    solver or an edgetpu-compiler call behaves from the worker's point
+    of view).  Deterministic, so sharded results stay bit-identical.
+    """
+
+    method_name = "external_solver"
+
+    def __init__(self, occupancy_s: float = SOLVE_OCCUPANCY_S):
+        self.occupancy_s = occupancy_s
+        self._inner = ListScheduler()
+
+    def schedule(self, graph, num_stages):
+        time.sleep(self.occupancy_s)
+        return self._inner.schedule(graph, num_stages)
+
+    def schedule_batch(self, graphs, stage_counts):
+        time.sleep(self.occupancy_s * len(graphs))
+        return [
+            self._inner.schedule(g, s) for g, s in zip(graphs, stage_counts)
+        ]
+
+
+def _make_graphs(count: int, num_nodes: int):
+    return [
+        sample_synthetic_dag(num_nodes=num_nodes, degree=3, seed=seed)
+        for seed in range(count)
+    ]
+
+
+def _drive_load(service, graphs, num_clients: int):
+    """64-client load generator: each client serves its request slice."""
+    results = [None] * len(graphs)
+
+    def client(slot: int):
+        for i in range(slot, len(graphs), num_clients):
+            results[i] = service.schedule(graphs[i], NUM_STAGES)
+
+    start = time.perf_counter()
+    with ThreadPoolExecutor(num_clients) as pool:
+        futures = [pool.submit(client, slot) for slot in range(num_clients)]
+        for future in futures:
+            future.result()
+    elapsed = time.perf_counter() - start
+    return elapsed, results
+
+
+def _assert_identical(reference, results):
+    for ref, res in zip(reference, results):
+        assert res.schedule.assignment == ref.schedule.assignment, (
+            "sharded schedule differs from the reference"
+        )
+
+
+def run_sharded_bench(
+    scheduler_factory,
+    num_clients: int = NUM_CLIENTS,
+    num_nodes: int = NUM_NODES,
+    requests_per_client: int = REQUESTS_PER_CLIENT,
+    max_batch_size: int = 16,
+    label: str = "solver-bound",
+):
+    """Throughput at 1/2/4 shards + equivalence; returns (table, metrics).
+
+    Every request in a round is a distinct graph (no cache hits), so the
+    measured scaling is pure sharding, not caching.
+    """
+    graphs = _make_graphs(num_clients * requests_per_client, num_nodes)
+    reference_scheduler = scheduler_factory()
+    reference = [
+        reference_scheduler.schedule(g, NUM_STAGES) for g in graphs
+    ]
+
+    throughput = {}
+    stats_by_shards = {}
+    for num_shards in SHARD_COUNTS:
+        with ShardedSchedulingService(
+            scheduler_factory(),
+            num_shards=num_shards,
+            max_queue_depth=len(graphs),  # admission out of the picture
+            max_batch_size=max_batch_size,
+            batch_window_s=0.001,
+        ) as service:
+            elapsed, results = _drive_load(service, graphs, num_clients)
+            _assert_identical(reference, results)
+            throughput[num_shards] = len(graphs) / elapsed
+            stats_by_shards[num_shards] = service.stats()
+
+    # Backpressure round: tiny queue depth, block policy — slower by
+    # design, but nothing may be lost or served non-identically.
+    with ShardedSchedulingService(
+        scheduler_factory(),
+        num_shards=4,
+        max_queue_depth=4,
+        admission="block",
+        max_batch_size=max_batch_size,
+        batch_window_s=0.001,
+    ) as service:
+        _, results = _drive_load(service, graphs, num_clients)
+        _assert_identical(reference, results)
+        blocked = service.stats().blocked
+
+    scaling_2 = throughput[2] / throughput[1]
+    scaling_4 = throughput[4] / throughput[1]
+    stats4 = stats_by_shards[4]
+    rows = [
+        [
+            f"{n} shard{'s' if n > 1 else ''}",
+            f"{throughput[n]:.0f} req/s",
+            f"{throughput[n] / throughput[1]:.2f}x",
+            f"{stats_by_shards[n].mean_batch_size:.1f}",
+            f"{stats_by_shards[n].latency_p99_s * 1e3:.1f} ms",
+        ]
+        for n in SHARD_COUNTS
+    ]
+    table = format_table(
+        ["tier", "throughput", "scaling", "mean batch", "p99 latency"],
+        rows,
+        title=(
+            f"Sharded serving ({label}) — {num_clients} clients, "
+            f"{len(graphs)} distinct |V|={num_nodes} graphs, "
+            f"{NUM_STAGES}-stage pipelines"
+        ),
+    )
+    summary = (
+        f"aggregate throughput scaling 1->4 shards: {scaling_4:.2f}x "
+        f"(bar: >= 2x, solver-bound regime)\n"
+        f"schedules bit-identical across 1/2/4 shards and direct calls; "
+        f"backpressure round (depth 4, block): {blocked} blocked "
+        f"admissions, zero lost requests"
+    )
+    metrics = {
+        "throughput_1_shard_req_s": throughput[1],
+        "throughput_2_shards_req_s": throughput[2],
+        "throughput_4_shards_req_s": throughput[4],
+        "scaling_1_to_2": scaling_2,
+        "scaling_1_to_4": scaling_4,
+        "mean_batch_size_4_shards": stats4.mean_batch_size,
+        "latency_p50_s_4_shards": stats4.latency_p50_s,
+        "latency_p99_s_4_shards": stats4.latency_p99_s,
+        "blocked_admissions_backpressure_round": blocked,
+    }
+    return table + "\n" + summary, metrics
+
+
+def run_full(num_clients=NUM_CLIENTS, requests_per_client=REQUESTS_PER_CLIENT):
+    """Both regimes; returns (rendered, combined_metrics)."""
+    solver_table, solver_metrics = run_sharded_bench(
+        ExternalSolverScheduler,
+        num_clients=num_clients,
+        requests_per_client=requests_per_client,
+        label="solver-bound",
+    )
+
+    from repro.rl.respect import RespectScheduler
+
+    respect = RespectScheduler()
+    respect_table, respect_metrics = run_sharded_bench(
+        lambda: respect,  # weights are read-only: share across shards
+        num_clients=num_clients,
+        num_nodes=NUM_NODES,
+        requests_per_client=max(1, requests_per_client // 2),
+        label="respect policy",
+    )
+    metrics = {f"solver_{k}": v for k, v in solver_metrics.items()}
+    metrics.update({f"respect_{k}": v for k, v in respect_metrics.items()})
+    rendered = (
+        solver_table
+        + "\n\n"
+        + respect_table
+        + "\n(respect-policy scaling is host-core-bound; reported, not "
+        "asserted)"
+    )
+    return rendered, metrics
+
+
+def test_sharded_service_throughput(emit):
+    """Full acceptance run: the solver-bound >= 2x scaling bar."""
+    rendered, metrics = run_full()
+    emit("sharded_service", rendered, metrics=metrics, seed=0)
+    assert metrics["solver_scaling_1_to_4"] >= 2.0
+    assert metrics["solver_scaling_1_to_2"] >= 1.2
+    assert metrics["solver_blocked_admissions_backpressure_round"] > 0
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help=(
+            "reduced CI configuration: 16 clients, fewer requests; "
+            "equivalence stays asserted everywhere, the solver-bound "
+            "scaling bar relaxes to 1.5x (shared CI runners are noisy)"
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        rendered, metrics = run_full(num_clients=16, requests_per_client=2)
+        bar = 1.5
+    else:
+        rendered, metrics = run_full()
+        bar = 2.0
+    from bench_json import write_bench_json
+
+    write_bench_json("sharded_service", metrics, seed=0)
+    print(rendered)
+    if metrics["solver_scaling_1_to_4"] < bar:
+        print(
+            f"FAIL: solver-bound 1->4 shard scaling "
+            f"{metrics['solver_scaling_1_to_4']:.2f}x below {bar}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

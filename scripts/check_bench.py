@@ -1,0 +1,187 @@
+#!/usr/bin/env python3
+"""Validate every ``BENCH_*.json`` artifact against the shared schema.
+
+Each benchmark writes a machine-readable twin of its rendered table via
+:func:`benchmarks.bench_json.write_bench_json`, so the perf trajectory
+can be tracked across PRs by tooling.  This checker keeps those
+artifacts honest: CI fails when one goes missing a required field,
+mismatches its filename, or carries non-JSON-native metric values.
+
+Schema (shared by all benches):
+
+* ``bench``        — non-empty string equal to the ``<name>`` in the
+  ``BENCH_<name>.json`` filename;
+* ``metrics``      — dict of metric name -> number/string/bool/null
+  (nested dicts/lists of the same allowed);
+* ``git_rev``      — string or null (outside a git checkout);
+* ``seed``         — integer or null;
+* ``created_unix`` — positive number.
+
+Usage::
+
+    python scripts/check_bench.py            # validate repo-root BENCH_*.json
+    python scripts/check_bench.py --list     # also print each bench's metrics
+    python scripts/check_bench.py FILE...    # validate specific files
+
+Exits non-zero on the first schema violation (all files are still
+reported).  Stdlib only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Iterable, List
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+REQUIRED_FIELDS = ("bench", "metrics", "git_rev", "seed", "created_unix")
+
+#: JSON-native leaf types allowed inside ``metrics``.
+_METRIC_LEAVES = (bool, int, float, str, type(None))
+
+
+def _metric_value_errors(name: str, value: object) -> List[str]:
+    """Validate one metrics entry (nested containers allowed)."""
+    if isinstance(value, _METRIC_LEAVES):
+        return []
+    if isinstance(value, list):
+        return [
+            err
+            for i, item in enumerate(value)
+            for err in _metric_value_errors(f"{name}[{i}]", item)
+        ]
+    if isinstance(value, dict):
+        errors = []
+        for key, item in value.items():
+            if not isinstance(key, str):
+                errors.append(f"metrics key {name}.{key!r} is not a string")
+            errors.extend(_metric_value_errors(f"{name}.{key}", item))
+        return errors
+    return [
+        f"metrics[{name!r}] has non-JSON-native type "
+        f"{type(value).__name__}"
+    ]
+
+
+def validate_bench_file(path: Path) -> List[str]:
+    """All schema violations of one ``BENCH_*.json`` (empty = valid)."""
+    errors: List[str] = []
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"unreadable or invalid JSON: {exc}"]
+    if not isinstance(payload, dict):
+        return [f"top level must be an object, got {type(payload).__name__}"]
+
+    for field in REQUIRED_FIELDS:
+        if field not in payload:
+            errors.append(f"missing required field {field!r}")
+    unknown = set(payload) - set(REQUIRED_FIELDS)
+    if unknown:
+        errors.append(f"unknown fields {sorted(unknown)}")
+
+    bench = payload.get("bench")
+    if "bench" in payload:
+        if not isinstance(bench, str) or not bench:
+            errors.append(f"bench must be a non-empty string, got {bench!r}")
+        else:
+            expected = f"BENCH_{bench}.json"
+            if path.name != expected:
+                errors.append(
+                    f"bench name {bench!r} does not match filename "
+                    f"(expected {expected})"
+                )
+
+    if "metrics" in payload:
+        metrics = payload["metrics"]
+        if not isinstance(metrics, dict):
+            errors.append(
+                f"metrics must be an object, got {type(metrics).__name__}"
+            )
+        else:
+            for name, value in metrics.items():
+                errors.extend(_metric_value_errors(name, value))
+
+    if "git_rev" in payload:
+        git_rev = payload["git_rev"]
+        if git_rev is not None and (
+            not isinstance(git_rev, str) or not git_rev
+        ):
+            errors.append(
+                f"git_rev must be a non-empty string or null, got {git_rev!r}"
+            )
+
+    if "seed" in payload:
+        seed = payload["seed"]
+        if seed is not None and (
+            isinstance(seed, bool) or not isinstance(seed, int)
+        ):
+            errors.append(f"seed must be an integer or null, got {seed!r}")
+
+    if "created_unix" in payload:
+        created = payload["created_unix"]
+        if (
+            isinstance(created, bool)
+            or not isinstance(created, (int, float))
+            or created <= 0
+        ):
+            errors.append(
+                f"created_unix must be a positive number, got {created!r}"
+            )
+    return errors
+
+
+def check_files(paths: Iterable[Path], show: bool = False) -> int:
+    """Validate each path; print a per-file verdict; return exit code."""
+    paths = list(paths)
+    if not paths:
+        print("no BENCH_*.json artifacts found", file=sys.stderr)
+        return 1
+    failed = 0
+    for path in sorted(paths):
+        errors = validate_bench_file(path)
+        if errors:
+            failed += 1
+            print(f"FAIL {path.name}")
+            for error in errors:
+                print(f"  - {error}")
+            continue
+        print(f"ok   {path.name}")
+        if show:
+            payload = json.loads(path.read_text())
+            for name in sorted(payload["metrics"]):
+                print(f"       {name} = {payload['metrics'][name]}")
+    if failed:
+        print(
+            f"{failed}/{len(paths)} benchmark artifact(s) violate the "
+            "schema",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"all {len(paths)} benchmark artifact(s) schema-valid")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "files",
+        nargs="*",
+        type=Path,
+        help="specific BENCH_*.json files (default: repo-root glob)",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="print each valid bench's metrics",
+    )
+    args = parser.parse_args(argv)
+    paths = args.files or sorted(REPO_ROOT.glob("BENCH_*.json"))
+    return check_files(paths, show=args.list)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -23,7 +23,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 from repro.errors import DeploymentError
 from repro.graphs.dag import ComputationalGraph
 from repro.scheduling.postprocess import postprocess_schedule
-from repro.service import SchedulingService
+from repro.service import SchedulingService, ShardedSchedulingService
 from repro.tpu.latency import weight_stream_seconds
 from repro.tpu.pipeline import StageProfile, compute_stage_profiles
 from repro.tpu.quantize import is_quantized, quantize_graph
@@ -179,17 +179,29 @@ def build_fleet(
     replica_specs: Sequence[ReplicaSpec],
     models: Mapping[str, ComputationalGraph],
     scheduler: Optional[object] = None,
-    service: Optional[SchedulingService] = None,
+    service: Optional[object] = None,
+    num_shards: int = 1,
 ) -> Fleet:
     """Compile every model onto every replica through one shared service.
 
-    Exactly one of ``scheduler`` / ``service`` must be supplied (a bare
-    scheduler gets a temporary :class:`SchedulingService` stood in front
-    of it).  Schedules depend only on ``(graph, num_stages, scheduler
-    options)``, so replicas sharing a stage count are answered from the
-    service's fingerprint cache — the returned fleet's ``build_stats``
-    report the observed reuse.  Stage *profiles* are still computed per
-    replica, because they depend on each replica's device/link spec.
+    Exactly one of ``scheduler`` / ``service`` must be supplied.  A bare
+    scheduler gets a temporary serving tier stood in front of it: a
+    :class:`SchedulingService` by default, or a
+    :class:`~repro.service.ShardedSchedulingService` with
+    ``num_shards > 1`` — large catalogs then compile across per-shard
+    solver workers concurrently.  An explicit ``service`` may be either
+    kind (``num_shards`` is ignored for it).
+
+    Schedules depend only on ``(graph, num_stages, scheduler options)``,
+    so replicas sharing a stage count are answered from the serving
+    tier's fingerprint cache — fingerprint routing pins each
+    ``(model, stage count)`` pair to one shard, so sharding loses no
+    reuse; the returned fleet's ``build_stats`` report what was
+    observed.  Each replica's models are submitted as one concurrent
+    burst (the micro-batcher aggregates them), while replicas proceed
+    in order so cross-replica repeats stay countable cache hits.  Stage
+    *profiles* are still computed per replica, because they depend on
+    each replica's device/link spec.
     """
     if not replica_specs:
         raise DeploymentError("build_fleet needs at least one replica spec")
@@ -210,18 +222,36 @@ def build_fleet(
 
     owned = service is None
     if owned:
-        service = SchedulingService(scheduler)
+        if num_shards > 1:
+            service = ShardedSchedulingService(
+                scheduler, num_shards=num_shards
+            )
+        else:
+            service = SchedulingService(scheduler)
     try:
         requests = 0
         hits = 0
         replicas: List[Replica] = []
+        model_names = sorted(quantized)
         for spec in replica_specs:
+            futures = [
+                service.submit(quantized[model_name], spec.num_stages)
+                for model_name in model_names
+            ]
             deployments: Dict[str, ModelDeployment] = {}
-            for model_name in sorted(quantized):
+            for model_name, future in zip(model_names, futures):
                 graph = quantized[model_name]
-                result = service.schedule(graph, spec.num_stages)
+                result = future.result()
                 requests += 1
-                cache_hit = bool(result.extras.get("cache_hit", False))
+                # Reuse = answered without a dedicated solve: a cache
+                # hit, or (content-identical models submitted in the
+                # same burst) a request coalesced onto a sibling's
+                # in-flight solve — the concurrent submission must not
+                # under-report reuse the sequential loop counted as
+                # hits.
+                cache_hit = bool(
+                    result.extras.get("cache_hit", False)
+                ) or bool(getattr(future, "_respect_coalesced", False))
                 hits += cache_hit
                 schedule = postprocess_schedule(result.schedule)
                 profiles = tuple(

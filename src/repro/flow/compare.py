@@ -351,6 +351,9 @@ def serve_methods(
     cache_capacity: int = 512,
     max_batch_size: int = 32,
     batch_window_s: float = 0.002,
+    num_shards: int = 1,
+    max_queue_depth: int = 64,
+    admission: str = "block",
 ) -> Dict[str, SchedulerFactory]:
     """Route a method dict through the scheduling service layer.
 
@@ -369,15 +372,31 @@ def serve_methods(
     their worker threads automatically, so factory-created services
     need no explicit ``close()``.
 
+    With ``num_shards > 1`` every factory call yields a
+    :class:`repro.service.ShardedSchedulingService` instead — requests
+    fan out by graph fingerprint over per-shard solver workers behind
+    the given admission policy (see the sharded service docs), and each
+    shard's cache persists across the factory's service generations.
+    The underlying factory is then invoked once per shard, so it must
+    produce equivalently-configured schedulers (the same assumption the
+    shared cache already makes across calls).
+
     Each returned factory additionally exposes ``service_stats()`` —
     aggregated over all services it created — which
     :func:`served_method_stats` collects into per-method cache hit rates
     and mean micro-batch sizes.
     """
-    from repro.service import ScheduleCache, SchedulingService
+    from repro.service import (
+        ScheduleCache,
+        SchedulingService,
+        ShardedSchedulingService,
+    )
 
     def wrap(name: str, factory: SchedulerFactory) -> SchedulerFactory:
-        shared_cache = ScheduleCache(cache_capacity)
+        shared_caches = [
+            ScheduleCache(cache_capacity) for _ in range(max(1, num_shards))
+        ]
+        shared_cache = shared_caches[0]
         # Created services are handed out behind `_ServedService` façades
         # tracked only weakly, so a long-lived served dict does not keep
         # every service it ever created alive.  When a caller drops its
@@ -394,7 +413,7 @@ def serve_methods(
             "scheduled_graphs": 0,
         }
 
-        def fold(service: "SchedulingService") -> None:
+        def fold(service: object) -> None:
             stats = service.stats()
             folded["services"] += 1
             folded["requests"] += stats.requests
@@ -404,12 +423,23 @@ def serve_methods(
             folded["scheduled_graphs"] += stats.scheduled_graphs
 
         def make() -> object:
-            service = SchedulingService(
-                factory(),
-                cache=shared_cache,
-                max_batch_size=max_batch_size,
-                batch_window_s=batch_window_s,
-            )
+            if num_shards > 1:
+                service: object = ShardedSchedulingService(
+                    scheduler_factory=factory,
+                    num_shards=num_shards,
+                    max_queue_depth=max_queue_depth,
+                    admission=admission,
+                    caches=shared_caches,
+                    max_batch_size=max_batch_size,
+                    batch_window_s=batch_window_s,
+                )
+            else:
+                service = SchedulingService(
+                    factory(),
+                    cache=shared_cache,
+                    max_batch_size=max_batch_size,
+                    batch_window_s=batch_window_s,
+                )
             served = _ServedService(service, fold)
             tracked[:] = [ref for ref in tracked if ref() is not None]
             tracked.append(weakref.ref(served))

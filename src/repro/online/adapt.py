@@ -58,7 +58,7 @@ from repro.rl.ptrnet import PointerNetworkPolicy
 from repro.rl.reinforce import ReinforceConfig, ReinforceTrainer
 from repro.rl.respect import RespectScheduler
 from repro.scheduling.sequence import pack_sequence
-from repro.service import SchedulingService
+from repro.service import SchedulingService, ShardedSchedulingService
 
 #: Supplies ``count`` freshly sampled graphs from the live distribution.
 GraphSource = Callable[[int], Sequence[ComputationalGraph]]
@@ -210,7 +210,10 @@ class AdaptationLoop:
     Parameters
     ----------
     service:
-        The live service; its scheduler must be a
+        The live service — a :class:`SchedulingService` or a
+        :class:`~repro.service.ShardedSchedulingService` (observation,
+        shadow evaluation and promotion all work per-shard through the
+        same listener/swap interfaces); its scheduler must be a
         :class:`~repro.rl.respect.RespectScheduler` (the champion).
     buffer / detector:
         Experience store and drift detector; defaults are created when
@@ -228,7 +231,7 @@ class AdaptationLoop:
 
     def __init__(
         self,
-        service: SchedulingService,
+        service: Union[SchedulingService, ShardedSchedulingService],
         buffer: Optional[ExperienceBuffer] = None,
         detector: Optional[DriftDetector] = None,
         config: Optional[AdaptationConfig] = None,

@@ -31,7 +31,7 @@ from repro.rl.checkpoints import checkpoint_metadata, save_checkpoint
 from repro.rl.ptrnet import PointerNetworkPolicy
 from repro.rl.respect import RespectScheduler
 from repro.scheduling.sequence import normalize_stage_counts
-from repro.service import SchedulingService
+from repro.service import SchedulingService, ShardedSchedulingService
 
 
 def scheduler_with_policy(
@@ -172,7 +172,7 @@ class PromotionRecord:
 
 
 def promote_challenger(
-    service: SchedulingService,
+    service: Union[SchedulingService, ShardedSchedulingService],
     challenger: RespectScheduler,
     evaluation: ShadowEvaluation,
     checkpoint_dir: Optional[Union[str, Path]] = None,
@@ -186,10 +186,13 @@ def promote_challenger(
     recording the drift event that triggered fine-tuning, the shadow
     evaluation, and the options fingerprint of the champion it replaced
     — the audit trail for "why is the fleet running these weights".
-    The serving swap itself is atomic (see
-    :meth:`SchedulingService.swap_scheduler`); with
-    ``invalidate_cache=True`` the retired champion's cache entries are
-    evicted eagerly.
+    ``service`` may be a single :class:`SchedulingService` or a
+    :class:`~repro.service.ShardedSchedulingService` — the swap is
+    atomic per serving shard (see each class's ``swap_scheduler``
+    contract: no request is ever served a torn mix of two policies, and
+    requests submitted after the swap returns run the challenger on
+    every shard).  With ``invalidate_cache=True`` the retired champion's
+    cache entries are evicted eagerly from every shard's cache.
     """
     retiring_key = None
     champion = service.scheduler
@@ -216,7 +219,7 @@ def promote_challenger(
         )
     old_key = service.swap_scheduler(challenger)
     invalidated = (
-        service.cache.invalidate_options(old_key) if invalidate_cache else 0
+        service.invalidate_options(old_key) if invalidate_cache else 0
     )
     return PromotionRecord(
         checkpoint_name=checkpoint_name,

@@ -7,6 +7,12 @@ coalesces identical in-flight ones, aggregates the rest into
 micro-batches for the scheduler's vectorized ``schedule_batch``, and
 returns futures whose schedules are bit-identical to direct
 ``scheduler.schedule`` calls.
+
+:class:`ShardedSchedulingService` scales that horizontally: requests
+are consistent-hashed by graph fingerprint across N independent
+service shards (private cache, micro-batcher and hot-swap slot each),
+behind bounded admission (block / shed / degrade backpressure policies)
+and an async ``asubmit`` facade.
 """
 
 from repro.service.cache import (
@@ -20,6 +26,12 @@ from repro.service.service import (
     ServiceStats,
     scheduler_options_key,
 )
+from repro.service.sharded import (
+    ShardedSchedulingService,
+    ShardedServiceStats,
+    build_hash_ring,
+    shard_for_fingerprint,
+)
 
 __all__ = [
     "CachedSchedule",
@@ -28,5 +40,9 @@ __all__ = [
     "ScheduleCache",
     "SchedulingService",
     "ServiceStats",
+    "ShardedSchedulingService",
+    "ShardedServiceStats",
+    "build_hash_ring",
     "scheduler_options_key",
+    "shard_for_fingerprint",
 ]

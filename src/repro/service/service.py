@@ -40,7 +40,9 @@ Observers registered through
 
 from __future__ import annotations
 
+import asyncio
 import hashlib
+import logging
 import threading
 import time
 from collections import deque
@@ -70,6 +72,8 @@ from repro.service.cache import (
 )
 from repro.utils.stats import percentile
 
+_LOGGER = logging.getLogger(__name__)
+
 #: How many recent per-request service latencies feed the percentile
 #: stats; a bounded window keeps a long-lived service O(1) in memory.
 _LATENCY_WINDOW = 4096
@@ -81,6 +85,38 @@ _LATENCY_WINDOW = 4096
 _WORKER_IDLE_S = 1.0
 
 _SCALARS = (bool, int, float, str, bytes, type(None))
+
+
+def notify_serve_listeners(
+    listeners: Sequence[Callable],
+    graph: "ComputationalGraph",
+    num_stages: int,
+    result: "ScheduleResult",
+    record_error: Callable[[], bool],
+) -> None:
+    """Call every serve listener with uniform error semantics.
+
+    The one implementation behind both the per-shard serve path and the
+    sharded tier's degraded path: a faulty observer must never fail the
+    request it is observing — but it must not fail *silently* either
+    (the drift/adaptation loop would quietly lose its observations).
+    Every swallowed exception is reported to ``record_error()`` (which
+    counts it under the owner's lock and returns True for the first
+    occurrence), and exactly the first one is logged with its traceback.
+    """
+    for listener in listeners:
+        try:
+            listener(graph, num_stages, result)
+        except Exception:
+            if record_error():
+                _LOGGER.exception(
+                    "serve listener %r raised; the exception is "
+                    "swallowed (the request was still served) and "
+                    "counted in the service's listener_errors stat — "
+                    "further listener failures are counted but not "
+                    "logged",
+                    listener,
+                )
 
 
 def _option_value_key(name: str, value: object) -> str:
@@ -161,6 +197,11 @@ class ServiceStats:
     cache: CacheStats
     #: Hot-swaps performed via :meth:`SchedulingService.swap_scheduler`.
     swaps: int = 0
+    #: Serve-listener exceptions swallowed by :meth:`_notify` (the first
+    #: occurrence is logged, every one is counted here so a broken
+    #: observer — e.g. the online-adaptation recorder — can never fail
+    #: *silently*).
+    listener_errors: int = 0
 
 
 class _PendingRequest:
@@ -176,7 +217,81 @@ class _PendingRequest:
         self.waiters: List[Tuple[Future, ComputationalGraph, float]] = []
 
 
-class SchedulingService:
+class ServingFacade:
+    """Sync/async conveniences shared by every serving front-end.
+
+    Subclasses provide the core ``submit(graph, num_stages) -> Future``
+    and ``close(timeout)``; this mixin derives the blocking
+    ``schedule``, the burst ``schedule_batch``, the asyncio ``asubmit``
+    bridge, context management, and the narrow-except ``__del__`` from
+    them — one implementation for the single service and the sharded
+    tier (a fix to any of these must not have to land twice).
+    """
+
+    def schedule(self, graph: ComputationalGraph, num_stages: int) -> ScheduleResult:
+        """Blocking single-request convenience (same result as direct)."""
+        return self.submit(graph, num_stages).result()  # type: ignore[attr-defined]
+
+    def schedule_batch(
+        self,
+        graphs: Sequence[ComputationalGraph],
+        num_stages: Union[int, Sequence[int]],
+    ) -> List[ScheduleResult]:
+        """Submit a whole burst and gather results in order.
+
+        Duck-type compatible with
+        :meth:`repro.rl.respect.RespectScheduler.schedule_batch`, which
+        lets any serving facade drop into :func:`repro.flow.compare
+        .schedule_many` and friends as a scheduler.  All requests enter
+        the queue before the first gather, so workers naturally
+        aggregate them into micro-batches.
+        """
+        graphs = list(graphs)
+        stage_counts = normalize_stage_counts(num_stages, len(graphs))
+        futures = [
+            self.submit(graph, stages)  # type: ignore[attr-defined]
+            for graph, stages in zip(graphs, stage_counts)
+        ]
+        return [future.result() for future in futures]
+
+    async def asubmit(
+        self, graph: ComputationalGraph, num_stages: int
+    ) -> ScheduleResult:
+        """Async facade over ``submit``.
+
+        ``submit`` itself is dispatched through the event loop's default
+        executor (it can block — e.g. behind the sharded tier's
+        ``"block"`` admission policy — and must never stall the loop),
+        and the returned future is bridged to an awaitable.  The result
+        is the same bit-identical :class:`ScheduleResult` the sync path
+        serves.
+        """
+        loop = asyncio.get_running_loop()
+        future = await loop.run_in_executor(
+            None, self.submit, graph, num_stages  # type: ignore[attr-defined]
+        )
+        return await asyncio.wrap_future(future)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()  # type: ignore[attr-defined]
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self.close(timeout=0.1)  # type: ignore[attr-defined]
+        except (AttributeError, TypeError, RuntimeError, ImportError):
+            # Expected interpreter-shutdown races only: when the GC
+            # finalizes an abandoned service during teardown, module
+            # globals may already be None (AttributeError/TypeError),
+            # thread primitives unusable (RuntimeError), and imports
+            # forbidden (ImportError).  Anything else is a real bug in
+            # close() and must surface, not be masked by __del__.
+            pass
+
+
+class SchedulingService(ServingFacade):
     """Thread-safe scheduling front-end over one scheduler instance.
 
     Parameters
@@ -240,24 +355,38 @@ class SchedulingService:
         self._batches = 0
         self._scheduled_graphs = 0
         self._swaps = 0
+        self._listener_errors = 0
         self._latencies: Deque[float] = deque(maxlen=_LATENCY_WINDOW)
 
     # ------------------------------------------------------------------
     # request path
     # ------------------------------------------------------------------
     def submit(
-        self, graph: ComputationalGraph, num_stages: int
+        self,
+        graph: ComputationalGraph,
+        num_stages: int,
+        fingerprint: Optional[str] = None,
     ) -> "Future[ScheduleResult]":
         """Accept one request; returns a future resolving to its result.
 
         Cache hits resolve the future before ``submit`` returns; misses
         are queued for the micro-batching worker (identical in-flight
         requests are coalesced onto one solve).
+
+        ``fingerprint`` lets a front tier that already fingerprinted the
+        graph (the sharded router hashes it to pick a shard) skip the
+        recompute; it must equal ``graph_fingerprint(graph)``.
+
+        Futures of requests that coalesced onto an in-flight solve carry
+        ``future._respect_coalesced = True`` — the marker admission and
+        reuse-accounting layers use to tell "created new solver work"
+        from "shared an existing solve".
         """
         (stages,) = normalize_stage_counts(num_stages, 1)
         start = time.perf_counter()
         # Fingerprinting is the expensive part of the key; stay unlocked.
-        fingerprint = graph_fingerprint(graph)
+        if fingerprint is None:
+            fingerprint = graph_fingerprint(graph)
         future: "Future[ScheduleResult]" = Future()
         with self._cond:
             if self._closed:
@@ -276,6 +405,9 @@ class SchedulingService:
             if pending is not None:
                 self._coalesced += 1
                 pending.waiters.append((future, graph, start))
+                # Marker for admission layers: this request created no
+                # new solver work (it shares the in-flight solve).
+                future._respect_coalesced = True  # type: ignore[attr-defined]
                 self._cond.notify_all()
                 return future
             cached = self.cache.get(key)
@@ -302,31 +434,29 @@ class SchedulingService:
         future.set_result(result)
         return future
 
-    def schedule(self, graph: ComputationalGraph, num_stages: int) -> ScheduleResult:
-        """Blocking single-request convenience (same result as direct)."""
-        return self.submit(graph, num_stages).result()
+    def backlog(self) -> int:
+        """Unique solves currently queued or in flight on the worker."""
+        with self._cond:
+            return len(self._inflight)
 
-    def schedule_batch(
-        self,
-        graphs: Sequence[ComputationalGraph],
-        num_stages: Union[int, Sequence[int]],
-    ) -> List[ScheduleResult]:
-        """Submit a whole burst and gather results in order.
+    def has_cached(self, fingerprint: str, num_stages: int) -> bool:
+        """Whether a request would be answered without new solver work.
 
-        Duck-type compatible with
-        :meth:`repro.rl.respect.RespectScheduler.schedule_batch`, which
-        lets the service drop into :func:`repro.flow.compare
-        .schedule_many` and friends as a scheduler.  All requests enter
-        the queue before the first gather, so the worker naturally
-        aggregates them into micro-batches.
+        True when the ``(fingerprint, num_stages)`` pair — under the
+        *current* options fingerprint — is already cached or in flight
+        (an in-flight hit coalesces onto the pending solve; neither
+        consumes a worker slot).  A non-mutating probe: no LRU refresh,
+        no hit/miss counting.  The sharded tier's admission control uses
+        it to wave such requests past a saturated shard's queue-depth
+        gate.
         """
-        graphs = list(graphs)
-        stage_counts = normalize_stage_counts(num_stages, len(graphs))
-        futures = [
-            self.submit(graph, stages)
-            for graph, stages in zip(graphs, stage_counts)
-        ]
-        return [future.result() for future in futures]
+        with self._cond:
+            if self._closed:
+                return False
+            key = ScheduleCache.make_key(
+                fingerprint, num_stages, self._options_key
+            )
+            return key in self._inflight or key in self.cache
 
     # ------------------------------------------------------------------
     # worker
@@ -404,9 +534,15 @@ class SchedulingService:
                 )
         except BaseException as exc:  # propagate to every waiter
             with self._cond:
+                waiters = []
                 for request in batch:
                     self._inflight.pop(request.key, None)
-                waiters = [w for request in batch for w in request.waiters]
+                    # Take ownership of the waiters under the lock:
+                    # a concurrent close() failing pending requests
+                    # empties the same lists, so each future is resolved
+                    # by exactly one of the two paths.
+                    waiters.extend(request.waiters)
+                    request.waiters = []
             for future, _, _ in waiters:
                 if not future.done():
                     future.set_exception(exc)
@@ -443,7 +579,10 @@ class SchedulingService:
             now = time.perf_counter()
             with self._cond:
                 self._inflight.pop(request.key, None)
-                waiters = list(request.waiters)
+                # Ownership transfer (see the error path above): a
+                # concurrent close() must never race us to these futures.
+                waiters = request.waiters
+                request.waiters = []
                 for _, _, submitted in waiters:
                     self._latencies.append(now - submitted)
             for future, waiter_graph, _ in waiters:
@@ -457,7 +596,8 @@ class SchedulingService:
                         method_name=method_name,
                     )
                 self._notify(waiter_graph, request.num_stages, served)
-                future.set_result(served)
+                if not future.done():
+                    future.set_result(served)
 
     # ------------------------------------------------------------------
     def _bind(
@@ -530,7 +670,9 @@ class SchedulingService:
         caller's own graph and the result it received — the hook the
         online-adaptation experience recorder attaches to.  Listeners run
         on the serving thread outside the service lock; exceptions are
-        swallowed so a faulty observer can never fail a request.
+        swallowed so a faulty observer can never fail a request, but
+        never silently: each one increments
+        ``ServiceStats.listener_errors`` and the first is logged.
         """
         if not callable(listener):
             raise ServiceError("serve listener must be callable")
@@ -548,11 +690,14 @@ class SchedulingService:
     ) -> None:
         with self._cond:
             listeners = list(self._listeners)
-        for listener in listeners:
-            try:
-                listener(graph, num_stages, result)
-            except Exception:
-                pass
+        notify_serve_listeners(
+            listeners, graph, num_stages, result, self._record_listener_error
+        )
+
+    def _record_listener_error(self) -> bool:
+        with self._cond:
+            self._listener_errors += 1
+            return self._listener_errors == 1
 
     # ------------------------------------------------------------------
     # stats / lifecycle
@@ -566,6 +711,7 @@ class SchedulingService:
             batches = self._batches
             scheduled = self._scheduled_graphs
             swaps = self._swaps
+            listener_errors = self._listener_errors
             latencies = list(self._latencies)
         return ServiceStats(
             requests=requests,
@@ -580,28 +726,74 @@ class SchedulingService:
             latency_p99_s=percentile(latencies, 99) if latencies else 0.0,
             cache=self.cache.stats(),
             swaps=swaps,
+            listener_errors=listener_errors,
         )
 
+    def recent_latencies(self) -> List[float]:
+        """Snapshot of the recent per-request latency window (seconds).
+
+        The raw samples behind the ``latency_p50_s`` / ``latency_p99_s``
+        stats — exposed so a multi-shard front tier can pool the windows
+        and compute *exact* aggregate percentiles instead of averaging
+        per-shard ones (percentiles do not compose).
+        """
+        with self._cond:
+            return list(self._latencies)
+
+    def invalidate_options(self, options_key: str) -> int:
+        """Evict this service's cache entries under ``options_key``.
+
+        Convenience over ``service.cache.invalidate_options`` so callers
+        (the promotion path) can invalidate uniformly across single and
+        sharded services; returns the number of evicted entries.
+        """
+        return self.cache.invalidate_options(options_key)
+
     def close(self, timeout: Optional[float] = 10.0) -> None:
-        """Stop accepting requests and drain the already-accepted queue."""
+        """Stop accepting requests; drain what the worker can, fail the rest.
+
+        New submits raise :class:`ServiceError` immediately.  The worker
+        is given ``timeout`` seconds to finish already-accepted work;
+        any future still unresolved after that (the worker timed out
+        mid-solve, died, or the interpreter is tearing down) is failed
+        with ``ServiceError("service closed")`` — **no future is ever
+        left pending after close() returns**.  Idempotent: repeated
+        calls are no-ops beyond re-failing whatever is still pending.
+        """
         with self._cond:
             self._closed = True
             worker = self._worker
             self._cond.notify_all()
         if worker is not None and worker is not threading.current_thread():
             worker.join(timeout=timeout)
+        self._fail_pending(ServiceError("service closed"))
 
-    def __enter__(self) -> "SchedulingService":
-        return self
+    def _fail_pending(self, exc: Exception) -> None:
+        """Resolve every still-pending waiter with ``exc``.
 
-    def __exit__(self, *exc_info: object) -> None:
-        self.close()
+        Ownership of each request's waiter list is taken under the lock
+        (mirroring the worker's resolution paths), so a waiter is
+        resolved by exactly one of {worker success, worker error, close}
+        even when a slow solve completes concurrently with close().
+        """
+        with self._cond:
+            waiters: List[Tuple[Future, ComputationalGraph, float]] = []
+            # Every queued request is also in _inflight (submit registers
+            # both); batch-popped requests remain in _inflight until
+            # resolved — so _inflight alone covers all pending work.
+            for request in self._inflight.values():
+                waiters.extend(request.waiters)
+                request.waiters = []
+            self._inflight.clear()
+            self._queue.clear()
+        for future, _, _ in waiters:
+            if not future.done():
+                future.set_exception(exc)
 
-    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
-        try:
-            self.close(timeout=0.1)
-        except Exception:
-            pass
 
-
-__all__ = ["SchedulingService", "ServiceStats", "scheduler_options_key"]
+__all__ = [
+    "SchedulingService",
+    "ServiceStats",
+    "ServingFacade",
+    "scheduler_options_key",
+]

@@ -1,0 +1,606 @@
+"""Sharded serving tier: consistent-hash fan-out over service shards.
+
+:class:`ShardedSchedulingService` scales the single-worker
+:class:`~repro.service.SchedulingService` horizontally: requests are
+routed by **graph fingerprint** over a consistent-hash ring onto ``N``
+fully independent shards, each keeping its own
+:class:`~repro.service.ScheduleCache`, micro-batching worker and
+hot-swap slot.  Three properties fall out of fingerprint routing:
+
+* **cache affinity** — content-identical graphs always land on the same
+  shard, so shard-private caches lose nothing versus one shared cache
+  (and drop its lock contention);
+* **coalescing still works** — a thundering herd on one graph converges
+  on one shard and shares one solve there;
+* **elastic resharding** — the ring uses virtual nodes, so growing the
+  tier from ``N`` to ``N+1`` shards remaps only ``~1/(N+1)`` of the
+  fingerprint space (the rest keep their warm caches).
+
+**Bounded admission.**  Each shard carries at most
+``max_queue_depth`` of *solver backlog* (unsolved unique requests —
+waiters coalescing onto one in-flight solve share its single slot, and
+requests answerable from the cache bypass the gate entirely); beyond
+that the selected ``admission`` policy applies:
+
+``"block"``
+    The submitting thread waits until the shard drains below the limit —
+    classic backpressure, load is never lost (the default).
+``"shed"``
+    :class:`~repro.errors.ServiceOverloadError` is raised immediately —
+    for callers with their own retry/hedging logic.
+``"degrade"``
+    The request is answered *inline* by a cheap fallback scheduler (a
+    deterministic heuristic by default) instead of queueing — latency
+    stays bounded at the cost of schedule quality; degraded results are
+    marked ``extras["degraded"] = True``.
+
+**Hot swap.**  :meth:`swap_scheduler` installs a new policy shard by
+shard.  The atomicity contract is **per shard**: every request is served
+bit-identically by exactly one policy version (each shard's worker
+snapshots its scheduler per batch — see
+:meth:`SchedulingService.swap_scheduler`), and any request submitted
+after ``swap_scheduler`` returns is served by the new version on every
+shard.  During the swap itself, different shards may briefly serve
+different versions — the tier never serves a *torn* schedule, but global
+cross-shard cutover is eventual (ordered shard-by-shard), which is
+exactly the rolling-update semantics of a real fleet.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.errors import ServiceError, ServiceOverloadError
+from repro.graphs.dag import ComputationalGraph
+from repro.graphs.fingerprint import graph_fingerprint
+from repro.scheduling.schedule import ScheduleResult
+from repro.scheduling.sequence import normalize_stage_counts
+from repro.service.cache import ScheduleCache
+from repro.service.service import (
+    SchedulingService,
+    ServiceStats,
+    ServingFacade,
+    notify_serve_listeners,
+)
+from repro.utils.stats import percentile
+
+_ADMISSION_POLICIES = ("block", "shed", "degrade")
+
+#: Ring points per shard.  64 virtual nodes keep the shard-load spread
+#: within a few percent of uniform while the ring stays tiny (N*64
+#: 8-byte points) and O(log) to search.
+_VIRTUAL_NODES = 64
+
+
+def _ring_hash(data: str) -> int:
+    """Stable 64-bit position on the ring (first 8 SHA-256 bytes)."""
+    digest = hashlib.sha256(data.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def build_hash_ring(
+    num_shards: int, virtual_nodes: int = _VIRTUAL_NODES
+) -> Tuple[List[int], List[int]]:
+    """Consistent-hash ring: sorted point positions + owning shard ids.
+
+    Deterministic in ``num_shards``/``virtual_nodes`` alone — every
+    process (and every test) derives the identical ring, so routing is
+    reproducible across runs and machines.
+    """
+    if num_shards < 1:
+        raise ServiceError(f"num_shards must be >= 1, got {num_shards}")
+    if virtual_nodes < 1:
+        raise ServiceError(
+            f"virtual_nodes must be >= 1, got {virtual_nodes}"
+        )
+    points = sorted(
+        (_ring_hash(f"shard:{shard}:vnode:{vnode}"), shard)
+        for shard in range(num_shards)
+        for vnode in range(virtual_nodes)
+    )
+    return [p for p, _ in points], [s for _, s in points]
+
+
+def shard_for_fingerprint(
+    fingerprint: str, ring: Tuple[List[int], List[int]]
+) -> int:
+    """Owning shard of a graph fingerprint on a :func:`build_hash_ring`."""
+    positions, shards = ring
+    index = bisect.bisect_right(positions, _ring_hash(fingerprint))
+    return shards[index % len(shards)]
+
+
+@dataclass(frozen=True)
+class ShardedServiceStats:
+    """Aggregate + per-shard counters of a :class:`ShardedSchedulingService`.
+
+    The aggregate counter fields mirror :class:`ServiceStats` (summed
+    over shards, plus the degraded serves handled at the front tier), so
+    stats consumers written against the single-shard service — e.g.
+    :func:`repro.flow.compare.serve_methods`'s fold — read the sharded
+    tier unchanged.  Latency percentiles are computed over the *pooled*
+    per-shard sample windows (percentiles of percentiles would be
+    wrong).
+    """
+
+    num_shards: int
+    requests: int
+    cache_hits: int
+    coalesced: int
+    batches: int
+    scheduled_graphs: int
+    mean_batch_size: float
+    hit_rate: float
+    latency_mean_s: float
+    latency_p50_s: float
+    latency_p99_s: float
+    swaps: int
+    listener_errors: int
+    #: Admission-control outcomes at the front tier.
+    admission: str
+    max_queue_depth: int
+    #: Submissions that had to wait for a saturated shard ("block").
+    blocked: int
+    #: Submissions rejected with ServiceOverloadError ("shed").
+    shed: int
+    #: Submissions answered inline by the fallback scheduler ("degrade").
+    degraded: int
+    per_shard: Tuple[ServiceStats, ...]
+
+
+class ShardedSchedulingService(ServingFacade):
+    """N independent :class:`SchedulingService` shards behind one door.
+
+    Parameters
+    ----------
+    scheduler:
+        One scheduler instance installed on *every* shard.  Its
+        ``schedule`` / ``schedule_batch`` must tolerate concurrent calls
+        from ``num_shards`` worker threads — true for
+        :class:`~repro.rl.respect.RespectScheduler` (the decode is
+        functional over read-only weights) and for every deterministic
+        baseline heuristic.  For stateful schedulers pass
+        ``scheduler_factory`` instead.
+    scheduler_factory:
+        Zero-argument callable producing one scheduler per shard
+        (mutually exclusive with ``scheduler``).  Factories must produce
+        equivalently-configured schedulers: bit-identical outputs and
+        equal options fingerprints — otherwise the shard a request
+        hashes to would change its answer.
+    num_shards:
+        Shard count (>= 1).
+    max_queue_depth:
+        Per-shard solver-backlog bound (unsolved unique requests)
+        before the admission policy applies; requests coalescing onto
+        an in-flight solve share its one slot.
+    admission:
+        ``"block"`` (default) / ``"shed"`` / ``"degrade"`` — see the
+        module docstring.
+    fallback_scheduler:
+        Heuristic used by ``"degrade"``; defaults to the deterministic
+        :class:`~repro.scheduling.heuristics.ListScheduler`.
+    caches:
+        Optional pre-built per-shard caches (``len == num_shards``) so a
+        front tier can persist warm caches across service generations;
+        by default each shard builds a private cache of
+        ``cache_capacity`` entries.
+    cache_capacity / max_batch_size / batch_window_s:
+        Forwarded to every shard's :class:`SchedulingService`.
+    """
+
+    def __init__(
+        self,
+        scheduler: Optional[object] = None,
+        *,
+        scheduler_factory: Optional[Callable[[], object]] = None,
+        num_shards: int = 2,
+        max_queue_depth: int = 64,
+        admission: str = "block",
+        fallback_scheduler: Optional[object] = None,
+        caches: Optional[Sequence[ScheduleCache]] = None,
+        cache_capacity: int = 1024,
+        max_batch_size: int = 32,
+        batch_window_s: float = 0.002,
+        virtual_nodes: int = _VIRTUAL_NODES,
+    ) -> None:
+        if (scheduler is None) == (scheduler_factory is None):
+            raise ServiceError(
+                "supply exactly one of scheduler= or scheduler_factory="
+            )
+        if num_shards < 1:
+            raise ServiceError(f"num_shards must be >= 1, got {num_shards}")
+        if max_queue_depth < 1:
+            raise ServiceError(
+                f"max_queue_depth must be >= 1, got {max_queue_depth}"
+            )
+        if admission not in _ADMISSION_POLICIES:
+            raise ServiceError(
+                f"unknown admission policy {admission!r}; choose from "
+                f"{_ADMISSION_POLICIES}"
+            )
+        if caches is not None and len(caches) != num_shards:
+            raise ServiceError(
+                f"caches must have one entry per shard: got {len(caches)} "
+                f"for {num_shards} shards"
+            )
+        if admission == "degrade":
+            if fallback_scheduler is None:
+                from repro.scheduling.heuristics import ListScheduler
+
+                fallback_scheduler = ListScheduler()
+            if not callable(getattr(fallback_scheduler, "schedule", None)):
+                raise ServiceError(
+                    "fallback_scheduler must expose schedule(graph, "
+                    "num_stages)"
+                )
+        self.num_shards = num_shards
+        self.max_queue_depth = max_queue_depth
+        self.admission = admission
+        self.fallback_scheduler = fallback_scheduler
+        self._ring = build_hash_ring(num_shards, virtual_nodes)
+        self.shards: Tuple[SchedulingService, ...] = tuple(
+            SchedulingService(
+                scheduler if scheduler is not None else scheduler_factory(),
+                cache=caches[i] if caches is not None else None,
+                cache_capacity=cache_capacity,
+                max_batch_size=max_batch_size,
+                batch_window_s=batch_window_s,
+            )
+            for i in range(num_shards)
+        )
+        # -- front-tier state (guarded by self._cond's lock) -----------
+        self._cond = threading.Condition()
+        #: Per-shard admission-gate accounting, owned entirely by the
+        #: front tier so the gate is race-free: ``_gate`` counts
+        #: admitted requests that created new (still-unresolved) solver
+        #: work; ``_reserved`` counts admissions whose shard submit has
+        #: not returned yet.  Gate value = _gate + _reserved, so racing
+        #: submitters cannot jointly overshoot ``max_queue_depth``, and
+        #: a reservation converts to a gate slot (or is released for
+        #: hits/coalesces) under one lock acquisition — never counted
+        #: twice.
+        self._gate = [0] * num_shards
+        self._reserved = [0] * num_shards
+        self._blocked = 0
+        self._shed = 0
+        self._degraded = 0
+        self._swaps = 0
+        self._listener_errors = 0
+        self._listeners: List[Callable] = []
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def shard_index(self, graph_or_fingerprint: Union[ComputationalGraph, str]) -> int:
+        """Which shard a graph (or its fingerprint) routes to."""
+        fingerprint = (
+            graph_or_fingerprint
+            if isinstance(graph_or_fingerprint, str)
+            else graph_fingerprint(graph_or_fingerprint)
+        )
+        return shard_for_fingerprint(fingerprint, self._ring)
+
+    # ------------------------------------------------------------------
+    # request path
+    # ------------------------------------------------------------------
+    def submit(
+        self, graph: ComputationalGraph, num_stages: int
+    ) -> "Future[ScheduleResult]":
+        """Route one request to its shard, applying admission control.
+
+        Returns a future exactly like :meth:`SchedulingService.submit`
+        (cache hits resolve before returning).  Degraded answers come
+        back as already-resolved futures carrying
+        ``extras["degraded"] = True``.
+        """
+        (stages,) = normalize_stage_counts(num_stages, 1)
+        # Fingerprint once, outside any lock: it both picks the shard
+        # and is forwarded so the shard does not recompute it.
+        fingerprint = graph_fingerprint(graph)
+        shard_id = shard_for_fingerprint(fingerprint, self._ring)
+        degrade = False
+        waited = False
+        bypassed = False
+        with self._cond:
+            if self._closed:
+                raise ServiceError("service is closed")
+            # The gate measures admitted *solver backlog* (unresolved
+            # unique solves, `_gate`, plus in-transit admissions,
+            # `_reserved`) — not attached waiters: any number of
+            # requests coalescing onto one in-flight solve occupy
+            # exactly one slot, so a thundering herd on one graph can
+            # never starve requests for other graphs out of the depth
+            # budget.  Both counters live under this lock, so racing
+            # submitters cannot jointly overshoot ``max_queue_depth``.
+            while (
+                self._gate[shard_id] + self._reserved[shard_id]
+            ) >= self.max_queue_depth:
+                # A request already answerable without new solver work
+                # (cached, or coalescable onto an in-flight solve) is
+                # waved past the gate without even a reservation:
+                # serving it adds no backlog, and admission exists to
+                # bound solver work, not O(1) lookups.  The probe races
+                # with eviction; a lost race admits at most one extra
+                # solve (it is still gate-counted below once real),
+                # which the depth bound absorbs on the next request.
+                if self.shards[shard_id].has_cached(fingerprint, stages):
+                    bypassed = True
+                    break
+                if self.admission == "shed":
+                    self._shed += 1
+                    raise ServiceOverloadError(
+                        f"shard {shard_id} is at its queue depth limit "
+                        f"({self.max_queue_depth}); request shed"
+                    )
+                if self.admission == "degrade":
+                    self._degraded += 1
+                    degrade = True
+                    break
+                waited = True
+                self._cond.wait()
+                if self._closed:
+                    raise ServiceError("service is closed")
+            if waited:
+                self._blocked += 1
+            if not degrade and not bypassed:
+                self._reserved[shard_id] += 1
+        if degrade:
+            return self._serve_degraded(graph, stages)
+        try:
+            future = self.shards[shard_id].submit(
+                graph, stages, fingerprint=fingerprint
+            )
+        except BaseException:
+            if not bypassed:
+                with self._cond:
+                    self._reserved[shard_id] -= 1
+                    if self.admission == "block":
+                        self._cond.notify_all()
+            raise
+        # Did this admission create new solver work?  A cache hit is
+        # already resolved; a coalesced request carries the shard's
+        # marker.  Only new solves occupy a gate slot (released by the
+        # done callback) — hits and coalesces release their reservation
+        # without ever being double-counted, because the conversion
+        # happens under the same lock the gate reads.
+        new_solve = not future.done() and not getattr(
+            future, "_respect_coalesced", False
+        )
+        with self._cond:
+            if not bypassed:
+                self._reserved[shard_id] -= 1
+            if new_solve:
+                self._gate[shard_id] += 1
+            elif self.admission == "block" and not bypassed:
+                self._cond.notify_all()  # reservation freed capacity
+        if new_solve:
+            future.add_done_callback(
+                lambda _f, shard_id=shard_id: self._gate_release(shard_id)
+            )
+        return future
+
+    def _gate_release(self, shard_id: int) -> None:
+        # One callback per unique solve (never per waiter, never for
+        # cache hits), so the front-tier lock is off the hot serving
+        # path; under "block" a release also wakes gated submitters.
+        # Shards resolve futures outside their own lock, so this
+        # acquisition cannot deadlock against shard internals.
+        with self._cond:
+            self._gate[shard_id] -= 1
+            if self.admission == "block":
+                self._cond.notify_all()
+
+    def _serve_degraded(
+        self, graph: ComputationalGraph, stages: int
+    ) -> "Future[ScheduleResult]":
+        """Answer inline from the fallback scheduler (saturated shard)."""
+        result = self.fallback_scheduler.schedule(graph, stages)  # type: ignore[union-attr]
+        result.extras["degraded"] = True
+        result.extras.setdefault("cache_hit", False)
+        result.extras.setdefault(
+            "service",
+            str(
+                getattr(
+                    self.fallback_scheduler,
+                    "method_name",
+                    type(self.fallback_scheduler).__name__,
+                )
+            ),
+        )
+        future: "Future[ScheduleResult]" = Future()
+        future.set_result(result)
+        self._notify_degraded(graph, stages, result)
+        return future
+
+    def backlog(self) -> int:
+        """Total solver backlog (unsolved unique requests) over all shards."""
+        return sum(shard.backlog() for shard in self.shards)
+
+    # ------------------------------------------------------------------
+    # hot swap / observers / invalidation
+    # ------------------------------------------------------------------
+    @property
+    def scheduler(self) -> object:
+        """The currently installed policy (all shards run one version).
+
+        Shards only ever change schedulers through
+        :meth:`swap_scheduler`, which installs equivalently-configured
+        instances everywhere, so shard 0's scheduler is representative —
+        the property the online-adaptation loop reads the champion from.
+        """
+        return self.shards[0].scheduler
+
+    def swap_scheduler(
+        self,
+        scheduler: Optional[object] = None,
+        *,
+        scheduler_factory: Optional[Callable[[], object]] = None,
+    ) -> str:
+        """Install a new scheduler on every shard, shard-atomically.
+
+        Per-shard atomicity is inherited from
+        :meth:`SchedulingService.swap_scheduler`: no request anywhere is
+        ever served a torn mix of two policies, and every request
+        submitted after this method returns is served by the new version.
+        Cross-shard cutover is *rolling* (shard by shard, in index
+        order); during it, shards may briefly serve different versions.
+
+        Returns the retired options fingerprint (identical across
+        shards, since shards always run equivalently-configured
+        schedulers); evict stale entries with
+        :meth:`invalidate_options`.
+        """
+        if (scheduler is None) == (scheduler_factory is None):
+            raise ServiceError(
+                "supply exactly one of scheduler= or scheduler_factory="
+            )
+        old_keys = []
+        for shard in self.shards:
+            incoming = (
+                scheduler if scheduler is not None else scheduler_factory()
+            )
+            old_keys.append(shard.swap_scheduler(incoming))
+        with self._cond:
+            self._swaps += 1
+        return old_keys[0]
+
+    def invalidate_options(self, options_key: str) -> int:
+        """Evict ``options_key`` entries from every shard's cache."""
+        return sum(
+            shard.cache.invalidate_options(options_key)
+            for shard in self.shards
+        )
+
+    def add_serve_listener(
+        self, listener: Callable[[ComputationalGraph, int, ScheduleResult], None]
+    ) -> None:
+        """Register ``listener(graph, num_stages, result)`` on every shard.
+
+        One registration observes the tier's entire traffic: each shard
+        calls the listener for the requests it serves, and the front
+        tier calls it for degraded (fallback-served) requests.  Error
+        semantics match :meth:`SchedulingService.add_serve_listener`.
+        """
+        if not callable(listener):
+            raise ServiceError("serve listener must be callable")
+        for shard in self.shards:
+            shard.add_serve_listener(listener)
+        with self._cond:
+            self._listeners.append(listener)
+
+    def remove_serve_listener(self, listener: Callable) -> None:
+        """Detach a listener tier-wide (missing ones no-op)."""
+        for shard in self.shards:
+            shard.remove_serve_listener(listener)
+        with self._cond:
+            if listener in self._listeners:
+                self._listeners.remove(listener)
+
+    def _notify_degraded(
+        self, graph: ComputationalGraph, num_stages: int, result: ScheduleResult
+    ) -> None:
+        # Degraded serves bypass the shards, so the front tier notifies
+        # (and error-accounts) through the same shared implementation
+        # the shards use — the two paths cannot diverge.
+        with self._cond:
+            listeners = list(self._listeners)
+        notify_serve_listeners(
+            listeners, graph, num_stages, result, self._record_listener_error
+        )
+
+    def _record_listener_error(self) -> bool:
+        with self._cond:
+            self._listener_errors += 1
+            return self._listener_errors == 1
+
+    # ------------------------------------------------------------------
+    # stats / lifecycle
+    # ------------------------------------------------------------------
+    def stats(self) -> ShardedServiceStats:
+        """Aggregate counters over all shards plus admission outcomes."""
+        per_shard = tuple(shard.stats() for shard in self.shards)
+        latencies: List[float] = []
+        for shard in self.shards:
+            latencies.extend(shard.recent_latencies())
+        with self._cond:
+            blocked = self._blocked
+            shed = self._shed
+            degraded = self._degraded
+            swaps = self._swaps
+            front_listener_errors = self._listener_errors
+        requests = sum(s.requests for s in per_shard) + degraded
+        hits = sum(s.cache_hits for s in per_shard)
+        batches = sum(s.batches for s in per_shard)
+        scheduled = sum(s.scheduled_graphs for s in per_shard)
+        return ShardedServiceStats(
+            num_shards=self.num_shards,
+            requests=requests,
+            cache_hits=hits,
+            coalesced=sum(s.coalesced for s in per_shard),
+            batches=batches,
+            scheduled_graphs=scheduled,
+            mean_batch_size=scheduled / batches if batches else 0.0,
+            hit_rate=hits / requests if requests else 0.0,
+            latency_mean_s=(
+                sum(latencies) / len(latencies) if latencies else 0.0
+            ),
+            latency_p50_s=percentile(latencies, 50) if latencies else 0.0,
+            latency_p99_s=percentile(latencies, 99) if latencies else 0.0,
+            swaps=swaps,
+            listener_errors=(
+                sum(s.listener_errors for s in per_shard)
+                + front_listener_errors
+            ),
+            admission=self.admission,
+            max_queue_depth=self.max_queue_depth,
+            blocked=blocked,
+            shed=shed,
+            degraded=degraded,
+            per_shard=per_shard,
+        )
+
+    def close(self, timeout: Optional[float] = 10.0) -> None:
+        """Close every shard; fail all still-pending futures; wake blockers.
+
+        Idempotent.  ``timeout`` is one shared drain deadline for the
+        whole tier (not per shard).  Submitters blocked on admission are
+        woken and raise :class:`ServiceError`; per-shard close semantics
+        (drain, then fail the remainder) are documented on
+        :meth:`SchedulingService.close`.
+        """
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+        # One shared drain budget for the whole tier: ``timeout`` is a
+        # deadline, not a per-shard allowance (N stuck shards must not
+        # stretch close() to N x timeout).
+        deadline = None if timeout is None else time.monotonic() + timeout
+        for shard in self.shards:
+            remaining = (
+                None
+                if deadline is None
+                else max(0.0, deadline - time.monotonic())
+            )
+            shard.close(timeout=remaining)
+
+
+__all__ = [
+    "ShardedSchedulingService",
+    "ShardedServiceStats",
+    "build_hash_ring",
+    "shard_for_fingerprint",
+]

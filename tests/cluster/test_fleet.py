@@ -37,6 +37,30 @@ class TestBuildFleet:
         ]
         assert sum(hits) == 2
 
+    def test_duplicate_content_models_count_as_reuse(self, catalog):
+        """Content-identical models under two catalog names share one
+        solve even within a replica's concurrent burst — and the burst
+        must report that reuse exactly as the old sequential loop did
+        (whether the sibling answered from the cache or by coalescing
+        onto the in-flight solve)."""
+        graph = next(iter(catalog.values()))
+        models = {"original": graph, "alias": graph}
+        fleet = build_fleet(
+            [ReplicaSpec("a", 4)], models, scheduler=ListScheduler()
+        )
+        stats = fleet.build_stats
+        assert stats.schedule_requests == 2
+        assert stats.cache_hits == 1
+        assert stats.unique_solves == 1
+        replica = fleet.replicas[0]
+        assert (
+            replica.deployment("original").profiles
+            == replica.deployment("alias").profiles
+        )
+        assert sum(
+            d.schedule_cache_hit for d in replica.deployments.values()
+        ) == 1
+
     def test_external_service_is_shared_and_left_open(self, catalog):
         with SchedulingService(ListScheduler()) as service:
             first = build_fleet(

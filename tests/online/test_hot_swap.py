@@ -65,7 +65,34 @@ def graphs():
     ]
 
 
-def test_hammer_submit_across_hot_swap(graphs):
+@pytest.fixture(params=["single", "sharded"])
+def make_service(request):
+    """Build the single-worker service or the 4-shard tier around v1.
+
+    The hammer contract is identical for both: per-(shard-)batch
+    scheduler snapshots mean no request is ever served a torn mix of
+    two policy versions, and a submit that strictly follows a completed
+    ``swap_scheduler`` is always served by the new version (the sharded
+    swap only returns once every shard runs it).
+    """
+    from repro.service import ShardedSchedulingService
+
+    def build(scheduler):
+        if request.param == "single":
+            return SchedulingService(
+                scheduler, cache_capacity=64, batch_window_s=0.001
+            )
+        return ShardedSchedulingService(
+            scheduler,
+            num_shards=4,
+            cache_capacity=64,
+            batch_window_s=0.001,
+        )
+
+    return build
+
+
+def test_hammer_submit_across_hot_swap(graphs, make_service):
     """>= 8 threads hammering submit across a swap: never a torn result."""
     v1 = VersionedScheduler(1, delay_s=0.0005)
     v2 = VersionedScheduler(2, delay_s=0.0005)
@@ -75,7 +102,7 @@ def test_hammer_submit_across_hot_swap(graphs):
     }
     assert all(direct[1][id(g)] != direct[2][id(g)] for g in graphs)
 
-    service = SchedulingService(v1, cache_capacity=64, batch_window_s=0.001)
+    service = make_service(v1)
     # Pre-swap sanity serves: guaranteed v1 (no swap has happened yet).
     for graph in graphs[:3]:
         assert (

@@ -155,3 +155,40 @@ class TestPromoteChallenger:
             record = promote_challenger(service, challenger, evaluation)
             assert record.checkpoint_path is None
             assert service.scheduler is challenger
+
+    def test_promotes_across_a_sharded_service(self, graphs):
+        """The promotion path operates per-shard: every shard swaps to
+        the challenger and every shard's stale cache entries are
+        evicted."""
+        from repro.service import ShardedSchedulingService
+
+        champion = RespectScheduler(policy=_tiny_policy(0))
+        challenger = scheduler_with_policy(champion, _tiny_policy(1))
+        evaluation = evaluate_challenger(champion, challenger, graphs, 3)
+        with ShardedSchedulingService(
+            champion, num_shards=3, batch_window_s=0.0
+        ) as service:
+            for graph in graphs:
+                service.schedule(graph, 3)
+            populated = [
+                shard.cache.stats().size for shard in service.shards
+            ]
+            assert sum(populated) == len(graphs)
+            record = promote_challenger(service, challenger, evaluation)
+            # Every shard now runs the challenger...
+            assert all(
+                shard.scheduler is challenger for shard in service.shards
+            )
+            assert service.scheduler is challenger
+            # ...and the champion's entries are gone from every cache.
+            assert record.invalidated_entries == len(graphs)
+            assert all(
+                shard.cache.stats().size == 0 for shard in service.shards
+            )
+            assert record.retired_options_key == (
+                champion.options_fingerprint()
+            )
+            served = service.schedule(graphs[0], 3)
+            direct = challenger.schedule(graphs[0], 3)
+            assert served.schedule.assignment == direct.schedule.assignment
+            assert served.extras["cache_hit"] is False

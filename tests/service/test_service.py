@@ -223,6 +223,155 @@ class TestMicroBatching:
         assert stats.cache.size == len(graphs)
 
 
+class TestServeListenerErrors:
+    def test_listener_exception_counted_logged_and_request_served(
+        self, graphs, caplog
+    ):
+        """Regression: listener exceptions used to vanish without trace.
+
+        The drift/adaptation loop attaches a serve listener; a throwing
+        listener must never fail the request, but must be counted in
+        ``ServiceStats.listener_errors`` and logged (first occurrence).
+        """
+        import logging
+
+        observed = []
+
+        def broken(graph, num_stages, result):
+            raise RuntimeError("observer bug")
+
+        def healthy(graph, num_stages, result):
+            observed.append(result)
+
+        with SchedulingService(FakeScheduler()) as service:
+            service.add_serve_listener(broken)
+            service.add_serve_listener(healthy)
+            with caplog.at_level(logging.ERROR, "repro.service.service"):
+                results = service.schedule_batch(graphs[:3], 3)
+            # every request was served despite the broken listener...
+            assert len(results) == 3
+            # ...the healthy listener still saw every serve...
+            assert len(observed) == 3
+            stats = service.stats()
+        # ...every swallowed exception is counted...
+        assert stats.listener_errors == 3
+        # ...and exactly the first one is logged, with its traceback.
+        errors = [r for r in caplog.records if "serve listener" in r.message]
+        assert len(errors) == 1
+        assert "observer bug" in errors[0].exc_text
+
+    def test_cache_hit_path_counts_listener_errors_too(self, graphs):
+        def broken(graph, num_stages, result):
+            raise ValueError("nope")
+
+        with SchedulingService(FakeScheduler()) as service:
+            service.schedule(graphs[0], 3)  # cold miss, no listener yet
+            service.add_serve_listener(broken)
+            hit = service.schedule(graphs[0], 3)
+            assert hit.extras["cache_hit"] is True
+            assert service.stats().listener_errors == 1
+
+
+class TestCloseSemantics:
+    def test_close_fails_pending_futures(self, graphs):
+        """Regression: close() used to strand unsolved futures forever."""
+        release = threading.Event()
+
+        class Stuck(FakeScheduler):
+            def schedule_batch(self, graphs, stage_counts):
+                release.wait(timeout=10.0)
+                return super().schedule_batch(graphs, stage_counts)
+
+            def schedule(self, graph, num_stages):
+                release.wait(timeout=10.0)
+                return super().schedule(graph, num_stages)
+
+        service = SchedulingService(Stuck(), batch_window_s=0.0)
+        futures = [service.submit(g, 3) for g in graphs]
+        try:
+            # The worker is stuck mid-solve; close must not hang, and no
+            # future may be left pending after it returns.
+            service.close(timeout=0.2)
+            for future in futures:
+                assert future.done()
+                exc = future.exception(timeout=1)
+                if exc is not None:
+                    assert isinstance(exc, ServiceError)
+                    assert "closed" in str(exc)
+        finally:
+            release.set()
+
+    def test_close_drains_accepted_work_given_time(self, graphs):
+        scheduler = FakeScheduler(delay=0.01)
+        service = SchedulingService(scheduler, batch_window_s=0.05)
+        futures = [service.submit(g, 3) for g in graphs]
+        service.close(timeout=10.0)
+        # A healthy worker finishes accepted work before close returns —
+        # results, not ServiceError.
+        for graph, future in zip(graphs, futures):
+            assert future.result(timeout=1).schedule.graph is graph
+
+    def test_submit_racing_close_never_hangs(self, graphs):
+        """Any submit concurrent with close() either raises ServiceError
+        or returns a future that resolves promptly — never a hang."""
+        for attempt in range(5):
+            scheduler = FakeScheduler(delay=0.002)
+            service = SchedulingService(scheduler, batch_window_s=0.001)
+            barrier = threading.Barrier(3)
+            outcomes = []
+
+            def submitter():
+                barrier.wait()
+                for graph in graphs:
+                    try:
+                        outcomes.append(service.submit(graph, 3))
+                    except ServiceError:
+                        outcomes.append(None)
+
+            def closer():
+                barrier.wait()
+                time.sleep(0.001 * (attempt % 3))
+                service.close(timeout=0.05)
+
+            threads = [
+                threading.Thread(target=submitter),
+                threading.Thread(target=submitter),
+                threading.Thread(target=closer),
+            ]
+            barrier.reset()
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=10)
+                assert not t.is_alive()
+            service.close(timeout=1.0)  # settle any straggler work
+            for future in outcomes:
+                if future is None:
+                    continue  # submit itself raised ServiceError: fine
+                # Accepted futures must resolve (result or ServiceError),
+                # never hang.
+                try:
+                    future.result(timeout=5)
+                except ServiceError:
+                    pass
+
+    def test_close_is_idempotent(self, graphs):
+        service = SchedulingService(FakeScheduler())
+        service.schedule(graphs[0], 3)
+        service.close()
+        service.close()  # second close is a no-op, not an error
+        service.close(timeout=None)
+        with pytest.raises(ServiceError):
+            service.submit(graphs[0], 3)
+
+    def test_context_manager_after_explicit_close(self, graphs):
+        service = SchedulingService(FakeScheduler())
+        with service:
+            service.schedule(graphs[0], 3)
+            service.close()
+        # __exit__ closed an already-closed service: still fine.
+
+
 class TestWorkerLifecycle:
     def test_idle_worker_retires_and_restarts(self, graphs, monkeypatch):
         from repro.service import service as service_module

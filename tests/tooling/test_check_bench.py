@@ -1,0 +1,106 @@
+"""Schema validation of BENCH_*.json artifacts (scripts/check_bench.py)."""
+
+import importlib.util
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+
+@pytest.fixture(scope="module")
+def check_bench():
+    spec = importlib.util.spec_from_file_location(
+        "check_bench", REPO_ROOT / "scripts" / "check_bench.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _valid_payload(name="demo"):
+    return {
+        "bench": name,
+        "metrics": {"speedup": 3.5, "nested": {"p50": 0.1, "note": "ok"}},
+        "git_rev": "abc1234",
+        "seed": 0,
+        "created_unix": time.time(),
+    }
+
+
+def _write(tmp_path, payload, filename=None):
+    filename = filename or f"BENCH_{payload.get('bench', 'x')}.json"
+    path = tmp_path / filename
+    path.write_text(json.dumps(payload))
+    return path
+
+
+class TestValidation:
+    def test_valid_artifact_passes(self, check_bench, tmp_path):
+        path = _write(tmp_path, _valid_payload())
+        assert check_bench.validate_bench_file(path) == []
+
+    def test_null_git_rev_and_seed_allowed(self, check_bench, tmp_path):
+        payload = _valid_payload()
+        payload["git_rev"] = None
+        payload["seed"] = None
+        assert check_bench.validate_bench_file(_write(tmp_path, payload)) == []
+
+    def test_missing_fields_reported(self, check_bench, tmp_path):
+        payload = _valid_payload()
+        del payload["git_rev"]
+        del payload["seed"]
+        errors = check_bench.validate_bench_file(_write(tmp_path, payload))
+        assert any("git_rev" in e for e in errors)
+        assert any("seed" in e for e in errors)
+
+    def test_filename_must_match_bench_name(self, check_bench, tmp_path):
+        path = _write(tmp_path, _valid_payload("demo"), "BENCH_other.json")
+        errors = check_bench.validate_bench_file(path)
+        assert any("does not match filename" in e for e in errors)
+
+    def test_metrics_must_be_object_of_json_leaves(self, check_bench, tmp_path):
+        payload = _valid_payload()
+        payload["metrics"] = ["not", "a", "dict"]
+        errors = check_bench.validate_bench_file(_write(tmp_path, payload))
+        assert any("metrics must be an object" in e for e in errors)
+
+    def test_invalid_json_reported_not_raised(self, check_bench, tmp_path):
+        path = tmp_path / "BENCH_broken.json"
+        path.write_text("{not json")
+        errors = check_bench.validate_bench_file(path)
+        assert len(errors) == 1 and "invalid JSON" in errors[0]
+
+    def test_bad_scalar_types_reported(self, check_bench, tmp_path):
+        payload = _valid_payload()
+        payload["seed"] = "zero"
+        payload["created_unix"] = -5
+        errors = check_bench.validate_bench_file(_write(tmp_path, payload))
+        assert any("seed" in e for e in errors)
+        assert any("created_unix" in e for e in errors)
+
+
+class TestCli:
+    def test_main_passes_on_valid_files(self, check_bench, tmp_path):
+        paths = [
+            _write(tmp_path, _valid_payload("a")),
+            _write(tmp_path, _valid_payload("b")),
+        ]
+        assert check_bench.main([str(p) for p in paths]) == 0
+
+    def test_main_fails_on_violation(self, check_bench, tmp_path):
+        good = _write(tmp_path, _valid_payload("good"))
+        bad = _write(tmp_path, {"bench": "bad"}, "BENCH_bad.json")
+        assert check_bench.main([str(good), str(bad)]) == 1
+
+    def test_main_fails_when_no_artifacts(self, check_bench):
+        assert check_bench.main([str(Path("/nonexistent/BENCH_x.json"))]) == 1
+
+    def test_repo_artifacts_are_valid(self, check_bench):
+        """The committed BENCH_*.json at the repo root must stay valid."""
+        committed = sorted(REPO_ROOT.glob("BENCH_*.json"))
+        assert committed, "repo should ship BENCH_*.json artifacts"
+        for path in committed:
+            assert check_bench.validate_bench_file(path) == [], path
