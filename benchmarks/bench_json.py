@@ -61,8 +61,15 @@ def write_bench_json(
     name: str,
     metrics: Dict[str, object],
     seed: Optional[int] = None,
+    host: Optional[Dict[str, object]] = None,
 ) -> Path:
-    """Write ``BENCH_<name>.json`` at the repo root; returns its path."""
+    """Write ``BENCH_<name>.json`` at the repo root; returns its path.
+
+    ``host`` optionally records the machine context the numbers were
+    measured under (e.g. ``cpu_count``, per-regime CPU utilization) —
+    essential for interpreting scaling results: a 4x bar means nothing
+    without knowing the runner had 4 cores to scale onto.
+    """
     payload = {
         "bench": name,
         "metrics": _sanitize(dict(metrics)),
@@ -70,6 +77,8 @@ def write_bench_json(
         "seed": seed,
         "created_unix": time.time(),
     }
+    if host is not None:
+        payload["host"] = _sanitize(dict(host))
     path = REPO_ROOT / f"BENCH_{name}.json"
     tmp = path.with_suffix(".json.tmp")
     tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

@@ -46,9 +46,9 @@ def emit(capsys, results_dir):
     metrics), so every benchmark leaves a machine-readable trace.
     """
 
-    def _emit(name: str, text: str, metrics=None, seed=None) -> None:
+    def _emit(name: str, text: str, metrics=None, seed=None, host=None) -> None:
         (results_dir / f"{name}.txt").write_text(text + "\n")
-        write_bench_json(name, metrics or {}, seed=seed)
+        write_bench_json(name, metrics or {}, seed=seed, host=host)
         with capsys.disabled():
             print(f"\n{text}\n")
 

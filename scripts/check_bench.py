@@ -15,7 +15,10 @@ Schema (shared by all benches):
   (nested dicts/lists of the same allowed);
 * ``git_rev``      — string or null (outside a git checkout);
 * ``seed``         — integer or null;
-* ``created_unix`` — positive number.
+* ``created_unix`` — positive number;
+* ``host``         — *optional* dict describing the measuring machine
+  (e.g. ``cpu_count``, per-regime CPU utilization); same value rules as
+  ``metrics``.
 
 Usage::
 
@@ -38,6 +41,9 @@ from typing import Iterable, List
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 REQUIRED_FIELDS = ("bench", "metrics", "git_rev", "seed", "created_unix")
+
+#: Fields a bench may carry beyond the required set.
+OPTIONAL_FIELDS = ("host",)
 
 #: JSON-native leaf types allowed inside ``metrics``.
 _METRIC_LEAVES = (bool, int, float, str, type(None))
@@ -79,7 +85,7 @@ def validate_bench_file(path: Path) -> List[str]:
     for field in REQUIRED_FIELDS:
         if field not in payload:
             errors.append(f"missing required field {field!r}")
-    unknown = set(payload) - set(REQUIRED_FIELDS)
+    unknown = set(payload) - set(REQUIRED_FIELDS) - set(OPTIONAL_FIELDS)
     if unknown:
         errors.append(f"unknown fields {sorted(unknown)}")
 
@@ -120,6 +126,16 @@ def validate_bench_file(path: Path) -> List[str]:
             isinstance(seed, bool) or not isinstance(seed, int)
         ):
             errors.append(f"seed must be an integer or null, got {seed!r}")
+
+    if "host" in payload:
+        host = payload["host"]
+        if not isinstance(host, dict):
+            errors.append(
+                f"host must be an object, got {type(host).__name__}"
+            )
+        else:
+            for name, value in host.items():
+                errors.extend(_metric_value_errors(f"host.{name}", value))
 
     if "created_unix" in payload:
         created = payload["created_unix"]

@@ -181,6 +181,7 @@ def build_fleet(
     scheduler: Optional[object] = None,
     service: Optional[object] = None,
     num_shards: int = 1,
+    decode_workers: int = 0,
 ) -> Fleet:
     """Compile every model onto every replica through one shared service.
 
@@ -189,8 +190,13 @@ def build_fleet(
     :class:`SchedulingService` by default, or a
     :class:`~repro.service.ShardedSchedulingService` with
     ``num_shards > 1`` — large catalogs then compile across per-shard
-    solver workers concurrently.  An explicit ``service`` may be either
-    kind (``num_shards`` is ignored for it).
+    solver workers concurrently.  ``decode_workers > 0`` additionally
+    moves RESPECT policy decodes into that many worker *processes* (see
+    :class:`~repro.service.DecodeWorkerPool`) for the owned tier's
+    lifetime; schedules are bit-identical either way.  An explicit
+    ``service`` may be either kind (``num_shards`` and
+    ``decode_workers`` are ignored for it — configure them on the
+    service you pass).
 
     Schedules depend only on ``(graph, num_stages, scheduler options)``,
     so replicas sharing a stage count are answered from the serving
@@ -224,10 +230,14 @@ def build_fleet(
     if owned:
         if num_shards > 1:
             service = ShardedSchedulingService(
-                scheduler, num_shards=num_shards
+                scheduler,
+                num_shards=num_shards,
+                decode_workers=decode_workers,
             )
         else:
-            service = SchedulingService(scheduler)
+            service = SchedulingService(
+                scheduler, decode_workers=decode_workers
+            )
     try:
         requests = 0
         hits = 0

@@ -52,6 +52,27 @@ class ServiceError(RespectError):
     """Raised by the scheduling service (bad requests, closed service)."""
 
 
+class WireFormatError(ServiceError):
+    """Raised for malformed wire-format payloads (see :mod:`repro.service.wire`).
+
+    Covers every way a payload can be bad — truncation, a foreign or
+    corrupt byte stream, an unsupported format version, a checksum or
+    fingerprint mismatch, and values the format cannot represent.  The
+    message always names the specific violation so a failed decode is
+    diagnosable from the exception alone.
+    """
+
+
+class DecodeWorkerError(ServiceError):
+    """Raised when the decode worker pool cannot complete a decode.
+
+    A worker process crashing mid-task is retried transparently (the
+    task is resubmitted to a respawned worker); this error surfaces only
+    when retries are exhausted, the task's payload itself is rejected by
+    every worker, or a decode exceeds its timeout.
+    """
+
+
 class ServiceOverloadError(ServiceError):
     """Raised when admission control sheds a request from a saturated shard.
 

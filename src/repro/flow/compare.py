@@ -354,6 +354,7 @@ def serve_methods(
     num_shards: int = 1,
     max_queue_depth: int = 64,
     admission: str = "block",
+    decode_workers: int = 0,
 ) -> Dict[str, SchedulerFactory]:
     """Route a method dict through the scheduling service layer.
 
@@ -380,6 +381,13 @@ def serve_methods(
     The underlying factory is then invoked once per shard, so it must
     produce equivalently-configured schedulers (the same assumption the
     shared cache already makes across calls).
+
+    With ``decode_workers > 0`` every created service owns a
+    :class:`~repro.service.workers.DecodeWorkerPool` of that many
+    processes and routes RESPECT policy decodes through it (heuristic
+    methods are unaffected); schedules stay bit-identical.  Close such
+    services explicitly (``with make() as service:``) so the worker
+    processes are reaped promptly rather than at interpreter exit.
 
     Each returned factory additionally exposes ``service_stats()`` —
     aggregated over all services it created — which
@@ -432,6 +440,7 @@ def serve_methods(
                     caches=shared_caches,
                     max_batch_size=max_batch_size,
                     batch_window_s=batch_window_s,
+                    decode_workers=decode_workers,
                 )
             else:
                 service = SchedulingService(
@@ -439,6 +448,7 @@ def serve_methods(
                     cache=shared_cache,
                     max_batch_size=max_batch_size,
                     batch_window_s=batch_window_s,
+                    decode_workers=decode_workers,
                 )
             served = _ServedService(service, fold)
             tracked[:] = [ref for ref in tracked if ref() is not None]

@@ -89,6 +89,21 @@ class AttentionHead(Module):
         }
         return clipped, cache
 
+    def scores(self, query: np.ndarray, ref: np.ndarray) -> np.ndarray:
+        """Cacheless scoring for inference: returns the clipped scores only.
+
+        Computes exactly :meth:`forward`'s float operations (so the result
+        is bitwise-equal) but skips building the backward cache, which
+        keeps ``O(B T H)`` intermediates alive per decode step.  ``ref``
+        must be :meth:`precompute_ref`'s output for the scored contexts.
+        """
+        q = query @ self.w_q.value + self.bias.value  # [B, H]
+        activated = F.tanh(ref + q[:, None, :])  # [B, T, H]
+        raw = activated @ self.v.value  # [B, T]
+        if self.logit_clip > 0:
+            return self.logit_clip * F.tanh(raw / self.logit_clip)
+        return raw
+
     def backward(
         self, dscores: np.ndarray, cache: Cache
     ) -> Tuple[np.ndarray, np.ndarray]:

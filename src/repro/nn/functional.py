@@ -10,13 +10,23 @@ MASK_LOGIT = -1e9
 
 
 def sigmoid(x: np.ndarray) -> np.ndarray:
-    """Element-wise logistic function, stable for large |x|."""
-    out = np.empty_like(x, dtype=float)
-    positive = x >= 0
-    out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
-    exp_x = np.exp(x[~positive])
-    out[~positive] = exp_x / (1.0 + exp_x)
-    return out
+    """Element-wise logistic function, stable for large |x|.
+
+    Computed branch-free as ``z = exp(-|x|)`` with ``1 / (1 + z)`` for
+    ``x >= 0`` and ``z / (1 + z)`` otherwise — per element exactly the
+    classic two-branch formulas (``-|x|`` *is* ``-x`` on the positive
+    branch and ``x`` on the negative one), so results are bit-identical
+    to a masked two-pass evaluation while avoiding its fancy-indexing
+    gather/scatter, which dominates on the small arrays of a decode step.
+    ``exp`` never overflows (its argument is ``<= 0``).  The arithmetic
+    runs in the input dtype and the result widens to float64 afterwards,
+    matching the former implementation's compute-then-assign semantics
+    bit for bit.
+    """
+    z = np.exp(-np.abs(x))
+    one_plus = 1.0 + z
+    out = np.where(x >= 0, 1.0 / one_plus, z / one_plus)
+    return out.astype(float, copy=False)
 
 
 def dsigmoid_from_output(y: np.ndarray) -> np.ndarray:

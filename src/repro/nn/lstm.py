@@ -64,6 +64,31 @@ class LSTMCell(Module):
         }
         return h_next, c_next, cache
 
+    def forward_from_projection(
+        self, x_proj: np.ndarray, h: np.ndarray, c: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Cacheless step from a precomputed input projection ``x @ w_x``.
+
+        Inference loops hoist the input projection of *every* step into
+        one large GEMM (``[B*T, in] @ [in, 4H]`` instead of ``T`` skinny
+        matmuls) and feed the per-step slices here.  The gate math keeps
+        :meth:`forward`'s exact association order
+        ``(x_proj + h @ w_h) + bias``, so given a bitwise-equal
+        ``x_proj`` the returned state is bitwise-equal to
+        :meth:`forward`'s — the property the scheduling service's
+        bit-identical-schedules guarantee rests on.  No cache is built;
+        this path cannot be backpropagated.
+        """
+        hidden = self.hidden_size
+        z = x_proj + h @ self.w_h.value + self.bias.value
+        i = F.sigmoid(z[:, :hidden])
+        f = F.sigmoid(z[:, hidden : 2 * hidden])
+        g = F.tanh(z[:, 2 * hidden : 3 * hidden])
+        o = F.sigmoid(z[:, 3 * hidden :])
+        c_next = f * c + i * g
+        h_next = o * F.tanh(c_next)
+        return h_next, c_next
+
     def backward(
         self, dh_next: np.ndarray, dc_next: np.ndarray, cache: Cache
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:

@@ -238,7 +238,11 @@ class AdaptationLoop:
         reward_model: Optional[PipelineLatencyReward] = None,
         graph_source: Optional[GraphSource] = None,
     ) -> None:
-        if not isinstance(service.scheduler, RespectScheduler):
+        from repro.service.workers import unwrap_scheduler
+
+        if not isinstance(
+            unwrap_scheduler(service.scheduler), RespectScheduler
+        ):
             raise ServiceError(
                 "AdaptationLoop requires the service to front a "
                 f"RespectScheduler, got {type(service.scheduler).__name__}"
@@ -383,8 +387,14 @@ class AdaptationLoop:
         return list(unique.values())
 
     def _adapt(self, event: DriftEvent) -> AdaptationReport:
+        from repro.service.workers import unwrap_scheduler
+
         config = self.config
-        champion = self.service.scheduler
+        # The champion may be served through a decode-worker adapter;
+        # fine-tuning needs the in-process scheduler behind it (its
+        # policy weights and options — identical by the pool's
+        # fingerprint contract).
+        champion = unwrap_scheduler(self.service.scheduler)
         assert isinstance(champion, RespectScheduler)
         rng = np.random.default_rng([config.seed, event.at_observation])
 

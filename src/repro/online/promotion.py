@@ -194,8 +194,10 @@ def promote_challenger(
     every shard).  With ``invalidate_cache=True`` the retired champion's
     cache entries are evicted eagerly from every shard's cache.
     """
+    from repro.service.workers import unwrap_scheduler
+
     retiring_key = None
-    champion = service.scheduler
+    champion = unwrap_scheduler(service.scheduler)
     if isinstance(champion, RespectScheduler):
         retiring_key = champion.options_fingerprint()
     path: Optional[Path] = None

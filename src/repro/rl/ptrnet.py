@@ -323,6 +323,163 @@ class PointerNetworkPolicy(Module):
         )
 
     # ------------------------------------------------------------------
+    def greedy_decode(
+        self,
+        features: np.ndarray,
+        precedence: Optional[np.ndarray] = None,
+        lengths: Optional[np.ndarray] = None,
+    ) -> PolicyRollout:
+        """Vectorized greedy inference, bit-identical to ``forward``.
+
+        Produces exactly the rollout of
+        ``forward(features, mode="greedy", precedence=..., lengths=...,
+        keep_caches=False)`` — same actions, same ``log_prob`` floats —
+        but restructured for throughput:
+
+        * both LSTM input projections are hoisted out of the time loops
+          into single ``[B*T, H] @ [H, 4H]`` GEMMs (slices and row
+          gathers of a hoisted projection are bitwise-equal to the
+          per-step skinny matmuls they replace);
+        * the decoder input becomes a row gather of that projection
+          instead of an embedding gather followed by a per-step matmul;
+        * attention heads run cacheless (:meth:`AttentionHead.scores`)
+          and the per-step probability array (``exp`` of the full
+          ``[B, T]`` log-softmax, unused by greedy decoding) is never
+          materialized — the selected actions' log-probabilities are
+          gathered straight from the shifted logits.
+
+        The returned rollout carries no caches and cannot be
+        ``backward``-ed; training unrolls must use :meth:`forward`.
+        """
+        if features.ndim != 3:
+            raise TrainingError(
+                f"features must be [batch, nodes, dim], got shape {features.shape}"
+            )
+        if features.shape[2] != self.feature_dim:
+            raise TrainingError(
+                f"feature dim mismatch: policy expects {self.feature_dim}, "
+                f"got {features.shape[2]}"
+            )
+        features = np.asarray(features, dtype=self.w_emb.value.dtype)
+        batch, num_nodes, _ = features.shape
+        if lengths is not None:
+            lengths = np.asarray(lengths, dtype=int)
+            if lengths.shape != (batch,):
+                raise TrainingError(
+                    f"lengths must be [batch], got shape {lengths.shape}"
+                )
+            if (lengths < 1).any() or (lengths > num_nodes).any():
+                raise TrainingError(
+                    f"lengths must lie in [1, {num_nodes}], got {lengths}"
+                )
+        remaining: Optional[np.ndarray] = None
+        if precedence is not None:
+            precedence = np.asarray(precedence, dtype=bool)
+            if precedence.shape != (batch, num_nodes, num_nodes):
+                raise TrainingError(
+                    f"precedence must be [batch, nodes, nodes], got "
+                    f"{precedence.shape}"
+                )
+            remaining = precedence.sum(axis=2).astype(int)  # unmet parents
+
+        hidden = self.hidden_size
+        emb = features @ self.w_emb.value + self.b_emb.value  # [B, T, H]
+        # Hoisting is only bitwise-safe when the replaced per-step matmul
+        # and the large GEMM hit the same BLAS kernel; a one-row matmul
+        # ([1, H] @ [H, 4H]) can dispatch differently, so batch==1 keeps
+        # the per-step projections (there is nothing to amortize anyway).
+        hoist = batch > 1
+        enc_proj = None
+        dec_proj = None
+        if hoist:
+            flat = emb.reshape(batch * num_nodes, hidden)
+            enc_proj = (flat @ self.encoder.w_x.value).reshape(
+                batch, num_nodes, 4 * hidden
+            )
+            dec_proj = (flat @ self.decoder.w_x.value).reshape(
+                batch, num_nodes, 4 * hidden
+            )
+        h, c = self.encoder.initial_state(batch)
+        context_list: List[np.ndarray] = []
+        for t in range(num_nodes):
+            h_next, c_next = self.encoder.forward_from_projection(
+                enc_proj[:, t, :]
+                if enc_proj is not None
+                else emb[:, t, :] @ self.encoder.w_x.value,
+                h,
+                c,
+            )
+            if lengths is not None:
+                active = (t < lengths)[:, None]
+                h_next = np.where(active, h_next, h)
+                c_next = np.where(active, c_next, c)
+            h, c = h_next, c_next
+            context_list.append(h)
+        contexts = np.stack(context_list, axis=1)  # [B, T, H]
+
+        glimpse_ref = self.glimpse.attention.precompute_ref(contexts)
+        pointer_ref = self.pointer.precompute_ref(contexts)
+        dh, dc = h, c
+        # The first decoder input is the trainable d0 row, tiled *before*
+        # projecting: a 1-D ``d0 @ w_x`` takes a different BLAS path and
+        # is not bitwise-equal to the tiled 2-D product ``forward`` uses.
+        x_proj = np.tile(self.d0.value, (batch, 1)) @ self.decoder.w_x.value
+        visited = np.zeros((batch, num_nodes), dtype=bool)
+        if lengths is not None:
+            visited |= np.arange(num_nodes)[None, :] >= lengths[:, None]
+        log_prob = np.zeros(batch)
+        actions_out = np.zeros((batch, num_nodes), dtype=int)
+        rows = np.arange(batch)
+        for i in range(num_nodes):
+            dh, dc = self.decoder.forward_from_projection(x_proj, dh, dc)
+            mask = ~visited
+            if remaining is not None:
+                mask &= remaining == 0
+            finished: Optional[np.ndarray] = None
+            if lengths is not None:
+                finished = i >= lengths
+                mask[finished, 0] = True
+            g_scores = self.glimpse.attention.scores(dh, glimpse_ref)
+            weights = F.masked_softmax(g_scores, mask)
+            glimpse_vec = np.einsum("bt,bth->bh", weights, contexts)
+            logits = self.pointer.scores(glimpse_vec, pointer_ref)
+            masked_logits = np.where(mask, logits, F.MASK_LOGIT)
+            acts = np.argmax(masked_logits, axis=1)
+            # Gathered log-softmax: same floats as
+            # ``F.log_softmax(masked_logits)[rows, acts]`` without the
+            # [B, T] materialization.
+            shifted = masked_logits - np.max(masked_logits, axis=1, keepdims=True)
+            step_log_prob = shifted[rows, acts] - np.log(
+                np.sum(np.exp(shifted), axis=1)
+            )
+            if finished is not None:
+                step_log_prob = np.where(finished, 0.0, step_log_prob)
+            log_prob += step_log_prob
+            actions_out[:, i] = acts
+            visited[rows, acts] = True
+            if remaining is not None:
+                delta = precedence[rows, :, acts].astype(int)
+                if finished is not None:
+                    delta[finished] = 0  # dummy picks must not corrupt
+                remaining -= delta
+            x_proj = (
+                dec_proj[rows, acts, :]
+                if dec_proj is not None
+                else emb[rows, acts, :] @ self.decoder.w_x.value
+            )
+        return PolicyRollout(
+            actions=actions_out,
+            log_prob=log_prob,
+            entropy=np.zeros(batch),
+            features=features,
+            emb=emb,
+            contexts=contexts,
+            enc_caches=[],
+            steps=[],
+            lengths=lengths,
+        )
+
+    # ------------------------------------------------------------------
     def backward(
         self,
         rollout: PolicyRollout,

@@ -93,6 +93,14 @@ class RespectScheduler:
         Decoded orders are then valid topological orders, so the
         post-inference dependency repair is a no-op; disable to study
         the unconstrained decoder (the post-processing ablation).
+    use_vectorized_decode:
+        Route greedy inference through
+        :meth:`PointerNetworkPolicy.greedy_decode` (hoisted GEMMs,
+        cacheless attention) instead of the general ``forward`` unroll.
+        Both paths are bit-identical — this knob exists so benchmarks can
+        attribute the vectorization win separately; it is deliberately
+        *excluded* from :meth:`options_fingerprint` because it never
+        changes an output.
     """
 
     method_name = "respect"
@@ -104,6 +112,7 @@ class RespectScheduler:
         budget_slack: Optional[float] = None,
         enforce_siblings: bool = False,
         constrain_topological: bool = True,
+        use_vectorized_decode: bool = True,
     ) -> None:
         if embedding_config is None:
             embedding_config = EmbeddingConfig()
@@ -126,7 +135,52 @@ class RespectScheduler:
         self.budget_slack = budget_slack
         self.enforce_siblings = enforce_siblings
         self.constrain_topological = constrain_topological
+        self.use_vectorized_decode = use_vectorized_decode
         self._options_fingerprint: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def inference_policy(self) -> PointerNetworkPolicy:
+        """The frozen float32 clone greedy decoding actually runs on.
+
+        This — not the live ``policy`` the caller handed in, which may
+        keep training afterwards — is what :meth:`options_fingerprint`
+        hashes and what decode worker processes must load to stay
+        bit-identical with the in-process path.
+        """
+        return self._inference_policy
+
+    def decode_config(self) -> dict:
+        """Everything besides the weights a worker needs to rebuild this
+        scheduler's decode behavior (see :mod:`repro.service.workers`).
+
+        The embedding configuration is expanded field by field so the
+        dict is plain-JSON serializable into a checkpoint sidecar.
+        """
+        from dataclasses import asdict
+
+        return {
+            "embedding": asdict(self.embedding_config),
+            "budget_slack": self.budget_slack,
+            "enforce_siblings": self.enforce_siblings,
+            "constrain_topological": self.constrain_topological,
+            "use_vectorized_decode": self.use_vectorized_decode,
+            "options_fingerprint": self.options_fingerprint(),
+        }
+
+    def _greedy_rollout(self, features, precedence, lengths=None):
+        """One greedy unroll via the configured decode implementation."""
+        if self.use_vectorized_decode:
+            return self._inference_policy.greedy_decode(
+                features, precedence=precedence, lengths=lengths
+            )
+        return self._inference_policy.forward(
+            features,
+            mode="greedy",
+            precedence=precedence,
+            lengths=lengths,
+            keep_caches=False,
+        )
 
     # ------------------------------------------------------------------
     def options_fingerprint(self) -> str:
@@ -178,12 +232,7 @@ class RespectScheduler:
             precedence = (
                 queue.precedence[None, :, :] if self.constrain_topological else None
             )
-            rollout = self._inference_policy.forward(
-                queue.features[None, :, :],
-                mode="greedy",
-                precedence=precedence,
-                keep_caches=False,
-            )
+            rollout = self._greedy_rollout(queue.features[None, :, :], precedence)
             order = queue.names_for(rollout.actions[0])
             raw = pack_sequence(
                 graph, order, num_stages, budget_slack=self.budget_slack
@@ -214,12 +263,10 @@ class RespectScheduler:
             build_encoder_queue(graph, self.embedding_config) for graph in graphs
         ]
         features, precedence, lengths = pad_queues(queues)
-        rollout = self._inference_policy.forward(
+        rollout = self._greedy_rollout(
             features,
-            mode="greedy",
-            precedence=precedence if self.constrain_topological else None,
+            precedence if self.constrain_topological else None,
             lengths=lengths,
-            keep_caches=False,
         )
         return queues, rollout, lengths
 

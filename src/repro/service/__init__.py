@@ -13,6 +13,12 @@ are consistent-hashed by graph fingerprint across N independent
 service shards (private cache, micro-batcher and hot-swap slot each),
 behind bounded admission (block / shed / degrade backpressure policies)
 and an async ``asubmit`` facade.
+
+Both tiers optionally run the policy decode **outside the GIL**: with
+``decode_workers=N`` the greedy pointer-network decode is dispatched to
+a :class:`DecodeWorkerPool` of worker processes over the versioned
+:mod:`repro.service.wire` format, with bit-identical schedules,
+hot-swap propagation via weights epochs, and crash-respawned workers.
 """
 
 from repro.service.cache import (
@@ -32,17 +38,29 @@ from repro.service.sharded import (
     build_hash_ring,
     shard_for_fingerprint,
 )
+from repro.service.workers import (
+    DecodePoolStats,
+    DecodeWorkerPool,
+    WorkerDecodeScheduler,
+    supports_worker_decode,
+    unwrap_scheduler,
+)
 
 __all__ = [
     "CachedSchedule",
     "CacheKey",
     "CacheStats",
+    "DecodePoolStats",
+    "DecodeWorkerPool",
     "ScheduleCache",
     "SchedulingService",
     "ServiceStats",
     "ShardedSchedulingService",
     "ShardedServiceStats",
+    "WorkerDecodeScheduler",
     "build_hash_ring",
     "scheduler_options_key",
     "shard_for_fingerprint",
+    "supports_worker_decode",
+    "unwrap_scheduler",
 ]

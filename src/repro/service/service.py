@@ -309,6 +309,17 @@ class SchedulingService(ServingFacade):
         How long the worker waits for additional requests after the
         first of a batch arrives.  ``0`` disables waiting (each batch is
         whatever is already queued).
+    decode_workers:
+        When positive, policy decodes run in a pool of that many worker
+        *processes* (see :class:`repro.service.workers.DecodeWorkerPool`)
+        instead of on the service's worker thread — GIL-free scaling for
+        RESPECT-style schedulers, with bit-identical schedules.  ``0``
+        (the default) keeps today's in-process decode.  Schedulers the
+        pool cannot run (heuristic baselines) silently stay in-process.
+    decode_pool:
+        A pre-built (possibly shared) pool to use instead of owning one;
+        mutually exclusive with a positive ``decode_workers``.  Shared
+        pools are *not* closed by :meth:`close` — the owner closes them.
 
     Use as a context manager or call :meth:`close` to stop the worker;
     ``close`` drains already-accepted requests first.
@@ -321,6 +332,8 @@ class SchedulingService(ServingFacade):
         cache_capacity: int = 1024,
         max_batch_size: int = 32,
         batch_window_s: float = 0.002,
+        decode_workers: int = 0,
+        decode_pool: Optional[object] = None,
     ) -> None:
         if not callable(getattr(scheduler, "schedule", None)):
             raise ServiceError(
@@ -334,6 +347,23 @@ class SchedulingService(ServingFacade):
             raise ServiceError(
                 f"batch_window_s must be >= 0, got {batch_window_s}"
             )
+        if decode_workers < 0:
+            raise ServiceError(
+                f"decode_workers must be >= 0, got {decode_workers}"
+            )
+        if decode_workers > 0 and decode_pool is not None:
+            raise ServiceError(
+                "pass either decode_workers=N (service owns a pool) or "
+                "decode_pool= (shared), not both"
+            )
+        self._owns_decode_pool = False
+        if decode_workers > 0:
+            from repro.service.workers import DecodeWorkerPool
+
+            decode_pool = DecodeWorkerPool(decode_workers)
+            self._owns_decode_pool = True
+        self._decode_pool = decode_pool
+        scheduler = self._wrap_scheduler(scheduler)
         self.scheduler = scheduler
         self.method_name = str(
             getattr(scheduler, "method_name", type(scheduler).__name__)
@@ -626,6 +656,30 @@ class SchedulingService(ServingFacade):
     # ------------------------------------------------------------------
     # hot swap / observers
     # ------------------------------------------------------------------
+    def _wrap_scheduler(self, scheduler: object) -> object:
+        """Route ``scheduler``'s decode through the decode pool, if any.
+
+        No-op without a pool, for schedulers the pool cannot serve
+        (heuristic baselines fall back to in-process decoding), and for
+        already-wrapped adapters.  Otherwise the scheduler's weights are
+        published as a fresh epoch and a bit-identical
+        :class:`~repro.service.workers.WorkerDecodeScheduler` is
+        returned — the hot-swap path goes through here too, which is how
+        ``swap_scheduler`` / ``promote_challenger`` atomically retarget
+        every worker in the pool.
+        """
+        if self._decode_pool is None:
+            return scheduler
+        from repro.service.workers import (
+            WorkerDecodeScheduler,
+            supports_worker_decode,
+        )
+
+        if not supports_worker_decode(scheduler):
+            return scheduler
+        epoch = self._decode_pool.publish_scheduler(scheduler)
+        return WorkerDecodeScheduler(scheduler, self._decode_pool, epoch)
+
     def swap_scheduler(self, scheduler: object) -> str:
         """Atomically replace the scheduler behind this service.
 
@@ -645,7 +699,9 @@ class SchedulingService(ServingFacade):
             raise ServiceError(
                 "scheduler must expose a schedule(graph, num_stages) method"
             )
-        # The weight digest is O(model size); compute it outside the lock.
+        # Publishing to the decode pool and the weight digest are both
+        # O(model size); do them outside the lock.
+        scheduler = self._wrap_scheduler(scheduler)
         options_key = scheduler_options_key(scheduler)
         method_name = str(
             getattr(scheduler, "method_name", type(scheduler).__name__)
@@ -760,6 +816,7 @@ class SchedulingService(ServingFacade):
         left pending after close() returns**.  Idempotent: repeated
         calls are no-ops beyond re-failing whatever is still pending.
         """
+        deadline = None if timeout is None else time.monotonic() + timeout
         with self._cond:
             self._closed = True
             worker = self._worker
@@ -767,6 +824,15 @@ class SchedulingService(ServingFacade):
         if worker is not None and worker is not threading.current_thread():
             worker.join(timeout=timeout)
         self._fail_pending(ServiceError("service closed"))
+        # An owned decode pool shares this close's deadline (the worker
+        # join above consumed part of it) — a shared pool outlives us.
+        if self._owns_decode_pool and self._decode_pool is not None:
+            remaining = (
+                None
+                if deadline is None
+                else max(0.0, deadline - time.monotonic())
+            )
+            self._decode_pool.close(timeout=remaining)
 
     def _fail_pending(self, exc: Exception) -> None:
         """Resolve every still-pending waiter with ``exc``.

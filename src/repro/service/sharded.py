@@ -199,6 +199,19 @@ class ShardedSchedulingService(ServingFacade):
         ``cache_capacity`` entries.
     cache_capacity / max_batch_size / batch_window_s:
         Forwarded to every shard's :class:`SchedulingService`.
+    decode_workers:
+        When positive, one shared
+        :class:`~repro.service.workers.DecodeWorkerPool` of that many
+        *processes* serves the policy decodes of **every** shard —
+        shard worker threads stop competing for the GIL on the numpy
+        decode, which is what lets shard throughput actually scale with
+        shard count on a multi-core host.  Weights are published once
+        per (swap) generation, not once per shard.  ``0`` (default)
+        keeps the in-process decode.
+    decode_pool:
+        A pre-built shared pool instead of owning one (mutually
+        exclusive with positive ``decode_workers``); never closed by
+        :meth:`close`.
     """
 
     def __init__(
@@ -215,6 +228,8 @@ class ShardedSchedulingService(ServingFacade):
         max_batch_size: int = 32,
         batch_window_s: float = 0.002,
         virtual_nodes: int = _VIRTUAL_NODES,
+        decode_workers: int = 0,
+        decode_pool: Optional[object] = None,
     ) -> None:
         if (scheduler is None) == (scheduler_factory is None):
             raise ServiceError(
@@ -246,21 +261,47 @@ class ShardedSchedulingService(ServingFacade):
                     "fallback_scheduler must expose schedule(graph, "
                     "num_stages)"
                 )
+        if decode_workers < 0:
+            raise ServiceError(
+                f"decode_workers must be >= 0, got {decode_workers}"
+            )
+        if decode_workers > 0 and decode_pool is not None:
+            raise ServiceError(
+                "pass either decode_workers=N (tier owns a pool) or "
+                "decode_pool= (shared), not both"
+            )
+        self._owns_decode_pool = False
+        if decode_workers > 0:
+            from repro.service.workers import DecodeWorkerPool
+
+            decode_pool = DecodeWorkerPool(decode_workers)
+            self._owns_decode_pool = True
+        self._decode_pool = decode_pool
         self.num_shards = num_shards
         self.max_queue_depth = max_queue_depth
         self.admission = admission
         self.fallback_scheduler = fallback_scheduler
         self._ring = build_hash_ring(num_shards, virtual_nodes)
-        self.shards: Tuple[SchedulingService, ...] = tuple(
-            SchedulingService(
-                scheduler if scheduler is not None else scheduler_factory(),
-                cache=caches[i] if caches is not None else None,
-                cache_capacity=cache_capacity,
-                max_batch_size=max_batch_size,
-                batch_window_s=batch_window_s,
+        # One weights epoch serves every shard: the first wrap publishes,
+        # the rest reuse it (factories must produce equivalent
+        # schedulers, and the decode workers *check* the fingerprint).
+        epoch: Optional[int] = None
+        shards = []
+        for i in range(num_shards):
+            incoming = (
+                scheduler if scheduler is not None else scheduler_factory()
             )
-            for i in range(num_shards)
-        )
+            incoming, epoch = self._wrap_shard_scheduler(incoming, epoch)
+            shards.append(
+                SchedulingService(
+                    incoming,
+                    cache=caches[i] if caches is not None else None,
+                    cache_capacity=cache_capacity,
+                    max_batch_size=max_batch_size,
+                    batch_window_s=batch_window_s,
+                )
+            )
+        self.shards: Tuple[SchedulingService, ...] = tuple(shards)
         # -- front-tier state (guarded by self._cond's lock) -----------
         self._cond = threading.Condition()
         #: Per-shard admission-gate accounting, owned entirely by the
@@ -281,6 +322,37 @@ class ShardedSchedulingService(ServingFacade):
         self._listener_errors = 0
         self._listeners: List[Callable] = []
         self._closed = False
+
+    # ------------------------------------------------------------------
+    # decode workers
+    # ------------------------------------------------------------------
+    def _wrap_shard_scheduler(
+        self, incoming: object, epoch: Optional[int]
+    ) -> Tuple[object, Optional[int]]:
+        """Route one shard's decode through the shared pool.
+
+        Publishes the weights at most once per scheduler generation:
+        ``epoch=None`` publishes and returns the fresh epoch, a concrete
+        ``epoch`` is reused (the per-shard wrappers of one generation
+        all tag their requests with it, so a rolling swap retargets the
+        pool exactly once).  Unsupported schedulers pass through — those
+        shards decode in-process, exactly as without a pool.
+        """
+        if self._decode_pool is None:
+            return incoming, epoch
+        from repro.service.workers import (
+            WorkerDecodeScheduler,
+            supports_worker_decode,
+        )
+
+        if not supports_worker_decode(incoming):
+            return incoming, epoch
+        if epoch is None:
+            epoch = self._decode_pool.publish_scheduler(incoming)
+        return (
+            WorkerDecodeScheduler(incoming, self._decode_pool, epoch),
+            epoch,
+        )
 
     # ------------------------------------------------------------------
     # routing
@@ -469,10 +541,13 @@ class ShardedSchedulingService(ServingFacade):
                 "supply exactly one of scheduler= or scheduler_factory="
             )
         old_keys = []
+        epoch: Optional[int] = None
         for shard in self.shards:
             incoming = (
                 scheduler if scheduler is not None else scheduler_factory()
             )
+            # One published weights epoch per swap, shared by all shards.
+            incoming, epoch = self._wrap_shard_scheduler(incoming, epoch)
             old_keys.append(shard.swap_scheduler(incoming))
         with self._cond:
             self._swaps += 1
@@ -596,6 +671,17 @@ class ShardedSchedulingService(ServingFacade):
                 else max(0.0, deadline - time.monotonic())
             )
             shard.close(timeout=remaining)
+        # The shared decode pool drains under the *same* deadline — one
+        # budget for the whole tier, never timeout x (shards + workers).
+        # Pool-side waiters still pending at the cutoff fail with the
+        # same ServiceError("service closed") the shards use.
+        if self._owns_decode_pool and self._decode_pool is not None:
+            remaining = (
+                None
+                if deadline is None
+                else max(0.0, deadline - time.monotonic())
+            )
+            self._decode_pool.close(timeout=remaining)
 
 
 __all__ = [

@@ -1,0 +1,588 @@
+"""Compact, versioned wire format for cross-process scheduling payloads.
+
+Decode worker processes (:mod:`repro.service.workers`) must exchange
+graphs, decode requests/responses and schedules with the serving parent
+without pickling live object graphs — pickle ties the payload to the
+sender's class layout, hides cost, and cannot be validated.  This module
+defines a small framed format instead:
+
+``RSPW | version | kind | payload length | crc32 | payload``
+
+The header is fixed-width (:data:`WIRE_VERSION` bumps on incompatible
+layout changes); the payload is canonical UTF-8 JSON with *tagged* value
+encoding, so every attr type the graph fingerprint distinguishes
+(``int`` vs ``float`` vs ``bool``, ``tuple`` vs ``list``, ``set`` /
+``frozenset``, ``dict``, ``bytes``) survives a round trip exactly.
+Every way a payload can be bad — truncation, foreign bytes, a version
+from a different build, checksum corruption, an unsupported value type —
+raises :class:`~repro.errors.WireFormatError` naming the violation.
+
+Graph payloads are **content-addressed**: the sender's
+:func:`~repro.graphs.fingerprint.graph_fingerprint` is embedded, and
+:func:`decode_graph` recomputes the fingerprint of the reconstruction
+and refuses to return a graph whose identity drifted.  Reconstruction
+replays edges in an order that reproduces both each node's parent
+insertion order (what the fingerprint and the embedding consume) *and*
+each node's child insertion order (what Kahn's-algorithm tie-breaking
+consumes), so the decoded graph is schedule-equivalent to the original,
+not merely fingerprint-equal.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import WireFormatError
+from repro.graphs.dag import ComputationalGraph, OpNode
+from repro.graphs.fingerprint import graph_fingerprint
+from repro.scheduling.schedule import Schedule
+
+#: First bytes of every frame; rejects foreign byte streams immediately.
+MAGIC = b"RSPW"
+
+#: Bump on incompatible layout changes so mixed-version processes fail
+#: loudly instead of mis-decoding each other's payloads.
+WIRE_VERSION = 1
+
+#: Frame kinds.  A frame decoded as the wrong kind is an error, not a
+#: guess — the kind byte is how a worker distinguishes a request from a
+#: stray response.
+KIND_GRAPH = 1
+KIND_DECODE_REQUEST = 2
+KIND_DECODE_RESPONSE = 3
+KIND_SCHEDULE = 4
+KIND_OPTIONS = 5
+
+_KIND_NAMES = {
+    KIND_GRAPH: "graph",
+    KIND_DECODE_REQUEST: "decode-request",
+    KIND_DECODE_RESPONSE: "decode-response",
+    KIND_SCHEDULE: "schedule",
+    KIND_OPTIONS: "options",
+}
+
+#: magic, version, kind, payload length, crc32 of the payload.
+_HEADER = struct.Struct("<4sBBQI")
+
+
+# ----------------------------------------------------------------------
+# framing
+# ----------------------------------------------------------------------
+def _frame(kind: int, payload_obj: object) -> bytes:
+    payload = json.dumps(payload_obj, separators=(",", ":")).encode("utf-8")
+    return _HEADER.pack(
+        MAGIC, WIRE_VERSION, kind, len(payload), zlib.crc32(payload)
+    ) + payload
+
+
+def _unframe(data: object, expected_kind: int) -> dict:
+    if isinstance(data, (bytearray, memoryview)):
+        data = bytes(data)
+    if not isinstance(data, bytes):
+        raise WireFormatError(
+            f"wire payload must be bytes, got {type(data).__name__}"
+        )
+    if len(data) < _HEADER.size:
+        raise WireFormatError(
+            f"truncated frame: {len(data)} bytes, header alone needs "
+            f"{_HEADER.size}"
+        )
+    magic, version, kind, length, crc = _HEADER.unpack_from(data)
+    if magic != MAGIC:
+        raise WireFormatError(
+            f"bad magic {magic!r}: not a RESPECT wire payload"
+        )
+    if version != WIRE_VERSION:
+        raise WireFormatError(
+            f"unsupported wire version {version}; this build speaks "
+            f"version {WIRE_VERSION}"
+        )
+    payload = data[_HEADER.size :]
+    if len(payload) != length:
+        raise WireFormatError(
+            f"truncated payload: header declares {length} bytes, frame "
+            f"carries {len(payload)}"
+        )
+    if zlib.crc32(payload) != crc:
+        raise WireFormatError("payload checksum mismatch: frame is corrupt")
+    if kind != expected_kind:
+        raise WireFormatError(
+            f"frame holds a {_KIND_NAMES.get(kind, f'kind-{kind}')} payload, "
+            f"expected {_KIND_NAMES[expected_kind]}"
+        )
+    try:
+        obj = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise WireFormatError(
+            f"payload passed its checksum but is not valid JSON: {exc}"
+        ) from exc
+    if not isinstance(obj, dict):
+        raise WireFormatError("payload root must be a JSON object")
+    return obj
+
+
+# ----------------------------------------------------------------------
+# tagged value codec
+# ----------------------------------------------------------------------
+def _encode_value(value: object, where: str) -> object:
+    """JSON-encodable form of an attr value, preserving its exact type.
+
+    Scalars pass through (JSON keeps ``int``/``float``/``bool``/``str``/
+    ``None`` distinct, and ``repr``-based float serialization round-trips
+    exactly); containers the fingerprint distinguishes are wrapped in a
+    ``{"__t": ...}`` tag.  Sets serialize in the fingerprint's canonical
+    element order so equal sets produce equal bytes.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, list):
+        return [_encode_value(v, where) for v in value]
+    if isinstance(value, tuple):
+        return {"__t": "tuple", "v": [_encode_value(v, where) for v in value]}
+    if isinstance(value, (set, frozenset)):
+        from repro.graphs.fingerprint import _canonical_value
+
+        ordered = sorted(value, key=_canonical_value)
+        return {
+            "__t": type(value).__name__,
+            "v": [_encode_value(v, where) for v in ordered],
+        }
+    if isinstance(value, dict):
+        return {
+            "__t": "dict",
+            "v": [
+                [_encode_value(k, where), _encode_value(v, where)]
+                for k, v in value.items()
+            ],
+        }
+    if isinstance(value, (bytes, bytearray)):
+        return {"__t": "bytes", "v": bytes(value).hex()}
+    raise WireFormatError(
+        f"unsupported value type {type(value).__name__} at {where}; the "
+        f"wire format carries JSON scalars, list/tuple/set/frozenset/dict "
+        f"containers and bytes"
+    )
+
+
+def _decode_value(value: object, where: str) -> object:
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, list):
+        return [_decode_value(v, where) for v in value]
+    if isinstance(value, dict):
+        tag = value.get("__t")
+        inner = value.get("v")
+        if tag == "tuple" and isinstance(inner, list):
+            return tuple(_decode_value(v, where) for v in inner)
+        if tag == "set" and isinstance(inner, list):
+            return set(_decode_value(v, where) for v in inner)
+        if tag == "frozenset" and isinstance(inner, list):
+            return frozenset(_decode_value(v, where) for v in inner)
+        if tag == "dict" and isinstance(inner, list):
+            out = {}
+            for item in inner:
+                if not isinstance(item, list) or len(item) != 2:
+                    raise WireFormatError(
+                        f"malformed dict entry at {where}: {item!r}"
+                    )
+                out[_decode_value(item[0], where)] = _decode_value(
+                    item[1], where
+                )
+            return out
+        if tag == "bytes" and isinstance(inner, str):
+            try:
+                return bytes.fromhex(inner)
+            except ValueError as exc:
+                raise WireFormatError(
+                    f"malformed bytes value at {where}: {exc}"
+                ) from exc
+        raise WireFormatError(
+            f"unknown value tag {tag!r} at {where}; payload may come from "
+            f"a newer wire version"
+        )
+    raise WireFormatError(
+        f"unexpected JSON value of type {type(value).__name__} at {where}"
+    )
+
+
+# ----------------------------------------------------------------------
+# graphs
+# ----------------------------------------------------------------------
+def _edge_replay_sequence(graph: ComputationalGraph) -> List[Tuple[int, int]]:
+    """An edge order whose replay reproduces both adjacency orderings.
+
+    ``add_edge`` appends to the source's child list and the destination's
+    parent list, so replaying edges in an order consistent with *both*
+    per-node orderings reconstructs them exactly.  Such an order always
+    exists for graphs built through the :class:`ComputationalGraph` API
+    (the original insertion sequence is one); the two-pointer merge below
+    finds one, or raises if handed adjacency lists no single sequence can
+    produce.
+    """
+    index = graph.build_index()
+    names = graph.node_names
+    child_chain = {u: graph.children(u) for u in names}
+    parent_chain = {v: graph.parents(v) for v in names}
+    child_ptr = {u: 0 for u in names}
+    parent_ptr = {v: 0 for v in names}
+    sequence: List[Tuple[int, int]] = []
+    total = graph.num_edges
+    progress = True
+    while len(sequence) < total and progress:
+        progress = False
+        for v in names:
+            while parent_ptr[v] < len(parent_chain[v]):
+                u = parent_chain[v][parent_ptr[v]]
+                if child_chain[u][child_ptr[u]] != v:
+                    break
+                sequence.append((index[u], index[v]))
+                child_ptr[u] += 1
+                parent_ptr[v] += 1
+                progress = True
+    if len(sequence) < total:
+        raise WireFormatError(
+            f"graph {graph.name!r} has adjacency orderings no edge-insertion "
+            f"sequence reproduces; it was not built through the "
+            f"ComputationalGraph API"
+        )
+    return sequence
+
+
+def _graph_to_payload(graph: ComputationalGraph) -> dict:
+    nodes = []
+    for node in graph.nodes:
+        where = f"attr of node {node.name!r}"
+        nodes.append(
+            [
+                node.name,
+                node.op_type,
+                node.param_bytes,
+                node.output_bytes,
+                node.macs,
+                [
+                    [_encode_value(k, where), _encode_value(v, where)]
+                    for k, v in node.attrs.items()
+                ],
+            ]
+        )
+    return {
+        "name": graph.name,
+        "fingerprint": graph_fingerprint(graph),
+        "nodes": nodes,
+        "edges": [[u, v] for u, v in _edge_replay_sequence(graph)],
+    }
+
+
+def _graph_from_payload(payload: dict, verify_fingerprint: bool = True) -> ComputationalGraph:
+    name = payload.get("name")
+    nodes = payload.get("nodes")
+    edges = payload.get("edges")
+    if not isinstance(name, str) or not isinstance(nodes, list) or not isinstance(edges, list):
+        raise WireFormatError("graph payload misses name/nodes/edges fields")
+    graph = ComputationalGraph(name=name)
+    order: List[str] = []
+    for entry in nodes:
+        if not isinstance(entry, list) or len(entry) != 6:
+            raise WireFormatError(f"malformed graph node entry: {entry!r}")
+        node_name, op_type, param_bytes, output_bytes, macs, attr_items = entry
+        if not isinstance(attr_items, list):
+            raise WireFormatError(
+                f"malformed attrs for node {node_name!r}"
+            )
+        where = f"attr of node {node_name!r}"
+        attrs = {}
+        for item in attr_items:
+            if not isinstance(item, list) or len(item) != 2:
+                raise WireFormatError(f"malformed attr entry at {where}")
+            attrs[_decode_value(item[0], where)] = _decode_value(item[1], where)
+        try:
+            # add_node (not add_op) so attr keys can never collide with
+            # the constructor's parameter names.
+            graph.add_node(
+                OpNode(
+                    name=node_name,
+                    op_type=op_type,
+                    param_bytes=param_bytes,
+                    output_bytes=output_bytes,
+                    macs=macs,
+                    attrs=attrs,
+                )
+            )
+        except Exception as exc:
+            raise WireFormatError(
+                f"graph payload holds an invalid node {node_name!r}: {exc}"
+            ) from exc
+        order.append(node_name)
+    for entry in edges:
+        if (
+            not isinstance(entry, list)
+            or len(entry) != 2
+            or not all(isinstance(i, int) for i in entry)
+            or not all(0 <= i < len(order) for i in entry)
+        ):
+            raise WireFormatError(f"malformed graph edge entry: {entry!r}")
+        try:
+            graph.add_edge(order[entry[0]], order[entry[1]])
+        except Exception as exc:
+            raise WireFormatError(
+                f"graph payload holds an invalid edge {entry!r}: {exc}"
+            ) from exc
+    if verify_fingerprint:
+        declared = payload.get("fingerprint")
+        actual = graph_fingerprint(graph)
+        if declared != actual:
+            raise WireFormatError(
+                f"graph fingerprint mismatch after decode: payload declares "
+                f"{declared!r}, reconstruction hashes to {actual!r}"
+            )
+    return graph
+
+
+def encode_graph(graph: ComputationalGraph) -> bytes:
+    """Serialize ``graph`` (with its embedded content fingerprint)."""
+    return _frame(KIND_GRAPH, _graph_to_payload(graph))
+
+
+def decode_graph(data: bytes, verify_fingerprint: bool = True) -> ComputationalGraph:
+    """Reconstruct a graph; verifies the embedded fingerprint by default."""
+    return _graph_from_payload(
+        _unframe(data, KIND_GRAPH), verify_fingerprint=verify_fingerprint
+    )
+
+
+# ----------------------------------------------------------------------
+# scheduler options
+# ----------------------------------------------------------------------
+def encode_options(options: Dict[str, object]) -> bytes:
+    """Serialize a scheduler-options mapping (tagged, order-preserving)."""
+    if not isinstance(options, dict):
+        raise WireFormatError(
+            f"options must be a dict, got {type(options).__name__}"
+        )
+    return _frame(
+        KIND_OPTIONS,
+        {"options": _encode_value(options, "scheduler options")},
+    )
+
+
+def decode_options(data: bytes) -> Dict[str, object]:
+    """Inverse of :func:`encode_options`."""
+    payload = _unframe(data, KIND_OPTIONS)
+    options = _decode_value(payload.get("options"), "scheduler options")
+    if not isinstance(options, dict):
+        raise WireFormatError("options payload root must decode to a dict")
+    return options
+
+
+# ----------------------------------------------------------------------
+# decode requests / responses
+# ----------------------------------------------------------------------
+@dataclass
+class DecodeRequest:
+    """A batch of graphs for one worker-side greedy decode.
+
+    ``options_key`` carries the sender's scheduler
+    ``options_fingerprint()``; workers compare it against the fingerprint
+    of the scheduler they rebuilt from the published weights epoch, so a
+    request can never silently run under the wrong weights or options.
+    """
+
+    graphs: List[ComputationalGraph]
+    options_key: Optional[str] = None
+
+    @property
+    def fingerprints(self) -> List[str]:
+        return [graph_fingerprint(g) for g in self.graphs]
+
+
+@dataclass
+class DecodeResponse:
+    """Decoded node orders (as node names) plus decode log-probabilities."""
+
+    orders: List[List[str]]
+    log_probs: List[float]
+
+
+def encode_decode_request(
+    graphs: Sequence[ComputationalGraph], options_key: Optional[str] = None
+) -> bytes:
+    """Serialize a decode batch; each graph carries its fingerprint."""
+    graphs = list(graphs)
+    if not graphs:
+        raise WireFormatError("a decode request must carry at least one graph")
+    return _frame(
+        KIND_DECODE_REQUEST,
+        {
+            "options_key": options_key,
+            "graphs": [_graph_to_payload(g) for g in graphs],
+        },
+    )
+
+
+def decode_decode_request(data: bytes) -> DecodeRequest:
+    """Inverse of :func:`encode_decode_request` (fingerprints verified)."""
+    payload = _unframe(data, KIND_DECODE_REQUEST)
+    entries = payload.get("graphs")
+    if not isinstance(entries, list) or not entries:
+        raise WireFormatError("decode request carries no graphs")
+    options_key = payload.get("options_key")
+    if options_key is not None and not isinstance(options_key, str):
+        raise WireFormatError("decode request options_key must be a string")
+    graphs = []
+    for entry in entries:
+        if not isinstance(entry, dict):
+            raise WireFormatError(f"malformed graph payload: {entry!r}")
+        graphs.append(_graph_from_payload(entry))
+    return DecodeRequest(graphs=graphs, options_key=options_key)
+
+
+def encode_decode_response(
+    orders: Sequence[Sequence[str]], log_probs: Sequence[float]
+) -> bytes:
+    """Serialize decoded orders; one name list + log-prob per graph."""
+    orders = [list(order) for order in orders]
+    log_probs = [float(lp) for lp in log_probs]
+    if len(orders) != len(log_probs):
+        raise WireFormatError(
+            f"decode response is inconsistent: {len(orders)} orders vs "
+            f"{len(log_probs)} log-probs"
+        )
+    return _frame(
+        KIND_DECODE_RESPONSE, {"orders": orders, "log_probs": log_probs}
+    )
+
+
+def decode_decode_response(data: bytes) -> DecodeResponse:
+    """Inverse of :func:`encode_decode_response`."""
+    payload = _unframe(data, KIND_DECODE_RESPONSE)
+    orders = payload.get("orders")
+    log_probs = payload.get("log_probs")
+    if not isinstance(orders, list) or not isinstance(log_probs, list):
+        raise WireFormatError("decode response misses orders/log_probs")
+    if len(orders) != len(log_probs):
+        raise WireFormatError(
+            f"decode response is inconsistent: {len(orders)} orders vs "
+            f"{len(log_probs)} log-probs"
+        )
+    clean_orders: List[List[str]] = []
+    for order in orders:
+        if not isinstance(order, list) or not all(
+            isinstance(n, str) for n in order
+        ):
+            raise WireFormatError(f"malformed decode order: {order!r}")
+        clean_orders.append(list(order))
+    clean_probs: List[float] = []
+    for lp in log_probs:
+        if not isinstance(lp, (int, float)) or isinstance(lp, bool):
+            raise WireFormatError(f"malformed log-probability: {lp!r}")
+        clean_probs.append(float(lp))
+    return DecodeResponse(orders=clean_orders, log_probs=clean_probs)
+
+
+# ----------------------------------------------------------------------
+# schedules
+# ----------------------------------------------------------------------
+@dataclass
+class WireSchedule:
+    """A schedule detached from its graph object.
+
+    The wire carries stage indices in graph insertion order plus the
+    graph's fingerprint; :meth:`bind` re-attaches the schedule to a live
+    graph, refusing a graph whose fingerprint differs from the one the
+    schedule was computed for.
+    """
+
+    graph_fingerprint: str
+    num_stages: int
+    stages: List[int]
+
+    def bind(self, graph: ComputationalGraph) -> Schedule:
+        actual = graph_fingerprint(graph)
+        if actual != self.graph_fingerprint:
+            raise WireFormatError(
+                f"schedule was computed for graph {self.graph_fingerprint!r} "
+                f"but is being bound to {actual!r}"
+            )
+        names = graph.node_names
+        if len(names) != len(self.stages):
+            raise WireFormatError(
+                f"schedule carries {len(self.stages)} stage entries for a "
+                f"{len(names)}-node graph"
+            )
+        return Schedule(
+            graph, self.num_stages, dict(zip(names, self.stages))
+        )
+
+
+def encode_schedule(schedule: Schedule) -> bytes:
+    """Serialize ``schedule`` keyed by its graph's content fingerprint."""
+    return _frame(
+        KIND_SCHEDULE,
+        {
+            "fingerprint": graph_fingerprint(schedule.graph),
+            "num_stages": schedule.num_stages,
+            "stages": [
+                schedule.assignment[name]
+                for name in schedule.graph.node_names
+            ],
+        },
+    )
+
+
+def decode_schedule(data: bytes) -> WireSchedule:
+    """Inverse of :func:`encode_schedule`; bind with a live graph."""
+    payload = _unframe(data, KIND_SCHEDULE)
+    fingerprint = payload.get("fingerprint")
+    num_stages = payload.get("num_stages")
+    stages = payload.get("stages")
+    if (
+        not isinstance(fingerprint, str)
+        or not isinstance(num_stages, int)
+        or isinstance(num_stages, bool)
+        or not isinstance(stages, list)
+    ):
+        raise WireFormatError(
+            "schedule payload misses fingerprint/num_stages/stages"
+        )
+    if num_stages < 1:
+        raise WireFormatError(f"schedule declares {num_stages} stages")
+    clean: List[int] = []
+    for stage in stages:
+        if not isinstance(stage, int) or isinstance(stage, bool):
+            raise WireFormatError(f"malformed stage index: {stage!r}")
+        if not 0 <= stage < num_stages:
+            raise WireFormatError(
+                f"stage index {stage} outside [0, {num_stages})"
+            )
+        clean.append(stage)
+    return WireSchedule(
+        graph_fingerprint=fingerprint, num_stages=num_stages, stages=clean
+    )
+
+
+__all__ = [
+    "MAGIC",
+    "WIRE_VERSION",
+    "KIND_GRAPH",
+    "KIND_DECODE_REQUEST",
+    "KIND_DECODE_RESPONSE",
+    "KIND_SCHEDULE",
+    "KIND_OPTIONS",
+    "DecodeRequest",
+    "DecodeResponse",
+    "WireSchedule",
+    "encode_graph",
+    "decode_graph",
+    "encode_options",
+    "decode_options",
+    "encode_decode_request",
+    "decode_decode_request",
+    "encode_decode_response",
+    "decode_decode_response",
+    "encode_schedule",
+    "decode_schedule",
+]

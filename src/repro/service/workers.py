@@ -1,0 +1,812 @@
+"""Multiprocess policy decode: GIL-free workers behind the serving tier.
+
+The serving layer's hot loop — greedy pointer-network decoding — is pure
+numpy compute.  Python threads cannot parallelize it (the interpreter
+serializes the non-BLAS portions under the GIL), so a sharded service on
+an N-core host still decodes on roughly one core.  This module moves the
+decode into *processes*:
+
+:class:`DecodeWorkerPool`
+    A pool of spawn-safe worker processes.  Each worker loads the policy
+    weights **once** per published *weights epoch* (from a checkpoint the
+    pool writes via :mod:`repro.rl.checkpoints`), then serves decode
+    batches arriving as compact :mod:`repro.service.wire` payloads over
+    its own duplex pipe.  Per-worker pipes — not one shared queue — are
+    what makes crash recovery sound: a ``multiprocessing.Queue`` reader
+    blocked in ``get()`` *holds the queue's shared lock*, so killing it
+    would deadlock every surviving reader, whereas a killed pipe only
+    EOFs its own endpoint.  That EOF is also the crash detector: the
+    dead worker is respawned and its single in-flight task resubmitted
+    elsewhere.  :meth:`DecodeWorkerPool.close` honors one shared
+    deadline and fails still-pending submitters with exactly the
+    in-process service's ``ServiceError("service closed")``.
+
+:class:`WorkerDecodeScheduler`
+    A drop-in scheduler adapter: same ``schedule`` / ``schedule_batch``
+    interface and **bit-identical outputs** as the wrapped
+    :class:`~repro.rl.respect.RespectScheduler`, but the greedy decode
+    runs in the pool.  The ``rho`` packing and post-processing stay
+    in-process (they are cheap and graph-object bound).
+
+**Bit-identity as a checked invariant.**  The worker does not trust that
+it rebuilt the right scheduler: after loading a weights epoch it
+recomputes ``options_fingerprint()`` — which hashes the frozen float32
+inference weights, the embedding configuration and every packing option —
+and refuses to serve if it differs from the fingerprint recorded at
+publish time.  Every decode request additionally carries the sender's
+fingerprint, so a request can never silently run under the wrong weights
+(e.g. mid hot-swap).  Together with the float32 weight round-trip being
+lossless (f32 -> f64 sidecar load -> f32 cast), worker-decoded schedules
+are bit-identical to in-process ones by construction, not by luck.
+
+**Hot swap.**  :meth:`DecodeWorkerPool.publish_scheduler` assigns a fresh
+monotonically increasing *weights epoch* and persists the scheduler's
+frozen inference weights + decode configuration under it.  Requests are
+tagged with their epoch; a worker lazily reloads when it sees a tag newer
+(or older — rolling swaps may interleave) than what it has in memory, so
+``swap_scheduler`` / ``promote_challenger`` atomically retarget every
+worker without any worker-side coordination.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import shutil
+import tempfile
+import threading
+import time
+import weakref
+from collections import deque
+from dataclasses import dataclass
+from multiprocessing import connection
+from typing import Deque, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import DecodeWorkerError, SchedulingError, ServiceError
+from repro.graphs.dag import ComputationalGraph
+from repro.scheduling.postprocess import postprocess_schedule
+from repro.scheduling.schedule import ScheduleResult
+from repro.scheduling.sequence import normalize_stage_counts, pack_sequence
+from repro.service import wire
+from repro.utils.timing import Timer
+
+#: Maximum times one decode task is resubmitted after worker crashes
+#: before it fails with :class:`DecodeWorkerError`.
+_MAX_TASK_RETRIES = 3
+
+
+# ----------------------------------------------------------------------
+# worker process
+# ----------------------------------------------------------------------
+class _WorkerDecoder:
+    """One loaded weights epoch inside a worker process."""
+
+    def __init__(self, epoch: int, scheduler: object) -> None:
+        self.epoch = epoch
+        self.scheduler = scheduler
+
+    @classmethod
+    def load(cls, weights_dir: str, epoch: int) -> "_WorkerDecoder":
+        from repro.embedding.features import EmbeddingConfig
+        from repro.rl.checkpoints import load_checkpoint, read_metadata
+        from repro.rl.respect import RespectScheduler
+
+        name = f"epoch-{epoch}"
+        policy = load_checkpoint(weights_dir, name)
+        meta = read_metadata(weights_dir, name)
+        config = meta.get("decode_config")
+        if not isinstance(config, dict):
+            raise DecodeWorkerError(
+                f"checkpoint {name!r} carries no decode_config sidecar "
+                f"metadata; it was not written by DecodeWorkerPool."
+                f"publish_scheduler"
+            )
+        scheduler = RespectScheduler(
+            policy=policy,
+            embedding_config=EmbeddingConfig(**config["embedding"]),
+            budget_slack=config["budget_slack"],
+            enforce_siblings=config["enforce_siblings"],
+            constrain_topological=config["constrain_topological"],
+            use_vectorized_decode=config["use_vectorized_decode"],
+        )
+        expected = config.get("options_fingerprint")
+        actual = scheduler.options_fingerprint()
+        if expected is not None and actual != expected:
+            # The rebuilt scheduler would NOT produce bit-identical
+            # schedules (weight corruption, config drift, version skew).
+            # Refusing here is what turns bit-identity from an
+            # assumption into a checked invariant.
+            raise DecodeWorkerError(
+                f"rebuilt scheduler for weights epoch {epoch} fingerprints "
+                f"as {actual[:12]}... but {expected[:12]}... was published; "
+                f"refusing to serve non-identical decodes"
+            )
+        return cls(epoch, scheduler)
+
+    def decode(self, payload: bytes) -> bytes:
+        request = wire.decode_decode_request(payload)
+        fingerprint = self.scheduler.options_fingerprint()  # type: ignore[attr-defined]
+        if request.options_key is not None and request.options_key != fingerprint:
+            raise DecodeWorkerError(
+                f"decode request targets scheduler "
+                f"{request.options_key[:12]}... but weights epoch "
+                f"{self.epoch} holds {fingerprint[:12]}..."
+            )
+        queues, rollout, lengths = self.scheduler._decode_batch(  # type: ignore[attr-defined]
+            request.graphs
+        )
+        orders = [
+            queue.names_for(rollout.actions[b, : lengths[b]])
+            for b, queue in enumerate(queues)
+        ]
+        log_probs = [float(rollout.log_prob[b]) for b in range(len(queues))]
+        return wire.encode_decode_response(orders, log_probs)
+
+
+def _decode_worker_main(conn, weights_dir: str) -> None:
+    """Worker process entry point (module-level so ``spawn`` can import it).
+
+    Loops over ``(task_id, epoch, payload)`` tasks on its private duplex
+    pipe; a ``None`` sentinel (or the parent closing the pipe) shuts the
+    worker down.  Weights are loaded lazily per epoch and kept until a
+    task tags a different epoch (hot swap).  Any per-task failure is
+    reported back as a string — the worker itself stays alive.
+    """
+    decoder: Optional[_WorkerDecoder] = None
+    while True:
+        try:
+            task = conn.recv()
+        except (EOFError, OSError):
+            return
+        if task is None:
+            return
+        task_id, epoch, payload = task
+        try:
+            if decoder is None or decoder.epoch != epoch:
+                decoder = _WorkerDecoder.load(weights_dir, epoch)
+            response = decoder.decode(payload)
+        except BaseException as exc:  # report, never die on a bad task
+            conn.send((task_id, f"{type(exc).__name__}: {exc}", None))
+            continue
+        conn.send((task_id, None, response))
+
+
+# ----------------------------------------------------------------------
+# pool
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class DecodePoolStats:
+    """Counters of a :class:`DecodeWorkerPool`."""
+
+    num_workers: int
+    start_method: str
+    #: Latest published weights epoch (0 = nothing published yet).
+    epoch: int
+    #: Successfully completed decode batches.
+    decodes: int
+    #: Worker processes respawned after a crash.
+    respawns: int
+    #: Submitted batches still awaiting a result.
+    pending: int
+    started: bool
+    closed: bool
+
+
+class _PendingDecode:
+    """One submitted batch awaiting its worker result."""
+
+    __slots__ = ("event", "payload", "epoch", "response", "error", "resubmits")
+
+    def __init__(self, payload: bytes, epoch: int) -> None:
+        self.event = threading.Event()
+        self.payload = payload
+        self.epoch = epoch
+        self.response: Optional[bytes] = None
+        self.error: Optional[BaseException] = None
+        self.resubmits = 0
+
+
+class _Worker:
+    """One worker process plus the parent's end of its private pipe."""
+
+    __slots__ = ("process", "conn", "inflight")
+
+    def __init__(self, process, conn) -> None:
+        self.process = process
+        self.conn = conn
+        #: Task id currently decoding in this worker (None = idle).
+        self.inflight: Optional[int] = None
+
+
+class DecodeWorkerPool:
+    """Spawn-safe decode worker processes, each behind a private pipe.
+
+    Parameters
+    ----------
+    num_workers:
+        Worker process count (>= 1).
+    start_method:
+        ``multiprocessing`` start method; ``"spawn"`` (the default) is
+        the only method that is safe everywhere — forking a process that
+        holds service locks and live threads is not.
+    max_task_retries:
+        How many worker crashes one task survives (via resubmission)
+        before failing with :class:`DecodeWorkerError`.
+
+    Workers start lazily on the first :meth:`submit`, so constructing a
+    pool (e.g. for a service that may never see respect traffic) costs
+    only a temp directory.  Weights travel through that directory as
+    :mod:`repro.rl.checkpoints` artifacts — content-validated files, not
+    pickled live objects — which is what makes ``spawn`` workers cheap to
+    retarget and safe to respawn.
+    """
+
+    def __init__(
+        self,
+        num_workers: int = 2,
+        *,
+        start_method: str = "spawn",
+        max_task_retries: int = _MAX_TASK_RETRIES,
+    ) -> None:
+        if num_workers < 1:
+            raise ServiceError(f"num_workers must be >= 1, got {num_workers}")
+        if max_task_retries < 0:
+            raise ServiceError(
+                f"max_task_retries must be >= 0, got {max_task_retries}"
+            )
+        self.num_workers = num_workers
+        self.start_method = start_method
+        self.max_task_retries = max_task_retries
+        self._ctx = multiprocessing.get_context(start_method)
+        self._weights_dir = tempfile.mkdtemp(prefix="respect-decode-pool-")
+        self._lock = threading.Lock()
+        self._tasks: Dict[int, _PendingDecode] = {}
+        self._task_counter = 0
+        self._epoch = 0
+        self._decodes = 0
+        self._respawns = 0
+        self._started = False
+        self._closed = False
+        self._workers: List[_Worker] = []
+        #: Task ids accepted but not yet dispatched to an idle worker.
+        self._backlog: Deque[int] = deque()
+        self._collector: Optional[threading.Thread] = None
+        # Reclaim the weights directory even if close() is never called.
+        self._weights_finalizer = weakref.finalize(
+            self, shutil.rmtree, self._weights_dir, True
+        )
+
+    # ------------------------------------------------------------------
+    # publishing weights epochs
+    # ------------------------------------------------------------------
+    def publish_scheduler(self, scheduler: object) -> int:
+        """Persist ``scheduler``'s decode state under a new weights epoch.
+
+        Saves the scheduler's frozen inference policy plus its
+        ``decode_config()`` (embedding/packing options and the published
+        ``options_fingerprint``) as a checkpoint in the pool's weights
+        directory, and returns the epoch token to tag decode requests
+        with.  Workers retarget lazily: the first task tagged with the
+        new epoch makes its worker reload — no pause, no coordination.
+        """
+        from repro.rl.checkpoints import checkpoint_metadata, save_checkpoint
+
+        policy = getattr(scheduler, "inference_policy", None)
+        if policy is None:
+            policy = getattr(scheduler, "policy", None)
+        if policy is None:
+            raise ServiceError(
+                f"{type(scheduler).__name__} exposes no inference_policy/"
+                f"policy to publish"
+            )
+        if not callable(getattr(scheduler, "decode_config", None)):
+            raise ServiceError(
+                f"{type(scheduler).__name__} exposes no decode_config(); "
+                f"only RESPECT-style schedulers can run in decode workers"
+            )
+        config = scheduler.decode_config()  # type: ignore[attr-defined]
+        with self._lock:
+            if self._closed:
+                raise ServiceError("decode worker pool is closed")
+            self._epoch += 1
+            epoch = self._epoch
+            name = f"epoch-{epoch}"
+            meta = checkpoint_metadata(
+                policy, name, source="repro.service.workers"
+            )
+            meta["decode_config"] = config
+            # Saved under the lock so the epoch is fully on disk before
+            # any submit can observe it as the latest.
+            save_checkpoint(policy, self._weights_dir, name, metadata=meta)
+        return epoch
+
+    @property
+    def epoch(self) -> int:
+        """Latest published weights epoch (0 until the first publish)."""
+        with self._lock:
+            return self._epoch
+
+    # ------------------------------------------------------------------
+    # serving
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        payload: bytes,
+        epoch: Optional[int] = None,
+        timeout: Optional[float] = None,
+    ) -> bytes:
+        """Decode one wire-format batch in a worker; returns wire bytes.
+
+        ``epoch`` selects the weights (default: latest published).
+        Blocks until the result arrives; raises
+        :class:`DecodeWorkerError` on worker-side failure or timeout and
+        ``ServiceError("service closed")`` when the pool closes while the
+        request is in flight.
+        """
+        with self._lock:
+            if self._closed:
+                raise ServiceError("decode worker pool is closed")
+            if self._epoch == 0:
+                raise ServiceError(
+                    "no scheduler published; call publish_scheduler() first"
+                )
+            if epoch is None:
+                epoch = self._epoch
+            elif epoch < 1 or epoch > self._epoch:
+                raise ServiceError(
+                    f"unknown weights epoch {epoch}; published epochs are "
+                    f"1..{self._epoch}"
+                )
+            self._ensure_started_locked()
+            self._task_counter += 1
+            task_id = self._task_counter
+            pending = _PendingDecode(payload, epoch)
+            self._tasks[task_id] = pending
+            self._backlog.append(task_id)
+            self._dispatch_locked()
+        if not pending.event.wait(timeout):
+            with self._lock:
+                self._tasks.pop(task_id, None)
+            raise DecodeWorkerError(
+                f"decode did not complete within {timeout}s"
+            )
+        if pending.error is not None:
+            raise pending.error
+        assert pending.response is not None
+        return pending.response
+
+    def _ensure_started_locked(self) -> None:
+        if self._started:
+            return
+        for index in range(self.num_workers):
+            self._workers.append(self._spawn_worker_locked(index))
+        self._collector = threading.Thread(
+            target=self._collect_loop,
+            name="respect-decode-collector",
+            daemon=True,
+        )
+        self._collector.start()
+        self._started = True
+
+    def _spawn_worker_locked(self, index: int) -> _Worker:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=_decode_worker_main,
+            args=(child_conn, self._weights_dir),
+            name=f"respect-decode-worker-{index}",
+            daemon=True,
+        )
+        process.start()
+        # Drop the parent's copy of the child end so a worker death
+        # surfaces as EOF on parent_conn — that EOF *is* crash detection.
+        child_conn.close()
+        return _Worker(process, parent_conn)
+
+    # ------------------------------------------------------------------
+    # dispatch + result collection + crash recovery
+    # ------------------------------------------------------------------
+    def _dispatch_locked(self) -> None:
+        """Hand backlog tasks to idle workers (callers hold the lock).
+
+        At most one task is in flight per worker, and only an *idle*
+        worker — one blocked in ``recv`` — is sent to, so ``send`` can
+        never deadlock on a full pipe.  Runs from ``submit`` (new task),
+        the collector (a worker just went idle) and crash recovery (a
+        resubmitted task needs a new home).
+        """
+        if self._closed:
+            return
+        idle = [
+            worker
+            for worker in self._workers
+            if worker.inflight is None and worker.process.is_alive()
+        ]
+        for worker in idle:
+            task_id = None
+            while self._backlog:
+                candidate = self._backlog.popleft()
+                if candidate in self._tasks:  # not timed out / failed
+                    task_id = candidate
+                    break
+            if task_id is None:
+                return
+            pending = self._tasks[task_id]
+            try:
+                worker.conn.send((task_id, pending.epoch, pending.payload))
+            except (OSError, ValueError, BrokenPipeError):
+                # The worker died between is_alive() and send(); its
+                # EOF will reach the collector, which respawns it and
+                # finds this task via ``inflight``.
+                worker.inflight = task_id
+                continue
+            worker.inflight = task_id
+
+    def _collect_loop(self) -> None:
+        while True:
+            with self._lock:
+                if self._closed:
+                    return
+                conns = {worker.conn: worker for worker in self._workers}
+            try:
+                ready = connection.wait(list(conns), timeout=0.2)
+            except OSError:
+                ready = []
+            for conn in ready:
+                worker = conns[conn]
+                try:
+                    item = conn.recv()
+                except (EOFError, OSError):
+                    self._reap_and_respawn(worker)
+                    continue
+                self._complete(worker, item)
+            with self._lock:
+                if self._closed:
+                    return
+                self._dispatch_locked()
+
+    def _complete(self, worker: _Worker, item) -> None:
+        task_id, error, response = item
+        with self._lock:
+            if worker.inflight == task_id:
+                worker.inflight = None
+            pending = self._tasks.pop(task_id, None)
+            if pending is None:
+                # The waiter is gone (timed out or failed at close).
+                return
+            self._decodes += 1
+        if error is not None:
+            pending.error = DecodeWorkerError(
+                f"decode worker failed: {error}"
+            )
+        else:
+            pending.response = response
+        pending.event.set()
+
+    def _reap_and_respawn(self, worker: _Worker) -> None:
+        """Replace one dead worker; resubmit (or fail) its in-flight task.
+
+        Per-worker pipes make the lost work precisely attributable: only
+        the task the dead worker was decoding is affected.  Each
+        resubmission burns one retry, so a task surviving
+        ``max_task_retries`` crashes fails loudly instead of looping
+        forever.
+        """
+        failed: Optional[_PendingDecode] = None
+        with self._lock:
+            if self._closed or worker not in self._workers:
+                return
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+            worker.process.join(0.2)
+            index = self._workers.index(worker)
+            self._respawns += 1
+            self._workers[index] = self._spawn_worker_locked(index)
+            task_id = worker.inflight
+            if task_id is not None and task_id in self._tasks:
+                pending = self._tasks[task_id]
+                pending.resubmits += 1
+                if pending.resubmits > self.max_task_retries:
+                    del self._tasks[task_id]
+                    failed = pending
+                else:
+                    self._backlog.appendleft(task_id)
+            self._dispatch_locked()
+        if failed is not None:
+            failed.error = DecodeWorkerError(
+                f"decode task abandoned after {self.max_task_retries} "
+                f"worker crashes"
+            )
+            failed.event.set()
+
+    # ------------------------------------------------------------------
+    # stats / lifecycle
+    # ------------------------------------------------------------------
+    def stats(self) -> DecodePoolStats:
+        with self._lock:
+            return DecodePoolStats(
+                num_workers=self.num_workers,
+                start_method=self.start_method,
+                epoch=self._epoch,
+                decodes=self._decodes,
+                respawns=self._respawns,
+                pending=len(self._tasks),
+                started=self._started,
+                closed=self._closed,
+            )
+
+    def close(self, timeout: Optional[float] = 10.0) -> None:
+        """Shut down workers; fail pending submitters; reclaim weights.
+
+        Idempotent.  ``timeout`` is one shared deadline for the whole
+        pool (mirroring :meth:`SchedulingService.close`): worker joins
+        consume a common budget, stragglers past it are terminated, then
+        killed.  Threads still waiting in :meth:`submit` raise exactly
+        ``ServiceError("service closed")`` — the same exception the
+        in-process service uses to fail its pending futures.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            started = self._started
+            pending = list(self._tasks.values())
+            self._tasks.clear()
+        for item in pending:
+            item.error = ServiceError("service closed")
+            item.event.set()
+        deadline = None if timeout is None else time.monotonic() + timeout
+        if started:
+            # The collector polls at 0.2s; joining it first means no
+            # thread but this one touches the pipes below.
+            if self._collector is not None:
+                remaining = (
+                    1.0
+                    if deadline is None
+                    else max(0.3, deadline - time.monotonic())
+                )
+                self._collector.join(remaining)
+            for worker in self._workers:
+                try:
+                    worker.conn.send(None)
+                except (OSError, ValueError):
+                    pass
+            for worker in self._workers:
+                remaining = (
+                    None
+                    if deadline is None
+                    else max(0.0, deadline - time.monotonic())
+                )
+                worker.process.join(remaining)
+                if worker.process.is_alive():
+                    worker.process.terminate()
+                    worker.process.join(0.2)
+                if worker.process.is_alive():
+                    worker.process.kill()
+                    worker.process.join(0.2)
+                try:
+                    worker.conn.close()
+                except OSError:
+                    pass
+        self._weights_finalizer()
+
+    def __enter__(self) -> "DecodeWorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# scheduler adapter
+# ----------------------------------------------------------------------
+def supports_worker_decode(scheduler: object) -> bool:
+    """Can ``scheduler`` run its decode in a :class:`DecodeWorkerPool`?
+
+    True only for RESPECT-style schedulers: a frozen
+    ``inference_policy``, an ``embedding_config``, packing options and a
+    weight-covering ``options_fingerprint()`` / ``decode_config()`` pair.
+    Heuristic baselines (and already-wrapped adapters) return False, so
+    callers can unconditionally attempt wrapping and fall back to
+    in-process serving.
+    """
+    if isinstance(scheduler, WorkerDecodeScheduler):
+        return False
+    from repro.rl.ptrnet import PointerNetworkPolicy
+
+    policy = getattr(scheduler, "inference_policy", None)
+    if not isinstance(policy, PointerNetworkPolicy):
+        return False
+    if getattr(scheduler, "embedding_config", None) is None:
+        return False
+    if not callable(getattr(scheduler, "options_fingerprint", None)):
+        return False
+    if not callable(getattr(scheduler, "decode_config", None)):
+        return False
+    return all(
+        hasattr(scheduler, attr)
+        for attr in (
+            "budget_slack",
+            "enforce_siblings",
+            "constrain_topological",
+        )
+    )
+
+
+def unwrap_scheduler(scheduler: object) -> object:
+    """The in-process scheduler behind ``scheduler``.
+
+    Sees through a :class:`WorkerDecodeScheduler` (``__getattr__``
+    delegation covers attribute reads, but not ``isinstance`` checks —
+    the online-adaptation loop's champion checks go through here);
+    anything else is returned unchanged.
+    """
+    if isinstance(scheduler, WorkerDecodeScheduler):
+        return scheduler.inner
+    return scheduler
+
+
+class WorkerDecodeScheduler:
+    """Scheduler adapter routing the greedy decode through a worker pool.
+
+    Wraps a :class:`~repro.rl.respect.RespectScheduler` (``inner``) whose
+    weights were published to ``pool`` as ``epoch``.  ``schedule`` /
+    ``schedule_batch`` serialize the graphs to wire format, decode in a
+    worker process, then pack and post-process *in-process* with the
+    inner scheduler's exact options — so results are bit-identical to
+    calling the inner scheduler directly (the worker checks this, see
+    the module docstring).
+
+    ``options_fingerprint()`` delegates to the inner scheduler: cache
+    keys are unchanged by where the decode runs, which is precisely the
+    bit-identity contract.  Unknown attributes delegate too, so code
+    reading ``service.scheduler.policy`` (e.g. the online-adaptation
+    loop) sees through the adapter.
+    """
+
+    def __init__(
+        self, inner: object, pool: DecodeWorkerPool, epoch: int
+    ) -> None:
+        self._inner = inner
+        self._pool = pool
+        self._epoch = epoch
+
+    # -- transparency --------------------------------------------------
+    @property
+    def inner(self) -> object:
+        """The wrapped in-process scheduler."""
+        return self._inner
+
+    @property
+    def pool(self) -> DecodeWorkerPool:
+        return self._pool
+
+    @property
+    def epoch(self) -> int:
+        """The weights epoch this adapter tags its decode requests with."""
+        return self._epoch
+
+    @property
+    def method_name(self) -> str:
+        return self._inner.method_name  # type: ignore[attr-defined]
+
+    def options_fingerprint(self) -> str:
+        return self._inner.options_fingerprint()  # type: ignore[attr-defined]
+
+    def __getattr__(self, name: str):
+        return getattr(self._inner, name)
+
+    # -- decoding ------------------------------------------------------
+    def _decode_remote(
+        self, graphs: Sequence[ComputationalGraph]
+    ) -> Tuple[List[List[str]], List[float]]:
+        payload = wire.encode_decode_request(
+            graphs, options_key=self.options_fingerprint()
+        )
+        raw = self._pool.submit(payload, epoch=self._epoch)
+        response = wire.decode_decode_response(raw)
+        if len(response.orders) != len(graphs):
+            raise DecodeWorkerError(
+                f"worker returned {len(response.orders)} orders for "
+                f"{len(graphs)} graphs"
+            )
+        return response.orders, response.log_probs
+
+    def decode_orders(
+        self, graphs: Sequence[ComputationalGraph]
+    ) -> List[List[str]]:
+        """Worker-side counterpart of ``RespectScheduler.decode_orders``."""
+        graphs = list(graphs)
+        if not graphs:
+            return []
+        orders, _ = self._decode_remote(graphs)
+        return orders
+
+    # -- scheduler interface -------------------------------------------
+    def schedule(
+        self, graph: ComputationalGraph, num_stages: int
+    ) -> ScheduleResult:
+        """Bit-identical to ``inner.schedule`` with a worker-side decode."""
+        if num_stages < 1:
+            raise SchedulingError("num_stages must be at least 1")
+        inner = self._inner
+        with Timer() as timer:
+            orders, log_probs = self._decode_remote([graph])
+            raw = pack_sequence(
+                graph,
+                orders[0],
+                num_stages,
+                budget_slack=inner.budget_slack,  # type: ignore[attr-defined]
+            )
+            violations = len(raw.dependency_violations())
+            schedule = postprocess_schedule(
+                raw,
+                enforce_siblings=inner.enforce_siblings,  # type: ignore[attr-defined]
+            )
+        return ScheduleResult(
+            schedule=schedule,
+            solve_time=timer.elapsed,
+            method=self.method_name,
+            status="inference",
+            extras={
+                "repaired_violations": violations,
+                "log_prob": log_probs[0],
+                "worker_decode": True,
+            },
+        )
+
+    def schedule_batch(
+        self,
+        graphs: Sequence[ComputationalGraph],
+        num_stages: Union[int, Sequence[int]],
+    ) -> List[ScheduleResult]:
+        """Bit-identical to ``inner.schedule_batch`` (one worker decode)."""
+        graphs = list(graphs)
+        stage_counts = normalize_stage_counts(num_stages, len(graphs))
+        if not graphs:
+            return []
+        inner = self._inner
+        with Timer() as timer:
+            orders, log_probs = self._decode_remote(graphs)
+            schedules = []
+            violations = []
+            for b, graph in enumerate(graphs):
+                raw = pack_sequence(
+                    graph,
+                    orders[b],
+                    stage_counts[b],
+                    budget_slack=inner.budget_slack,  # type: ignore[attr-defined]
+                )
+                violations.append(len(raw.dependency_violations()))
+                schedules.append(
+                    postprocess_schedule(
+                        raw,
+                        enforce_siblings=inner.enforce_siblings,  # type: ignore[attr-defined]
+                    )
+                )
+        amortized = timer.elapsed / len(graphs)
+        return [
+            ScheduleResult(
+                schedule=schedules[b],
+                solve_time=amortized,
+                method=self.method_name,
+                status="inference",
+                extras={
+                    "repaired_violations": violations[b],
+                    "log_prob": log_probs[b],
+                    "batch_size": len(graphs),
+                    "batch_seconds": timer.elapsed,
+                    "worker_decode": True,
+                },
+            )
+            for b in range(len(graphs))
+        ]
+
+
+__all__ = [
+    "DecodePoolStats",
+    "DecodeWorkerPool",
+    "WorkerDecodeScheduler",
+    "supports_worker_decode",
+    "unwrap_scheduler",
+]
