@@ -48,6 +48,20 @@ OPTIONAL_FIELDS = ("host",)
 #: JSON-native leaf types allowed inside ``metrics``.
 _METRIC_LEAVES = (bool, int, float, str, type(None))
 
+#: Per-bench required metric fields: benches listed here must carry
+#: these keys as finite numbers in ``metrics``.  Keeps load-bearing
+#: artifacts (ones whose numbers gate acceptance criteria) from
+#: silently dropping the fields tooling tracks across PRs.
+BENCH_REQUIRED_METRICS = {
+    "schedule_store": (
+        "cold_first_n_s",
+        "warm_first_n_s",
+        "warm_speedup",
+        "num_requests",
+        "restored_entries",
+    ),
+}
+
 
 def _metric_value_errors(name: str, value: object) -> List[str]:
     """Validate one metrics entry (nested containers allowed)."""
@@ -110,6 +124,22 @@ def validate_bench_file(path: Path) -> List[str]:
         else:
             for name, value in metrics.items():
                 errors.extend(_metric_value_errors(name, value))
+            required = BENCH_REQUIRED_METRICS.get(
+                bench if isinstance(bench, str) else "", ()
+            )
+            for name in required:
+                value = metrics.get(name)
+                if name not in metrics:
+                    errors.append(
+                        f"bench {bench!r} requires metric {name!r}"
+                    )
+                elif isinstance(value, bool) or not isinstance(
+                    value, (int, float)
+                ):
+                    errors.append(
+                        f"required metric {name!r} must be a number, "
+                        f"got {value!r}"
+                    )
 
     if "git_rev" in payload:
         git_rev = payload["git_rev"]

@@ -182,6 +182,7 @@ def build_fleet(
     service: Optional[object] = None,
     num_shards: int = 1,
     decode_workers: int = 0,
+    store_dir: Optional[str] = None,
 ) -> Fleet:
     """Compile every model onto every replica through one shared service.
 
@@ -197,6 +198,15 @@ def build_fleet(
     ``service`` may be either kind (``num_shards`` and
     ``decode_workers`` are ignored for it — configure them on the
     service you pass).
+
+    With ``store_dir=`` the owned tier mounts a persistent
+    :class:`~repro.service.DiskScheduleStore` at that directory (see
+    :class:`~repro.service.SchedulingService`), so fleet builds reuse
+    schedules **across process restarts**, not just within one build —
+    rebuilding an unchanged catalog is pure cache hits with zero solver
+    invocations, and ``build_stats`` counts the disk hits as reuse.
+    Ignored when an explicit ``service`` is passed (persist by
+    constructing that service with its own ``store_dir=``).
 
     Schedules depend only on ``(graph, num_stages, scheduler options)``,
     so replicas sharing a stage count are answered from the serving
@@ -233,10 +243,13 @@ def build_fleet(
                 scheduler,
                 num_shards=num_shards,
                 decode_workers=decode_workers,
+                store_dir=store_dir,
             )
         else:
             service = SchedulingService(
-                scheduler, decode_workers=decode_workers
+                scheduler,
+                decode_workers=decode_workers,
+                store_dir=store_dir,
             )
     try:
         requests = 0

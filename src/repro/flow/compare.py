@@ -355,6 +355,7 @@ def serve_methods(
     max_queue_depth: int = 64,
     admission: str = "block",
     decode_workers: int = 0,
+    store_dir: Optional[str] = None,
 ) -> Dict[str, SchedulerFactory]:
     """Route a method dict through the scheduling service layer.
 
@@ -389,21 +390,55 @@ def serve_methods(
     services explicitly (``with make() as service:``) so the worker
     processes are reaped promptly rather than at interpreter exit.
 
+    With ``store_dir=`` the per-method caches become **persistent**: one
+    shared :class:`~repro.service.DiskScheduleStore` is opened at that
+    directory and each method's cache (each *shard's* cache when
+    sharded) is a tiered store over its own namespace in it —
+    ``"<method>"`` for single-shard methods, ``"<method>/shard-<i>"``
+    for sharded ones.  A later :func:`serve_methods` call (or process)
+    over the same directory warm-starts: graphs any previous run solved
+    are served from disk without touching the solver, bit-identically.
+    Each returned factory exposes the store as ``schedule_store``
+    (snapshot it explicitly at good cut points; it is also snapshotted
+    when garbage-collected, and appends are flushed as they happen).
+
     Each returned factory additionally exposes ``service_stats()`` —
     aggregated over all services it created — which
     :func:`served_method_stats` collects into per-method cache hit rates
     and mean micro-batch sizes.
     """
     from repro.service import (
+        DiskScheduleStore,
         ScheduleCache,
         SchedulingService,
         ShardedSchedulingService,
+        TieredScheduleStore,
+    )
+
+    shared_store = (
+        DiskScheduleStore(store_dir) if store_dir is not None else None
     )
 
     def wrap(name: str, factory: SchedulerFactory) -> SchedulerFactory:
-        shared_caches = [
-            ScheduleCache(cache_capacity) for _ in range(max(1, num_shards))
-        ]
+        if shared_store is None:
+            shared_caches: List[object] = [
+                ScheduleCache(cache_capacity) for _ in range(max(1, num_shards))
+            ]
+        elif num_shards > 1:
+            shared_caches = [
+                TieredScheduleStore(
+                    disk=shared_store.namespace(f"{name}/shard-{i}"),
+                    memory_capacity=cache_capacity,
+                )
+                for i in range(num_shards)
+            ]
+        else:
+            shared_caches = [
+                TieredScheduleStore(
+                    disk=shared_store.namespace(name),
+                    memory_capacity=cache_capacity,
+                )
+            ]
         shared_cache = shared_caches[0]
         # Created services are handed out behind `_ServedService` façades
         # tracked only weakly, so a long-lived served dict does not keep
@@ -477,6 +512,7 @@ def serve_methods(
             )
 
         make.service_stats = service_stats  # type: ignore[attr-defined]
+        make.schedule_store = shared_store  # type: ignore[attr-defined]
         return make
 
     return {name: wrap(name, factory) for name, factory in methods.items()}

@@ -192,7 +192,12 @@ def promote_challenger(
     contract: no request is ever served a torn mix of two policies, and
     requests submitted after the swap returns run the challenger on
     every shard).  With ``invalidate_cache=True`` the retired champion's
-    cache entries are evicted eagerly from every shard's cache.
+    cache entries are evicted eagerly from every shard's cache — and
+    when the service mounts a persistent schedule store (``store=`` /
+    ``store_dir=``), the eviction reaches **every tier**: the store
+    appends durable tombstones and its index is snapshotted here, so a
+    process restarted over the same store directory can never serve a
+    schedule solved by the retired champion.
     """
     from repro.service.workers import unwrap_scheduler
 
@@ -223,6 +228,11 @@ def promote_challenger(
     invalidated = (
         service.invalidate_options(old_key) if invalidate_cache else 0
     )
+    if invalidate_cache and getattr(service, "schedule_store", None) is not None:
+        # The tombstones the invalidation appended are already flushed;
+        # the snapshot additionally fsyncs them and spares the next boot
+        # a segment replay — promotion is a natural durability point.
+        service.snapshot()
     return PromotionRecord(
         checkpoint_name=checkpoint_name,
         checkpoint_path=path,

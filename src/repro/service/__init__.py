@@ -19,6 +19,13 @@ Both tiers optionally run the policy decode **outside the GIL**: with
 a :class:`DecodeWorkerPool` of worker processes over the versioned
 :mod:`repro.service.wire` format, with bit-identical schedules,
 hot-swap propagation via weights epochs, and crash-respawned workers.
+
+And both tiers optionally **persist**: ``store_dir=`` stacks the LRU
+over a crash-safe, content-addressed :class:`DiskScheduleStore`
+(append-only segments of wire frames, provenance-tagged entries,
+durable tombstone invalidation) via :class:`TieredScheduleStore`, so a
+rebooted service serves previously solved graphs without re-solving —
+see :mod:`repro.service.store`.
 """
 
 from repro.service.cache import (
@@ -26,6 +33,13 @@ from repro.service.cache import (
     CacheKey,
     CacheStats,
     ScheduleCache,
+)
+from repro.service.store import (
+    DiskScheduleStore,
+    DiskStoreStats,
+    StoreNamespace,
+    TieredScheduleStore,
+    TieredStoreStats,
 )
 from repro.service.service import (
     SchedulingService,
@@ -52,11 +66,16 @@ __all__ = [
     "CacheStats",
     "DecodePoolStats",
     "DecodeWorkerPool",
+    "DiskScheduleStore",
+    "DiskStoreStats",
     "ScheduleCache",
     "SchedulingService",
     "ServiceStats",
     "ShardedSchedulingService",
     "ShardedServiceStats",
+    "StoreNamespace",
+    "TieredScheduleStore",
+    "TieredStoreStats",
     "WorkerDecodeScheduler",
     "build_hash_ring",
     "scheduler_options_key",

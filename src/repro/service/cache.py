@@ -39,6 +39,12 @@ class CachedSchedule:
     objective: float
     status: str
     solve_time: float
+    #: Who produced this schedule: the scheduler options fingerprint and
+    #: (when the decode ran in a worker pool) the published weights
+    #: epoch.  Carried into the persistent tier so a store directory can
+    #: be audited entry by entry; ``None`` for entries that predate the
+    #: provenance field.
+    provenance: Optional[Mapping[str, object]] = None
 
 
 @dataclass(frozen=True)
@@ -75,6 +81,11 @@ class ScheduleCache:
         self.capacity = capacity
         self._lock = threading.Lock()
         self._entries: "OrderedDict[CacheKey, CachedSchedule]" = OrderedDict()
+        #: Secondary index options_key -> keys cached under it, kept in
+        #: lockstep with ``_entries`` so ``invalidate_options`` touches
+        #: only the stale keys (O(stale)) instead of scanning the whole
+        #: cache under the lock on every hot-swap.
+        self._by_options: Dict[str, set] = {}
         self._hits = 0
         self._misses = 0
         self._evictions = 0
@@ -103,9 +114,19 @@ class ScheduleCache:
             if key in self._entries:
                 self._entries.move_to_end(key)
             self._entries[key] = value
+            self._by_options.setdefault(key[2], set()).add(key)
             while len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
+                evicted, _ = self._entries.popitem(last=False)
+                self._drop_from_options_index(evicted)
                 self._evictions += 1
+
+    def _drop_from_options_index(self, key: CacheKey) -> None:
+        # Caller holds self._lock.
+        keys = self._by_options.get(key[2])
+        if keys is not None:
+            keys.discard(key)
+            if not keys:
+                del self._by_options[key[2]]
 
     def __len__(self) -> int:
         with self._lock:
@@ -119,6 +140,7 @@ class ScheduleCache:
         """Drop every entry (counters are preserved)."""
         with self._lock:
             self._entries.clear()
+            self._by_options.clear()
 
     def invalidate_options(self, options_key: str) -> int:
         """Evict every entry keyed under ``options_key``; returns count.
@@ -128,15 +150,17 @@ class ScheduleCache:
         hot-swap replaces the policy behind a
         :class:`~repro.service.SchedulingService` — all entries solved
         under the old fingerprint become unreachable garbage.  This drops
-        them eagerly (O(n) scan; the cache is bounded) instead of waiting
-        for LRU pressure.  LRU order of the surviving entries is
-        untouched, and hit/miss counters are preserved.
+        them eagerly via the secondary ``options_key -> keys`` index, so
+        the time under the lock is O(stale entries), not O(cache size) —
+        a hot-swap on a full, busy cache evicts only what it retires.
+        LRU order of the surviving entries is untouched, and hit/miss
+        counters are preserved.
         """
         options_key = str(options_key)
         with self._lock:
-            stale = [
-                key for key in self._entries if key[2] == options_key
-            ]
+            stale = self._by_options.pop(options_key, None)
+            if not stale:
+                return 0
             for key in stale:
                 del self._entries[key]
             self._invalidations += len(stale)

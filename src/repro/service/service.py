@@ -70,6 +70,7 @@ from repro.service.cache import (
     CacheStats,
     ScheduleCache,
 )
+from repro.service.store import DEFAULT_NAMESPACE, mount_store
 from repro.utils.stats import percentile
 
 _LOGGER = logging.getLogger(__name__)
@@ -303,6 +304,24 @@ class SchedulingService(ServingFacade):
         A (possibly shared) :class:`ScheduleCache`; by default a private
         cache of ``cache_capacity`` entries is created.  Sharing is safe
         because keys embed the scheduler options fingerprint.
+    store:
+        A pre-built schedule store to mount instead of a bare cache: a
+        :class:`~repro.service.store.DiskScheduleStore` (one namespace
+        of it is stacked under a fresh LRU; the store stays
+        caller-owned) or any cache-protocol object such as a
+        :class:`~repro.service.store.TieredScheduleStore`.  Mutually
+        exclusive with ``cache`` and ``store_dir``.
+    store_dir:
+        Convenience: open (or create) a persistent
+        :class:`~repro.service.store.DiskScheduleStore` at this
+        directory and stack the in-memory LRU over it.  The service owns
+        the disk store and closes it in :meth:`close`; entries written
+        by previous processes over the same directory are served without
+        re-solving (warm start).
+    store_namespace:
+        Namespace inside the disk store for this service's entries
+        (default ``"default"``); the knob the sharded tier uses to give
+        each shard its own keyspace in one shared store.
     max_batch_size:
         Upper bound on requests aggregated into one scheduler batch.
     batch_window_s:
@@ -334,6 +353,9 @@ class SchedulingService(ServingFacade):
         batch_window_s: float = 0.002,
         decode_workers: int = 0,
         decode_pool: Optional[object] = None,
+        store: Optional[object] = None,
+        store_dir: Optional[str] = None,
+        store_namespace: str = DEFAULT_NAMESPACE,
     ) -> None:
         if not callable(getattr(scheduler, "schedule", None)):
             raise ServiceError(
@@ -356,6 +378,16 @@ class SchedulingService(ServingFacade):
                 "pass either decode_workers=N (service owns a pool) or "
                 "decode_pool= (shared), not both"
             )
+        # Mount the store before owning any decode pool so an invalid
+        # cache=/store=/store_dir= combination cannot leak worker
+        # processes; an owned disk store is closed by close().
+        self.cache, self._owned_store = mount_store(
+            store=store,
+            store_dir=store_dir,
+            cache=cache,
+            cache_capacity=cache_capacity,
+            namespace=store_namespace,
+        )
         self._owns_decode_pool = False
         if decode_workers > 0:
             from repro.service.workers import DecodeWorkerPool
@@ -368,7 +400,6 @@ class SchedulingService(ServingFacade):
         self.method_name = str(
             getattr(scheduler, "method_name", type(scheduler).__name__)
         )
-        self.cache = cache if cache is not None else ScheduleCache(cache_capacity)
         self.max_batch_size = max_batch_size
         self.batch_window_s = batch_window_s
         self._options_key = scheduler_options_key(scheduler)
@@ -580,6 +611,14 @@ class SchedulingService(ServingFacade):
         with self._cond:
             self._batches += 1
             self._scheduled_graphs += len(batch)
+        # Provenance carried into the persistent tier: which scheduler
+        # configuration produced these entries and (for pool-decoded
+        # schedulers) which published weights epoch — the audit trail
+        # behind durable promotion invalidation.
+        provenance: Dict[str, object] = {"options_fingerprint": options_key}
+        epoch = getattr(scheduler, "epoch", None)
+        if isinstance(epoch, int):
+            provenance["weights_epoch"] = epoch
         for request, result in zip(batch, results):
             result.extras.setdefault("cache_hit", False)
             result.extras.setdefault("service", method_name)
@@ -590,6 +629,7 @@ class SchedulingService(ServingFacade):
                 objective=result.objective,
                 status=result.status,
                 solve_time=result.solve_time,
+                provenance=provenance,
             )
             # Publish to the cache *before* retiring the in-flight entry
             # so a concurrent submit always finds the key in one of the
@@ -805,6 +845,41 @@ class SchedulingService(ServingFacade):
         """
         return self.cache.invalidate_options(options_key)
 
+    @property
+    def schedule_store(self):
+        """The persistent store behind this service (None when memory-only)."""
+        disk = getattr(self.cache, "disk", None)
+        return getattr(disk, "store", None)
+
+    def snapshot(self):
+        """Persist the mounted store's index (see ``DiskScheduleStore``).
+
+        Delegates to the mounted store's ``snapshot()``; raises
+        :class:`ServiceError` when the service runs on a purely
+        in-memory cache (nothing durable to snapshot).  Appends are
+        already flushed per put — a snapshot only bounds the replay a
+        reopen has to do and fsyncs the segment tail.
+        """
+        snapshot = getattr(self.cache, "snapshot", None)
+        if not callable(snapshot):
+            raise ServiceError(
+                "this service has no persistent schedule store to "
+                "snapshot (construct it with store= or store_dir=)"
+            )
+        return snapshot()
+
+    def restore(self, limit: Optional[int] = None) -> int:
+        """Warm the in-memory tier from the persistent one (see
+        :meth:`~repro.service.store.TieredScheduleStore.restore`).
+
+        Returns the number of preloaded entries; ``0`` when the service
+        has no persistent store (reads would not benefit).
+        """
+        restore = getattr(self.cache, "restore", None)
+        if not callable(restore):
+            return 0
+        return restore(limit)
+
     def close(self, timeout: Optional[float] = 10.0) -> None:
         """Stop accepting requests; drain what the worker can, fail the rest.
 
@@ -833,6 +908,10 @@ class SchedulingService(ServingFacade):
                 else max(0.0, deadline - time.monotonic())
             )
             self._decode_pool.close(timeout=remaining)
+        # An owned disk store is closed last (snapshots its index); a
+        # store passed in via store= stays caller-owned and open.
+        if self._owned_store is not None:
+            self._owned_store.close()
 
     def _fail_pending(self, exc: Exception) -> None:
         """Resolve every still-pending waiter with ``exc``.

@@ -69,6 +69,7 @@ from repro.graphs.fingerprint import graph_fingerprint
 from repro.scheduling.schedule import ScheduleResult
 from repro.scheduling.sequence import normalize_stage_counts
 from repro.service.cache import ScheduleCache
+from repro.service.store import DiskScheduleStore
 from repro.service.service import (
     SchedulingService,
     ServiceStats,
@@ -196,7 +197,26 @@ class ShardedSchedulingService(ServingFacade):
         Optional pre-built per-shard caches (``len == num_shards``) so a
         front tier can persist warm caches across service generations;
         by default each shard builds a private cache of
-        ``cache_capacity`` entries.
+        ``cache_capacity`` entries.  Mutually exclusive with
+        ``store``/``store_dir``.
+    store:
+        A shared :class:`~repro.service.store.DiskScheduleStore`: each
+        shard mounts a tiered store (private LRU over its own
+        ``shard-<i>`` namespace of this store).  The ring depends only
+        on ``num_shards``/``virtual_nodes``, so namespaces preserve
+        consistent-hash affinity across restarts — a reopened tier finds
+        each fingerprint's entries in exactly the namespace its shard
+        reads.  Stays caller-owned (not closed by :meth:`close`).
+    store_dir:
+        Convenience: open (or create) one persistent store at this
+        directory, owned by the tier and closed with it.  A tier
+        rebooted over the same directory serves previously solved
+        graphs without re-solving them.
+    store_namespace:
+        Optional prefix for the per-shard namespaces (the shard ``i``
+        namespace is ``"<prefix>/shard-<i>"``, or ``"shard-<i>"`` when
+        empty) — how multiple tiers (e.g. one per served method) share
+        one store directory without key collisions.
     cache_capacity / max_batch_size / batch_window_s:
         Forwarded to every shard's :class:`SchedulingService`.
     decode_workers:
@@ -230,6 +250,9 @@ class ShardedSchedulingService(ServingFacade):
         virtual_nodes: int = _VIRTUAL_NODES,
         decode_workers: int = 0,
         decode_pool: Optional[object] = None,
+        store: Optional[DiskScheduleStore] = None,
+        store_dir: Optional[str] = None,
+        store_namespace: str = "",
     ) -> None:
         if (scheduler is None) == (scheduler_factory is None):
             raise ServiceError(
@@ -251,6 +274,31 @@ class ShardedSchedulingService(ServingFacade):
                 f"caches must have one entry per shard: got {len(caches)} "
                 f"for {num_shards} shards"
             )
+        store_sources = [
+            name
+            for name, value in (
+                ("caches", caches),
+                ("store", store),
+                ("store_dir", store_dir),
+            )
+            if value is not None
+        ]
+        if len(store_sources) > 1:
+            raise ServiceError(
+                f"supply at most one of caches=/store=/store_dir=, got "
+                f"{'+'.join(store_sources)}"
+            )
+        self._owned_store: Optional[DiskScheduleStore] = None
+        if store_dir is not None:
+            store = DiskScheduleStore(store_dir)
+            self._owned_store = store
+        elif store is not None and not isinstance(store, DiskScheduleStore):
+            raise ServiceError(
+                "sharded store= must be a DiskScheduleStore (per-shard "
+                "namespaces are carved out of it)"
+            )
+        self._disk_store = store
+        self._store_namespace = str(store_namespace)
         if admission == "degrade":
             if fallback_scheduler is None:
                 from repro.scheduling.heuristics import ListScheduler
@@ -299,6 +347,8 @@ class ShardedSchedulingService(ServingFacade):
                     cache_capacity=cache_capacity,
                     max_batch_size=max_batch_size,
                     batch_window_s=batch_window_s,
+                    store=self._disk_store,
+                    store_namespace=self.shard_namespace(i),
                 )
             )
         self.shards: Tuple[SchedulingService, ...] = tuple(shards)
@@ -353,6 +403,44 @@ class ShardedSchedulingService(ServingFacade):
             WorkerDecodeScheduler(incoming, self._decode_pool, epoch),
             epoch,
         )
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def shard_namespace(self, shard_id: int) -> str:
+        """Persistent-store namespace of shard ``shard_id``.
+
+        Stable across restarts for a fixed tier shape, which is what
+        makes a reopened store warm: the ring (and thus each
+        fingerprint's shard) depends only on ``num_shards`` and
+        ``virtual_nodes``, and this mapping depends only on the shard id
+        and the configured prefix.
+        """
+        prefix = self._store_namespace
+        return f"{prefix}/shard-{shard_id}" if prefix else f"shard-{shard_id}"
+
+    @property
+    def schedule_store(self) -> Optional[DiskScheduleStore]:
+        """The persistent store behind the tier (None when memory-only)."""
+        return self._disk_store
+
+    def snapshot(self):
+        """Persist the shared store's index (raises when memory-only)."""
+        if self._disk_store is None:
+            raise ServiceError(
+                "this tier has no persistent schedule store to snapshot "
+                "(construct it with store= or store_dir=)"
+            )
+        return self._disk_store.snapshot()
+
+    def restore(self, limit: Optional[int] = None) -> int:
+        """Warm every shard's memory tier from the shared store.
+
+        ``limit`` bounds the preload *per shard* (default: each shard's
+        LRU capacity).  Returns the total number of preloaded entries;
+        ``0`` when the tier is memory-only.
+        """
+        return sum(shard.restore(limit) for shard in self.shards)
 
     # ------------------------------------------------------------------
     # routing
@@ -682,6 +770,11 @@ class ShardedSchedulingService(ServingFacade):
                 else max(0.0, deadline - time.monotonic())
             )
             self._decode_pool.close(timeout=remaining)
+        # The owned persistent store closes last, after every shard has
+        # stopped writing (its close snapshots the index); a store
+        # passed in via store= stays caller-owned and open.
+        if self._owned_store is not None:
+            self._owned_store.close()
 
 
 __all__ = [

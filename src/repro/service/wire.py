@@ -56,6 +56,8 @@ KIND_DECODE_REQUEST = 2
 KIND_DECODE_RESPONSE = 3
 KIND_SCHEDULE = 4
 KIND_OPTIONS = 5
+KIND_STORE_ENTRY = 6
+KIND_STORE_TOMBSTONE = 7
 
 _KIND_NAMES = {
     KIND_GRAPH: "graph",
@@ -63,10 +65,44 @@ _KIND_NAMES = {
     KIND_DECODE_RESPONSE: "decode-response",
     KIND_SCHEDULE: "schedule",
     KIND_OPTIONS: "options",
+    KIND_STORE_ENTRY: "store-entry",
+    KIND_STORE_TOMBSTONE: "store-tombstone",
 }
 
 #: magic, version, kind, payload length, crc32 of the payload.
 _HEADER = struct.Struct("<4sBBQI")
+
+#: Fixed byte length of every frame header (segment scanners need it to
+#: know how much to read before the payload length is known).
+HEADER_SIZE = _HEADER.size
+
+
+def frame_info(header: bytes) -> Tuple[int, int]:
+    """Parse a frame header prefix into ``(kind, total_frame_length)``.
+
+    Validates the magic and version (so a scanner positioned on foreign
+    or wrong-build bytes fails here instead of mis-reading a length) but
+    *not* the payload checksum — the payload usually has not been read
+    yet.  ``total_frame_length`` includes the header itself.
+    """
+    if isinstance(header, (bytearray, memoryview)):
+        header = bytes(header)
+    if len(header) < HEADER_SIZE:
+        raise WireFormatError(
+            f"truncated frame: {len(header)} bytes, header alone needs "
+            f"{HEADER_SIZE}"
+        )
+    magic, version, kind, length, _ = _HEADER.unpack_from(header)
+    if magic != MAGIC:
+        raise WireFormatError(
+            f"bad magic {magic!r}: not a RESPECT wire payload"
+        )
+    if version != WIRE_VERSION:
+        raise WireFormatError(
+            f"unsupported wire version {version}; this build speaks "
+            f"version {WIRE_VERSION}"
+        )
+    return kind, HEADER_SIZE + length
 
 
 # ----------------------------------------------------------------------
@@ -564,16 +600,182 @@ def decode_schedule(data: bytes) -> WireSchedule:
     )
 
 
+# ----------------------------------------------------------------------
+# schedule-store entries / tombstones
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class StoreEntryRecord:
+    """One persisted schedule: its store key plus the cached payload.
+
+    The on-disk twin of a :class:`~repro.service.cache.CachedSchedule`
+    under its cache key, extended with the ``namespace`` that scopes it
+    (per-shard / per-method isolation inside one store) and provenance
+    (the scheduler ``options_fingerprint`` that produced it — redundant
+    with the key on purpose, so a corrupted key can never alias a
+    foreign payload — plus the decode-pool weights epoch when known).
+    """
+
+    namespace: str
+    fingerprint: str
+    num_stages: int
+    options_key: str
+    assignment: Dict[str, int]
+    method: str
+    objective: float
+    status: str
+    solve_time: float
+    provenance: Optional[Dict[str, object]] = None
+
+
+@dataclass(frozen=True)
+class StoreTombstoneRecord:
+    """A durable invalidation: kills all *earlier* entries it matches.
+
+    Appended when a scheduler configuration is retired (most prominently
+    by ``promote_challenger``): replaying a segment sequence applies
+    entries and tombstones in append order, so entries written under
+    ``options_key`` *before* the tombstone are dropped while entries a
+    later scheduler generation re-publishes under the same key survive.
+    """
+
+    namespace: str
+    options_key: str
+
+
+def encode_store_entry(record: StoreEntryRecord) -> bytes:
+    """Serialize one schedule-store entry frame."""
+    assignment = dict(record.assignment)
+    for node, stage in assignment.items():
+        if not isinstance(node, str):
+            raise WireFormatError(
+                f"store entry assignment key {node!r} is not a node name"
+            )
+        if not isinstance(stage, int) or isinstance(stage, bool):
+            raise WireFormatError(
+                f"store entry assignment stage {stage!r} is not an int"
+            )
+    return _frame(
+        KIND_STORE_ENTRY,
+        {
+            "namespace": record.namespace,
+            "fingerprint": record.fingerprint,
+            "num_stages": record.num_stages,
+            "options_key": record.options_key,
+            "assignment": [[k, v] for k, v in assignment.items()],
+            "method": record.method,
+            "objective": record.objective,
+            "status": record.status,
+            "solve_time": record.solve_time,
+            "provenance": (
+                None
+                if record.provenance is None
+                else _encode_value(dict(record.provenance), "store entry provenance")
+            ),
+        },
+    )
+
+
+def decode_store_entry(data: bytes) -> StoreEntryRecord:
+    """Inverse of :func:`encode_store_entry`, fully validated."""
+    payload = _unframe(data, KIND_STORE_ENTRY)
+    namespace = payload.get("namespace")
+    fingerprint = payload.get("fingerprint")
+    num_stages = payload.get("num_stages")
+    options_key = payload.get("options_key")
+    assignment = payload.get("assignment")
+    method = payload.get("method")
+    objective = payload.get("objective")
+    status = payload.get("status")
+    solve_time = payload.get("solve_time")
+    if (
+        not isinstance(namespace, str)
+        or not isinstance(fingerprint, str)
+        or not isinstance(options_key, str)
+        or not isinstance(num_stages, int)
+        or isinstance(num_stages, bool)
+        or not isinstance(assignment, list)
+        or not isinstance(method, str)
+        or not isinstance(status, str)
+    ):
+        raise WireFormatError(
+            "store entry payload misses namespace/fingerprint/num_stages/"
+            "options_key/assignment/method/status"
+        )
+    if num_stages < 1:
+        raise WireFormatError(f"store entry declares {num_stages} stages")
+    for value, name in ((objective, "objective"), (solve_time, "solve_time")):
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise WireFormatError(f"store entry {name} {value!r} is not a number")
+    clean: Dict[str, int] = {}
+    for item in assignment:
+        if (
+            not isinstance(item, list)
+            or len(item) != 2
+            or not isinstance(item[0], str)
+            or not isinstance(item[1], int)
+            or isinstance(item[1], bool)
+        ):
+            raise WireFormatError(f"malformed store assignment entry: {item!r}")
+        if not 0 <= item[1] < num_stages:
+            raise WireFormatError(
+                f"store assignment stage {item[1]} outside [0, {num_stages})"
+            )
+        clean[item[0]] = item[1]
+    provenance = payload.get("provenance")
+    if provenance is not None:
+        provenance = _decode_value(provenance, "store entry provenance")
+        if not isinstance(provenance, dict):
+            raise WireFormatError("store entry provenance must decode to a dict")
+    return StoreEntryRecord(
+        namespace=namespace,
+        fingerprint=fingerprint,
+        num_stages=num_stages,
+        options_key=options_key,
+        assignment=clean,
+        method=method,
+        objective=float(objective),
+        status=status,
+        solve_time=float(solve_time),
+        provenance=provenance,
+    )
+
+
+def encode_store_tombstone(record: StoreTombstoneRecord) -> bytes:
+    """Serialize one durable-invalidation tombstone frame."""
+    return _frame(
+        KIND_STORE_TOMBSTONE,
+        {"namespace": record.namespace, "options_key": record.options_key},
+    )
+
+
+def decode_store_tombstone(data: bytes) -> StoreTombstoneRecord:
+    """Inverse of :func:`encode_store_tombstone`."""
+    payload = _unframe(data, KIND_STORE_TOMBSTONE)
+    namespace = payload.get("namespace")
+    options_key = payload.get("options_key")
+    if not isinstance(namespace, str) or not isinstance(options_key, str):
+        raise WireFormatError(
+            "store tombstone payload misses namespace/options_key"
+        )
+    return StoreTombstoneRecord(namespace=namespace, options_key=options_key)
+
+
 __all__ = [
     "MAGIC",
     "WIRE_VERSION",
+    "HEADER_SIZE",
+    "frame_info",
     "KIND_GRAPH",
     "KIND_DECODE_REQUEST",
     "KIND_DECODE_RESPONSE",
     "KIND_SCHEDULE",
     "KIND_OPTIONS",
+    "KIND_STORE_ENTRY",
+    "KIND_STORE_TOMBSTONE",
     "DecodeRequest",
     "DecodeResponse",
+    "StoreEntryRecord",
+    "StoreTombstoneRecord",
     "WireSchedule",
     "encode_graph",
     "decode_graph",
@@ -585,4 +787,8 @@ __all__ = [
     "decode_decode_response",
     "encode_schedule",
     "decode_schedule",
+    "encode_store_entry",
+    "decode_store_entry",
+    "encode_store_tombstone",
+    "decode_store_tombstone",
 ]

@@ -167,3 +167,78 @@ class TestInvalidateOptions:
         stats = cache.stats()
         assert stats.hits == 1
         assert stats.misses == 1  # invalidation added no lookups
+
+
+class TestOptionsIndex:
+    """The secondary options_key -> keys index behind O(stale) invalidation."""
+
+    def _key(self, tag: int, opts: str):
+        return ScheduleCache.make_key(f"fp{tag}", 2, opts)
+
+    def test_index_stays_in_lockstep_through_churn(self):
+        cache = ScheduleCache(capacity=4)
+        for tag in range(8):  # 4 evictions
+            cache.put(self._key(tag, f"opt{tag % 2}"), _payload(tag))
+        cache.put(self._key(7, "opt1"), _payload(7))  # refresh, no dup
+        # The index never references evicted/over-written keys: every
+        # indexed key must be a live entry and vice versa.
+        indexed = {k for keys in cache._by_options.values() for k in keys}
+        assert indexed == set(cache._entries)
+        # Invalidation therefore counts exactly the live entries.
+        assert cache.invalidate_options("opt0") == 2
+        assert cache.invalidate_options("opt1") == 2
+        assert len(cache) == 0
+        assert cache._by_options == {}
+
+    def test_clear_resets_index(self):
+        cache = ScheduleCache(capacity=4)
+        cache.put(self._key(1, "old"), _payload(1))
+        cache.clear()
+        assert cache._by_options == {}
+        assert cache.invalidate_options("old") == 0
+
+    def test_exact_lru_order_untouched_by_invalidation(self):
+        # Survivors must evict in exactly the pre-invalidation order —
+        # not merely "eventually evictable" (a rebuild that reinserted
+        # survivors would pass a weaker check but corrupt recency).
+        cache = ScheduleCache(capacity=4)
+        cache.put(self._key(1, "keep"), _payload(1))
+        cache.put(self._key(2, "drop"), _payload(2))
+        cache.put(self._key(3, "keep"), _payload(3))
+        cache.put(self._key(4, "keep"), _payload(4))
+        cache.get(self._key(1, "keep"))  # LRU order now: 2, 3, 4, 1
+        cache.invalidate_options("drop")
+        assert list(cache._entries) == [
+            self._key(3, "keep"),
+            self._key(4, "keep"),
+            self._key(1, "keep"),
+        ]
+
+    def test_repeated_invalidation_counts_once(self):
+        cache = ScheduleCache(capacity=4)
+        cache.put(self._key(1, "old"), _payload(1))
+        assert cache.invalidate_options("old") == 1
+        assert cache.invalidate_options("old") == 0
+        assert cache.stats().invalidations == 1
+
+
+class TestCachedScheduleProvenance:
+    def test_provenance_defaults_to_none(self):
+        assert _payload(1).provenance is None
+
+    def test_provenance_round_trips(self):
+        cache = ScheduleCache(capacity=2)
+        tagged = CachedSchedule(
+            assignment={"a": 0},
+            num_stages=1,
+            method="fake",
+            objective=1.0,
+            status="ok",
+            solve_time=0.0,
+            provenance={"options_fingerprint": "opts", "weights_epoch": 7},
+        )
+        cache.put(_key(1), tagged)
+        assert cache.get(_key(1)).provenance == {
+            "options_fingerprint": "opts",
+            "weights_epoch": 7,
+        }

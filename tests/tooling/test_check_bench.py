@@ -37,6 +37,19 @@ def _write(tmp_path, payload, filename=None):
     return path
 
 
+def _store_payload():
+    payload = _valid_payload("schedule_store")
+    payload["metrics"] = {
+        "cold_first_n_s": 0.5,
+        "warm_first_n_s": 0.01,
+        "warm_speedup": 50.0,
+        "num_requests": 32,
+        "restored_entries": 32,
+        "restore_seconds": 0.002,
+    }
+    return payload
+
+
 class TestValidation:
     def test_valid_artifact_passes(self, check_bench, tmp_path):
         path = _write(tmp_path, _valid_payload())
@@ -80,6 +93,51 @@ class TestValidation:
         errors = check_bench.validate_bench_file(_write(tmp_path, payload))
         assert any("seed" in e for e in errors)
         assert any("created_unix" in e for e in errors)
+
+
+class TestRequiredMetrics:
+    """Per-bench required metrics (BENCH_REQUIRED_METRICS enforcement)."""
+
+    def test_complete_store_artifact_passes(self, check_bench, tmp_path):
+        path = _write(tmp_path, _store_payload())
+        assert check_bench.validate_bench_file(path) == []
+
+    @pytest.mark.parametrize(
+        "missing",
+        [
+            "cold_first_n_s",
+            "warm_first_n_s",
+            "warm_speedup",
+            "num_requests",
+            "restored_entries",
+        ],
+    )
+    def test_missing_required_metric_fails(self, check_bench, tmp_path, missing):
+        payload = _store_payload()
+        del payload["metrics"][missing]
+        errors = check_bench.validate_bench_file(_write(tmp_path, payload))
+        assert any(missing in e and "requires metric" in e for e in errors)
+
+    def test_non_numeric_required_metric_fails(self, check_bench, tmp_path):
+        payload = _store_payload()
+        payload["metrics"]["warm_speedup"] = "fast"
+        errors = check_bench.validate_bench_file(_write(tmp_path, payload))
+        assert any(
+            "warm_speedup" in e and "must be a number" in e for e in errors
+        )
+
+    def test_bool_is_not_a_number(self, check_bench, tmp_path):
+        payload = _store_payload()
+        payload["metrics"]["num_requests"] = True
+        errors = check_bench.validate_bench_file(_write(tmp_path, payload))
+        assert any(
+            "num_requests" in e and "must be a number" in e for e in errors
+        )
+
+    def test_unlisted_bench_has_no_required_metrics(self, check_bench, tmp_path):
+        # Benches outside the map keep free-form metrics.
+        path = _write(tmp_path, _valid_payload("freeform"))
+        assert check_bench.validate_bench_file(path) == []
 
 
 class TestCli:
