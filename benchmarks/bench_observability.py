@@ -1,0 +1,238 @@
+"""Benchmark — telemetry overhead on the cache-hit serving fast path.
+
+The observability layer promises to be free when you don't use it: the
+default ``Telemetry()`` facade (metrics-only, no tracer) backs every
+``stats()`` view, and tracing is opt-in per request via sampling.  This
+benchmark measures the serve-path cost of that promise on the hottest
+path the service has — cache-hit serves, where ``submit()`` resolves
+the future inline and the telemetry calls are the *only* non-essential
+work.  Four regimes, interleaved round-robin so machine drift hits all
+of them equally:
+
+* **metrics_only** — the no-op default facade every service gets;
+* **tracing_unsampled** — tracer installed, ``sample_rate=0.0``: the
+  cost of *having* tracing on when this request is not sampled (one
+  sampling decision, then the no-op span path);
+* **tracing_10pct** — ``sample_rate=0.1``, the documented production
+  setting: 1 in 10 requests builds and exports a full span tree;
+* **tracing_full** — ``sample_rate=1.0``, the worst case (every
+  request traced); reported for visibility, not a production config.
+
+Acceptance bar: production tracing (10% sampling) costs < 5% of
+cache-hit p50 over metrics-only, and the unsampled path is ~0%
+(asserted with the same 5% slack in the pytest run — shared runners
+are too noisy for a tighter ratio).  A registry microbenchmark
+(counter inc / histogram observe per-op ns) is reported alongside.
+Standalone for CI smoke::
+
+    PYTHONPATH=src python benchmarks/bench_observability.py --smoke
+"""
+
+from __future__ import annotations
+
+import gc
+import statistics
+import sys
+import time
+from pathlib import Path
+
+if __name__ == "__main__":  # allow `python benchmarks/bench_observability.py`
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.graphs.sampler import sample_synthetic_dag
+from repro.obs import InMemorySpanExporter, Telemetry
+from repro.scheduling.heuristics import ListScheduler
+from repro.service import SchedulingService
+from repro.utils.tables import format_table
+
+NUM_GRAPHS = 16
+NUM_NODES = 30  # the paper's evaluation graph size
+NUM_STAGES = 4
+ROUNDS = 200
+MICRO_OPS = 50_000
+
+ASSERTED_REGIMES = ("tracing_unsampled", "tracing_10pct")
+
+
+def _percentile(samples, q):
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(round(q / 100.0 * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _regimes():
+    return {
+        "metrics_only": Telemetry(),
+        "tracing_unsampled": Telemetry.with_tracing(
+            InMemorySpanExporter(), sample_rate=0.0
+        ),
+        "tracing_10pct": Telemetry.with_tracing(
+            InMemorySpanExporter(), sample_rate=0.1, seed=0
+        ),
+        "tracing_full": Telemetry.with_tracing(
+            InMemorySpanExporter(), sample_rate=1.0
+        ),
+    }
+
+
+def _measure_registry_micro(ops=MICRO_OPS):
+    """Per-op nanoseconds for the two hot registry instruments."""
+    telemetry = Telemetry()
+    counter = telemetry.counter("bench_total")
+    histogram = telemetry.histogram("bench_seconds")
+    start = time.perf_counter()
+    for _ in range(ops):
+        counter.inc()
+    counter_ns = (time.perf_counter() - start) / ops * 1e9
+    start = time.perf_counter()
+    for _ in range(ops):
+        histogram.observe(0.001)
+    observe_ns = (time.perf_counter() - start) / ops * 1e9
+    return {"counter_inc_ns": counter_ns, "histogram_observe_ns": observe_ns}
+
+
+def run_observability_bench(num_graphs=NUM_GRAPHS, rounds=ROUNDS):
+    graphs = [
+        sample_synthetic_dag(num_nodes=NUM_NODES, degree=3, seed=seed)
+        for seed in range(num_graphs)
+    ]
+    regimes = _regimes()
+    services = {
+        name: SchedulingService(
+            ListScheduler(), telemetry=telemetry, batch_window_s=0.0
+        )
+        for name, telemetry in regimes.items()
+    }
+    samples = {name: [] for name in regimes}
+    try:
+        for service in services.values():  # fill caches; misses unmeasured
+            for graph in graphs:
+                service.schedule(graph, NUM_STAGES)
+        # Interleave: each round serves every regime back to back, so
+        # thermal/allocator drift lands on all regimes equally instead
+        # of biasing whichever regime runs last.  One sample is a whole
+        # round (num_graphs serves): single-serve timings at ~100 us
+        # have +-3% scheduler jitter, more than the overheads under
+        # test, while round timings average it out.  GC off during the
+        # timed region: collection pauses triggered by one regime's
+        # allocations must not land in another regime's sample.
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            for _ in range(rounds):
+                for name, service in services.items():
+                    start = time.perf_counter()
+                    for graph in graphs:
+                        service.schedule(graph, NUM_STAGES)
+                    samples[name].append(
+                        (time.perf_counter() - start) / num_graphs
+                    )
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        for name, service in services.items():
+            stats = service.stats()
+            assert stats.cache_hits == num_graphs * rounds, name
+    finally:
+        for service in services.values():
+            service.close()
+
+    measured = {
+        name: {
+            "p50_s": statistics.median(regime_samples),
+            "p99_s": _percentile(regime_samples, 99),
+            "mean_s": statistics.fmean(regime_samples),
+        }
+        for name, regime_samples in samples.items()
+    }
+    base = measured["metrics_only"]["p50_s"]
+    overheads = {
+        name: measured[name]["p50_s"] / base - 1.0
+        for name in regimes
+        if name != "metrics_only"
+    }
+    micro = _measure_registry_micro()
+
+    table = format_table(
+        ["regime", "p50", "p99", "p50 overhead"],
+        [
+            [
+                name,
+                f"{m['p50_s'] * 1e6:.1f} us",
+                f"{m['p99_s'] * 1e6:.1f} us",
+                "baseline"
+                if name == "metrics_only"
+                else f"{overheads[name] * 100.0:+.1f}%",
+            ]
+            for name, m in measured.items()
+        ],
+        title=(
+            f"Telemetry overhead — cache-hit serves, {num_graphs} graphs "
+            f"(|V|={NUM_NODES}) x {rounds} interleaved rounds "
+            f"(bar: 10%-sampled < +5% p50, unsampled ~ 0%)"
+        ),
+    )
+    summary = (
+        f"registry microbench: counter.inc {micro['counter_inc_ns']:.0f} "
+        f"ns/op, histogram.observe {micro['histogram_observe_ns']:.0f} ns/op"
+    )
+    metrics = {
+        "unsampled_p50_overhead_frac": overheads["tracing_unsampled"],
+        "sampled_p50_overhead_frac": overheads["tracing_10pct"],
+        "full_p50_overhead_frac": overheads["tracing_full"],
+        "metrics_only_p50_s": measured["metrics_only"]["p50_s"],
+        "tracing_unsampled_p50_s": measured["tracing_unsampled"]["p50_s"],
+        "tracing_10pct_p50_s": measured["tracing_10pct"]["p50_s"],
+        "tracing_full_p50_s": measured["tracing_full"]["p50_s"],
+        "counter_inc_ns": micro["counter_inc_ns"],
+        "histogram_observe_ns": micro["histogram_observe_ns"],
+        "num_requests": num_graphs * rounds,
+    }
+    return table + "\n" + summary, metrics
+
+
+def test_telemetry_overhead(emit):
+    """Full acceptance run: the < 5% p50 tracing-overhead bar enforced."""
+    rendered, measured = run_observability_bench()
+    emit("observability", rendered, metrics=dict(measured), seed=0)
+    # Production tracing (10% sampling) stays inside the 5% p50 bar;
+    # the unsampled path's honest claim is ~0%, asserted with the same
+    # slack because shared runners are noisy.
+    assert measured["sampled_p50_overhead_frac"] < 0.05
+    assert measured["unsampled_p50_overhead_frac"] < 0.05
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help=(
+            "reduced CI configuration: fewer rounds; overheads are "
+            "reported but the 5% bar is not asserted (shared CI "
+            "runners are too noisy for a hard ratio)"
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        rendered, measured = run_observability_bench(num_graphs=8, rounds=20)
+    else:
+        rendered, measured = run_observability_bench()
+    from bench_json import write_bench_json
+
+    write_bench_json("observability", dict(measured), seed=0)
+    print(rendered)
+    if not args.smoke and measured["sampled_p50_overhead_frac"] >= 0.05:
+        print(
+            "FAIL: 10%-sampled tracing p50 overhead above 5%",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

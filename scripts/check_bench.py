@@ -60,6 +60,15 @@ BENCH_REQUIRED_METRICS = {
         "num_requests",
         "restored_entries",
     ),
+    "observability": (
+        "unsampled_p50_overhead_frac",
+        "sampled_p50_overhead_frac",
+        "full_p50_overhead_frac",
+        "metrics_only_p50_s",
+        "counter_inc_ns",
+        "histogram_observe_ns",
+        "num_requests",
+    ),
 }
 
 

@@ -36,6 +36,8 @@ from repro.cluster.report import (
 from repro.cluster.router import ReplicaState, Router
 from repro.cluster.workload import Request, Scenario, TenantSpec, generate_requests
 from repro.errors import DeploymentError
+from repro.obs.telemetry import Telemetry
+from repro.obs.trace import new_trace_id
 from repro.tpu.latency import weight_stream_seconds
 from repro.tpu.pipeline import PipelineReport, StageProfile
 from repro.tpu.power import PowerModel, estimate_energy
@@ -95,6 +97,14 @@ class FleetSimulator:
         replicas with per-model SRAM partitions.
     power:
         Power model used for the per-replica energy reports.
+    telemetry:
+        Optional :class:`~repro.obs.Telemetry`.  Counters land under a
+        ``layer="fleet"`` label; when tracing is enabled, each sampled
+        request emits a span tree **on the simulated clock** (root
+        ``request`` with the DES arrival/completion times, a ``route``
+        decision span and per-stage transfer/compute spans) — the same
+        record schema the live serving tier exports, so one trace viewer
+        reads both.
     """
 
     def __init__(
@@ -103,11 +113,26 @@ class FleetSimulator:
         router: Router,
         model_switch_reload: bool = True,
         power: PowerModel = PowerModel(),
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.fleet = fleet
         self.router = router
         self.model_switch_reload = model_switch_reload
         self.power = power
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        fleet_t = self.telemetry.child(layer="fleet")
+        self._m_requests = fleet_t.counter(
+            "respect_fleet_requests_total",
+            help="Requests arriving at the simulated fleet router",
+        )
+        self._m_rejected = fleet_t.counter(
+            "respect_fleet_rejected_total",
+            help="Requests the router rejected (admission denied)",
+        )
+        self._m_completed = fleet_t.counter(
+            "respect_fleet_completed_total",
+            help="Requests that completed their full pipeline",
+        )
 
     # ------------------------------------------------------------------
     def simulate(
@@ -145,14 +170,37 @@ class FleetSimulator:
             heapq.heappush(heap, (request.arrival_s, seq, request.index, _ARRIVAL))
             seq += 1
 
+        tracer = self.telemetry.tracer
+        # Sampled requests accumulate their simulated-clock stage
+        # intervals here; the records are emitted at completion so the
+        # root span (whose end *is* the completion time) can parent
+        # every child.
+        traces: Dict[int, dict] = {}
+
         last_completion = 0.0
         while heap:
             now, _, req_index, phase = heapq.heappop(heap)
             request = by_index[req_index]
             if phase == _ARRIVAL:
+                self._m_requests.inc()
+                sampled = tracer is not None and tracer.sample()
                 choice = self.router.route(request, states, now)
                 if choice is None:
                     rejected[req_index] = True
+                    self._m_rejected.inc()
+                    if sampled:
+                        tracer.record_span(
+                            "request",
+                            request.arrival_s,
+                            now,
+                            new_trace_id(),
+                            status="rejected",
+                            attrs={
+                                "tenant": request.tenant,
+                                "model": request.model,
+                                "simulated_clock": True,
+                            },
+                        )
                     continue
                 if not 0 <= choice < len(runtimes):
                     raise DeploymentError(
@@ -163,6 +211,12 @@ class FleetSimulator:
                 deployment = runtime.replica.deployment(request.model)
                 runtime.state.admit(request.model, now)
                 assigned[req_index] = (runtime, deployment.profiles)
+                if sampled:
+                    traces[req_index] = {
+                        "trace_id": new_trace_id(),
+                        "replica": choice,
+                        "spans": [],
+                    }
                 if runtime.input_busy:
                     runtime.input_queue.append(req_index)
                 else:
@@ -183,6 +237,11 @@ class FleetSimulator:
                 runtime.link_busy[link] += duration
                 runtime.in_bytes[k] += profile.input_bytes
                 runtime.in_transfer_seconds[k] += duration
+                ctx = traces.get(req_index)
+                if ctx is not None:
+                    ctx["spans"].append(
+                        ("input_transfer", start, end, {"stage": k})
+                    )
                 heapq.heappush(heap, (end, seq, req_index, phase + 1))
                 seq += 1
                 if k == 0:
@@ -223,6 +282,19 @@ class FleetSimulator:
                 runtime.stream_bytes[k] += stream_bytes
                 runtime.stream_seconds[k] += stream
                 runtime.compute_seconds[k] += profile.compute_seconds
+                ctx = traces.get(req_index)
+                if ctx is not None:
+                    # The span opens when the weight stream starts (or
+                    # at device-ready when nothing streams) and closes
+                    # at compute end — one contiguous device interval.
+                    ctx["spans"].append(
+                        (
+                            "compute",
+                            compute_end - profile.compute_seconds - stream,
+                            compute_end,
+                            {"stage": k, "weight_stream_s": stream},
+                        )
+                    )
                 heapq.heappush(heap, (compute_end, seq, req_index, phase + 1))
                 seq += 1
             else:  # device -> host output transfer
@@ -233,6 +305,11 @@ class FleetSimulator:
                 runtime.link_busy[link] += duration
                 runtime.out_bytes[k] += profile.output_bytes
                 runtime.out_transfer_seconds[k] += duration
+                ctx = traces.get(req_index)
+                if ctx is not None:
+                    ctx["spans"].append(
+                        ("output_transfer", start, end, {"stage": k})
+                    )
                 if k + 1 < len(profiles):
                     heapq.heappush(heap, (end, seq, req_index, phase + 1))
                     seq += 1
@@ -242,6 +319,41 @@ class FleetSimulator:
                     runtime.latencies.append(latency)
                     completion_latency[req_index] = latency
                     last_completion = max(last_completion, end)
+                    self._m_completed.inc()
+                    ctx = traces.pop(req_index, None)
+                    if ctx is not None:
+                        root = tracer.record_span(
+                            "request",
+                            request.arrival_s,
+                            end,
+                            ctx["trace_id"],
+                            attrs={
+                                "tenant": request.tenant,
+                                "model": request.model,
+                                "replica": ctx["replica"],
+                                "simulated_clock": True,
+                            },
+                        )
+                        tracer.record_span(
+                            "route",
+                            request.arrival_s,
+                            request.arrival_s,
+                            ctx["trace_id"],
+                            parent_id=root["span_id"],
+                            attrs={
+                                "replica": ctx["replica"],
+                                "router": self.router.name,
+                            },
+                        )
+                        for name, span_s, span_e, attrs in ctx["spans"]:
+                            tracer.record_span(
+                                name,
+                                span_s,
+                                span_e,
+                                ctx["trace_id"],
+                                parent_id=root["span_id"],
+                                attrs=attrs,
+                            )
 
         horizon = max(float(duration_s), last_completion)
         return self._build_report(
@@ -412,11 +524,16 @@ def simulate_scenario(
     seed: SeedLike,
     model_switch_reload: bool = True,
     power: PowerModel = PowerModel(),
+    telemetry: Optional[Telemetry] = None,
 ) -> FleetReport:
     """Generate the scenario's stream under ``seed`` and simulate it."""
     requests = generate_requests(scenario, seed)
     simulator = FleetSimulator(
-        fleet, router, model_switch_reload=model_switch_reload, power=power
+        fleet,
+        router,
+        model_switch_reload=model_switch_reload,
+        power=power,
+        telemetry=telemetry,
     )
     return simulator.simulate(
         requests,

@@ -1,0 +1,496 @@
+"""Structured per-request tracing: span trees, sampling, JSONL export.
+
+A trace is a tree of spans sharing one ``trace_id``.  Spans carry wall
+clock ``start_s``/``end_s`` (``time.time()`` — comparable across the
+decode-worker process boundary), attributes, and timestamped events.
+The active span is tracked per-thread so deep layers (e.g. the decode
+pool, which never sees a ``Telemetry`` object in its constructor) can
+attach children via :func:`current_span` without plumbing changes.
+
+Span context crosses the ``DecodeWorkerPool`` spawn boundary as a
+``{"trace_id", "span_id"}`` dict inside the versioned wire frame; the
+worker builds plain span-record dicts (it has no tracer) and ships them
+back in the decode-response frame, where :meth:`Tracer.ingest` replays
+them into the exporter.  Simulated-clock layers (the fleet DES) emit the
+same record schema via :meth:`Tracer.record_span` with explicit times.
+
+Sampling is decided once per trace at :meth:`Tracer.start_trace`; an
+unsampled trace yields the falsy :data:`NOOP_SPAN`, whose every method
+is a no-op, so instrumented code never branches on sampling itself.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import threading
+import time
+from typing import Any, Dict, Iterable, List, Mapping, Optional
+
+__all__ = [
+    "Span",
+    "NoopSpan",
+    "NOOP_SPAN",
+    "Tracer",
+    "current_span",
+    "use_span",
+    "JsonlSpanExporter",
+    "InMemorySpanExporter",
+    "build_trace_tree",
+    "format_span_tree",
+    "new_trace_id",
+]
+
+_ACTIVE = threading.local()
+
+#: Id source: a PRNG seeded from the OS once at import beats an
+#: ``os.urandom`` syscall per span on the serving fast path (~5x); ids
+#: only need uniqueness, not unpredictability.  ``getrandbits`` runs in
+#: C under the GIL, so concurrent submitters never interleave state.
+_ID_RAND = random.Random()
+
+
+def _new_id() -> str:
+    return "%016x" % _ID_RAND.getrandbits(64)
+
+
+def new_trace_id() -> str:
+    """Fresh trace id for record-based traces (e.g. simulated clocks)."""
+    return _new_id()
+
+
+def current_span() -> Optional["Span"]:
+    """The innermost active *real* span on this thread, if any."""
+    stack = getattr(_ACTIVE, "stack", None)
+    return stack[-1] if stack else None
+
+
+class _SpanActivation:
+    """Context manager that (de)activates a span WITHOUT ending it."""
+
+    __slots__ = ("_span",)
+
+    def __init__(self, span: "Span"):
+        self._span = span
+
+    def __enter__(self) -> "Span":
+        stack = getattr(_ACTIVE, "stack", None)
+        if stack is None:
+            stack = _ACTIVE.stack = []
+        stack.append(self._span)
+        return self._span
+
+    def __exit__(self, *exc) -> None:
+        stack = getattr(_ACTIVE, "stack", None)
+        if stack and stack[-1] is self._span:
+            stack.pop()
+
+
+class NoopSpan:
+    """Falsy stand-in used for unsampled traces; every method no-ops."""
+
+    __slots__ = ()
+    trace_id: Optional[str] = None
+    span_id: Optional[str] = None
+    parent_id: Optional[str] = None
+    tracer: Optional["Tracer"] = None
+
+    def __bool__(self) -> bool:
+        return False
+
+    def set_attr(self, key: str, value: Any) -> "NoopSpan":
+        return self
+
+    def add_event(self, name: str, **attrs: Any) -> "NoopSpan":
+        return self
+
+    def child(self, name: str, **attrs: Any) -> "NoopSpan":
+        return self
+
+    def end(self, status: str = "ok") -> None:
+        pass
+
+    def activate(self) -> "_NoopActivation":
+        return _NOOP_ACTIVATION
+
+    def __enter__(self) -> "NoopSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+class _NoopActivation:
+    __slots__ = ()
+
+    def __enter__(self) -> NoopSpan:
+        return NOOP_SPAN
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+NOOP_SPAN = NoopSpan()
+_NOOP_ACTIVATION = _NoopActivation()
+
+
+class Span:
+    """One timed operation inside a trace.
+
+    ``end()`` exports the span record exactly once; entering the span as
+    a context manager activates it on the current thread *and* ends it
+    on exit.  Use :meth:`activate` to set the thread-local parent
+    without tying the span's lifetime to the block (e.g. a root span
+    that ends when the request future resolves on another thread).
+    """
+
+    __slots__ = (
+        "name", "trace_id", "span_id", "parent_id", "tracer",
+        "start_s", "end_s", "status", "attrs", "events", "_ended",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        trace_id: str,
+        parent_id: Optional[str] = None,
+        attrs: Optional[Mapping[str, Any]] = None,
+        start_s: Optional[float] = None,
+    ):
+        self.tracer = tracer
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = _new_id()
+        self.parent_id = parent_id
+        self.start_s = time.time() if start_s is None else float(start_s)
+        self.end_s: Optional[float] = None
+        self.status = "ok"
+        # Take ownership of a dict passed in (always a fresh kwargs
+        # dict from the tracer entry points) — the serving fast path
+        # creates spans per sampled request, so copies matter.
+        self.attrs: Dict[str, Any] = (
+            attrs if type(attrs) is dict else dict(attrs) if attrs else {}
+        )
+        self.events: List[dict] = []
+        self._ended = False
+
+    def __bool__(self) -> bool:
+        return True
+
+    def set_attr(self, key: str, value: Any) -> "Span":
+        self.attrs[key] = value
+        return self
+
+    def add_event(self, name: str, **attrs: Any) -> "Span":
+        event = {"name": name, "time_s": time.time()}
+        if attrs:
+            event["attrs"] = attrs
+        self.events.append(event)
+        return self
+
+    def child(self, name: str, **attrs: Any) -> "Span":
+        return self.tracer.span(name, parent=self, **attrs)
+
+    def end(self, status: Optional[str] = None,
+            end_s: Optional[float] = None) -> None:
+        if self._ended:
+            return
+        self._ended = True
+        if status is not None:
+            self.status = status
+        self.end_s = time.time() if end_s is None else float(end_s)
+        self.tracer._export(self.to_record())
+
+    def activate(self) -> _SpanActivation:
+        return _SpanActivation(self)
+
+    def __enter__(self) -> "Span":
+        # Entering a span activates it on this thread AND ends it on
+        # exit (contrast with ``activate()``, which only nests).
+        stack = getattr(_ACTIVE, "stack", None)
+        if stack is None:
+            stack = _ACTIVE.stack = []
+        stack.append(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        stack = getattr(_ACTIVE, "stack", None)
+        if stack and stack[-1] is self:
+            stack.pop()
+        if exc_type is not None:
+            self.status = "error"
+            self.set_attr("error", repr(exc))
+        self.end()
+
+    def to_record(self) -> dict:
+        record = {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+            "status": self.status,
+        }
+        if self.attrs:
+            record["attrs"] = self.attrs
+        if self.events:
+            record["events"] = self.events
+        return record
+
+
+def use_span(span) -> Any:
+    """Activate ``span`` (real or noop) for a ``with`` block, no end."""
+    return span.activate()
+
+
+class JsonlSpanExporter:
+    """Appends one JSON object per finished span to a ``.jsonl`` file."""
+
+    def __init__(self, path):
+        self.path = os.fspath(path)
+        self._lock = threading.Lock()
+        directory = os.path.dirname(self.path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+
+    def export(self, record: dict) -> None:
+        line = json.dumps(record, sort_keys=True, default=str)
+        with self._lock:
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(line + "\n")
+
+    def read_records(self) -> List[dict]:
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                return [json.loads(line) for line in handle if line.strip()]
+        except FileNotFoundError:
+            return []
+
+
+class InMemorySpanExporter:
+    """Collects span records in memory; the test/example workhorse."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._records: List[dict] = []
+
+    def export(self, record: dict) -> None:
+        # No defensive copy: every caller (Span.to_record, record_span,
+        # ingest) hands over a freshly built dict it never mutates again.
+        with self._lock:
+            self._records.append(record)
+
+    @property
+    def records(self) -> List[dict]:
+        with self._lock:
+            return list(self._records)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._records.clear()
+
+    def trace_ids(self) -> List[str]:
+        seen: List[str] = []
+        for record in self.records:
+            tid = record.get("trace_id")
+            if tid and tid not in seen:
+                seen.append(tid)
+        return seen
+
+    def trace(self, trace_id: str) -> List[dict]:
+        return [
+            r for r in self.records if r.get("trace_id") == trace_id
+        ]
+
+
+class Tracer:
+    """Creates spans, decides sampling, and fans records to an exporter.
+
+    ``sample_rate`` applies per *trace* (root creation); children of a
+    sampled root are always recorded.  ``seed`` makes fractional
+    sampling deterministic for tests.
+    """
+
+    def __init__(
+        self,
+        exporter=None,
+        sample_rate: float = 1.0,
+        seed: Optional[int] = None,
+    ):
+        if not 0.0 <= sample_rate <= 1.0:
+            raise ValueError(
+                f"sample_rate must be in [0, 1]: {sample_rate}"
+            )
+        self.exporter = exporter
+        self.sample_rate = sample_rate
+        # No lock around the PRNG: ``Random.random`` runs in C under
+        # the GIL, so concurrent sampling decisions never corrupt state
+        # (their interleaving order is irrelevant), and the serving fast
+        # path makes one decision per request.
+        self._rand = random.Random(seed)
+
+    @property
+    def enabled(self) -> bool:
+        return self.exporter is not None and self.sample_rate > 0.0
+
+    def _export(self, record: dict) -> None:
+        exporter = self.exporter
+        if exporter is not None:
+            exporter.export(record)
+
+    def sample(self) -> bool:
+        """One per-trace sampling decision, separated from span creation.
+
+        :meth:`start_trace` makes this decision implicitly.  Two kinds
+        of caller make it explicitly instead: layers that emit
+        already-completed records under their own clock (the fleet DES),
+        and hot serve paths that only want to pay for building root-span
+        attributes after a positive decision (``sample()`` then
+        :meth:`root_span`).
+        """
+        rate = self.sample_rate
+        if self.exporter is None or rate <= 0.0:
+            return False
+        return rate >= 1.0 or self._rand.random() < rate
+
+    def root_span(self, name: str, **attrs: Any) -> "Span":
+        """Root span for a trace already chosen by :meth:`sample`.
+
+        No sampling decision is made here — calling it without a prior
+        positive ``sample()`` bypasses sampling entirely.
+        """
+        return Span(self, name, trace_id=_new_id(), attrs=attrs)
+
+    def start_trace(self, name: str, **attrs: Any):
+        """Root span of a new trace, or :data:`NOOP_SPAN` if unsampled."""
+        rate = self.sample_rate
+        if self.exporter is None or rate <= 0.0:
+            return NOOP_SPAN
+        if rate < 1.0 and self._rand.random() >= rate:
+            return NOOP_SPAN
+        return Span(self, name, trace_id=_new_id(), attrs=attrs)
+
+    def span(self, name: str, parent=None, **attrs: Any):
+        """Child span of ``parent`` (a Span or a context-like object)."""
+        if parent is None:
+            parent = current_span()
+        if not parent or parent.trace_id is None:
+            return NOOP_SPAN
+        return Span(
+            self,
+            name,
+            trace_id=parent.trace_id,
+            parent_id=parent.span_id,
+            attrs=attrs,
+        )
+
+    def record_span(
+        self,
+        name: str,
+        start_s: float,
+        end_s: float,
+        trace_id: str,
+        parent_id: Optional[str] = None,
+        status: str = "ok",
+        attrs: Optional[Mapping[str, Any]] = None,
+        events: Optional[List[dict]] = None,
+    ) -> dict:
+        """Record a completed span with explicit timing.
+
+        This is how mirrored batch spans and simulated-clock layers (the
+        fleet DES) emit records: the caller owns the clock.
+        """
+        record = {
+            "name": name,
+            "trace_id": trace_id,
+            "span_id": _new_id(),
+            "parent_id": parent_id,
+            "start_s": float(start_s),
+            "end_s": float(end_s),
+            "status": status,
+        }
+        if attrs:
+            record["attrs"] = dict(attrs)
+        if events:
+            record["events"] = list(events)
+        self._export(record)
+        return record
+
+    def ingest(self, records: Iterable[Mapping[str, Any]]) -> int:
+        """Replay externally-built span records (e.g. worker-shipped).
+
+        Records missing the required id/timing fields are dropped, not
+        raised — a misbehaving worker must not break the serving path.
+        Returns the number of records accepted.
+        """
+        accepted = 0
+        for record in records or ():
+            if not isinstance(record, Mapping):
+                continue
+            if not record.get("trace_id") or not record.get("span_id"):
+                continue
+            if "start_s" not in record or "end_s" not in record:
+                continue
+            self._export(dict(record))
+            accepted += 1
+        return accepted
+
+
+def build_trace_tree(records: Iterable[Mapping[str, Any]]) -> List[dict]:
+    """Nest flat span records into root trees (children sorted by start).
+
+    Spans whose ``parent_id`` is unknown are treated as roots so partial
+    traces (e.g. a crashed worker's surviving spans) still render.
+    """
+    nodes = {
+        r["span_id"]: {**dict(r), "children": []}
+        for r in records
+        if r.get("span_id")
+    }
+    roots = []
+    for node in nodes.values():
+        parent = nodes.get(node.get("parent_id"))
+        if parent is not None and parent is not node:
+            parent["children"].append(node)
+        else:
+            roots.append(node)
+    def _sort(items):
+        items.sort(key=lambda n: (n.get("start_s") or 0.0, n["span_id"]))
+        for item in items:
+            _sort(item["children"])
+    _sort(roots)
+    return roots
+
+
+def format_span_tree(records: Iterable[Mapping[str, Any]]) -> str:
+    """Human-readable indented rendering of a span tree."""
+    lines: List[str] = []
+
+    def _walk(node: dict, depth: int) -> None:
+        start = node.get("start_s") or 0.0
+        end = node.get("end_s") or start
+        duration_ms = (end - start) * 1e3
+        attrs = node.get("attrs") or {}
+        attr_text = " ".join(
+            f"{k}={v}" for k, v in sorted(attrs.items())
+        )
+        status = node.get("status", "ok")
+        flag = "" if status == "ok" else f" [{status}]"
+        lines.append(
+            "  " * depth
+            + f"{node['name']}  {duration_ms:.3f} ms{flag}"
+            + (f"  ({attr_text})" if attr_text else "")
+        )
+        for event in node.get("events") or []:
+            lines.append(
+                "  " * (depth + 1) + f"* event: {event.get('name')}"
+            )
+        for child in node.get("children", []):
+            _walk(child, depth + 1)
+
+    for root in build_trace_tree(records):
+        _walk(root, 0)
+    return "\n".join(lines)

@@ -43,6 +43,7 @@ from repro.embedding.features import EmbeddingConfig
 from repro.embedding.queue import build_encoder_queue
 from repro.errors import ServiceError, TrainingError
 from repro.graphs.dag import ComputationalGraph
+from repro.obs.telemetry import Telemetry
 from repro.online.drift import DriftDetector, DriftEvent, GraphObservation
 from repro.online.experience import ExperienceBuffer, ExperienceRecord
 from repro.online.promotion import (
@@ -227,6 +228,13 @@ class AdaptationLoop:
         Optional ``source(count) -> graphs`` sampling *fresh* drifted
         traffic (e.g. the workload generator); buffered graphs alone are
         used without one.
+    telemetry:
+        Optional :class:`~repro.obs.Telemetry`.  Drift events and
+        adaptation outcomes are counted under a ``layer="online"``
+        label; with tracing enabled, each adaptation round becomes a
+        trace whose root span carries the drift/promotion details as
+        span events.  Pass the *service's* facade to get the serving
+        and adaptation series in one registry scrape.
     """
 
     def __init__(
@@ -237,6 +245,7 @@ class AdaptationLoop:
         config: Optional[AdaptationConfig] = None,
         reward_model: Optional[PipelineLatencyReward] = None,
         graph_source: Optional[GraphSource] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         from repro.service.workers import unwrap_scheduler
 
@@ -266,6 +275,16 @@ class AdaptationLoop:
         self._thread: Optional[threading.Thread] = None
         self._stop = False
         self._attached = False
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self._online = self.telemetry.child(layer="online")
+        self._m_drift_events = self._online.counter(
+            "respect_drift_events_total",
+            help="Drift events raised by the detector",
+        )
+        self._m_promotions = self._online.counter(
+            "respect_promotions_total",
+            help="Challengers promoted (hot-swapped) into the service",
+        )
 
     # ------------------------------------------------------------------
     # observation plumbing
@@ -294,6 +313,10 @@ class AdaptationLoop:
                 fingerprint=observation.fingerprint,
             )
             event = self.detector.update(observation)
+            if event is not None:
+                # Counted at detection — exactly once per event, whether
+                # or not an adaptation is already in flight.
+                self._m_drift_events.inc()
             if event is not None and self._pending is None and not self._adapting:
                 self._pending = event
                 self._wakeup.notify_all()
@@ -314,9 +337,28 @@ class AdaptationLoop:
                 return None
             self._pending = None
             self._adapting = True
+        # One trace per adaptation round; the drift details ride on the
+        # root span as an event so a trace viewer shows what tripped it.
+        span = (
+            self.telemetry.start_trace(
+                "adaptation", at_observation=event.at_observation
+            )
+            or None
+        )
+        if span is not None:
+            span.add_event(
+                "drift",
+                statistic=float(event.statistic),
+                score=float(event.score),
+                novelty_rate=float(event.novelty_rate),
+            )
         report: Optional[AdaptationReport] = None
         try:
-            report = self._adapt(event)
+            if span is not None:
+                with span.activate():
+                    report = self._adapt(event)
+            else:
+                report = self._adapt(event)
         finally:
             with self._lock:
                 self._adapting = False
@@ -329,6 +371,29 @@ class AdaptationLoop:
                     # drifted relative to the reference; re-arm so
                     # sustained drift retries with a larger sample.
                     self.detector.rearm()
+            if report is not None:
+                self._online.counter(
+                    "respect_adaptations_total",
+                    help="Completed adaptation rounds by outcome",
+                    outcome=report.status,
+                ).inc()
+                if report.status == "promoted":
+                    self._m_promotions.inc()
+            if span is not None:
+                if report is not None:
+                    span.set_attr("status", report.status)
+                    if report.promotion is not None:
+                        span.add_event(
+                            "promotion",
+                            retired_options_key=(
+                                report.promotion.retired_options_key[:12]
+                                if report.promotion.retired_options_key
+                                else ""
+                            ),
+                        )
+                    span.end()
+                else:
+                    span.end(status="error")
         self.reports.append(report)
         return report
 

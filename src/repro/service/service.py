@@ -62,6 +62,8 @@ from typing import (
 from repro.errors import ServiceError
 from repro.graphs.dag import ComputationalGraph
 from repro.graphs.fingerprint import graph_fingerprint
+from repro.obs.telemetry import Telemetry
+from repro.obs.trace import current_span
 from repro.scheduling.schedule import Schedule, ScheduleResult
 from repro.scheduling.sequence import normalize_stage_counts
 from repro.service.cache import (
@@ -71,13 +73,12 @@ from repro.service.cache import (
     ScheduleCache,
 )
 from repro.service.store import DEFAULT_NAMESPACE, mount_store
+# Still exported from this module: the shared percentile helper is the
+# pinned single implementation behind the *report* layers; service-side
+# latency percentiles now come from the registry histogram.
 from repro.utils.stats import percentile
 
 _LOGGER = logging.getLogger(__name__)
-
-#: How many recent per-request service latencies feed the percentile
-#: stats; a bounded window keeps a long-lived service O(1) in memory.
-_LATENCY_WINDOW = 4096
 
 #: How long an idle worker thread lingers before retiring.  Retirement
 #: drops the thread's reference to the service, so an abandoned
@@ -180,9 +181,12 @@ def scheduler_options_key(scheduler: object) -> str:
 class ServiceStats:
     """Point-in-time service counters and latency summary.
 
+    A *view* over the service's metrics-registry instruments (see
+    :mod:`repro.obs`): every counter here reads the same instrument the
+    Prometheus/JSON exposition scrapes, so the two can never disagree.
     ``mean_batch_size`` averages over scheduler batches actually solved;
-    latencies cover the last :data:`_LATENCY_WINDOW` requests
-    (submit -> result available), cache hits included.
+    latency percentiles come from the registry's streaming latency
+    histogram (submit -> result available, cache hits included).
     """
 
     requests: int
@@ -214,8 +218,10 @@ class _PendingRequest:
         self.key = key
         self.graph = graph
         self.num_stages = num_stages
-        #: ``(future, graph, submit_time)`` per attached caller.
-        self.waiters: List[Tuple[Future, ComputationalGraph, float]] = []
+        #: ``(future, graph, submit_time, span)`` per attached caller;
+        #: ``span`` is the caller's sampled request span (or None) —
+        #: the worker parents its solve/publish spans to it.
+        self.waiters: List[Tuple[Future, ComputationalGraph, float, object]] = []
 
 
 class ServingFacade:
@@ -339,6 +345,15 @@ class SchedulingService(ServingFacade):
         A pre-built (possibly shared) pool to use instead of owning one;
         mutually exclusive with a positive ``decode_workers``.  Shared
         pools are *not* closed by :meth:`close` — the owner closes them.
+    telemetry:
+        A :class:`~repro.obs.Telemetry` facade backing this service's
+        counters, latency histogram and (when its tracer is set) the
+        per-request span tree.  Defaults to a private metrics-only
+        facade — stats views keep working, tracing costs nothing.  When
+        several services share one facade, give each a distinguishing
+        constant label via ``telemetry.child(...)`` (the sharded tier
+        labels its shards ``shard="N"`` this way) so their registry
+        series don't alias.
 
     Use as a context manager or call :meth:`close` to stop the worker;
     ``close`` drains already-accepted requests first.
@@ -356,6 +371,7 @@ class SchedulingService(ServingFacade):
         store: Optional[object] = None,
         store_dir: Optional[str] = None,
         store_namespace: str = DEFAULT_NAMESPACE,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         if not callable(getattr(scheduler, "schedule", None)):
             raise ServiceError(
@@ -409,15 +425,47 @@ class SchedulingService(ServingFacade):
         self._closed = False
         self._worker: Optional[threading.Thread] = None
         self._listeners: List[Callable] = []
-        # -- counters (guarded by self._cond's lock) --------------------
-        self._requests = 0
-        self._cache_hits = 0
-        self._coalesced = 0
-        self._batches = 0
-        self._scheduled_graphs = 0
-        self._swaps = 0
-        self._listener_errors = 0
-        self._latencies: Deque[float] = deque(maxlen=_LATENCY_WINDOW)
+        # -- registry-backed counters (the single bookkeeping; stats()
+        # and the exposition both read these same instruments) ----------
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        tel = self.telemetry
+        self._m_requests = tel.counter(
+            "respect_requests_total", help="Requests accepted by submit()"
+        )
+        self._m_cache_hits = tel.counter(
+            "respect_cache_hits_total",
+            help="Requests answered from the cache/store tier",
+        )
+        self._m_coalesced = tel.counter(
+            "respect_coalesced_total",
+            help="Requests that attached to an in-flight identical solve",
+        )
+        self._m_batches = tel.counter(
+            "respect_batches_total", help="Scheduler batches solved"
+        )
+        self._m_scheduled = tel.counter(
+            "respect_scheduled_graphs_total",
+            help="Unique graphs solved by the scheduler",
+        )
+        self._m_swaps = tel.counter(
+            "respect_swaps_total", help="Scheduler hot-swaps"
+        )
+        self._m_listener_errors = tel.counter(
+            "respect_listener_errors_total",
+            help="Serve-listener exceptions swallowed (first is logged)",
+        )
+        self._m_tier_lookups = {
+            tier: tel.counter(
+                "respect_tier_lookups_total",
+                help="Cache/store lookups by answering tier",
+                tier=tier,
+            )
+            for tier in ("memory", "disk", "miss")
+        }
+        self._m_latency = tel.histogram(
+            "respect_request_latency_seconds",
+            help="Per-request service latency (submit -> result)",
+        )
 
     # ------------------------------------------------------------------
     # request path
@@ -448,7 +496,35 @@ class SchedulingService(ServingFacade):
         # Fingerprinting is the expensive part of the key; stay unlocked.
         if fingerprint is None:
             fingerprint = graph_fingerprint(graph)
+        # Join the caller's active request span (the sharded tier roots
+        # one before routing here), or root a fresh sampled trace when
+        # this service is the entry point.  ``span`` stays None when
+        # tracing is off or the trace is unsampled.
+        span = None
+        owns_span = False
+        tracer = self.telemetry.tracer
+        if tracer is not None:
+            span = current_span()
+            # Sampling is decided before the root span's attributes are
+            # built, so unsampled requests pay one PRNG draw and nothing
+            # else on the serve path.
+            if span is None and tracer.sample():
+                span = (
+                    self.telemetry.root_span(
+                        "request",
+                        method=self.method_name,
+                        fingerprint=fingerprint[:12],
+                        num_stages=stages,
+                    )
+                    or None
+                )
+                # This submit rooted the trace: end the span when the
+                # request future resolves (on whichever thread that
+                # happens); a span joined from an outer tier is ended
+                # by that tier instead.
+                owns_span = span is not None
         future: "Future[ScheduleResult]" = Future()
+        lookup_start = time.time()
         with self._cond:
             if self._closed:
                 raise ServiceError("service is closed")
@@ -457,30 +533,51 @@ class SchedulingService(ServingFacade):
             # with) the previous scheduler's entries.
             key = ScheduleCache.make_key(fingerprint, stages, self._options_key)
             method_name = self.method_name
-            self._requests += 1
+            self._m_requests.inc()
             # Check in-flight before the cache: the worker publishes to
             # the cache *before* retiring the in-flight entry, so under
             # this lock a key is always in at least one of the two once
             # first submitted — no duplicate-solve window.
             pending = self._inflight.get(key)
             if pending is not None:
-                self._coalesced += 1
-                pending.waiters.append((future, graph, start))
+                self._m_coalesced.inc()
+                pending.waiters.append((future, graph, start, span))
                 # Marker for admission layers: this request created no
                 # new solver work (it shares the in-flight solve).
                 future._respect_coalesced = True  # type: ignore[attr-defined]
                 self._cond.notify_all()
+                if span is not None:
+                    span.add_event("coalesced")
+                    if owns_span:
+                        future.add_done_callback(
+                            lambda _f, _s=span: _s.end()
+                        )
                 return future
-            cached = self.cache.get(key)
+            cached, tier = self._lookup(key)
+            self._m_tier_lookups[tier].inc()
             if cached is None:
                 pending = _PendingRequest(key, graph, stages)
-                pending.waiters.append((future, graph, start))
+                pending.waiters.append((future, graph, start, span))
                 self._inflight[key] = pending
                 self._queue.append(pending)
                 self._ensure_worker()
                 self._cond.notify_all()
+                if span is not None:
+                    tracer.record_span(
+                        "lookup", lookup_start, time.time(),
+                        span.trace_id, span.span_id, attrs={"tier": tier},
+                    )
+                    if owns_span:
+                        future.add_done_callback(
+                            lambda _f, _s=span: _s.end()
+                        )
                 return future
-            self._cache_hits += 1
+            self._m_cache_hits.inc()
+        if span is not None:
+            tracer.record_span(
+                "lookup", lookup_start, time.time(),
+                span.trace_id, span.span_id, attrs={"tier": tier},
+            )
         # Cache hit: rebind to the caller's graph outside the lock.
         result = self._bind(
             cached,
@@ -489,11 +586,27 @@ class SchedulingService(ServingFacade):
             lookup_seconds=time.perf_counter() - start,
             method_name=method_name,
         )
-        with self._cond:
-            self._latencies.append(time.perf_counter() - start)
+        self._m_latency.observe(time.perf_counter() - start)
         self._notify(graph, stages, result)
         future.set_result(result)
+        if owns_span:
+            span.end()
         return future
+
+    def _lookup(self, key: CacheKey):
+        """Resolve ``key`` against the cache tier; returns (entry, tier).
+
+        ``tier`` labels where the answer came from: ``"memory"`` /
+        ``"disk"`` for a :class:`~repro.service.store
+        .TieredScheduleStore` (which reports its own promotion path via
+        ``lookup``), ``"memory"``/``"miss"`` for a bare LRU cache.
+        """
+        tiered = getattr(self.cache, "lookup", None)
+        if callable(tiered):
+            entry, tier = tiered(key)
+            return entry, (tier or "miss")
+        entry = self.cache.get(key)
+        return entry, ("memory" if entry is not None else "miss")
 
     def backlog(self) -> int:
         """Unique solves currently queued or in flight on the worker."""
@@ -579,21 +692,61 @@ class SchedulingService(ServingFacade):
     ) -> None:
         graphs = [request.graph for request in batch]
         counts = [request.num_stages for request in batch]
-        try:
-            batched = getattr(scheduler, "schedule_batch", None)
-            if callable(batched) and len(batch) > 1:
-                results: List[ScheduleResult] = batched(graphs, counts)
-            else:
-                results = [
-                    scheduler.schedule(graph, stages)  # type: ignore[attr-defined]
-                    for graph, stages in zip(graphs, counts)
+        # Sampled request spans attached at solve start; later coalescers
+        # still get results, just no solve span (their trace shows the
+        # coalesced event instead).
+        tracer = self.telemetry.tracer
+        parent_spans: List[object] = []
+        if tracer is not None:
+            with self._cond:
+                parent_spans = [
+                    waiter[3]
+                    for request in batch
+                    for waiter in request.waiters
+                    if waiter[3] is not None
                 ]
+        solve_span = None
+        if parent_spans:
+            # One live solve span under the first sampled request; the
+            # other sampled requests in the batch get mirrored records
+            # below (a batch solve genuinely is one shared operation).
+            solve_span = tracer.span(
+                "solve",
+                parent=parent_spans[0],
+                batch_size=len(batch),
+                method=method_name,
+            )
+        solve_start = time.time()
+        try:
+            # Activating the solve span lets the decode-pool adapter
+            # (and any other in-scheduler instrumentation) attach its
+            # worker round-trip sub-spans via current_span().
+            activation = (
+                solve_span.activate() if solve_span is not None else None
+            )
+            try:
+                if activation is not None:
+                    activation.__enter__()
+                batched = getattr(scheduler, "schedule_batch", None)
+                if callable(batched) and len(batch) > 1:
+                    results: List[ScheduleResult] = batched(graphs, counts)
+                else:
+                    results = [
+                        scheduler.schedule(graph, stages)  # type: ignore[attr-defined]
+                        for graph, stages in zip(graphs, counts)
+                    ]
+            finally:
+                if activation is not None:
+                    activation.__exit__(None, None, None)
             if len(results) != len(batch):
                 raise ServiceError(
                     f"scheduler returned {len(results)} results for a "
                     f"batch of {len(batch)}"
                 )
         except BaseException as exc:  # propagate to every waiter
+            if solve_span is not None:
+                solve_span.set_attr("error", repr(exc))
+                solve_span.end(status="error")
             with self._cond:
                 waiters = []
                 for request in batch:
@@ -604,13 +757,28 @@ class SchedulingService(ServingFacade):
                     # by exactly one of the two paths.
                     waiters.extend(request.waiters)
                     request.waiters = []
-            for future, _, _ in waiters:
+            for future, _, _, _ in waiters:
                 if not future.done():
                     future.set_exception(exc)
             return
-        with self._cond:
-            self._batches += 1
-            self._scheduled_graphs += len(batch)
+        solve_end = time.time()
+        if solve_span is not None:
+            solve_span.end()
+            for extra in parent_spans[1:]:
+                tracer.record_span(
+                    "solve",
+                    solve_start,
+                    solve_end,
+                    extra.trace_id,
+                    extra.span_id,
+                    attrs={
+                        "batch_size": len(batch),
+                        "method": method_name,
+                        "shared": True,
+                    },
+                )
+        self._m_batches.inc()
+        self._m_scheduled.inc(len(batch))
         # Provenance carried into the persistent tier: which scheduler
         # configuration produced these entries and (for pool-decoded
         # schedulers) which published weights epoch — the audit trail
@@ -645,7 +813,9 @@ class SchedulingService(ServingFacade):
                     request.key[0], request.num_stages, options_key
                 )
             )
+            publish_start = time.time()
             self.cache.put(publish_key, payload)
+            publish_end = time.time()
             now = time.perf_counter()
             with self._cond:
                 self._inflight.pop(request.key, None)
@@ -653,9 +823,18 @@ class SchedulingService(ServingFacade):
                 # concurrent close() must never race us to these futures.
                 waiters = request.waiters
                 request.waiters = []
-                for _, _, submitted in waiters:
-                    self._latencies.append(now - submitted)
-            for future, waiter_graph, _ in waiters:
+            for _, _, submitted, _ in waiters:
+                self._m_latency.observe(now - submitted)
+            for future, waiter_graph, _, waiter_span in waiters:
+                if waiter_span is not None and tracer is not None:
+                    tracer.record_span(
+                        "publish",
+                        publish_start,
+                        publish_end,
+                        waiter_span.trace_id,
+                        waiter_span.span_id,
+                        attrs={"key": publish_key[0][:12]},
+                    )
                 if waiter_graph is result.schedule.graph:
                     served = result
                 else:
@@ -753,7 +932,7 @@ class SchedulingService(ServingFacade):
             self.scheduler = scheduler
             self.method_name = method_name
             self._options_key = options_key
-            self._swaps += 1
+            self._m_swaps.inc()
             self._cond.notify_all()
         return old_key
 
@@ -791,50 +970,51 @@ class SchedulingService(ServingFacade):
         )
 
     def _record_listener_error(self) -> bool:
+        # The cond lock serializes increment-then-read so exactly one
+        # caller observes the count at 1 (and logs the traceback).
         with self._cond:
-            self._listener_errors += 1
-            return self._listener_errors == 1
+            self._m_listener_errors.inc()
+            return self._m_listener_errors.value == 1
 
     # ------------------------------------------------------------------
     # stats / lifecycle
     # ------------------------------------------------------------------
     def stats(self) -> ServiceStats:
-        """Snapshot of counters, batch sizes and service latency."""
-        with self._cond:
-            requests = self._requests
-            hits = self._cache_hits
-            coalesced = self._coalesced
-            batches = self._batches
-            scheduled = self._scheduled_graphs
-            swaps = self._swaps
-            listener_errors = self._listener_errors
-            latencies = list(self._latencies)
+        """Snapshot of counters, batch sizes and service latency.
+
+        A view over the registry instruments: the numbers here are the
+        same ones :meth:`~repro.obs.MetricsRegistry.render_prometheus`
+        exposes, read from the same objects.
+        """
+        requests = self._m_requests.value
+        hits = self._m_cache_hits.value
+        batches = self._m_batches.value
+        scheduled = self._m_scheduled.value
+        latency = self._m_latency.snapshot()
         return ServiceStats(
             requests=requests,
             cache_hits=hits,
-            coalesced=coalesced,
+            coalesced=self._m_coalesced.value,
             batches=batches,
             scheduled_graphs=scheduled,
             mean_batch_size=scheduled / batches if batches else 0.0,
             hit_rate=hits / requests if requests else 0.0,
-            latency_mean_s=sum(latencies) / len(latencies) if latencies else 0.0,
-            latency_p50_s=percentile(latencies, 50) if latencies else 0.0,
-            latency_p99_s=percentile(latencies, 99) if latencies else 0.0,
+            latency_mean_s=latency.mean,
+            latency_p50_s=latency.percentile(50) if latency.count else 0.0,
+            latency_p99_s=latency.percentile(99) if latency.count else 0.0,
             cache=self.cache.stats(),
-            swaps=swaps,
-            listener_errors=listener_errors,
+            swaps=self._m_swaps.value,
+            listener_errors=self._m_listener_errors.value,
         )
 
-    def recent_latencies(self) -> List[float]:
-        """Snapshot of the recent per-request latency window (seconds).
+    def latency_snapshot(self):
+        """Merge-ready snapshot of the registry latency histogram.
 
-        The raw samples behind the ``latency_p50_s`` / ``latency_p99_s``
-        stats — exposed so a multi-shard front tier can pool the windows
-        and compute *exact* aggregate percentiles instead of averaging
-        per-shard ones (percentiles do not compose).
+        The sharded front tier pools these per-shard snapshots (bucket
+        counts merge losslessly; raw percentiles do not compose) to
+        compute tier-wide p50/p99.
         """
-        with self._cond:
-            return list(self._latencies)
+        return self._m_latency.snapshot()
 
     def invalidate_options(self, options_key: str) -> int:
         """Evict this service's cache entries under ``options_key``.
@@ -922,7 +1102,7 @@ class SchedulingService(ServingFacade):
         even when a slow solve completes concurrently with close().
         """
         with self._cond:
-            waiters: List[Tuple[Future, ComputationalGraph, float]] = []
+            waiters: List[Tuple[Future, ComputationalGraph, float, object]] = []
             # Every queued request is also in _inflight (submit registers
             # both); batch-popped requests remain in _inflight until
             # resolved — so _inflight alone covers all pending work.
@@ -931,7 +1111,7 @@ class SchedulingService(ServingFacade):
                 request.waiters = []
             self._inflight.clear()
             self._queue.clear()
-        for future, _, _ in waiters:
+        for future, _, _, _ in waiters:
             if not future.done():
                 future.set_exception(exc)
 

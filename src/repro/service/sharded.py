@@ -66,6 +66,9 @@ from typing import (
 from repro.errors import ServiceError, ServiceOverloadError
 from repro.graphs.dag import ComputationalGraph
 from repro.graphs.fingerprint import graph_fingerprint
+from repro.obs.metrics import HistogramSnapshot
+from repro.obs.telemetry import Telemetry
+from repro.obs.trace import current_span
 from repro.scheduling.schedule import ScheduleResult
 from repro.scheduling.sequence import normalize_stage_counts
 from repro.service.cache import ScheduleCache
@@ -76,6 +79,9 @@ from repro.service.service import (
     ServingFacade,
     notify_serve_listeners,
 )
+# Still exported for the report layers; tier latency percentiles now
+# come from merged per-shard registry histograms (bucket counts compose
+# exactly; percentiles of percentiles would not).
 from repro.utils.stats import percentile
 
 _ADMISSION_POLICIES = ("block", "shed", "degrade")
@@ -132,9 +138,12 @@ class ShardedServiceStats:
     over shards, plus the degraded serves handled at the front tier), so
     stats consumers written against the single-shard service — e.g.
     :func:`repro.flow.compare.serve_methods`'s fold — read the sharded
-    tier unchanged.  Latency percentiles are computed over the *pooled*
-    per-shard sample windows (percentiles of percentiles would be
-    wrong).
+    tier unchanged.  Latency percentiles come from *merging* the
+    per-shard registry histograms bucket-by-bucket (exact counts
+    compose; percentiles of percentiles would be wrong).  Like every
+    stats dataclass in this package, this is a view over the shared
+    metrics registry — the same instruments the Prometheus/JSON
+    exposition scrapes.
     """
 
     num_shards: int
@@ -232,6 +241,13 @@ class ShardedSchedulingService(ServingFacade):
         A pre-built shared pool instead of owning one (mutually
         exclusive with positive ``decode_workers``); never closed by
         :meth:`close`.
+    telemetry:
+        A :class:`~repro.obs.Telemetry` facade shared by the whole tier:
+        each shard gets a ``telemetry.child(shard="<i>")`` derivation so
+        its registry series carry per-shard labels, while the front tier
+        records admission outcomes and degraded serves under
+        ``tier="front"``.  One registry scrape covers everything.
+        Defaults to a private metrics-only facade.
     """
 
     def __init__(
@@ -253,6 +269,7 @@ class ShardedSchedulingService(ServingFacade):
         store: Optional[DiskScheduleStore] = None,
         store_dir: Optional[str] = None,
         store_namespace: str = "",
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         if (scheduler is None) == (scheduler_factory is None):
             raise ServiceError(
@@ -333,6 +350,7 @@ class ShardedSchedulingService(ServingFacade):
         # One weights epoch serves every shard: the first wrap publishes,
         # the rest reuse it (factories must produce equivalent
         # schedulers, and the decode workers *check* the fingerprint).
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
         epoch: Optional[int] = None
         shards = []
         for i in range(num_shards):
@@ -349,6 +367,10 @@ class ShardedSchedulingService(ServingFacade):
                     batch_window_s=batch_window_s,
                     store=self._disk_store,
                     store_namespace=self.shard_namespace(i),
+                    # Per-shard label: one shared registry, per-shard
+                    # series — shard stats stay views over their own
+                    # instruments, a single scrape covers the tier.
+                    telemetry=self.telemetry.child(shard=str(i)),
                 )
             )
         self.shards: Tuple[SchedulingService, ...] = tuple(shards)
@@ -365,13 +387,36 @@ class ShardedSchedulingService(ServingFacade):
         #: twice.
         self._gate = [0] * num_shards
         self._reserved = [0] * num_shards
-        self._blocked = 0
-        self._shed = 0
-        self._degraded = 0
-        self._swaps = 0
-        self._listener_errors = 0
         self._listeners: List[Callable] = []
         self._closed = False
+        # -- front-tier registry instruments ----------------------------
+        # Admission outcomes and degraded serves happen *before* (or
+        # instead of) any shard, so they are counted exactly once, here,
+        # under the ``tier="front"`` label — never again inside a shard
+        # (the double-counting audit in the tests pins this).
+        front = self.telemetry.child(tier="front")
+        self._m_blocked = front.counter(
+            "respect_admission_outcomes_total",
+            help="Admission-control outcomes at the sharded front tier",
+            outcome="blocked",
+        )
+        self._m_shed = front.counter(
+            "respect_admission_outcomes_total", outcome="shed"
+        )
+        self._m_degraded = front.counter(
+            "respect_admission_outcomes_total", outcome="degraded"
+        )
+        # Degraded serves never reach a shard; counting them under the
+        # front tier keeps "sum of respect_requests_total across series"
+        # equal to the tier's total served requests.
+        self._m_front_requests = front.counter("respect_requests_total")
+        self._m_tier_swaps = front.counter(
+            "respect_tier_swaps_total",
+            help="Tier-level rolling hot-swaps (each touches every shard)",
+        )
+        self._m_listener_errors = front.counter(
+            "respect_listener_errors_total"
+        )
 
     # ------------------------------------------------------------------
     # decode workers
@@ -472,65 +517,154 @@ class ShardedSchedulingService(ServingFacade):
         # and is forwarded so the shard does not recompute it.
         fingerprint = graph_fingerprint(graph)
         shard_id = shard_for_fingerprint(fingerprint, self._ring)
+        # Root (or join) the request trace before admission so the gate
+        # wait shows up inside the span tree; the shard later *joins*
+        # this span (via current_span) instead of rooting its own.
+        span = None
+        owns_span = False
+        tracer = self.telemetry.tracer
+        if tracer is not None:
+            span = current_span()
+            # Sampling is decided before the root span's attributes are
+            # built, so unsampled requests pay one PRNG draw and nothing
+            # else on the serve path.
+            if span is None and tracer.sample():
+                span = (
+                    self.telemetry.root_span(
+                        "request",
+                        fingerprint=fingerprint[:12],
+                        num_stages=stages,
+                        shard=shard_id,
+                    )
+                    or None
+                )
+                owns_span = span is not None
+        admission_start = time.time()
         degrade = False
         waited = False
         bypassed = False
-        with self._cond:
-            if self._closed:
-                raise ServiceError("service is closed")
-            # The gate measures admitted *solver backlog* (unresolved
-            # unique solves, `_gate`, plus in-transit admissions,
-            # `_reserved`) — not attached waiters: any number of
-            # requests coalescing onto one in-flight solve occupy
-            # exactly one slot, so a thundering herd on one graph can
-            # never starve requests for other graphs out of the depth
-            # budget.  Both counters live under this lock, so racing
-            # submitters cannot jointly overshoot ``max_queue_depth``.
-            while (
-                self._gate[shard_id] + self._reserved[shard_id]
-            ) >= self.max_queue_depth:
-                # A request already answerable without new solver work
-                # (cached, or coalescable onto an in-flight solve) is
-                # waved past the gate without even a reservation:
-                # serving it adds no backlog, and admission exists to
-                # bound solver work, not O(1) lookups.  The probe races
-                # with eviction; a lost race admits at most one extra
-                # solve (it is still gate-counted below once real),
-                # which the depth bound absorbs on the next request.
-                if self.shards[shard_id].has_cached(fingerprint, stages):
-                    bypassed = True
-                    break
-                if self.admission == "shed":
-                    self._shed += 1
-                    raise ServiceOverloadError(
-                        f"shard {shard_id} is at its queue depth limit "
-                        f"({self.max_queue_depth}); request shed"
-                    )
-                if self.admission == "degrade":
-                    self._degraded += 1
-                    degrade = True
-                    break
-                waited = True
-                self._cond.wait()
+        try:
+            with self._cond:
                 if self._closed:
                     raise ServiceError("service is closed")
-            if waited:
-                self._blocked += 1
-            if not degrade and not bypassed:
-                self._reserved[shard_id] += 1
-        if degrade:
-            return self._serve_degraded(graph, stages)
-        try:
-            future = self.shards[shard_id].submit(
-                graph, stages, fingerprint=fingerprint
+                # The gate measures admitted *solver backlog* (unresolved
+                # unique solves, `_gate`, plus in-transit admissions,
+                # `_reserved`) — not attached waiters: any number of
+                # requests coalescing onto one in-flight solve occupy
+                # exactly one slot, so a thundering herd on one graph can
+                # never starve requests for other graphs out of the depth
+                # budget.  Both counters live under this lock, so racing
+                # submitters cannot jointly overshoot ``max_queue_depth``.
+                while (
+                    self._gate[shard_id] + self._reserved[shard_id]
+                ) >= self.max_queue_depth:
+                    # A request already answerable without new solver work
+                    # (cached, or coalescable onto an in-flight solve) is
+                    # waved past the gate without even a reservation:
+                    # serving it adds no backlog, and admission exists to
+                    # bound solver work, not O(1) lookups.  The probe races
+                    # with eviction; a lost race admits at most one extra
+                    # solve (it is still gate-counted below once real),
+                    # which the depth bound absorbs on the next request.
+                    if self.shards[shard_id].has_cached(fingerprint, stages):
+                        bypassed = True
+                        break
+                    if self.admission == "shed":
+                        self._m_shed.inc()
+                        raise ServiceOverloadError(
+                            f"shard {shard_id} is at its queue depth limit "
+                            f"({self.max_queue_depth}); request shed"
+                        )
+                    if self.admission == "degrade":
+                        self._m_degraded.inc()
+                        degrade = True
+                        break
+                    waited = True
+                    self._cond.wait()
+                    if self._closed:
+                        raise ServiceError("service is closed")
+                if waited:
+                    self._m_blocked.inc()
+                if not degrade and not bypassed:
+                    self._reserved[shard_id] += 1
+        except BaseException as exc:
+            if span is not None:
+                tracer.record_span(
+                    "admission",
+                    admission_start,
+                    time.time(),
+                    span.trace_id,
+                    span.span_id,
+                    attrs={
+                        "outcome": (
+                            "shed"
+                            if isinstance(exc, ServiceOverloadError)
+                            else "error"
+                        ),
+                        "shard": shard_id,
+                    },
+                )
+                if owns_span:
+                    span.end(status="error")
+            raise
+        if span is not None:
+            tracer.record_span(
+                "admission",
+                admission_start,
+                time.time(),
+                span.trace_id,
+                span.span_id,
+                attrs={
+                    "outcome": (
+                        "degraded"
+                        if degrade
+                        else "bypassed"
+                        if bypassed
+                        else "blocked"
+                        if waited
+                        else "admitted"
+                    ),
+                    "shard": shard_id,
+                },
             )
+        if degrade:
+            return self._serve_degraded(graph, stages, span, owns_span)
+        route_start = time.time()
+        try:
+            if span is not None:
+                # Activating the tier span makes the shard *join* it —
+                # its lookup/solve/publish records parent here instead
+                # of rooting a second trace for the same request.
+                with span.activate():
+                    future = self.shards[shard_id].submit(
+                        graph, stages, fingerprint=fingerprint
+                    )
+            else:
+                future = self.shards[shard_id].submit(
+                    graph, stages, fingerprint=fingerprint
+                )
         except BaseException:
+            if span is not None and owns_span:
+                span.end(status="error")
             if not bypassed:
                 with self._cond:
                     self._reserved[shard_id] -= 1
                     if self.admission == "block":
                         self._cond.notify_all()
             raise
+        if span is not None:
+            tracer.record_span(
+                "route",
+                route_start,
+                time.time(),
+                span.trace_id,
+                span.span_id,
+                attrs={"shard": shard_id},
+            )
+            if owns_span:
+                # The root closes when the request resolves (hit futures
+                # are already done; the callback then fires inline).
+                future.add_done_callback(lambda _f, _s=span: _s.end())
         # Did this admission create new solver work?  A cache hit is
         # already resolved; a coalesced request carries the shard's
         # marker.  Only new solves occupy a gate slot (released by the
@@ -565,10 +699,29 @@ class ShardedSchedulingService(ServingFacade):
                 self._cond.notify_all()
 
     def _serve_degraded(
-        self, graph: ComputationalGraph, stages: int
+        self,
+        graph: ComputationalGraph,
+        stages: int,
+        span: Optional[object] = None,
+        owns_span: bool = False,
     ) -> "Future[ScheduleResult]":
         """Answer inline from the fallback scheduler (saturated shard)."""
+        solve_start = time.time()
         result = self.fallback_scheduler.schedule(graph, stages)  # type: ignore[union-attr]
+        # Degraded serves never reach a shard, so their request count
+        # lands here (tier="front") — exactly once.
+        self._m_front_requests.inc()
+        if span is not None:
+            self.telemetry.tracer.record_span(
+                "solve",
+                solve_start,
+                time.time(),
+                span.trace_id,
+                span.span_id,
+                attrs={"degraded": True},
+            )
+            if owns_span:
+                span.end()
         result.extras["degraded"] = True
         result.extras.setdefault("cache_hit", False)
         result.extras.setdefault(
@@ -637,8 +790,7 @@ class ShardedSchedulingService(ServingFacade):
             # One published weights epoch per swap, shared by all shards.
             incoming, epoch = self._wrap_shard_scheduler(incoming, epoch)
             old_keys.append(shard.swap_scheduler(incoming))
-        with self._cond:
-            self._swaps += 1
+        self._m_tier_swaps.inc()
         return old_keys[0]
 
     def invalidate_options(self, options_key: str) -> int:
@@ -686,9 +838,11 @@ class ShardedSchedulingService(ServingFacade):
         )
 
     def _record_listener_error(self) -> bool:
+        # Serialized under the tier lock so exactly one caller observes
+        # the transition to 1 (and logs the one warning).
         with self._cond:
-            self._listener_errors += 1
-            return self._listener_errors == 1
+            self._m_listener_errors.inc()
+            return self._m_listener_errors.value == 1
 
     # ------------------------------------------------------------------
     # stats / lifecycle
@@ -696,15 +850,18 @@ class ShardedSchedulingService(ServingFacade):
     def stats(self) -> ShardedServiceStats:
         """Aggregate counters over all shards plus admission outcomes."""
         per_shard = tuple(shard.stats() for shard in self.shards)
-        latencies: List[float] = []
-        for shard in self.shards:
-            latencies.extend(shard.recent_latencies())
-        with self._cond:
-            blocked = self._blocked
-            shed = self._shed
-            degraded = self._degraded
-            swaps = self._swaps
-            front_listener_errors = self._listener_errors
+        # Exact tier-wide latency distribution: per-shard histograms
+        # share one bucket layout, so their counts merge losslessly
+        # (unlike pooling per-shard percentiles, which has no exact
+        # composition).
+        merged = HistogramSnapshot.merged(
+            [shard.latency_snapshot() for shard in self.shards]
+        )
+        blocked = self._m_blocked.value
+        shed = self._m_shed.value
+        degraded = self._m_degraded.value
+        swaps = self._m_tier_swaps.value
+        front_listener_errors = self._m_listener_errors.value
         requests = sum(s.requests for s in per_shard) + degraded
         hits = sum(s.cache_hits for s in per_shard)
         batches = sum(s.batches for s in per_shard)
@@ -718,11 +875,9 @@ class ShardedSchedulingService(ServingFacade):
             scheduled_graphs=scheduled,
             mean_batch_size=scheduled / batches if batches else 0.0,
             hit_rate=hits / requests if requests else 0.0,
-            latency_mean_s=(
-                sum(latencies) / len(latencies) if latencies else 0.0
-            ),
-            latency_p50_s=percentile(latencies, 50) if latencies else 0.0,
-            latency_p99_s=percentile(latencies, 99) if latencies else 0.0,
+            latency_mean_s=merged.mean if merged.count else 0.0,
+            latency_p50_s=merged.percentile(50) if merged.count else 0.0,
+            latency_p99_s=merged.percentile(99) if merged.count else 0.0,
             swaps=swaps,
             listener_errors=(
                 sum(s.listener_errors for s in per_shard)

@@ -732,10 +732,28 @@ class TieredScheduleStore:
         return self.memory.capacity
 
     def get(self, key: CacheKey) -> Optional[CachedSchedule]:
+        entry, _tier = self.lookup(key)
+        return entry
+
+    def lookup(
+        self, key: CacheKey
+    ) -> Tuple[Optional[CachedSchedule], Optional[str]]:
+        """Like :meth:`get`, but also report which tier answered.
+
+        Returns ``(entry, tier)`` with ``tier`` one of ``"memory"``,
+        ``"disk"`` or ``None`` (miss) — the label the serving layer's
+        ``respect_tier_lookups_total`` series and trace spans carry.
+        Hit/miss accounting happens exactly once here (:meth:`get`
+        delegates).
+        """
+        tier: Optional[str] = None
         entry = self.memory.get(key)
-        if entry is None and self.disk is not None:
+        if entry is not None:
+            tier = "memory"
+        elif self.disk is not None:
             entry = self.disk.get(key)
             if entry is not None:
+                tier = "disk"
                 # Promote: the next lookup answers from memory.
                 self.memory.put(key, entry)
                 with self._lock:
@@ -745,7 +763,7 @@ class TieredScheduleStore:
                 self._misses += 1
             else:
                 self._hits += 1
-        return entry
+        return entry, tier
 
     def put(self, key: CacheKey, value: CachedSchedule) -> None:
         self.memory.put(key, value)

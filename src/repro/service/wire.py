@@ -8,8 +8,10 @@ defines a small framed format instead:
 
 ``RSPW | version | kind | payload length | crc32 | payload``
 
-The header is fixed-width (:data:`WIRE_VERSION` bumps on incompatible
-layout changes); the payload is canonical UTF-8 JSON with *tagged* value
+The header is fixed-width (:data:`WIRE_VERSION` bumps on layout
+changes; every version in :data:`SUPPORTED_WIRE_VERSIONS` still
+decodes, so a store segment or in-flight frame written by an older
+build keeps working); the payload is canonical UTF-8 JSON with *tagged* value
 encoding, so every attr type the graph fingerprint distinguishes
 (``int`` vs ``float`` vs ``bool``, ``tuple`` vs ``list``, ``set`` /
 ``frozenset``, ``dict``, ``bytes``) survives a round trip exactly.
@@ -33,7 +35,7 @@ from __future__ import annotations
 import json
 import struct
 import zlib
-from dataclasses import dataclass
+from dataclasses import dataclass, field as dataclasses_field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import WireFormatError
@@ -44,9 +46,16 @@ from repro.scheduling.schedule import Schedule
 #: First bytes of every frame; rejects foreign byte streams immediately.
 MAGIC = b"RSPW"
 
-#: Bump on incompatible layout changes so mixed-version processes fail
-#: loudly instead of mis-decoding each other's payloads.
-WIRE_VERSION = 1
+#: Version written on every new frame.  Bump on layout changes so
+#: mixed-version processes fail loudly instead of mis-decoding each
+#: other's payloads.  v2 added optional trace-context fields to decode
+#: requests (``trace``) and responses (``spans``) for cross-process
+#: span propagation.
+WIRE_VERSION = 2
+
+#: Versions this build can still *decode*.  v1 frames carry no trace
+#: fields; decoding them yields ``trace=None`` / ``spans=[]``.
+SUPPORTED_WIRE_VERSIONS = (1, 2)
 
 #: Frame kinds.  A frame decoded as the wrong kind is an error, not a
 #: guess — the kind byte is how a worker distinguishes a request from a
@@ -97,10 +106,10 @@ def frame_info(header: bytes) -> Tuple[int, int]:
         raise WireFormatError(
             f"bad magic {magic!r}: not a RESPECT wire payload"
         )
-    if version != WIRE_VERSION:
+    if version not in SUPPORTED_WIRE_VERSIONS:
         raise WireFormatError(
             f"unsupported wire version {version}; this build speaks "
-            f"version {WIRE_VERSION}"
+            f"versions {SUPPORTED_WIRE_VERSIONS}"
         )
     return kind, HEADER_SIZE + length
 
@@ -132,10 +141,10 @@ def _unframe(data: object, expected_kind: int) -> dict:
         raise WireFormatError(
             f"bad magic {magic!r}: not a RESPECT wire payload"
         )
-    if version != WIRE_VERSION:
+    if version not in SUPPORTED_WIRE_VERSIONS:
         raise WireFormatError(
             f"unsupported wire version {version}; this build speaks "
-            f"version {WIRE_VERSION}"
+            f"versions {SUPPORTED_WIRE_VERSIONS}"
         )
     payload = data[_HEADER.size :]
     if len(payload) != length:
@@ -429,6 +438,10 @@ class DecodeRequest:
 
     graphs: List[ComputationalGraph]
     options_key: Optional[str] = None
+    #: Optional ``{"trace_id": str, "span_id": str}`` span context from
+    #: the sender (wire v2).  Workers parent their decode sub-spans to
+    #: ``span_id`` and ship them back in the response.
+    trace: Optional[Dict[str, str]] = None
 
     @property
     def fingerprints(self) -> List[str]:
@@ -441,22 +454,45 @@ class DecodeResponse:
 
     orders: List[List[str]]
     log_probs: List[float]
+    #: Worker-side span records (wire v2); empty for v1 frames or when
+    #: the request carried no trace context.
+    spans: List[dict] = dataclasses_field(default_factory=list)
+
+
+def _validate_trace_context(trace: object) -> Optional[Dict[str, str]]:
+    if trace is None:
+        return None
+    if (
+        not isinstance(trace, dict)
+        or not isinstance(trace.get("trace_id"), str)
+        or not isinstance(trace.get("span_id"), str)
+        or not trace["trace_id"]
+        or not trace["span_id"]
+    ):
+        raise WireFormatError(
+            f"trace context must be {{'trace_id': str, 'span_id': str}}, "
+            f"got {trace!r}"
+        )
+    return {"trace_id": trace["trace_id"], "span_id": trace["span_id"]}
 
 
 def encode_decode_request(
-    graphs: Sequence[ComputationalGraph], options_key: Optional[str] = None
+    graphs: Sequence[ComputationalGraph],
+    options_key: Optional[str] = None,
+    trace: Optional[Dict[str, str]] = None,
 ) -> bytes:
     """Serialize a decode batch; each graph carries its fingerprint."""
     graphs = list(graphs)
     if not graphs:
         raise WireFormatError("a decode request must carry at least one graph")
-    return _frame(
-        KIND_DECODE_REQUEST,
-        {
-            "options_key": options_key,
-            "graphs": [_graph_to_payload(g) for g in graphs],
-        },
-    )
+    payload = {
+        "options_key": options_key,
+        "graphs": [_graph_to_payload(g) for g in graphs],
+    }
+    trace = _validate_trace_context(trace)
+    if trace is not None:
+        payload["trace"] = trace
+    return _frame(KIND_DECODE_REQUEST, payload)
 
 
 def decode_decode_request(data: bytes) -> DecodeRequest:
@@ -468,16 +504,19 @@ def decode_decode_request(data: bytes) -> DecodeRequest:
     options_key = payload.get("options_key")
     if options_key is not None and not isinstance(options_key, str):
         raise WireFormatError("decode request options_key must be a string")
+    trace = _validate_trace_context(payload.get("trace"))
     graphs = []
     for entry in entries:
         if not isinstance(entry, dict):
             raise WireFormatError(f"malformed graph payload: {entry!r}")
         graphs.append(_graph_from_payload(entry))
-    return DecodeRequest(graphs=graphs, options_key=options_key)
+    return DecodeRequest(graphs=graphs, options_key=options_key, trace=trace)
 
 
 def encode_decode_response(
-    orders: Sequence[Sequence[str]], log_probs: Sequence[float]
+    orders: Sequence[Sequence[str]],
+    log_probs: Sequence[float],
+    spans: Optional[Sequence[dict]] = None,
 ) -> bytes:
     """Serialize decoded orders; one name list + log-prob per graph."""
     orders = [list(order) for order in orders]
@@ -487,9 +526,17 @@ def encode_decode_response(
             f"decode response is inconsistent: {len(orders)} orders vs "
             f"{len(log_probs)} log-probs"
         )
-    return _frame(
-        KIND_DECODE_RESPONSE, {"orders": orders, "log_probs": log_probs}
-    )
+    payload = {"orders": orders, "log_probs": log_probs}
+    if spans:
+        clean_spans = []
+        for span in spans:
+            if not isinstance(span, dict):
+                raise WireFormatError(
+                    f"decode response spans must be dicts, got {span!r}"
+                )
+            clean_spans.append(span)
+        payload["spans"] = clean_spans
+    return _frame(KIND_DECODE_RESPONSE, payload)
 
 
 def decode_decode_response(data: bytes) -> DecodeResponse:
@@ -497,6 +544,14 @@ def decode_decode_response(data: bytes) -> DecodeResponse:
     payload = _unframe(data, KIND_DECODE_RESPONSE)
     orders = payload.get("orders")
     log_probs = payload.get("log_probs")
+    raw_spans = payload.get("spans", [])
+    if not isinstance(raw_spans, list) or not all(
+        isinstance(s, dict) for s in raw_spans
+    ):
+        raise WireFormatError(
+            f"decode response spans must be a list of objects, got "
+            f"{raw_spans!r}"
+        )
     if not isinstance(orders, list) or not isinstance(log_probs, list):
         raise WireFormatError("decode response misses orders/log_probs")
     if len(orders) != len(log_probs):
@@ -516,7 +571,9 @@ def decode_decode_response(data: bytes) -> DecodeResponse:
         if not isinstance(lp, (int, float)) or isinstance(lp, bool):
             raise WireFormatError(f"malformed log-probability: {lp!r}")
         clean_probs.append(float(lp))
-    return DecodeResponse(orders=clean_orders, log_probs=clean_probs)
+    return DecodeResponse(
+        orders=clean_orders, log_probs=clean_probs, spans=list(raw_spans)
+    )
 
 
 # ----------------------------------------------------------------------
@@ -763,6 +820,7 @@ def decode_store_tombstone(data: bytes) -> StoreTombstoneRecord:
 __all__ = [
     "MAGIC",
     "WIRE_VERSION",
+    "SUPPORTED_WIRE_VERSIONS",
     "HEADER_SIZE",
     "frame_info",
     "KIND_GRAPH",

@@ -51,6 +51,7 @@ worker without any worker-side coordination.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import shutil
 import tempfile
 import threading
@@ -63,6 +64,7 @@ from typing import Deque, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import DecodeWorkerError, SchedulingError, ServiceError
 from repro.graphs.dag import ComputationalGraph
+from repro.obs.trace import NOOP_SPAN, current_span
 from repro.scheduling.postprocess import postprocess_schedule
 from repro.scheduling.schedule import ScheduleResult
 from repro.scheduling.sequence import normalize_stage_counts, pack_sequence
@@ -123,6 +125,7 @@ class _WorkerDecoder:
         return cls(epoch, scheduler)
 
     def decode(self, payload: bytes) -> bytes:
+        start_s = time.time()
         request = wire.decode_decode_request(payload)
         fingerprint = self.scheduler.options_fingerprint()  # type: ignore[attr-defined]
         if request.options_key is not None and request.options_key != fingerprint:
@@ -139,7 +142,29 @@ class _WorkerDecoder:
             for b, queue in enumerate(queues)
         ]
         log_probs = [float(rollout.log_prob[b]) for b in range(len(queues))]
-        return wire.encode_decode_response(orders, log_probs)
+        spans = None
+        if request.trace is not None:
+            # No tracer lives in the worker process: the sub-span is a
+            # plain record (wall-clock timestamps, comparable with the
+            # parent's) shipped home inside the response frame, where
+            # the parent-side Tracer.ingest() re-exports it.
+            spans = [
+                {
+                    "name": "worker.decode",
+                    "trace_id": request.trace["trace_id"],
+                    "span_id": os.urandom(8).hex(),
+                    "parent_id": request.trace["span_id"],
+                    "start_s": start_s,
+                    "end_s": time.time(),
+                    "status": "ok",
+                    "attrs": {
+                        "pid": os.getpid(),
+                        "epoch": self.epoch,
+                        "batch_size": len(request.graphs),
+                    },
+                }
+            ]
+        return wire.encode_decode_response(orders, log_probs, spans=spans)
 
 
 def _decode_worker_main(conn, weights_dir: str) -> None:
@@ -194,15 +219,30 @@ class DecodePoolStats:
 class _PendingDecode:
     """One submitted batch awaiting its worker result."""
 
-    __slots__ = ("event", "payload", "epoch", "response", "error", "resubmits")
+    __slots__ = (
+        "event",
+        "payload",
+        "epoch",
+        "response",
+        "error",
+        "resubmits",
+        "span",
+        "attempt",
+    )
 
-    def __init__(self, payload: bytes, epoch: int) -> None:
+    def __init__(self, payload: bytes, epoch: int, span=None) -> None:
         self.event = threading.Event()
         self.payload = payload
         self.epoch = epoch
         self.response: Optional[bytes] = None
         self.error: Optional[BaseException] = None
         self.resubmits = 0
+        #: Caller's round-trip span (None when the request is untraced).
+        self.span = span
+        #: Span of the current dispatch; a crash ends it ("crashed") and
+        #: the resubmission opens a fresh one — retries are visible as
+        #: sibling attempt spans.
+        self.attempt = None
 
 
 class _Worker:
@@ -333,6 +373,8 @@ class DecodeWorkerPool:
         payload: bytes,
         epoch: Optional[int] = None,
         timeout: Optional[float] = None,
+        *,
+        span=None,
     ) -> bytes:
         """Decode one wire-format batch in a worker; returns wire bytes.
 
@@ -340,7 +382,9 @@ class DecodeWorkerPool:
         Blocks until the result arrives; raises
         :class:`DecodeWorkerError` on worker-side failure or timeout and
         ``ServiceError("service closed")`` when the pool closes while the
-        request is in flight.
+        request is in flight.  ``span`` (an active trace span) makes the
+        pool emit one ``worker.attempt`` child per dispatch, so crash
+        retries show up as extra attempt spans.
         """
         with self._lock:
             if self._closed:
@@ -359,13 +403,16 @@ class DecodeWorkerPool:
             self._ensure_started_locked()
             self._task_counter += 1
             task_id = self._task_counter
-            pending = _PendingDecode(payload, epoch)
+            pending = _PendingDecode(payload, epoch, span)
             self._tasks[task_id] = pending
             self._backlog.append(task_id)
             self._dispatch_locked()
         if not pending.event.wait(timeout):
             with self._lock:
                 self._tasks.pop(task_id, None)
+                attempt, pending.attempt = pending.attempt, None
+            if attempt is not None:
+                attempt.end(status="timeout")
             raise DecodeWorkerError(
                 f"decode did not complete within {timeout}s"
             )
@@ -430,6 +477,13 @@ class DecodeWorkerPool:
             if task_id is None:
                 return
             pending = self._tasks[task_id]
+            if pending.span is not None:
+                # One attempt span per dispatch (attempt numbering is
+                # 1-based); crash recovery ends it as "crashed" and the
+                # resubmitted dispatch opens the next one.
+                pending.attempt = pending.span.child(
+                    "worker.attempt", attempt=pending.resubmits + 1
+                )
             try:
                 worker.conn.send((task_id, pending.epoch, pending.payload))
             except (OSError, ValueError, BrokenPipeError):
@@ -473,6 +527,9 @@ class DecodeWorkerPool:
                 # The waiter is gone (timed out or failed at close).
                 return
             self._decodes += 1
+            attempt, pending.attempt = pending.attempt, None
+        if attempt is not None:
+            attempt.end(status="error" if error is not None else None)
         if error is not None:
             pending.error = DecodeWorkerError(
                 f"decode worker failed: {error}"
@@ -491,6 +548,7 @@ class DecodeWorkerPool:
         forever.
         """
         failed: Optional[_PendingDecode] = None
+        crashed_attempt = None
         with self._lock:
             if self._closed or worker not in self._workers:
                 return
@@ -505,6 +563,7 @@ class DecodeWorkerPool:
             task_id = worker.inflight
             if task_id is not None and task_id in self._tasks:
                 pending = self._tasks[task_id]
+                crashed_attempt, pending.attempt = pending.attempt, None
                 pending.resubmits += 1
                 if pending.resubmits > self.max_task_retries:
                     del self._tasks[task_id]
@@ -512,6 +571,8 @@ class DecodeWorkerPool:
                 else:
                     self._backlog.appendleft(task_id)
             self._dispatch_locked()
+        if crashed_attempt is not None:
+            crashed_attempt.end(status="crashed")
         if failed is not None:
             failed.error = DecodeWorkerError(
                 f"decode task abandoned after {self.max_task_retries} "
@@ -553,6 +614,9 @@ class DecodeWorkerPool:
             pending = list(self._tasks.values())
             self._tasks.clear()
         for item in pending:
+            attempt, item.attempt = item.attempt, None
+            if attempt is not None:
+                attempt.end(status="closed")
             item.error = ServiceError("service closed")
             item.event.set()
         deadline = None if timeout is None else time.monotonic() + timeout
@@ -700,11 +764,36 @@ class WorkerDecodeScheduler:
     def _decode_remote(
         self, graphs: Sequence[ComputationalGraph]
     ) -> Tuple[List[List[str]], List[float]]:
+        # Propagate the active trace (if any) across the process
+        # boundary: the round-trip span's ids travel in the request
+        # frame, the worker's sub-span records come home in the
+        # response frame, and ingest() re-exports them — one span tree
+        # spanning two processes.
+        parent = current_span()
+        roundtrip = None
+        trace_ctx = None
+        if parent is not None:
+            roundtrip = parent.child(
+                "decode.workers", batch_size=len(graphs), epoch=self._epoch
+            )
+            trace_ctx = {
+                "trace_id": roundtrip.trace_id,
+                "span_id": roundtrip.span_id,
+            }
         payload = wire.encode_decode_request(
-            graphs, options_key=self.options_fingerprint()
+            graphs, options_key=self.options_fingerprint(), trace=trace_ctx
         )
-        raw = self._pool.submit(payload, epoch=self._epoch)
-        response = wire.decode_decode_response(raw)
+        try:
+            raw = self._pool.submit(payload, epoch=self._epoch, span=roundtrip)
+            response = wire.decode_decode_response(raw)
+        except BaseException:
+            if roundtrip is not None:
+                roundtrip.end(status="error")
+            raise
+        if roundtrip is not None:
+            if response.spans:
+                roundtrip.tracer.ingest(response.spans)
+            roundtrip.end()
         if len(response.orders) != len(graphs):
             raise DecodeWorkerError(
                 f"worker returned {len(response.orders)} orders for "
@@ -730,19 +819,24 @@ class WorkerDecodeScheduler:
         if num_stages < 1:
             raise SchedulingError("num_stages must be at least 1")
         inner = self._inner
+        parent = current_span()
         with Timer() as timer:
             orders, log_probs = self._decode_remote([graph])
-            raw = pack_sequence(
-                graph,
-                orders[0],
-                num_stages,
-                budget_slack=inner.budget_slack,  # type: ignore[attr-defined]
+            pp_span = (
+                parent.child("postprocess") if parent is not None else NOOP_SPAN
             )
-            violations = len(raw.dependency_violations())
-            schedule = postprocess_schedule(
-                raw,
-                enforce_siblings=inner.enforce_siblings,  # type: ignore[attr-defined]
-            )
+            with pp_span:
+                raw = pack_sequence(
+                    graph,
+                    orders[0],
+                    num_stages,
+                    budget_slack=inner.budget_slack,  # type: ignore[attr-defined]
+                )
+                violations = len(raw.dependency_violations())
+                schedule = postprocess_schedule(
+                    raw,
+                    enforce_siblings=inner.enforce_siblings,  # type: ignore[attr-defined]
+                )
         return ScheduleResult(
             schedule=schedule,
             solve_time=timer.elapsed,
@@ -766,24 +860,31 @@ class WorkerDecodeScheduler:
         if not graphs:
             return []
         inner = self._inner
+        parent = current_span()
         with Timer() as timer:
             orders, log_probs = self._decode_remote(graphs)
-            schedules = []
-            violations = []
-            for b, graph in enumerate(graphs):
-                raw = pack_sequence(
-                    graph,
-                    orders[b],
-                    stage_counts[b],
-                    budget_slack=inner.budget_slack,  # type: ignore[attr-defined]
-                )
-                violations.append(len(raw.dependency_violations()))
-                schedules.append(
-                    postprocess_schedule(
-                        raw,
-                        enforce_siblings=inner.enforce_siblings,  # type: ignore[attr-defined]
+            pp_span = (
+                parent.child("postprocess", batch_size=len(graphs))
+                if parent is not None
+                else NOOP_SPAN
+            )
+            with pp_span:
+                schedules = []
+                violations = []
+                for b, graph in enumerate(graphs):
+                    raw = pack_sequence(
+                        graph,
+                        orders[b],
+                        stage_counts[b],
+                        budget_slack=inner.budget_slack,  # type: ignore[attr-defined]
                     )
-                )
+                    violations.append(len(raw.dependency_violations()))
+                    schedules.append(
+                        postprocess_schedule(
+                            raw,
+                            enforce_siblings=inner.enforce_siblings,  # type: ignore[attr-defined]
+                        )
+                    )
         amortized = timer.elapsed / len(graphs)
         return [
             ScheduleResult(

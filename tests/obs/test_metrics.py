@@ -1,0 +1,257 @@
+"""Unit tests for :mod:`repro.obs.metrics`.
+
+The histogram edge cases here (empty window, single sample, values
+landing exactly on bucket boundaries) pin the semantics the serving
+stats views rely on now that latency percentiles come from registry
+histograms instead of pooled raw-sample windows.
+"""
+
+import json
+import math
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    HistogramSnapshot,
+    MetricsRegistry,
+    dumps_json,
+    parse_prometheus_text,
+)
+
+
+class TestCounter:
+    def test_increments_accumulate(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_negative_increment_rejected(self):
+        counter = Counter("c")
+        with pytest.raises(ValueError, match=">= 0"):
+            counter.inc(-1)
+        assert counter.value == 0
+
+    def test_concurrent_increments_do_not_lose_updates(self):
+        counter = Counter("c")
+
+        def hammer():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 8000
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("g")
+        gauge.set(3.0)
+        gauge.inc(2.0)
+        gauge.dec(4.0)
+        assert gauge.value == pytest.approx(1.0)
+
+
+class TestHistogramEdgeCases:
+    def test_empty_percentile_raises(self):
+        hist = Histogram("h", bounds=(1.0, 2.0))
+        with pytest.raises(ValueError, match="empty"):
+            hist.percentile(50)
+
+    def test_empty_snapshot_mean_is_zero(self):
+        snap = Histogram("h", bounds=(1.0,)).snapshot()
+        assert snap.count == 0
+        assert snap.mean == 0.0
+
+    def test_single_sample_is_exact_for_every_quantile(self):
+        hist = Histogram("h", bounds=(1.0, 2.0, 4.0))
+        hist.observe(1.7)
+        for q in (0, 1, 50, 99, 100):
+            assert hist.percentile(q) == pytest.approx(1.7)
+
+    def test_identical_samples_are_exact(self):
+        hist = Histogram("h", bounds=(1.0, 2.0, 4.0))
+        for _ in range(10):
+            hist.observe(3.0)
+        assert hist.percentile(50) == pytest.approx(3.0)
+        assert hist.percentile(99) == pytest.approx(3.0)
+
+    def test_boundary_value_counts_in_le_bucket(self):
+        # Prometheus `le` semantics: a value exactly on a bound belongs
+        # to that bound's bucket, not the next one.
+        hist = Histogram("h", bounds=(1.0, 2.0, 4.0))
+        hist.observe(2.0)
+        snap = hist.snapshot()
+        assert snap.counts == (0, 1, 0, 0)
+
+    def test_overflow_bucket_catches_large_values(self):
+        hist = Histogram("h", bounds=(1.0, 2.0))
+        hist.observe(100.0)
+        snap = hist.snapshot()
+        assert snap.counts == (0, 0, 1)
+        assert hist.percentile(99) == pytest.approx(100.0)
+
+    def test_percentiles_clamped_to_observed_range(self):
+        hist = Histogram("h", bounds=(10.0,))
+        hist.observe(2.0)
+        hist.observe(3.0)
+        # Interpolation inside bucket [0, 10] must not escape [2, 3].
+        assert 2.0 <= hist.percentile(1) <= 3.0
+        assert 2.0 <= hist.percentile(99) <= 3.0
+
+    def test_unsorted_bounds_rejected(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Histogram("h", bounds=(2.0, 1.0))
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Histogram("h", bounds=(1.0, 1.0))
+
+    def test_default_buckets_are_strictly_increasing(self):
+        assert list(DEFAULT_LATENCY_BUCKETS) == sorted(
+            set(DEFAULT_LATENCY_BUCKETS)
+        )
+
+
+class TestSnapshotMerge:
+    def test_merge_is_lossless_for_shared_bounds(self):
+        bounds = (1.0, 2.0, 4.0)
+        a = Histogram("a", bounds=bounds)
+        b = Histogram("b", bounds=bounds)
+        for value in (0.5, 1.5, 3.0):
+            a.observe(value)
+        for value in (1.0, 8.0):
+            b.observe(value)
+        merged = a.snapshot().merge(b.snapshot())
+        direct = Histogram("all", bounds=bounds)
+        for value in (0.5, 1.5, 3.0, 1.0, 8.0):
+            direct.observe(value)
+        expected = direct.snapshot()
+        assert merged.counts == expected.counts
+        assert merged.count == expected.count
+        assert merged.sum == pytest.approx(expected.sum)
+        assert merged.min == expected.min
+        assert merged.max == expected.max
+        for q in (10, 50, 90):
+            assert merged.percentile(q) == pytest.approx(
+                expected.percentile(q)
+            )
+
+    def test_merge_rejects_mismatched_bounds(self):
+        a = Histogram("a", bounds=(1.0,)).snapshot()
+        b = Histogram("b", bounds=(2.0,)).snapshot()
+        with pytest.raises(ValueError, match="different bucket bounds"):
+            a.merge(b)
+
+    def test_merged_of_nothing_is_empty(self):
+        merged = HistogramSnapshot.merged([])
+        assert merged.count == 0
+        assert merged.mean == 0.0
+        with pytest.raises(ValueError):
+            merged.percentile(50)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        a = registry.counter("hits", route="a")
+        b = registry.counter("hits", route="a")
+        c = registry.counter("hits", route="b")
+        assert a is b
+        assert a is not c
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("x_total")
+
+    def test_counter_total_sums_matching_label_subsets(self):
+        registry = MetricsRegistry()
+        registry.counter("req", shard="0").inc(2)
+        registry.counter("req", shard="1").inc(3)
+        registry.counter("req", tier="front").inc(5)
+        assert registry.counter_total("req") == 10
+        assert registry.counter_total("req", shard="0") == 2
+        assert registry.counter_total("req", tier="front") == 5
+
+    def test_histogram_merged_across_label_sets(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat", buckets=(1.0, 2.0), shard="0").observe(0.5)
+        registry.histogram("lat", buckets=(1.0, 2.0), shard="1").observe(1.5)
+        merged = registry.histogram_merged("lat")
+        assert merged.count == 2
+        assert merged.min == 0.5
+        assert merged.max == 1.5
+
+
+class TestExposition:
+    def _populated(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "respect_requests_total", help="Requests served", shard="0"
+        ).inc(7)
+        registry.counter("respect_requests_total", shard="1").inc(3)
+        registry.gauge("respect_backlog").set(2)
+        hist = registry.histogram(
+            "respect_request_latency_seconds", buckets=(0.1, 1.0)
+        )
+        hist.observe(0.05)
+        hist.observe(0.5)
+        hist.observe(5.0)
+        return registry
+
+    def test_prometheus_round_trip_preserves_values(self):
+        registry = self._populated()
+        text = registry.render_prometheus()
+        assert "# TYPE respect_requests_total counter" in text
+        assert "# HELP respect_requests_total Requests served" in text
+        parsed = parse_prometheus_text(text)
+        series = parsed["respect_requests_total"]
+        assert series['respect_requests_total{shard="0"}'] == 7
+        assert series['respect_requests_total{shard="1"}'] == 3
+        assert parsed["respect_backlog"]["respect_backlog"] == 2
+        buckets = parsed["respect_request_latency_seconds_bucket"]
+        # Cumulative le buckets.
+        assert buckets['respect_request_latency_seconds_bucket{le="0.1"}'] == 1
+        assert buckets['respect_request_latency_seconds_bucket{le="1"}'] == 2
+        assert (
+            buckets['respect_request_latency_seconds_bucket{le="+Inf"}'] == 3
+        )
+        count = parsed["respect_request_latency_seconds_count"]
+        assert count["respect_request_latency_seconds_count"] == 3
+
+    def test_label_escaping_round_trips(self):
+        registry = MetricsRegistry()
+        registry.counter("odd", path='a"b\\c\nd').inc()
+        parsed = parse_prometheus_text(registry.render_prometheus())
+        (value,) = parsed["odd"].values()
+        assert value == 1
+
+    def test_parse_rejects_malformed_lines(self):
+        with pytest.raises(ValueError):
+            parse_prometheus_text('broken{x="y" 1')
+        with pytest.raises(ValueError):
+            parse_prometheus_text("name not_a_number")
+
+    def test_json_export_matches_instruments(self):
+        registry = self._populated()
+        payload = json.loads(dumps_json(registry))
+        by_name = {}
+        for row in payload["metrics"]:
+            by_name.setdefault(row["name"], []).append(row)
+        totals = sum(
+            row["value"] for row in by_name["respect_requests_total"]
+        )
+        assert totals == 10
+        (hist_row,) = by_name["respect_request_latency_seconds"]
+        assert hist_row["count"] == 3
+        assert hist_row["buckets"][-1]["le"] == "+Inf"
+        assert not math.isinf(hist_row["max"])

@@ -1,0 +1,81 @@
+"""Unit tests for the :class:`repro.obs.Telemetry` facade."""
+
+from repro.obs import (
+    InMemorySpanExporter,
+    MetricsRegistry,
+    NOOP_SPAN,
+    Telemetry,
+    current_span,
+)
+
+
+class TestDefaults:
+    def test_default_facade_has_real_registry_and_no_tracer(self):
+        tel = Telemetry()
+        assert isinstance(tel.registry, MetricsRegistry)
+        assert tel.tracer is None
+        assert not tel.tracing_enabled
+        # Counters work without tracing — stats views depend on this.
+        tel.counter("c").inc()
+        assert tel.counter("c").value == 1
+
+    def test_trace_entry_points_are_noop_without_tracer(self):
+        tel = Telemetry()
+        assert tel.start_trace("x") is NOOP_SPAN
+        assert tel.span("x") is NOOP_SPAN
+        span, started = tel.trace_or_current("x")
+        assert span is NOOP_SPAN
+        assert started
+
+
+class TestChildLabels:
+    def test_child_shares_registry_and_stamps_labels(self):
+        tel = Telemetry()
+        shard0 = tel.child(shard="0")
+        shard1 = tel.child(shard="1")
+        assert shard0.registry is tel.registry
+        shard0.counter("req").inc(2)
+        shard1.counter("req").inc(3)
+        assert tel.registry.counter_total("req") == 5
+        assert tel.registry.counter_total("req", shard="0") == 2
+
+    def test_nested_children_merge_labels(self):
+        tel = Telemetry().child(tier="front").child(outcome="shed")
+        tel.counter("adm").inc()
+        assert (
+            tel.registry.counter_total("adm", tier="front", outcome="shed")
+            == 1
+        )
+
+    def test_call_site_labels_override_constant_labels(self):
+        tel = Telemetry().child(shard="0")
+        tel.counter("x", shard="9").inc()
+        assert tel.registry.counter_total("x", shard="9") == 1
+        assert tel.registry.counter_total("x", shard="0") == 0
+
+
+class TestTracing:
+    def test_with_tracing_roots_sampled_spans(self):
+        exporter = InMemorySpanExporter()
+        tel = Telemetry.with_tracing(exporter)
+        assert tel.tracing_enabled
+        span = tel.start_trace("request")
+        assert span
+        span.end()
+        assert exporter.records[0]["name"] == "request"
+
+    def test_facade_labels_become_root_attrs(self):
+        exporter = InMemorySpanExporter()
+        tel = Telemetry.with_tracing(exporter).child(shard="2")
+        tel.start_trace("request").end()
+        assert exporter.records[0]["attrs"]["shard"] == "2"
+
+    def test_trace_or_current_joins_active_span(self):
+        exporter = InMemorySpanExporter()
+        tel = Telemetry.with_tracing(exporter)
+        root = tel.start_trace("outer")
+        with root.activate():
+            joined, started = tel.trace_or_current("inner")
+            assert joined is root
+            assert not started
+        assert current_span() is None

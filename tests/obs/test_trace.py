@@ -1,0 +1,202 @@
+"""Unit tests for :mod:`repro.obs.trace`."""
+
+import threading
+
+import pytest
+
+from repro.obs.trace import (
+    InMemorySpanExporter,
+    JsonlSpanExporter,
+    NOOP_SPAN,
+    Tracer,
+    build_trace_tree,
+    current_span,
+    format_span_tree,
+    new_trace_id,
+)
+
+
+@pytest.fixture()
+def exporter():
+    return InMemorySpanExporter()
+
+
+@pytest.fixture()
+def tracer(exporter):
+    return Tracer(exporter=exporter, sample_rate=1.0)
+
+
+class TestSpanLifecycle:
+    def test_root_and_child_share_trace_and_link_parent(
+        self, tracer, exporter
+    ):
+        root = tracer.start_trace("request", method="respect")
+        child = root.child("lookup", tier="memory")
+        child.end()
+        root.end()
+        records = exporter.records
+        assert len(records) == 2
+        lookup, request = records
+        assert lookup["name"] == "lookup"
+        assert lookup["trace_id"] == request["trace_id"]
+        assert lookup["parent_id"] == request["span_id"]
+        assert request["parent_id"] is None
+        assert request["attrs"]["method"] == "respect"
+
+    def test_end_is_idempotent_and_exports_once(self, tracer, exporter):
+        span = tracer.start_trace("once")
+        span.end()
+        span.end()
+        assert len(exporter.records) == 1
+
+    def test_context_manager_activates_and_ends(self, tracer, exporter):
+        with tracer.start_trace("outer") as outer:
+            assert current_span() is outer
+            with outer.child("inner") as inner:
+                assert current_span() is inner
+            assert current_span() is outer
+        assert current_span() is None
+        assert [r["name"] for r in exporter.records] == ["inner", "outer"]
+
+    def test_activate_nests_without_ending(self, tracer, exporter):
+        span = tracer.start_trace("root")
+        with span.activate():
+            assert current_span() is span
+        assert current_span() is None
+        assert exporter.records == []  # still open
+        span.end()
+        assert len(exporter.records) == 1
+
+    def test_exception_marks_span_error(self, tracer, exporter):
+        with pytest.raises(RuntimeError):
+            with tracer.start_trace("boom"):
+                raise RuntimeError("nope")
+        (record,) = exporter.records
+        assert record["status"] == "error"
+
+    def test_active_span_is_thread_local(self, tracer):
+        root = tracer.start_trace("root")
+        seen = []
+        with root.activate():
+
+            def probe():
+                seen.append(current_span())
+
+            thread = threading.Thread(target=probe)
+            thread.start()
+            thread.join()
+        assert seen == [None]
+
+
+class TestSampling:
+    def test_disabled_tracer_returns_noop(self):
+        assert Tracer(exporter=None).start_trace("x") is NOOP_SPAN
+        assert (
+            Tracer(exporter=InMemorySpanExporter(), sample_rate=0.0)
+            .start_trace("x")
+            is NOOP_SPAN
+        )
+
+    def test_noop_span_is_falsy_and_chainable(self):
+        assert not NOOP_SPAN
+        assert NOOP_SPAN.child("x") is NOOP_SPAN
+        NOOP_SPAN.set_attr("a", 1).add_event("e")
+        with NOOP_SPAN as span:
+            assert span is NOOP_SPAN
+        assert current_span() is None
+
+    def test_fractional_sampling_is_seeded_and_partial(self, exporter):
+        tracer = Tracer(exporter=exporter, sample_rate=0.5, seed=7)
+        outcomes = [bool(tracer.start_trace("t")) for _ in range(50)]
+        assert any(outcomes) and not all(outcomes)
+        tracer2 = Tracer(
+            exporter=InMemorySpanExporter(), sample_rate=0.5, seed=7
+        )
+        outcomes2 = [bool(tracer2.start_trace("t")) for _ in range(50)]
+        assert outcomes == outcomes2
+
+    def test_sample_rate_validated(self):
+        with pytest.raises(ValueError):
+            Tracer(exporter=InMemorySpanExporter(), sample_rate=1.5)
+
+    def test_record_based_sampling_decision(self, exporter):
+        assert Tracer(exporter=exporter, sample_rate=1.0).sample() is True
+        assert Tracer(exporter=None).sample() is False
+
+
+class TestRecordsAndIngest:
+    def test_record_span_exports_explicit_times(self, tracer, exporter):
+        record = tracer.record_span(
+            "sim", 10.0, 12.5, new_trace_id(), attrs={"stage": 1}
+        )
+        assert exporter.records == [record]
+        assert record["start_s"] == 10.0
+        assert record["end_s"] == 12.5
+
+    def test_ingest_accepts_wellformed_and_drops_malformed(
+        self, tracer, exporter
+    ):
+        good = {
+            "name": "worker.decode",
+            "trace_id": "t1",
+            "span_id": "s1",
+            "start_s": 1.0,
+            "end_s": 2.0,
+        }
+        accepted = tracer.ingest(
+            [
+                good,
+                {"name": "no-ids", "start_s": 1.0, "end_s": 2.0},
+                {"trace_id": "t", "span_id": "s"},  # no times
+                "not-a-mapping",
+                None,
+            ]
+        )
+        assert accepted == 1
+        assert [r["name"] for r in exporter.records] == ["worker.decode"]
+
+    def test_jsonl_exporter_round_trips(self, tmp_path):
+        path = tmp_path / "traces" / "spans.jsonl"
+        jsonl = JsonlSpanExporter(path)
+        tracer = Tracer(exporter=jsonl)
+        with tracer.start_trace("request"):
+            pass
+        records = jsonl.read_records()
+        assert len(records) == 1
+        assert records[0]["name"] == "request"
+
+
+class TestTreeBuilding:
+    def test_build_and_format_tree(self, tracer, exporter):
+        root = tracer.start_trace("request")
+        with root.activate():
+            with root.child("lookup", tier="miss"):
+                pass
+            with root.child("solve"):
+                pass
+        root.add_event("published")
+        root.end()
+        (tree,) = build_trace_tree(exporter.records)
+        assert tree["name"] == "request"
+        assert [c["name"] for c in tree["children"]] == ["lookup", "solve"]
+        rendered = format_span_tree(exporter.records)
+        assert "request" in rendered
+        assert "  lookup" in rendered
+        assert "tier" in rendered
+        assert "published" in rendered
+
+    def test_orphan_spans_become_roots(self, tracer, exporter):
+        tracer.record_span(
+            "orphan", 0.0, 1.0, "t", parent_id="missing-parent"
+        )
+        (tree,) = build_trace_tree(exporter.records)
+        assert tree["name"] == "orphan"
+
+    def test_exporter_trace_filtering(self, tracer, exporter):
+        a = tracer.start_trace("a")
+        a.end()
+        b = tracer.start_trace("b")
+        b.end()
+        ids = exporter.trace_ids()
+        assert len(ids) == 2
+        assert [r["name"] for r in exporter.trace(ids[0])] == ["a"]
