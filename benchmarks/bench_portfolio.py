@@ -1,0 +1,225 @@
+"""Benchmark — anytime portfolio quality vs. deadline budget.
+
+The anytime portfolio promises three things (ISSUE 9 acceptance bar):
+
+* **an answer at every budget** — even a 1 ms deadline gets the fastest
+  lane's schedule (and a deliberately *hanging* lane cannot stall the
+  race past its deadline);
+* **monotone quality** — more budget never yields a worse schedule
+  (best-so-far only improves, pinned per-graph from the improvement
+  trace of one 100 ms race);
+* **full budget matches the learned policy** — at the default 100 ms
+  deadline the race's winner is at least as good as the standalone
+  RESPECT policy decode, because the policy *is* one of the lanes.
+
+Method: one 100 ms race per graph (policy lane included) records the
+``improvement_trace``; the quality at each smaller budget is the
+incumbent at that cutoff (the first finisher when the cutoff precedes
+every completion — exactly what ``wait_for_first`` serves).  Quality is
+reported as ``list_objective / objective`` (>= 1 means better than the
+list-scheduler floor).  A Pareto-front sweep cell and a hanging-lane
+fault-injection cell ride along.  Standalone for CI smoke::
+
+    PYTHONPATH=src python benchmarks/bench_portfolio.py --smoke
+"""
+
+from __future__ import annotations
+
+import statistics
+import sys
+import time
+from pathlib import Path
+
+if __name__ == "__main__":  # allow `python benchmarks/bench_portfolio.py`
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.graphs.sampler import sample_synthetic_dag
+from repro.portfolio import AnytimePortfolio, PortfolioLane, pareto_front
+from repro.rl.respect import RespectScheduler
+from repro.scheduling.heuristics import ListScheduler
+from repro.tpu.quantize import quantize_graph
+from repro.utils.tables import format_table
+
+NUM_GRAPHS = 6
+NUM_NODES = 30  # the paper's evaluation graph size
+NUM_STAGES = 4
+BUDGETS_MS = (1.0, 5.0, 25.0, 100.0)
+FULL_BUDGET_MS = BUDGETS_MS[-1]
+
+#: Wall-clock bound for the fault-injection cell on noisy single-core
+#: runners: the race must answer well under this even with a hung lane.
+FAULT_SLACK_MS = 5_000.0
+
+
+def _graphs(num_graphs):
+    return [
+        quantize_graph(
+            sample_synthetic_dag(num_nodes=NUM_NODES, degree=3, seed=seed)
+        )
+        for seed in range(num_graphs)
+    ]
+
+
+class _HangingScheduler:
+    """A lane that spins until the race's stop flag fires."""
+
+    def __init__(self, should_stop):
+        self._should_stop = should_stop
+
+    def schedule(self, graph, num_stages):
+        from repro.errors import SolverError
+
+        while not self._should_stop():
+            time.sleep(0.005)
+        raise SolverError("hung lane cancelled")
+
+
+def _quality_at(trace, budget_ms):
+    """Best objective at the cutoff (first finisher when none made it)."""
+    reached = [objective for _, ms, objective in trace if ms <= budget_ms]
+    if reached:
+        return min(reached)
+    return trace[0][2]
+
+
+def run_portfolio_bench(num_graphs=NUM_GRAPHS, seed=0):
+    graphs = _graphs(num_graphs)
+    policy = RespectScheduler()
+    portfolio = AnytimePortfolio(
+        policy=policy, deadline_ms=FULL_BUDGET_MS, seed=seed
+    )
+
+    per_budget = {budget: [] for budget in BUDGETS_MS}
+    policy_ratios = []
+    front_sizes = []
+    races_complete = 0
+    for graph in graphs:
+        list_objective = (
+            ListScheduler().schedule(graph, NUM_STAGES).schedule.objective()
+        )
+        result = portfolio.schedule(graph, NUM_STAGES)
+        races_complete += bool(result.extras["anytime_complete"])
+        trace = result.extras["improvement_trace"]
+        for budget in BUDGETS_MS:
+            per_budget[budget].append(list_objective / _quality_at(trace, budget))
+        policy_objective = (
+            policy.schedule(graph, NUM_STAGES).schedule.objective()
+        )
+        policy_ratios.append(list_objective / policy_objective)
+        front_sizes.append(len(pareto_front(graph, NUM_STAGES).points))
+
+    # Fault injection: a hung lane must not stall the race.
+    fault_lanes = [
+        PortfolioLane("list", lambda stop: ListScheduler()),
+        PortfolioLane("hang", lambda stop: _HangingScheduler(stop)),
+    ]
+    fault_portfolio = AnytimePortfolio(
+        lanes=fault_lanes, deadline_ms=FULL_BUDGET_MS
+    )
+    fault_answer_ms = []
+    for graph in graphs:
+        start = time.perf_counter()
+        fault_result = fault_portfolio.schedule(graph, NUM_STAGES)
+        fault_answer_ms.append((time.perf_counter() - start) * 1000.0)
+        assert fault_result.extras["winning_lane"] == "list"
+
+    quality = {
+        budget: statistics.fmean(per_budget[budget]) for budget in BUDGETS_MS
+    }
+    policy_quality = statistics.fmean(policy_ratios)
+    metrics = {
+        "num_graphs": num_graphs,
+        "quality_ratio_1ms": quality[1.0],
+        "quality_ratio_5ms": quality[5.0],
+        "quality_ratio_25ms": quality[25.0],
+        "quality_ratio_100ms": quality[100.0],
+        "policy_quality_ratio": policy_quality,
+        "races_complete": races_complete,
+        "front_points_mean": statistics.fmean(front_sizes),
+        "fault_answer_ms_max": max(fault_answer_ms),
+        "fault_answer_ms_mean": statistics.fmean(fault_answer_ms),
+    }
+
+    table = format_table(
+        ["budget", "quality vs list (mean)", "note"],
+        [
+            [
+                f"{budget:g} ms",
+                f"{quality[budget]:.3f}x",
+                "full deadline" if budget == FULL_BUDGET_MS else "",
+            ]
+            for budget in BUDGETS_MS
+        ]
+        + [
+            ["policy alone", f"{policy_quality:.3f}x", "RESPECT decode"],
+            [
+                "fault cell",
+                f"{metrics['fault_answer_ms_max']:.1f} ms max",
+                "hung lane, still answers",
+            ],
+        ],
+        title=(
+            f"Anytime portfolio quality vs deadline — {num_graphs} graphs "
+            f"(|V|={NUM_NODES}, {NUM_STAGES} stages), quality = "
+            f"list_objective / objective (higher is better), "
+            f"mean Pareto front size {metrics['front_points_mean']:.1f}"
+        ),
+    )
+    return table, metrics
+
+
+def test_portfolio_quality_vs_deadline(emit):
+    """Full acceptance run: monotone quality, policy parity, fault bound."""
+    rendered, measured = run_portfolio_bench()
+    emit("portfolio", rendered, metrics=dict(measured), seed=0)
+    # Quality never degrades as the budget grows (per-graph the
+    # incumbent is monotone, so the mean ratio is too).
+    assert (
+        measured["quality_ratio_1ms"]
+        <= measured["quality_ratio_5ms"]
+        <= measured["quality_ratio_25ms"]
+        <= measured["quality_ratio_100ms"]
+    )
+    # The full budget matches/beats the standalone learned policy
+    # (the policy is a lane, so the winner can only be >= it; float
+    # division gets a hair of tolerance).
+    assert measured["quality_ratio_100ms"] >= measured["policy_quality_ratio"] - 1e-9
+    # A hung lane never stalls the answer past the deadline + slack.
+    assert measured["fault_answer_ms_max"] < FAULT_SLACK_MS
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="reduced CI configuration: fewer graphs, bars not asserted",
+    )
+    args = parser.parse_args(argv)
+
+    rendered, measured = run_portfolio_bench(
+        num_graphs=3 if args.smoke else NUM_GRAPHS
+    )
+    from bench_json import write_bench_json
+
+    write_bench_json("portfolio", dict(measured), seed=0)
+    print(rendered)
+    if not args.smoke:
+        if not (
+            measured["quality_ratio_1ms"]
+            <= measured["quality_ratio_5ms"]
+            <= measured["quality_ratio_25ms"]
+            <= measured["quality_ratio_100ms"]
+        ):
+            print("FAIL: quality not monotone in budget", file=sys.stderr)
+            return 1
+        if measured["quality_ratio_100ms"] < measured["policy_quality_ratio"] - 1e-9:
+            print("FAIL: full budget loses to standalone policy", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -69,6 +69,16 @@ BENCH_REQUIRED_METRICS = {
         "histogram_observe_ns",
         "num_requests",
     ),
+    "portfolio": (
+        "num_graphs",
+        "quality_ratio_1ms",
+        "quality_ratio_5ms",
+        "quality_ratio_25ms",
+        "quality_ratio_100ms",
+        "policy_quality_ratio",
+        "front_points_mean",
+        "fault_answer_ms_max",
+    ),
 }
 
 

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Compact a :class:`DiskScheduleStore` directory offline.
+
+The store's segment log is append-only: superseded entry versions,
+invalidated (tombstoned) groups and the tombstones themselves stay on
+disk as dead bytes until a compaction pass rewrites the live entries
+into fresh segments.  Run this against a store directory no service is
+currently holding open (compaction is in-process, not cross-process).
+
+Usage::
+
+    PYTHONPATH=src python scripts/compact_store.py STORE_DIR          # compact
+    PYTHONPATH=src python scripts/compact_store.py STORE_DIR --stats  # inspect only
+    PYTHONPATH=src python scripts/compact_store.py STORE_DIR --json   # machine output
+
+Exits 0 on success (including the nothing-to-reclaim case), 2 on a
+missing/invalid store directory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import asdict
+from pathlib import Path
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("directory", help="DiskScheduleStore root directory")
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print store stats and exit without compacting",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the result as JSON"
+    )
+    args = parser.parse_args(argv)
+
+    root = Path(args.directory)
+    if not (root / "segments").is_dir():
+        print(
+            f"error: {root} is not a DiskScheduleStore directory "
+            "(no segments/ subdirectory)",
+            file=sys.stderr,
+        )
+        return 2
+
+    from repro.service.store import DiskScheduleStore
+
+    with DiskScheduleStore(root) as store:
+        if args.stats:
+            payload = asdict(store.stats())
+            if args.json:
+                print(json.dumps(payload, indent=2, sort_keys=True))
+            else:
+                for name, value in sorted(payload.items()):
+                    print(f"{name:>24}: {value}")
+            return 0
+        result = store.compact()
+
+    payload = asdict(result)
+    payload["bytes_reclaimed"] = result.bytes_reclaimed
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(
+            f"compacted {root}: {result.segments_before} -> "
+            f"{result.segments_after} segments, "
+            f"{result.entries_live} live entries "
+            f"({result.entries_dropped} dropped), "
+            f"{result.bytes_before} -> {result.bytes_after} bytes "
+            f"({result.bytes_reclaimed} reclaimed)"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,60 @@
+"""Anytime solver portfolio + multi-objective Pareto scheduling.
+
+Three pieces:
+
+* :mod:`repro.portfolio.objectives` — evaluate any schedule on the
+  four platform objectives (period, latency, energy, SRAM reload),
+  Pareto dominance, and per-graph front extraction over the solver
+  suite;
+* :mod:`repro.portfolio.anytime` — ``AnytimePortfolio``, racing solver
+  lanes under a wall-clock ``deadline_ms`` with cooperative
+  cancellation, answering from the best-so-far with full provenance;
+* :mod:`repro.portfolio.degrade` — the pressure-ranked
+  policy → heuristic → cached-nearest ``DegradeLadder`` the sharded
+  tier uses instead of cliffing to ``ListScheduler`` under overload.
+
+See the README "Anytime portfolio & Pareto scheduling" section and
+``examples/anytime_portfolio.py``.
+"""
+
+from repro.portfolio.anytime import (
+    DEFAULT_DEADLINE_MS,
+    AnytimePortfolio,
+    PortfolioLane,
+    StopToken,
+    default_lanes,
+)
+from repro.portfolio.degrade import (
+    LADDER_RUNGS,
+    CachedNearestIndex,
+    DegradeLadder,
+)
+from repro.portfolio.objectives import (
+    ObjectiveVector,
+    ParetoFront,
+    ParetoPoint,
+    default_sweep_solvers,
+    dominates,
+    evaluate_schedule,
+    pareto_filter,
+    pareto_front,
+)
+
+__all__ = [
+    "AnytimePortfolio",
+    "CachedNearestIndex",
+    "DEFAULT_DEADLINE_MS",
+    "DegradeLadder",
+    "LADDER_RUNGS",
+    "ObjectiveVector",
+    "ParetoFront",
+    "ParetoPoint",
+    "PortfolioLane",
+    "StopToken",
+    "default_lanes",
+    "default_sweep_solvers",
+    "dominates",
+    "evaluate_schedule",
+    "pareto_filter",
+    "pareto_front",
+]

@@ -1,0 +1,440 @@
+"""Deadline-bounded anytime scheduling via a racing solver portfolio.
+
+``AnytimePortfolio`` runs several solver *lanes* (learned policy,
+heuristics, simulated annealing, branch-and-bound, optionally ILP)
+concurrently under a wall-clock ``deadline_ms`` and answers from the
+best schedule found when the deadline expires.  Long-running solvers
+participate cooperatively: each lane's factory receives a
+``should_stop`` callable (backed by one shared :class:`StopToken`) that
+the annealing/BnB/ILP schedulers poll, so the moment the deadline fires
+every lane winds down and returns its incumbent instead of burning CPU
+past the answer.
+
+Guarantees:
+
+* **An answer always arrives.**  If no lane has finished at the
+  deadline the portfolio waits for the *first* completion — the default
+  lane set includes the microsecond-scale list scheduler, so the
+  scheduling slack beyond ``deadline_ms`` is bounded by the fastest
+  lane even when another lane hangs (the fault-injection tests pin
+  this down).
+* **Complete runs are deterministic.**  When every lane runs to natural
+  completion (``extras["anytime_complete"]``), the winner is the
+  best objective with ties broken by lane order — independent of
+  thread-finish order — so only complete results are safe to publish
+  into the fingerprint cache (the serving layer enforces this).
+
+Provenance rides in ``ScheduleResult.extras``: ``winning_lane``,
+``lanes_completed``, ``lanes_failed``, an ``improvement_trace`` of
+``(lane, ms_since_start, objective)`` entries recorded whenever the
+incumbent improved, plus ``deadline_ms`` / ``deadline_hit`` /
+``anytime_complete``.  When a :class:`~repro.obs.Telemetry` facade is
+attached, every lane increments ``respect_portfolio_lane_total{lane,
+outcome}`` and — inside a sampled request — emits a ``portfolio.lane``
+span parented to the caller's active span.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import RespectError, SchedulingError
+from repro.graphs.dag import ComputationalGraph
+from repro.obs import Telemetry, current_span
+from repro.scheduling.annealing import SimulatedAnnealingScheduler
+from repro.scheduling.bnb import BranchAndBoundScheduler
+from repro.scheduling.force_directed import ForceDirectedScheduler
+from repro.scheduling.heuristics import ListScheduler
+from repro.scheduling.schedule import DEFAULT_COMM_WEIGHT, ScheduleResult
+
+#: Default wall-clock budget: enough for every default lane to finish on
+#: the paper-scale graphs, so uncontended requests get the full-quality
+#: (deterministic, cacheable) answer.
+DEFAULT_DEADLINE_MS = 100.0
+
+#: Iterations for the annealing lane — sized so the lane keeps improving
+#: throughout a ~100 ms budget instead of converging instantly.
+_LANE_ANNEALING_ITERATIONS = 6000
+
+#: Node budget for the branch-and-bound lane; generous because the
+#: deadline, not the budget, is the real limit.
+_LANE_BNB_NODE_BUDGET = 5_000_000
+
+
+class StopToken:
+    """Shared cancellation flag; calling the token reads it.
+
+    Instances are valid ``should_stop`` callables for the annealing,
+    branch-and-bound and ILP schedulers.
+    """
+
+    __slots__ = ("_event",)
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+
+    def stop(self) -> None:
+        self._event.set()
+
+    def stopped(self) -> bool:
+        return self._event.is_set()
+
+    __call__ = stopped
+
+
+@dataclass(frozen=True)
+class PortfolioLane:
+    """One racing lane: a name plus a scheduler factory.
+
+    The factory receives the race's ``should_stop`` callable and returns
+    a scheduler exposing ``schedule(graph, num_stages)``.  Fast lanes
+    may ignore the callable; long-running ones should pass it through to
+    their cooperative-cancellation hook.
+    """
+
+    name: str
+    factory: Callable[[Callable[[], bool]], Any]
+
+
+def default_lanes(
+    policy: Optional[Any] = None, seed: int = 0
+) -> List[PortfolioLane]:
+    """The default lane set, in deterministic tie-break priority order.
+
+    ``list`` is first: it is the guaranteed microsecond-scale answer
+    (and wins ties only when nothing strictly better finished).  The
+    learned ``policy`` lane (pass a
+    :class:`~repro.rl.respect.RespectScheduler`) slots in ahead of the
+    search lanes when provided.
+    """
+    lanes = [PortfolioLane("list", lambda stop: ListScheduler())]
+    if policy is not None:
+        lanes.append(PortfolioLane("policy", lambda stop: policy))
+    lanes.extend(
+        [
+            PortfolioLane(
+                "force_directed", lambda stop: ForceDirectedScheduler()
+            ),
+            PortfolioLane(
+                "annealing",
+                lambda stop: SimulatedAnnealingScheduler(
+                    iterations=_LANE_ANNEALING_ITERATIONS,
+                    seed=seed,
+                    should_stop=stop,
+                ),
+            ),
+            PortfolioLane(
+                "branch_and_bound",
+                lambda stop: BranchAndBoundScheduler(
+                    objective="weighted",
+                    node_budget=_LANE_BNB_NODE_BUDGET,
+                    should_stop=stop,
+                ),
+            ),
+        ]
+    )
+    return lanes
+
+
+class _RaceState:
+    """Mutable racing state shared between lane threads (lock-guarded)."""
+
+    __slots__ = (
+        "best_result",
+        "best_objective",
+        "best_lane",
+        "best_priority",
+        "trace",
+        "completed",
+        "failed",
+        "stopped_lanes",
+        "outstanding",
+    )
+
+    def __init__(self, num_lanes: int) -> None:
+        self.best_result: Optional[ScheduleResult] = None
+        self.best_objective = float("inf")
+        self.best_lane = ""
+        self.best_priority = num_lanes
+        self.trace: List[Tuple[str, float, float]] = []
+        self.completed: List[str] = []
+        self.failed: Dict[str, str] = {}
+        self.stopped_lanes: List[str] = []
+        self.outstanding = num_lanes
+
+
+class AnytimePortfolio:
+    """Race solver lanes under a wall-clock deadline; answer best-so-far.
+
+    Drop-in scheduler: exposes ``schedule(graph, num_stages)`` (using
+    the construction-time ``deadline_ms``) plus the per-request
+    :meth:`schedule_with_deadline`.
+
+    Parameters
+    ----------
+    lanes:
+        Racing lanes; defaults to :func:`default_lanes` (optionally
+        around ``policy``).  Lane order is the deterministic tie-break
+        priority.
+    policy:
+        Convenience: a learned-policy scheduler inserted into the
+        default lane set (ignored when ``lanes`` is given).
+    deadline_ms:
+        Default wall-clock budget per request.
+    comm_weight:
+        Weight of the communication term in the quality metric used to
+        rank lane results (the classic scalar objective).
+    seed:
+        Seed for the default stochastic lanes.
+    telemetry:
+        Optional :class:`~repro.obs.Telemetry`; enables per-lane outcome
+        counters and ``portfolio.lane`` spans inside sampled requests.
+    """
+
+    method_name = "anytime_portfolio"
+
+    def __init__(
+        self,
+        lanes: Optional[Sequence[PortfolioLane]] = None,
+        policy: Optional[Any] = None,
+        deadline_ms: float = DEFAULT_DEADLINE_MS,
+        comm_weight: float = DEFAULT_COMM_WEIGHT,
+        seed: int = 0,
+        telemetry: Optional[Telemetry] = None,
+    ) -> None:
+        if deadline_ms <= 0:
+            raise SchedulingError("deadline_ms must be positive")
+        if comm_weight < 0:
+            raise SchedulingError("comm_weight must be non-negative")
+        resolved = list(lanes) if lanes is not None else default_lanes(policy, seed)
+        if not resolved:
+            raise SchedulingError("AnytimePortfolio needs at least one lane")
+        names = [lane.name for lane in resolved]
+        if len(set(names)) != len(names):
+            raise SchedulingError(f"duplicate lane names: {names}")
+        self.lanes: Tuple[PortfolioLane, ...] = tuple(resolved)
+        self.deadline_ms = deadline_ms
+        self.comm_weight = comm_weight
+        self.seed = seed
+        self._telemetry = telemetry
+
+    # ------------------------------------------------------------------
+    def options_fingerprint(self) -> str:
+        """Content digest over the lane set and ranking options.
+
+        Built from each lane scheduler's own options key (constructed
+        with a never-firing stop hook), so portfolios over
+        differently-configured lanes never share cache entries.
+        """
+        from repro.service.service import scheduler_options_key
+
+        import hashlib
+
+        parts = [type(self).__qualname__, repr(self.comm_weight), repr(self.seed)]
+        for lane in self.lanes:
+            parts.append(lane.name)
+            parts.append(scheduler_options_key(lane.factory(lambda: False)))
+        return hashlib.sha256("|".join(parts).encode("utf-8")).hexdigest()
+
+    # ------------------------------------------------------------------
+    def schedule(
+        self, graph: ComputationalGraph, num_stages: int
+    ) -> ScheduleResult:
+        return self.schedule_with_deadline(graph, num_stages, self.deadline_ms)
+
+    # ------------------------------------------------------------------
+    def schedule_with_deadline(
+        self,
+        graph: ComputationalGraph,
+        num_stages: int,
+        deadline_ms: Optional[float] = None,
+        wait_for_first: bool = True,
+    ) -> Optional[ScheduleResult]:
+        """Race every lane for up to ``deadline_ms``; return the best.
+
+        With ``wait_for_first=True`` (default) a late race still blocks
+        until the first lane completes, so a result is guaranteed unless
+        every lane fails (then :class:`SchedulingError` summarizes the
+        per-lane errors).  With ``wait_for_first=False`` an empty race
+        returns ``None`` at the deadline — the degrade ladder uses this
+        to probe the policy rung without stalling the overload path.
+        """
+        budget_ms = self.deadline_ms if deadline_ms is None else deadline_ms
+        if budget_ms <= 0:
+            raise SchedulingError("deadline_ms must be positive")
+        stop = StopToken()
+        cond = threading.Condition()
+        state = _RaceState(len(self.lanes))
+        start = time.perf_counter()
+        parent_span = current_span()
+
+        for priority, lane in enumerate(self.lanes):
+            thread = threading.Thread(
+                target=self._run_lane,
+                args=(lane, priority, stop, cond, state, graph, num_stages,
+                      start, parent_span),
+                name=f"portfolio-{lane.name}",
+                daemon=True,
+            )
+            thread.start()
+
+        deadline_at = start + budget_ms / 1000.0
+        with cond:
+            while state.outstanding > 0:
+                remaining = deadline_at - time.perf_counter()
+                if remaining <= 0:
+                    break
+                cond.wait(remaining)
+            answered_by_deadline = state.best_result is not None
+            complete = state.outstanding == 0 and not state.stopped_lanes
+        stop.stop()
+
+        if state.best_result is None and wait_for_first:
+            with cond:
+                while state.best_result is None and state.outstanding > 0:
+                    cond.wait()
+        with cond:
+            best = state.best_result
+            snapshot = (
+                state.best_lane,
+                list(state.completed),
+                dict(state.failed),
+                list(state.trace),
+                state.best_objective,
+            )
+        if best is None:
+            if not wait_for_first:
+                self._count_deadline("abandoned")
+                return None
+            raise SchedulingError(
+                f"every portfolio lane failed on {graph.name!r}: "
+                f"{snapshot[2]}"
+            )
+        best_lane, completed, failed, trace, best_objective = snapshot
+        elapsed = time.perf_counter() - start
+        self._count_deadline("hit" if answered_by_deadline else "miss")
+        return ScheduleResult(
+            schedule=best.schedule,
+            solve_time=elapsed,
+            method=self.method_name,
+            objective=best_objective,
+            status="complete" if complete else "anytime",
+            extras={
+                "winning_lane": best_lane,
+                "winning_method": best.method,
+                "winning_status": best.status,
+                "lanes_total": len(self.lanes),
+                "lanes_completed": tuple(completed),
+                "lanes_failed": dict(failed),
+                "improvement_trace": tuple(
+                    (lane, round(ms, 3), objective)
+                    for lane, ms, objective in trace
+                ),
+                "deadline_ms": budget_ms,
+                "deadline_hit": answered_by_deadline,
+                "anytime_complete": complete,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    def _run_lane(
+        self,
+        lane: PortfolioLane,
+        priority: int,
+        stop: StopToken,
+        cond: threading.Condition,
+        state: _RaceState,
+        graph: ComputationalGraph,
+        num_stages: int,
+        race_start: float,
+        parent_span: Optional[Any],
+    ) -> None:
+        lane_start = time.perf_counter()
+        outcome = "completed"
+        objective: Optional[float] = None
+        error: Optional[str] = None
+        try:
+            scheduler = lane.factory(stop)
+            result = scheduler.schedule(graph, num_stages)
+        except RespectError as exc:
+            outcome, error = "error", f"{type(exc).__name__}: {exc}"
+        except Exception as exc:  # lane bugs must not kill the race
+            outcome, error = "crashed", f"{type(exc).__name__}: {exc}"
+        lane_end = time.perf_counter()
+        if error is not None:
+            with cond:
+                state.failed[lane.name] = error
+                state.outstanding -= 1
+                cond.notify_all()
+        else:
+            objective = result.schedule.objective(self.comm_weight)
+            stopped_early = bool(result.extras.get("stopped_early"))
+            if stopped_early:
+                outcome = "stopped"
+            with cond:
+                state.completed.append(lane.name)
+                if stopped_early:
+                    state.stopped_lanes.append(lane.name)
+                if (objective, priority) < (
+                    state.best_objective,
+                    state.best_priority,
+                ):
+                    state.best_result = result
+                    state.best_objective = objective
+                    state.best_lane = lane.name
+                    state.best_priority = priority
+                    state.trace.append(
+                        (lane.name, (lane_end - race_start) * 1000.0, objective)
+                    )
+                state.outstanding -= 1
+                cond.notify_all()
+        self._record_lane(
+            lane.name, outcome, objective, lane_start, lane_end, parent_span
+        )
+
+    # ------------------------------------------------------------------
+    def _count_deadline(self, outcome: str) -> None:
+        if self._telemetry is not None:
+            self._telemetry.counter(
+                "respect_portfolio_races_total",
+                "Anytime portfolio races by deadline outcome.",
+                outcome=outcome,
+            ).inc()
+
+    def _record_lane(
+        self,
+        lane: str,
+        outcome: str,
+        objective: Optional[float],
+        start_s: float,
+        end_s: float,
+        parent_span: Optional[Any],
+    ) -> None:
+        tel = self._telemetry
+        if tel is None:
+            return
+        tel.counter(
+            "respect_portfolio_lane_total",
+            "Anytime portfolio lane results by outcome.",
+            lane=lane,
+            outcome=outcome,
+        ).inc()
+        tracer = tel.tracer
+        trace_id = getattr(parent_span, "trace_id", None)
+        if tracer is None or not trace_id:
+            return
+        attrs: Dict[str, Any] = {"lane": lane, "outcome": outcome}
+        if objective is not None:
+            attrs["objective"] = objective
+        tracer.record_span(
+            "portfolio.lane",
+            start_s,
+            end_s,
+            trace_id,
+            parent_id=getattr(parent_span, "span_id", None),
+            status="ok" if outcome in ("completed", "stopped") else "error",
+            attrs=attrs,
+        )

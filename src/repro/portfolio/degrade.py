@@ -1,0 +1,306 @@
+"""Graceful-degradation ladder for the overloaded serving tier.
+
+When a shard's queue saturates under ``admission="degrade"``, the
+sharded service historically cliffed straight from the learned policy to
+``ListScheduler``.  :class:`DegradeLadder` replaces that cliff with a
+pressure-ranked ladder of rungs, each cheaper (and lower-fidelity) than
+the one above:
+
+``policy``
+    A wall-clock-budgeted probe of the learned policy (or any
+    configured scheduler) on a daemon thread — answers when the policy
+    beats the probe deadline, falls through otherwise.  Probes are
+    capped by ``max_inflight_probes`` so a slow policy cannot pile up
+    threads under sustained overload, and a probe that finishes *after*
+    its deadline still feeds the cached-nearest index below.
+``heuristic``
+    A fast deterministic heuristic (default
+    :class:`~repro.scheduling.force_directed.ForceDirectedScheduler`)
+    run inline.
+``cached_nearest``
+    A structural-fingerprint lookup: the stage assignment of the most
+    recent schedule served for an *isomorphic* graph, re-bound to the
+    incoming graph's nodes by insertion position and dependency-repaired.
+    Near-free, and exact for the common overload case of identical
+    model architectures arriving under different node names.
+``floor``
+    :class:`~repro.scheduling.heuristics.ListScheduler` — the guaranteed
+    answer of last resort.
+
+The entry rung slides with measured *pressure* (an exponentially
+decaying count of recent degraded requests, or an explicit value passed
+by the caller): light overload still probes the policy, sustained
+overload starts at the heuristic, severe overload answers from the
+structural cache.  That is the smooth policy → heuristic →
+cached-nearest quality degradation the roadmap asks for.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import RespectError, SchedulingError
+from repro.graphs.dag import ComputationalGraph
+from repro.graphs.fingerprint import structural_fingerprint
+from repro.scheduling.force_directed import ForceDirectedScheduler
+from repro.scheduling.heuristics import ListScheduler
+from repro.scheduling.postprocess import repair_dependencies
+from repro.scheduling.schedule import (
+    DEFAULT_COMM_WEIGHT,
+    Schedule,
+    ScheduleResult,
+)
+
+#: Rung names in ladder order (highest fidelity first).
+LADDER_RUNGS = ("policy", "heuristic", "cached_nearest", "floor")
+
+
+class CachedNearestIndex:
+    """LRU map from structural fingerprints to stage assignments.
+
+    Values are stage tuples in node-insertion order, so a lookup on an
+    isomorphic graph re-binds them by position.  Structural fingerprints
+    ignore names and insertion order, so the re-bound assignment may pair
+    stages with the "wrong" (but structurally equivalent) nodes; the
+    dependency repair pass makes it valid either way.  This is a
+    degrade-path accelerator, never a cache key — exactness is not
+    claimed.
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise SchedulingError("capacity must be positive")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Tuple[str, int, int], Tuple[int, ...]]" = (
+            OrderedDict()
+        )
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def _key(
+        self, graph: ComputationalGraph, num_stages: int
+    ) -> Tuple[str, int, int]:
+        return (structural_fingerprint(graph), num_stages, graph.num_nodes)
+
+    def observe(
+        self, graph: ComputationalGraph, num_stages: int, schedule: Schedule
+    ) -> None:
+        """Remember ``schedule`` as the exemplar for this structure."""
+        stages = tuple(schedule.assignment[name] for name in graph.node_names)
+        key = self._key(graph, num_stages)
+        with self._lock:
+            self._entries.pop(key, None)
+            self._entries[key] = stages
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def lookup(
+        self, graph: ComputationalGraph, num_stages: int
+    ) -> Optional[Schedule]:
+        """Re-bound, dependency-repaired schedule for an isomorphic graph."""
+        key = self._key(graph, num_stages)
+        with self._lock:
+            stages = self._entries.get(key)
+            if stages is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+        assignment = {
+            name: stage for name, stage in zip(graph.node_names, stages)
+        }
+        return repair_dependencies(Schedule(graph, num_stages, assignment))
+
+
+class DegradeLadder:
+    """Pressure-ranked fallback ladder for overloaded shards.
+
+    Parameters
+    ----------
+    policy:
+        Optional learned-policy scheduler for the top rung (skipped when
+        ``None``).
+    heuristic:
+        Inline scheduler for the middle rung (default force-directed).
+    index:
+        Shared :class:`CachedNearestIndex` (a private one is created
+        when omitted).  Feed it via :meth:`observe` — the sharded
+        service wires this to its serve listeners automatically.
+    probe_deadline_ms:
+        Wall-clock budget of one policy-rung probe.
+    max_inflight_probes:
+        Cap on concurrently outstanding policy probes; at the cap the
+        policy rung is skipped outright.
+    policy_pressure_limit / heuristic_pressure_limit:
+        Pressure thresholds above which the entry rung drops below the
+        policy / heuristic rung respectively.
+    pressure_half_life_ms:
+        Decay half-life of the internal pressure signal.
+    """
+
+    def __init__(
+        self,
+        policy: Optional[Any] = None,
+        heuristic: Optional[Any] = None,
+        index: Optional[CachedNearestIndex] = None,
+        probe_deadline_ms: float = 8.0,
+        max_inflight_probes: int = 4,
+        policy_pressure_limit: float = 4.0,
+        heuristic_pressure_limit: float = 32.0,
+        pressure_half_life_ms: float = 250.0,
+        comm_weight: float = DEFAULT_COMM_WEIGHT,
+    ) -> None:
+        if probe_deadline_ms <= 0:
+            raise SchedulingError("probe_deadline_ms must be positive")
+        if max_inflight_probes < 1:
+            raise SchedulingError("max_inflight_probes must be positive")
+        if not 0 < policy_pressure_limit <= heuristic_pressure_limit:
+            raise SchedulingError(
+                "need 0 < policy_pressure_limit <= heuristic_pressure_limit"
+            )
+        if pressure_half_life_ms <= 0:
+            raise SchedulingError("pressure_half_life_ms must be positive")
+        self.policy = policy
+        self.heuristic = heuristic or ForceDirectedScheduler()
+        self.index = index or CachedNearestIndex()
+        self.floor = ListScheduler()
+        self.probe_deadline_ms = probe_deadline_ms
+        self.max_inflight_probes = max_inflight_probes
+        self.policy_pressure_limit = policy_pressure_limit
+        self.heuristic_pressure_limit = heuristic_pressure_limit
+        self.pressure_half_life_ms = pressure_half_life_ms
+        self.comm_weight = comm_weight
+        self._lock = threading.Lock()
+        self._pressure = 0.0
+        self._pressure_at = time.monotonic()
+        self._inflight_probes = 0
+
+    # ------------------------------------------------------------------
+    def observe(
+        self,
+        graph: ComputationalGraph,
+        num_stages: int,
+        result: ScheduleResult,
+    ) -> None:
+        """Feed a full-quality serve into the cached-nearest index.
+
+        Degraded answers are not recorded — re-serving a floor schedule
+        from the "nearest" rung would launder its quality label.
+        """
+        if result.extras.get("degraded"):
+            return
+        self.index.observe(graph, num_stages, result.schedule)
+
+    # ------------------------------------------------------------------
+    def pressure(self) -> float:
+        """Current decayed pressure (recent degraded requests)."""
+        with self._lock:
+            return self._decayed_pressure_locked()
+
+    def _decayed_pressure_locked(self) -> float:
+        now = time.monotonic()
+        dt_ms = (now - self._pressure_at) * 1000.0
+        if dt_ms > 0:
+            self._pressure *= 0.5 ** (dt_ms / self.pressure_half_life_ms)
+            self._pressure_at = now
+        return self._pressure
+
+    def _bump_pressure(self) -> float:
+        with self._lock:
+            value = self._decayed_pressure_locked() + 1.0
+            self._pressure = value
+            return value
+
+    # ------------------------------------------------------------------
+    def serve(
+        self,
+        graph: ComputationalGraph,
+        num_stages: int,
+        pressure: Optional[float] = None,
+    ) -> Tuple[ScheduleResult, str]:
+        """Answer one degraded request; returns ``(result, rung)``.
+
+        ``pressure`` overrides the internal signal (tests and callers
+        with their own backlog measure pass it explicitly); ``None``
+        bumps-and-reads the decaying internal counter.
+        """
+        if pressure is None:
+            pressure = self._bump_pressure()
+        entry = 0
+        if pressure > self.policy_pressure_limit:
+            entry = 1
+        if pressure > self.heuristic_pressure_limit:
+            entry = 2
+
+        if entry <= 0 and self.policy is not None:
+            result = self._probe_policy(graph, num_stages)
+            if result is not None:
+                return self._finish(result, "policy", pressure)
+        if entry <= 1:
+            try:
+                result = self.heuristic.schedule(graph, num_stages)
+            except RespectError:
+                result = None
+            if result is not None:
+                return self._finish(result, "heuristic", pressure)
+        schedule = self.index.lookup(graph, num_stages)
+        if schedule is not None:
+            result = ScheduleResult(
+                schedule=schedule,
+                solve_time=0.0,
+                method="cached_nearest",
+                objective=schedule.objective(self.comm_weight),
+                status="degraded",
+                extras={"structural_index_size": len(self.index)},
+            )
+            return self._finish(result, "cached_nearest", pressure)
+        return self._finish(
+            self.floor.schedule(graph, num_stages), "floor", pressure
+        )
+
+    def _finish(
+        self, result: ScheduleResult, rung: str, pressure: float
+    ) -> Tuple[ScheduleResult, str]:
+        result.extras["degrade_rung"] = rung
+        result.extras["degrade_pressure"] = round(pressure, 3)
+        return result, rung
+
+    # ------------------------------------------------------------------
+    def _probe_policy(
+        self, graph: ComputationalGraph, num_stages: int
+    ) -> Optional[ScheduleResult]:
+        """Budgeted policy attempt; ``None`` on timeout/error/saturation."""
+        with self._lock:
+            if self._inflight_probes >= self.max_inflight_probes:
+                return None
+            self._inflight_probes += 1
+        box: Dict[str, ScheduleResult] = {}
+        done = threading.Event()
+
+        def run() -> None:
+            try:
+                result = self.policy.schedule(graph, num_stages)
+                box["result"] = result
+                # Even a probe that loses its deadline warms the
+                # structural index for the next isomorphic arrival.
+                self.index.observe(graph, num_stages, result.schedule)
+            except Exception:
+                pass
+            finally:
+                with self._lock:
+                    self._inflight_probes -= 1
+                done.set()
+
+        threading.Thread(
+            target=run, name="degrade-policy-probe", daemon=True
+        ).start()
+        done.wait(self.probe_deadline_ms / 1000.0)
+        return box.get("result")

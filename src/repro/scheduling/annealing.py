@@ -10,7 +10,7 @@ Metropolis criterion under a geometric cooling schedule.
 from __future__ import annotations
 
 import math
-from typing import Dict
+from typing import Callable, Dict, Optional
 
 from repro.errors import SchedulingError
 from repro.graphs.dag import ComputationalGraph
@@ -37,6 +37,12 @@ class SimulatedAnnealingScheduler:
         Objective weight shared with the exact schedulers.
     seed:
         RNG seed for reproducibility.
+    should_stop:
+        Optional zero-argument callable polled between moves (the anytime
+        portfolio's cooperative-cancellation hook).  When it returns
+        True the search stops and the best schedule found so far is
+        returned with ``extras["stopped_early"] = True``.  Runs that are
+        never cancelled are bit-identical to runs without the hook.
     """
 
     method_name = "simulated_annealing"
@@ -48,6 +54,7 @@ class SimulatedAnnealingScheduler:
         final_temperature: float = 1e2,
         comm_weight: float = DEFAULT_COMM_WEIGHT,
         seed: SeedLike = 0,
+        should_stop: Optional[Callable[[], bool]] = None,
     ) -> None:
         if iterations < 1:
             raise SchedulingError("iterations must be positive")
@@ -58,6 +65,7 @@ class SimulatedAnnealingScheduler:
         self.final_temperature = final_temperature
         self.comm_weight = comm_weight
         self._seed = seed
+        self._should_stop = should_stop
 
     def schedule(self, graph: ComputationalGraph, num_stages: int) -> ScheduleResult:
         if num_stages < 1:
@@ -75,7 +83,14 @@ class SimulatedAnnealingScheduler:
             )
             temperature = self.initial_temperature
             accepted = 0
+            stopped_early = False
+            iterations_run = 0
+            should_stop = self._should_stop
             for _ in range(self.iterations):
+                if should_stop is not None and should_stop():
+                    stopped_early = True
+                    break
+                iterations_run += 1
                 name = names[int(rng.integers(len(names)))]
                 lo = max(
                     (assignment[p] for p in graph.parents(name)), default=0
@@ -106,11 +121,15 @@ class SimulatedAnnealingScheduler:
                     assignment[name] = old_stage
                 temperature *= cooling
         schedule = Schedule(graph, num_stages, best_assignment)
+        extras: Dict[str, object] = {"accepted_moves": accepted}
+        if stopped_early:
+            extras["stopped_early"] = True
+            extras["iterations_run"] = iterations_run
         return ScheduleResult(
             schedule=schedule,
             solve_time=timer.elapsed,
             method=self.method_name,
             objective=best_cost,
-            status="heuristic",
-            extras={"accepted_moves": accepted},
+            status="interrupted" if stopped_early else "heuristic",
+            extras=extras,
         )

@@ -16,7 +16,7 @@ already-fixed edges, which together give an admissible bound for pruning.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import InfeasibleScheduleError, SchedulingError
 from repro.graphs.dag import ComputationalGraph
@@ -30,6 +30,14 @@ from repro.utils.timing import Timer
 _DEFAULT_MAX_NODES = 80
 _DEFAULT_NODE_BUDGET = 2_000_000
 _OBJECTIVES = ("lexicographic", "weighted")
+#: How many explored search nodes between ``should_stop`` polls; small
+#: enough to react within a fraction of a millisecond, large enough that
+#: the callable adds no measurable overhead to uncancelled runs.
+_STOP_POLL_INTERVAL = 256
+
+
+class _SearchInterrupted(Exception):
+    """Internal: unwinds the DFS when ``should_stop`` fires."""
 
 
 class BranchAndBoundScheduler:
@@ -50,6 +58,14 @@ class BranchAndBoundScheduler:
         Limit on explored search-tree nodes per phase, guarding against
         adversarial instances; exceeding it raises
         :class:`SchedulingError`.
+    should_stop:
+        Optional zero-argument callable polled every
+        ``_STOP_POLL_INTERVAL`` explored nodes (the anytime portfolio's
+        cooperative-cancellation hook).  When it returns True the search
+        unwinds and the incumbent (greedy warm start or better) is
+        returned with status ``"interrupted"`` instead of the proven
+        optimum.  Runs that are never cancelled are bit-identical to
+        runs without the hook.
     """
 
     method_name = "branch_and_bound"
@@ -61,6 +77,7 @@ class BranchAndBoundScheduler:
         peak_tolerance: float = 0.03,
         max_nodes: int = _DEFAULT_MAX_NODES,
         node_budget: int = _DEFAULT_NODE_BUDGET,
+        should_stop: Optional[Callable[[], bool]] = None,
     ) -> None:
         if objective not in _OBJECTIVES:
             raise SchedulingError(f"unknown BnB objective {objective!r}")
@@ -71,6 +88,7 @@ class BranchAndBoundScheduler:
         self.peak_tolerance = peak_tolerance
         self.max_nodes = max_nodes
         self.node_budget = node_budget
+        self._should_stop = should_stop
 
     def schedule(self, graph: ComputationalGraph, num_stages: int) -> ScheduleResult:
         """Find the exact optimal schedule by exhaustive pruned search."""
@@ -82,40 +100,52 @@ class BranchAndBoundScheduler:
                 f"got {graph.num_nodes} (use IlpScheduler instead)"
             )
         extras: Dict[str, object] = {"objective_mode": self.objective}
+        interrupted = False
         with Timer() as timer:
             if self.objective == "weighted":
-                assignment, _ = self._search(
+                assignment, _, interrupted = self._search(
                     graph, num_stages, comm_weight=self.comm_weight, peak_cap=None
                 )
             else:
                 # Phase 1: exact peak-memory optimum.
-                phase1, peak_cost = self._search(
+                phase1, peak_cost, interrupted = self._search(
                     graph, num_stages, comm_weight=0.0, peak_cap=None
                 )
                 peak_optimum = int(peak_cost)
-                cap = int(peak_optimum * (1.0 + self.peak_tolerance))
-                # Phase 2: cheapest communication within the padded cap.
-                assignment, comm_cost = self._search(
-                    graph,
-                    num_stages,
-                    comm_weight=1.0,
-                    peak_cap=cap,
-                    count_peak=False,
-                )
                 extras["peak_optimum_bytes"] = peak_optimum
-                extras["peak_cap_bytes"] = cap
-                extras["comm_bytes"] = int(comm_cost)
+                if interrupted:
+                    # Cancelled mid-phase-1: ship the incumbent rather
+                    # than starting (and instantly abandoning) phase 2.
+                    assignment = phase1
+                else:
+                    cap = int(peak_optimum * (1.0 + self.peak_tolerance))
+                    # Phase 2: cheapest communication within the cap.
+                    assignment, comm_cost, interrupted = self._search(
+                        graph,
+                        num_stages,
+                        comm_weight=1.0,
+                        peak_cap=cap,
+                        count_peak=False,
+                    )
+                    extras["peak_cap_bytes"] = cap
+                    if not assignment:
+                        # Interrupted before any cap-feasible incumbent.
+                        assignment = phase1
+                    else:
+                        extras["comm_bytes"] = int(comm_cost)
         schedule = Schedule(graph, num_stages, assignment)
         if self.objective == "lexicographic":
             objective_value = float(schedule.peak_stage_param_bytes)
         else:
             objective_value = schedule.objective(self.comm_weight)
+        if interrupted:
+            extras["stopped_early"] = True
         return ScheduleResult(
             schedule=schedule,
             solve_time=timer.elapsed,
             method=self.method_name,
             objective=objective_value,
-            status="optimal",
+            status="interrupted" if interrupted else "optimal",
             extras=extras,
         )
 
@@ -127,12 +157,15 @@ class BranchAndBoundScheduler:
         comm_weight: float,
         peak_cap: Optional[int],
         count_peak: bool = True,
-    ) -> Tuple[Dict[str, int], float]:
-        """DFS returning ``(best assignment, best cost)``.
+    ) -> Tuple[Dict[str, int], float, bool]:
+        """DFS returning ``(best assignment, best cost, interrupted)``.
 
         Cost is ``peak + comm_weight * comm`` when ``count_peak`` else
         ``comm_weight * comm``; ``peak_cap`` (when given) is a hard
-        per-stage memory bound.
+        per-stage memory bound.  ``interrupted`` is True when
+        ``should_stop`` cut the search short, in which case the incumbent
+        (possibly empty under a ``peak_cap``) is returned instead of the
+        proven optimum.
         """
         order = graph.topological_order()
         parents = {n: graph.parents(n) for n in order}
@@ -164,6 +197,8 @@ class BranchAndBoundScheduler:
                     total += out_bytes[parent] * hops
             return total
 
+        should_stop = self._should_stop
+
         def recurse(depth: int, peak: int, comm: float) -> None:
             nonlocal best_cost, best_assignment, explored
             explored += 1
@@ -171,6 +206,12 @@ class BranchAndBoundScheduler:
                 raise SchedulingError(
                     "branch-and-bound node budget exhausted; instance too hard"
                 )
+            if (
+                should_stop is not None
+                and explored % _STOP_POLL_INTERVAL == 0
+                and should_stop()
+            ):
+                raise _SearchInterrupted
             if depth == len(order):
                 cost = (peak if count_peak else 0.0) + weight * comm
                 if cost < best_cost:
@@ -196,12 +237,16 @@ class BranchAndBoundScheduler:
                     del assignment[name]
                     stage_mem[stage] = new_mem - mem[name]
 
-        recurse(0, 0, 0.0)
-        if not best_assignment:
+        interrupted = False
+        try:
+            recurse(0, 0, 0.0)
+        except _SearchInterrupted:
+            interrupted = True
+        if not best_assignment and not interrupted:
             raise InfeasibleScheduleError(
                 "no schedule satisfies the peak-memory cap"
             )
-        return best_assignment, best_cost
+        return best_assignment, best_cost, interrupted
 
     @staticmethod
     def _greedy_warm_start(

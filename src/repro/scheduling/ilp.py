@@ -34,11 +34,16 @@ Two encodings are provided:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
-from scipy import sparse
-from scipy.optimize import Bounds, LinearConstraint, milp
+
+try:  # scipy ships HiGHS; numpy-only deployments can still import us.
+    from scipy import sparse
+    from scipy.optimize import Bounds, LinearConstraint, milp
+except ImportError:  # pragma: no cover - exercised only without scipy
+    sparse = None
+    Bounds = LinearConstraint = milp = None
 
 from repro.errors import InfeasibleScheduleError, SolverError
 from repro.graphs.dag import ComputationalGraph
@@ -73,6 +78,13 @@ class IlpScheduler:
     mip_rel_gap:
         Relative MIP gap at which the solver may stop (0 = proven
         optimal).
+    should_stop:
+        Optional zero-argument callable polled between MILP solves (the
+        anytime portfolio's cooperative-cancellation hook).  A running
+        HiGHS solve cannot be interrupted (cap ``time_limit`` for that),
+        but a cancellation between the two lexicographic phases returns
+        the phase-1 schedule with status ``"interrupted"``, and a
+        cancellation before any solve raises :class:`SolverError`.
     """
 
     method_name = "ilp"
@@ -85,7 +97,13 @@ class IlpScheduler:
         formulation: str = "step",
         time_limit: float = 300.0,
         mip_rel_gap: float = 0.0,
+        should_stop: Optional[Callable[[], bool]] = None,
     ) -> None:
+        if milp is None:
+            raise SolverError(
+                "IlpScheduler requires scipy (HiGHS); install scipy or "
+                "use BranchAndBoundScheduler / the heuristic schedulers"
+            )
         if objective not in _OBJECTIVES:
             raise SolverError(f"unknown ILP objective {objective!r}")
         if formulation not in _FORMULATIONS:
@@ -100,12 +118,18 @@ class IlpScheduler:
         self.formulation = formulation
         self.time_limit = time_limit
         self.mip_rel_gap = mip_rel_gap
+        self._should_stop = should_stop
+
+    def _cancelled(self) -> bool:
+        return self._should_stop is not None and self._should_stop()
 
     # ------------------------------------------------------------------
     def schedule(self, graph: ComputationalGraph, num_stages: int) -> ScheduleResult:
         """Solve the exact scheduling problem for ``graph`` on ``num_stages``."""
         if num_stages < 1:
             raise SolverError("num_stages must be at least 1")
+        if self._cancelled():
+            raise SolverError("ILP solve cancelled before the first phase")
         graph.assert_acyclic()
         with Timer() as timer:
             if num_stages == 1 or graph.num_nodes == 0:
@@ -150,6 +174,19 @@ class IlpScheduler:
             graph, num_stages, comm_weight=0.0, peak_cap=None
         )
         peak_optimum = phase1.peak_stage_param_bytes
+        if self._cancelled():
+            # Deadline hit between phases: the phase-1 schedule is the
+            # exact peak-memory optimum, just not comm-tie-broken.
+            return (
+                phase1,
+                "interrupted",
+                {
+                    "peak_optimum_bytes": peak_optimum,
+                    "peak_cap_bytes": peak_optimum,
+                    "comm_bytes": phase1.hop_weighted_comm_bytes(),
+                    "stopped_early": True,
+                },
+            )
         # Phase 2: cheapest communication within the (padded) optimum.
         cap = int(peak_optimum * (1.0 + self.peak_tolerance))
         phase2, status2 = self._solve(

@@ -35,6 +35,7 @@ from repro.service.cache import (
     ScheduleCache,
 )
 from repro.service.store import (
+    CompactionStats,
     DiskScheduleStore,
     DiskStoreStats,
     StoreNamespace,
@@ -64,6 +65,7 @@ __all__ = [
     "CachedSchedule",
     "CacheKey",
     "CacheStats",
+    "CompactionStats",
     "DecodePoolStats",
     "DecodeWorkerPool",
     "DiskScheduleStore",

@@ -212,12 +212,25 @@ class ServiceStats:
 class _PendingRequest:
     """One enqueued unique (fingerprint, stages, options) solve."""
 
-    __slots__ = ("key", "graph", "num_stages", "waiters")
+    __slots__ = ("key", "graph", "num_stages", "waiters", "deadline_ms", "submit_time")
 
-    def __init__(self, key: CacheKey, graph: ComputationalGraph, num_stages: int):
+    def __init__(
+        self,
+        key: CacheKey,
+        graph: ComputationalGraph,
+        num_stages: int,
+        deadline_ms: Optional[float] = None,
+        submit_time: float = 0.0,
+    ):
         self.key = key
         self.graph = graph
         self.num_stages = num_stages
+        #: Wall-clock budget of the originating submit (None = no
+        #: deadline).  Honored when the scheduler exposes
+        #: ``schedule_with_deadline`` (e.g. the anytime portfolio);
+        #: measured from ``submit_time`` so queueing eats budget.
+        self.deadline_ms = deadline_ms
+        self.submit_time = submit_time
         #: ``(future, graph, submit_time, span)`` per attached caller;
         #: ``span`` is the caller's sampled request span (or None) —
         #: the worker parents its solve/publish spans to it.
@@ -235,9 +248,18 @@ class ServingFacade:
     tier (a fix to any of these must not have to land twice).
     """
 
-    def schedule(self, graph: ComputationalGraph, num_stages: int) -> ScheduleResult:
+    def schedule(
+        self,
+        graph: ComputationalGraph,
+        num_stages: int,
+        deadline_ms: Optional[float] = None,
+    ) -> ScheduleResult:
         """Blocking single-request convenience (same result as direct)."""
-        return self.submit(graph, num_stages).result()  # type: ignore[attr-defined]
+        if deadline_ms is None:
+            return self.submit(graph, num_stages).result()  # type: ignore[attr-defined]
+        return self.submit(  # type: ignore[attr-defined]
+            graph, num_stages, deadline_ms=deadline_ms
+        ).result()
 
     def schedule_batch(
         self,
@@ -466,6 +488,14 @@ class SchedulingService(ServingFacade):
             "respect_request_latency_seconds",
             help="Per-request service latency (submit -> result)",
         )
+        self._m_deadline = {
+            outcome: tel.counter(
+                "respect_deadline_outcomes_total",
+                help="Deadline-carrying requests by hit/miss at resolve",
+                outcome=outcome,
+            )
+            for outcome in ("hit", "miss")
+        }
 
     # ------------------------------------------------------------------
     # request path
@@ -475,6 +505,7 @@ class SchedulingService(ServingFacade):
         graph: ComputationalGraph,
         num_stages: int,
         fingerprint: Optional[str] = None,
+        deadline_ms: Optional[float] = None,
     ) -> "Future[ScheduleResult]":
         """Accept one request; returns a future resolving to its result.
 
@@ -486,11 +517,26 @@ class SchedulingService(ServingFacade):
         graph (the sharded router hashes it to pick a shard) skip the
         recompute; it must equal ``graph_fingerprint(graph)``.
 
+        ``deadline_ms`` is a per-request wall-clock budget, honored when
+        the mounted scheduler exposes ``schedule_with_deadline`` (e.g.
+        :class:`~repro.portfolio.anytime.AnytimePortfolio`): the worker
+        solves such requests individually with whatever budget remains
+        after queueing, and anytime (incomplete) answers are served but
+        *not* published to the cache/store tier — a 1 ms best-effort
+        schedule must never become the fingerprint's canonical entry.
+        Deadline hit/miss outcomes are counted under
+        ``respect_deadline_outcomes_total``.  Schedulers without the
+        hook ignore the budget.  Cache hits trivially satisfy any
+        deadline; requests that coalesce onto an in-flight solve share
+        its pacing.
+
         Futures of requests that coalesced onto an in-flight solve carry
         ``future._respect_coalesced = True`` — the marker admission and
         reuse-accounting layers use to tell "created new solver work"
         from "shared an existing solve".
         """
+        if deadline_ms is not None and deadline_ms <= 0:
+            raise ServiceError(f"deadline_ms must be positive, got {deadline_ms}")
         (stages,) = normalize_stage_counts(num_stages, 1)
         start = time.perf_counter()
         # Fingerprinting is the expensive part of the key; stay unlocked.
@@ -556,7 +602,9 @@ class SchedulingService(ServingFacade):
             cached, tier = self._lookup(key)
             self._m_tier_lookups[tier].inc()
             if cached is None:
-                pending = _PendingRequest(key, graph, stages)
+                pending = _PendingRequest(
+                    key, graph, stages, deadline_ms=deadline_ms, submit_time=start
+                )
                 pending.waiters.append((future, graph, start, span))
                 self._inflight[key] = pending
                 self._queue.append(pending)
@@ -586,6 +634,10 @@ class SchedulingService(ServingFacade):
             lookup_seconds=time.perf_counter() - start,
             method_name=method_name,
         )
+        if deadline_ms is not None:
+            elapsed_ms = (time.perf_counter() - start) * 1000.0
+            outcome = "hit" if elapsed_ms <= deadline_ms else "miss"
+            self._m_deadline[outcome].inc()
         self._m_latency.observe(time.perf_counter() - start)
         self._notify(graph, stages, result)
         future.set_result(result)
@@ -728,8 +780,35 @@ class SchedulingService(ServingFacade):
                 if activation is not None:
                     activation.__enter__()
                 batched = getattr(scheduler, "schedule_batch", None)
-                if callable(batched) and len(batch) > 1:
-                    results: List[ScheduleResult] = batched(graphs, counts)
+                with_deadline = getattr(scheduler, "schedule_with_deadline", None)
+                has_deadlines = callable(with_deadline) and any(
+                    request.deadline_ms is not None for request in batch
+                )
+                if has_deadlines:
+                    # Deadline requests are paced individually: each
+                    # gets whatever wall-clock budget queueing left it
+                    # (floored at 1 ms so a late request still races the
+                    # fast lanes instead of erroring).
+                    results: List[ScheduleResult] = []
+                    for request in batch:
+                        if request.deadline_ms is None:
+                            results.append(
+                                scheduler.schedule(  # type: ignore[attr-defined]
+                                    request.graph, request.num_stages
+                                )
+                            )
+                            continue
+                        waited_ms = (
+                            time.perf_counter() - request.submit_time
+                        ) * 1000.0
+                        remaining_ms = max(1.0, request.deadline_ms - waited_ms)
+                        results.append(
+                            with_deadline(
+                                request.graph, request.num_stages, remaining_ms
+                            )
+                        )
+                elif callable(batched) and len(batch) > 1:
+                    results = batched(graphs, counts)
                 else:
                     results = [
                         scheduler.schedule(graph, stages)  # type: ignore[attr-defined]
@@ -790,6 +869,19 @@ class SchedulingService(ServingFacade):
         for request, result in zip(batch, results):
             result.extras.setdefault("cache_hit", False)
             result.extras.setdefault("service", method_name)
+            if request.deadline_ms is not None:
+                elapsed_ms = (
+                    time.perf_counter() - request.submit_time
+                ) * 1000.0
+                outcome = "hit" if elapsed_ms <= request.deadline_ms else "miss"
+                self._m_deadline[outcome].inc()
+                result.extras.setdefault("service_deadline_ms", request.deadline_ms)
+                result.extras["service_deadline_hit"] = outcome == "hit"
+            # Anytime answers that did not run every lane to completion
+            # are deadline-shaped, not canonical: serve them, but keep
+            # them out of the cache/store tier so the next request for
+            # this fingerprint re-solves at full quality.
+            publishable = bool(result.extras.get("anytime_complete", True))
             payload = CachedSchedule(
                 assignment=dict(result.schedule.assignment),
                 num_stages=request.num_stages,
@@ -814,7 +906,8 @@ class SchedulingService(ServingFacade):
                 )
             )
             publish_start = time.time()
-            self.cache.put(publish_key, payload)
+            if publishable:
+                self.cache.put(publish_key, payload)
             publish_end = time.time()
             now = time.perf_counter()
             with self._cond:
@@ -833,7 +926,10 @@ class SchedulingService(ServingFacade):
                         publish_end,
                         waiter_span.trace_id,
                         waiter_span.span_id,
-                        attrs={"key": publish_key[0][:12]},
+                        attrs={
+                            "key": publish_key[0][:12],
+                            "published": publishable,
+                        },
                     )
                 if waiter_graph is result.schedule.graph:
                     served = result

@@ -166,7 +166,8 @@ class ShardedServiceStats:
     blocked: int
     #: Submissions rejected with ServiceOverloadError ("shed").
     shed: int
-    #: Submissions answered inline by the fallback scheduler ("degrade").
+    #: Submissions answered inline by the degrade ladder or fallback
+    #: scheduler ("degrade").
     degraded: int
     per_shard: Tuple[ServiceStats, ...]
 
@@ -201,7 +202,19 @@ class ShardedSchedulingService(ServingFacade):
         module docstring.
     fallback_scheduler:
         Heuristic used by ``"degrade"``; defaults to the deterministic
-        :class:`~repro.scheduling.heuristics.ListScheduler`.
+        :class:`~repro.scheduling.heuristics.ListScheduler`.  Ignored
+        when ``portfolio`` is supplied.
+    portfolio:
+        Optional :class:`~repro.portfolio.degrade.DegradeLadder` (any
+        object with ``serve(graph, num_stages) -> (result, rung)``).
+        When present, degraded requests walk the pressure-ranked
+        policy → heuristic → cached-nearest → floor ladder instead of
+        cliffing straight to ``fallback_scheduler``; the answering rung
+        lands in ``extras["degrade_rung"]`` and in the front tier's
+        ``respect_degrade_rung_total{rung=...}`` counters.  If the
+        object also exposes ``observe(graph, num_stages, result)``, it
+        is registered as a tier-wide serve listener so full-quality
+        serves warm its cached-nearest index.
     caches:
         Optional pre-built per-shard caches (``len == num_shards``) so a
         front tier can persist warm caches across service generations;
@@ -259,6 +272,7 @@ class ShardedSchedulingService(ServingFacade):
         max_queue_depth: int = 64,
         admission: str = "block",
         fallback_scheduler: Optional[object] = None,
+        portfolio: Optional[object] = None,
         caches: Optional[Sequence[ScheduleCache]] = None,
         cache_capacity: int = 1024,
         max_batch_size: int = 32,
@@ -326,6 +340,15 @@ class ShardedSchedulingService(ServingFacade):
                     "fallback_scheduler must expose schedule(graph, "
                     "num_stages)"
                 )
+        # Duck-typed so repro.service never imports repro.portfolio:
+        # anything with the DegradeLadder serve() contract works.
+        if portfolio is not None and not callable(
+            getattr(portfolio, "serve", None)
+        ):
+            raise ServiceError(
+                "portfolio must expose serve(graph, num_stages) -> "
+                "(result, rung), e.g. repro.portfolio.DegradeLadder"
+            )
         if decode_workers < 0:
             raise ServiceError(
                 f"decode_workers must be >= 0, got {decode_workers}"
@@ -346,6 +369,7 @@ class ShardedSchedulingService(ServingFacade):
         self.max_queue_depth = max_queue_depth
         self.admission = admission
         self.fallback_scheduler = fallback_scheduler
+        self.portfolio = portfolio
         self._ring = build_hash_ring(num_shards, virtual_nodes)
         # One weights epoch serves every shard: the first wrap publishes,
         # the rest reuse it (factories must produce equivalent
@@ -417,6 +441,33 @@ class ShardedSchedulingService(ServingFacade):
         self._m_listener_errors = front.counter(
             "respect_listener_errors_total"
         )
+        # Which ladder rung answered each degraded request.  The first
+        # four names mirror repro.portfolio.degrade.LADDER_RUNGS (not
+        # imported here — the service layer stays portfolio-free);
+        # "fallback" is the legacy single-scheduler degrade path used
+        # when no ladder is configured.
+        self._front_telemetry = front
+        self._m_degrade_rungs = {
+            rung: front.counter(
+                "respect_degrade_rung_total",
+                help="Degraded serves by the ladder rung that answered",
+                rung=rung,
+            )
+            for rung in (
+                "policy",
+                "heuristic",
+                "cached_nearest",
+                "floor",
+                "fallback",
+            )
+        }
+        if self.portfolio is not None and callable(
+            getattr(self.portfolio, "observe", None)
+        ):
+            # Full-quality serves (shard-side) warm the ladder's
+            # cached-nearest index; the ladder itself skips results
+            # flagged degraded, so degrade-path notifications are safe.
+            self.add_serve_listener(self.portfolio.observe)
 
     # ------------------------------------------------------------------
     # decode workers
@@ -503,14 +554,21 @@ class ShardedSchedulingService(ServingFacade):
     # request path
     # ------------------------------------------------------------------
     def submit(
-        self, graph: ComputationalGraph, num_stages: int
+        self,
+        graph: ComputationalGraph,
+        num_stages: int,
+        deadline_ms: Optional[float] = None,
     ) -> "Future[ScheduleResult]":
         """Route one request to its shard, applying admission control.
 
         Returns a future exactly like :meth:`SchedulingService.submit`
         (cache hits resolve before returning).  Degraded answers come
         back as already-resolved futures carrying
-        ``extras["degraded"] = True``.
+        ``extras["degraded"] = True`` plus ``extras["degrade_rung"]``
+        naming which ladder rung answered.  ``deadline_ms`` is forwarded
+        to the shard (see :meth:`SchedulingService.submit`); degraded
+        requests are answered inline from the ladder, which trivially
+        satisfies any deadline.
         """
         (stages,) = normalize_stage_counts(num_stages, 1)
         # Fingerprint once, outside any lock: it both picks the shard
@@ -637,11 +695,14 @@ class ShardedSchedulingService(ServingFacade):
                 # of rooting a second trace for the same request.
                 with span.activate():
                     future = self.shards[shard_id].submit(
-                        graph, stages, fingerprint=fingerprint
+                        graph,
+                        stages,
+                        fingerprint=fingerprint,
+                        deadline_ms=deadline_ms,
                     )
             else:
                 future = self.shards[shard_id].submit(
-                    graph, stages, fingerprint=fingerprint
+                    graph, stages, fingerprint=fingerprint, deadline_ms=deadline_ms
                 )
         except BaseException:
             if span is not None and owns_span:
@@ -705,12 +766,41 @@ class ShardedSchedulingService(ServingFacade):
         span: Optional[object] = None,
         owns_span: bool = False,
     ) -> "Future[ScheduleResult]":
-        """Answer inline from the fallback scheduler (saturated shard)."""
+        """Answer inline from the degrade ladder (saturated shard).
+
+        With a ``portfolio`` ladder the answer walks
+        policy → heuristic → cached-nearest → floor and the winning rung
+        is recorded in ``extras["degrade_rung"]`` plus the per-rung
+        front-tier counter; without one the legacy ``fallback_scheduler``
+        answers under the ``"fallback"`` rung label.
+        """
         solve_start = time.time()
-        result = self.fallback_scheduler.schedule(graph, stages)  # type: ignore[union-attr]
+        if self.portfolio is not None:
+            result, rung = self.portfolio.serve(graph, stages)
+            served_by = str(result.method)
+        else:
+            result = self.fallback_scheduler.schedule(graph, stages)  # type: ignore[union-attr]
+            rung = "fallback"
+            result.extras.setdefault("degrade_rung", rung)
+            served_by = str(
+                getattr(
+                    self.fallback_scheduler,
+                    "method_name",
+                    type(self.fallback_scheduler).__name__,
+                )
+            )
         # Degraded serves never reach a shard, so their request count
         # lands here (tier="front") — exactly once.
         self._m_front_requests.inc()
+        rung_counter = self._m_degrade_rungs.get(rung)
+        if rung_counter is None:
+            # Custom ladders may invent rung names; get-or-create keeps
+            # the per-rung accounting complete either way.
+            rung_counter = self._front_telemetry.counter(
+                "respect_degrade_rung_total", rung=rung
+            )
+            self._m_degrade_rungs[rung] = rung_counter
+        rung_counter.inc()
         if span is not None:
             self.telemetry.tracer.record_span(
                 "solve",
@@ -718,22 +808,13 @@ class ShardedSchedulingService(ServingFacade):
                 time.time(),
                 span.trace_id,
                 span.span_id,
-                attrs={"degraded": True},
+                attrs={"degraded": True, "rung": rung},
             )
             if owns_span:
                 span.end()
         result.extras["degraded"] = True
         result.extras.setdefault("cache_hit", False)
-        result.extras.setdefault(
-            "service",
-            str(
-                getattr(
-                    self.fallback_scheduler,
-                    "method_name",
-                    type(self.fallback_scheduler).__name__,
-                )
-            ),
-        )
+        result.extras.setdefault("service", served_by)
         future: "Future[ScheduleResult]" = Future()
         future.set_result(result)
         self._notify_degraded(graph, stages, result)

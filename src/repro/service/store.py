@@ -122,6 +122,25 @@ class DiskStoreStats:
 
 
 @dataclass(frozen=True)
+class CompactionStats:
+    """Outcome of one :meth:`DiskScheduleStore.compact` pass."""
+
+    #: Entries copied into the fresh segment generation.
+    entries_live: int
+    #: Indexed entries whose frames no longer decoded (dropped, counted
+    #: in ``read_errors`` too — compaction never copies garbage).
+    entries_dropped: int
+    segments_before: int
+    segments_after: int
+    bytes_before: int
+    bytes_after: int
+
+    @property
+    def bytes_reclaimed(self) -> int:
+        return self.bytes_before - self.bytes_after
+
+
+@dataclass(frozen=True)
 class TieredStoreStats:
     """Stats of a :class:`TieredScheduleStore`, CacheStats-compatible.
 
@@ -607,6 +626,138 @@ class DiskScheduleStore:
         os.replace(tmp, path)
         self._appends_since_snapshot = 0
         return path
+
+    def compact(self) -> CompactionStats:
+        """Rewrite the live entries into fresh segments; drop the garbage.
+
+        The log is append-only, so superseded entry versions, tombstoned
+        groups and the tombstones themselves accumulate as dead bytes
+        every reopen still has to scan.  Compaction copies exactly the
+        currently indexed frames — in index (append) order — into new
+        segments numbered after the current tail, fsyncs them, retargets
+        the index, deletes the old segments, and snapshots.  Tombstones
+        are not carried over: with every dead group's entries physically
+        gone there is nothing left for them to retire.
+
+        Crash-safe at every point in that sequence: before the old
+        segments are unlinked, a replay sees both generations and
+        converges on the same index (the copies sort after, and therefore
+        replay after, the originals — including after any old
+        tombstone); once they are gone, the stale snapshot fails its
+        consistency check and a full scan of the new segments rebuilds
+        the same index.
+
+        Source segments are read whole (same memory bound as the reopen
+        scan).  Returns a :class:`CompactionStats`; a garbage-free store
+        still rewrites itself, so callers wanting to skip no-op passes
+        should gate on ``bytes_reclaimed``/``stats()`` themselves.
+        """
+        with self._lock:
+            if self._closed:
+                raise ServiceError("schedule store is closed")
+            old_segments = self._segment_files()
+            bytes_before = sum(p.stat().st_size for p in old_segments)
+            # Freeze the active segment: from here its bytes are input.
+            self._append_handle.flush()
+            os.fsync(self._append_handle.fileno())
+            self._append_handle.close()
+            self._append_handle = None
+            next_index = 1
+            if old_segments:
+                next_index = (
+                    int(
+                        old_segments[-1].name[
+                            len(_SEGMENT_PREFIX) : -len(_SEGMENT_SUFFIX)
+                        ]
+                    )
+                    + 1
+                )
+            # Index insertion order is append order even across segment
+            # boundaries (updates keep their key's original position),
+            # so copying in index order preserves recency semantics and
+            # the oldest-first contract of keys().
+            new_index: Dict[StoreKey, Tuple[str, int, int]] = {}
+            new_paths: List[Path] = []
+            dropped = 0
+            writer = None
+            writer_name = ""
+            writer_offset = 0
+            source_bytes: Dict[str, bytes] = {}
+            for key, (seg, offset, length) in self._index.items():
+                data = source_bytes.get(seg)
+                if data is None:
+                    try:
+                        data = (self._segments_dir / seg).read_bytes()
+                    except OSError:
+                        data = b""
+                    source_bytes[seg] = data
+                frame = data[offset : offset + length]
+                try:
+                    record = decode_store_entry(frame)
+                    if (
+                        record.namespace,
+                        record.fingerprint,
+                        record.num_stages,
+                        record.options_key,
+                    ) != key:
+                        raise WireFormatError(
+                            "store entry decodes to a different key than "
+                            "its index slot"
+                        )
+                except WireFormatError:
+                    dropped += 1
+                    self._read_errors += 1
+                    continue
+                if writer is None or (
+                    writer_offset + len(frame) > self.max_segment_bytes
+                    and writer_offset > 0
+                ):
+                    if writer is not None:
+                        writer.flush()
+                        os.fsync(writer.fileno())
+                        writer.close()
+                    writer_name = _segment_name(next_index)
+                    next_index += 1
+                    path = self._segments_dir / writer_name
+                    writer = open(path, "ab")
+                    writer_offset = 0
+                    new_paths.append(path)
+                writer.write(frame)
+                new_index[key] = (writer_name, writer_offset, len(frame))
+                writer_offset += len(frame)
+            if writer is None:
+                # No live entries — still need an active tail segment.
+                writer_name = _segment_name(next_index)
+                path = self._segments_dir / writer_name
+                writer = open(path, "ab")
+                writer_offset = 0
+                new_paths.append(path)
+            writer.flush()
+            os.fsync(writer.fileno())
+            # The new generation is durable: retarget the index and the
+            # append tail before the old files go away.
+            self._index = new_index
+            self._by_options = {}
+            for key in new_index:
+                self._by_options.setdefault((key[0], key[3]), set()).add(key)
+            self._append_handle = writer
+            self._append_name = writer_name
+            self._append_offset = writer_offset
+            for path in old_segments:
+                try:
+                    path.unlink()
+                except OSError:  # pragma: no cover - platform dependent
+                    pass
+            self._snapshot_locked()
+            bytes_after = sum(p.stat().st_size for p in new_paths)
+            return CompactionStats(
+                entries_live=len(new_index),
+                entries_dropped=dropped,
+                segments_before=len(old_segments),
+                segments_after=len(new_paths),
+                bytes_before=bytes_before,
+                bytes_after=bytes_after,
+            )
 
     def stats(self) -> DiskStoreStats:
         with self._lock:

@@ -1,0 +1,214 @@
+"""AnytimePortfolio racing, cancellation hooks, and fault injection."""
+
+import time
+
+import pytest
+
+from repro.errors import SchedulingError, SolverError
+from repro.graphs.sampler import sample_synthetic_dag
+from repro.obs import Telemetry
+from repro.portfolio import AnytimePortfolio, PortfolioLane, StopToken
+from repro.scheduling.annealing import SimulatedAnnealingScheduler
+from repro.scheduling.bnb import BranchAndBoundScheduler
+from repro.scheduling.heuristics import ListScheduler
+from repro.tpu.quantize import quantize_graph
+
+#: Single-core CI hosts schedule threads coarsely; answers promised
+#: "at the deadline" are asserted within this much total wall clock.
+GENEROUS_SLACK_S = 5.0
+
+
+def _graph(seed=0, num_nodes=16):
+    return quantize_graph(
+        sample_synthetic_dag(num_nodes=num_nodes, degree=2, seed=seed)
+    )
+
+
+class _HangingScheduler:
+    """A lane that never finishes (until the race's stop flag fires)."""
+
+    def __init__(self, should_stop):
+        self._should_stop = should_stop
+
+    def schedule(self, graph, num_stages):
+        while not self._should_stop():
+            time.sleep(0.005)
+        raise SolverError("hung lane cancelled")
+
+
+class _ExplodingScheduler:
+    def schedule(self, graph, num_stages):
+        raise SolverError("boom")
+
+
+class TestStopToken:
+    def test_starts_unstopped_and_latches(self):
+        token = StopToken()
+        assert not token()
+        token.stop()
+        assert token() and token.stopped()
+
+
+class TestCancellationHooks:
+    def test_annealing_stops_immediately_with_incumbent(self):
+        result = SimulatedAnnealingScheduler(
+            iterations=50_000, seed=0, should_stop=lambda: True
+        ).schedule(_graph(), 3)
+        assert result.status == "interrupted"
+        assert result.extras["stopped_early"] is True
+        assert result.extras["iterations_run"] == 0
+        assert result.schedule.is_valid()
+
+    def test_annealing_never_cancelled_is_bit_identical(self):
+        graph = _graph(seed=1)
+        plain = SimulatedAnnealingScheduler(iterations=400, seed=7).schedule(
+            graph, 3
+        )
+        hooked = SimulatedAnnealingScheduler(
+            iterations=400, seed=7, should_stop=lambda: False
+        ).schedule(graph, 3)
+        assert plain.schedule.assignment == hooked.schedule.assignment
+        assert plain.objective == hooked.objective
+
+    def test_bnb_interrupts_with_warm_start_incumbent(self):
+        result = BranchAndBoundScheduler(
+            objective="weighted", should_stop=lambda: True
+        ).schedule(_graph(num_nodes=18, seed=2), 3)
+        assert result.status == "interrupted"
+        assert result.extras["stopped_early"] is True
+        assert result.schedule.is_valid()
+
+    def test_bnb_never_cancelled_is_bit_identical(self):
+        graph = _graph(num_nodes=12, seed=3)
+        plain = BranchAndBoundScheduler(objective="weighted").schedule(graph, 3)
+        hooked = BranchAndBoundScheduler(
+            objective="weighted", should_stop=lambda: False
+        ).schedule(graph, 3)
+        assert plain.schedule.assignment == hooked.schedule.assignment
+        assert plain.status == hooked.status
+
+    def test_ilp_cancelled_before_first_phase(self):
+        pytest.importorskip("scipy")
+        from repro.scheduling.ilp import IlpScheduler
+
+        with pytest.raises(SolverError, match="cancelled"):
+            IlpScheduler(should_stop=lambda: True).schedule(_graph(), 3)
+
+    def test_ilp_cancelled_between_phases_returns_phase1(self):
+        pytest.importorskip("scipy")
+        from repro.scheduling.ilp import IlpScheduler
+
+        calls = {"n": 0}
+
+        def stop_after_first_check():
+            calls["n"] += 1
+            return calls["n"] > 1
+
+        result = IlpScheduler(should_stop=stop_after_first_check).schedule(
+            _graph(seed=4), 3
+        )
+        assert result.status == "interrupted"
+        assert result.extras["stopped_early"] is True
+        assert result.schedule.is_valid()
+
+
+class TestAnytimePortfolio:
+    def test_complete_race_is_deterministic_and_beats_list(self):
+        graph = _graph(seed=5)
+        portfolio = AnytimePortfolio(deadline_ms=30_000.0, seed=0)
+        first = portfolio.schedule(graph, 4)
+        second = portfolio.schedule(graph, 4)
+        assert first.extras["anytime_complete"] is True
+        assert first.status == "complete"
+        assert first.extras["winning_lane"] == second.extras["winning_lane"]
+        assert first.objective == second.objective
+        list_objective = (
+            ListScheduler().schedule(graph, 4).schedule.objective(0.25)
+        )
+        assert first.objective <= list_objective
+        assert set(first.extras["lanes_completed"]) == {
+            lane.name for lane in portfolio.lanes
+        }
+
+    def test_improvement_trace_is_monotone_non_increasing(self):
+        result = AnytimePortfolio(deadline_ms=30_000.0).schedule(_graph(6), 4)
+        trace = result.extras["improvement_trace"]
+        assert trace, "at least the first finisher must be recorded"
+        objectives = [objective for _, _, objective in trace]
+        assert objectives == sorted(objectives, reverse=True)
+        times = [ms for _, ms, _ in trace]
+        assert times == sorted(times)
+        assert result.extras["winning_lane"] == trace[-1][0]
+
+    def test_hanging_lane_still_answers_by_deadline(self):
+        lanes = [
+            PortfolioLane("list", lambda stop: ListScheduler()),
+            PortfolioLane("hang", lambda stop: _HangingScheduler(stop)),
+        ]
+        portfolio = AnytimePortfolio(lanes=lanes, deadline_ms=150.0)
+        start = time.perf_counter()
+        result = portfolio.schedule(_graph(seed=7), 3)
+        elapsed = time.perf_counter() - start
+        assert elapsed < GENEROUS_SLACK_S
+        assert result.extras["winning_lane"] == "list"
+        assert result.extras["anytime_complete"] is False
+        assert result.status == "anytime"
+        assert "hang" not in result.extras["lanes_completed"]
+        assert result.schedule.is_valid()
+
+    def test_all_lanes_failing_raises_with_summary(self):
+        lanes = [PortfolioLane("boom", lambda stop: _ExplodingScheduler())]
+        portfolio = AnytimePortfolio(lanes=lanes, deadline_ms=50.0)
+        with pytest.raises(SchedulingError, match="boom"):
+            portfolio.schedule(_graph(), 3)
+
+    def test_failed_lane_recorded_but_race_survives(self):
+        lanes = [
+            PortfolioLane("list", lambda stop: ListScheduler()),
+            PortfolioLane("boom", lambda stop: _ExplodingScheduler()),
+        ]
+        result = AnytimePortfolio(lanes=lanes, deadline_ms=5_000.0).schedule(
+            _graph(), 3
+        )
+        assert "boom" in result.extras["lanes_failed"]
+        assert "SolverError" in result.extras["lanes_failed"]["boom"]
+
+    def test_validation_errors(self):
+        with pytest.raises(SchedulingError):
+            AnytimePortfolio(deadline_ms=0)
+        with pytest.raises(SchedulingError):
+            AnytimePortfolio(lanes=[])
+        lane = PortfolioLane("dup", lambda stop: ListScheduler())
+        with pytest.raises(SchedulingError, match="duplicate"):
+            AnytimePortfolio(lanes=[lane, lane])
+        with pytest.raises(SchedulingError):
+            AnytimePortfolio().schedule_with_deadline(_graph(), 3, -1.0)
+
+    def test_wait_for_first_false_returns_none_on_empty_race(self):
+        lanes = [PortfolioLane("hang", lambda stop: _HangingScheduler(stop))]
+        portfolio = AnytimePortfolio(lanes=lanes, deadline_ms=40.0)
+        assert (
+            portfolio.schedule_with_deadline(
+                _graph(), 3, wait_for_first=False
+            )
+            is None
+        )
+
+    def test_options_fingerprint_depends_on_lane_config(self):
+        base = AnytimePortfolio(deadline_ms=100.0, seed=0)
+        same = AnytimePortfolio(deadline_ms=200.0, seed=0)
+        reseeded = AnytimePortfolio(deadline_ms=100.0, seed=1)
+        # The deadline is a latency knob, not a content knob — equal
+        # lane configs must share cache entries across deadlines.
+        assert base.options_fingerprint() == same.options_fingerprint()
+        assert base.options_fingerprint() != reseeded.options_fingerprint()
+
+    def test_telemetry_counts_lanes_and_races(self):
+        tel = Telemetry()
+        lanes = [PortfolioLane("list", lambda stop: ListScheduler())]
+        AnytimePortfolio(
+            lanes=lanes, deadline_ms=5_000.0, telemetry=tel
+        ).schedule(_graph(), 3)
+        text = tel.registry.render_prometheus()
+        assert 'respect_portfolio_lane_total{lane="list",outcome="completed"} 1' in text
+        assert 'respect_portfolio_races_total{outcome=' in text

@@ -1,0 +1,177 @@
+"""DegradeLadder rungs, pressure routing, and the structural index."""
+
+import time
+
+import pytest
+
+from repro.errors import SchedulingError, SolverError
+from repro.graphs.dag import ComputationalGraph
+from repro.graphs.sampler import sample_synthetic_dag
+from repro.portfolio import CachedNearestIndex, DegradeLadder, LADDER_RUNGS
+from repro.scheduling.heuristics import ListScheduler
+from repro.tpu.quantize import quantize_graph
+
+
+def _graph(seed=0, num_nodes=14):
+    return quantize_graph(
+        sample_synthetic_dag(num_nodes=num_nodes, degree=2, seed=seed)
+    )
+
+
+def _renamed(graph, prefix="alias_"):
+    """Same structure, different node names (isomorphic arrival)."""
+    mapping = {name: f"{prefix}{name}" for name in graph.node_names}
+    clone = ComputationalGraph(name=graph.name + "_renamed")
+    for node in graph.nodes:
+        clone.add_op(
+            mapping[node.name],
+            op_type=node.op_type,
+            param_bytes=node.param_bytes,
+            output_bytes=node.output_bytes,
+            macs=node.macs,
+            inputs=[mapping[dep] for dep in graph.parents(node.name)],
+        )
+    return clone
+
+
+class _SlowPolicy:
+    def __init__(self, delay_s=0.5):
+        self.delay_s = delay_s
+
+    def schedule(self, graph, num_stages):
+        time.sleep(self.delay_s)
+        return ListScheduler().schedule(graph, num_stages)
+
+
+class _FailingScheduler:
+    def schedule(self, graph, num_stages):
+        raise SolverError("no answer here")
+
+
+class TestCachedNearestIndex:
+    def test_lookup_on_isomorphic_renamed_graph(self):
+        graph = _graph(seed=1)
+        schedule = ListScheduler().schedule(graph, 3).schedule
+        index = CachedNearestIndex()
+        index.observe(graph, 3, schedule)
+        twin = _renamed(graph)
+        found = index.lookup(twin, 3)
+        assert found is not None
+        assert found.is_valid()
+        assert found.num_stages == 3
+        assert index.hits == 1
+
+    def test_miss_on_unknown_structure(self):
+        index = CachedNearestIndex()
+        assert index.lookup(_graph(seed=2), 3) is None
+        assert index.misses == 1
+
+    def test_num_stages_part_of_the_key(self):
+        graph = _graph(seed=3)
+        index = CachedNearestIndex()
+        index.observe(graph, 3, ListScheduler().schedule(graph, 3).schedule)
+        assert index.lookup(graph, 4) is None
+
+    def test_lru_eviction(self):
+        index = CachedNearestIndex(capacity=2)
+        graphs = [_graph(seed=s, num_nodes=10 + s) for s in range(3)]
+        for g in graphs:
+            index.observe(g, 2, ListScheduler().schedule(g, 2).schedule)
+        assert len(index) == 2
+        assert index.lookup(graphs[0], 2) is None
+
+    def test_capacity_validated(self):
+        with pytest.raises(SchedulingError):
+            CachedNearestIndex(capacity=0)
+
+
+class TestDegradeLadder:
+    def test_rung_constant_matches_module(self):
+        assert LADDER_RUNGS == ("policy", "heuristic", "cached_nearest", "floor")
+
+    def test_low_pressure_probes_policy(self):
+        ladder = DegradeLadder(policy=ListScheduler(), probe_deadline_ms=2_000.0)
+        result, rung = ladder.serve(_graph(), 3, pressure=1.0)
+        assert rung == "policy"
+        assert result.extras["degrade_rung"] == "policy"
+        assert result.extras["degrade_pressure"] == 1.0
+
+    def test_slow_policy_falls_through_to_heuristic(self):
+        ladder = DegradeLadder(
+            policy=_SlowPolicy(delay_s=1.0), probe_deadline_ms=5.0
+        )
+        _, rung = ladder.serve(_graph(), 3, pressure=1.0)
+        assert rung == "heuristic"
+
+    def test_medium_pressure_skips_policy(self):
+        probed = []
+
+        class Spy:
+            def schedule(self, graph, num_stages):
+                probed.append(True)
+                return ListScheduler().schedule(graph, num_stages)
+
+        ladder = DegradeLadder(policy=Spy())
+        _, rung = ladder.serve(_graph(), 3, pressure=10.0)
+        assert rung == "heuristic"
+        assert not probed
+
+    def test_high_pressure_uses_structural_cache_then_floor(self):
+        graph = _graph(seed=4)
+        ladder = DegradeLadder()
+        # Nothing observed yet: the floor answers.
+        result, rung = ladder.serve(graph, 3, pressure=100.0)
+        assert rung == "floor"
+        # Warm the index with a full-quality serve, then the isomorphic
+        # twin is answered from the cached-nearest rung.
+        full = ListScheduler().schedule(graph, 3)
+        ladder.observe(graph, 3, full)
+        result, rung = ladder.serve(_renamed(graph), 3, pressure=100.0)
+        assert rung == "cached_nearest"
+        assert result.status == "degraded"
+        assert result.schedule.is_valid()
+        assert result.extras["structural_index_size"] == 1
+
+    def test_failing_heuristic_falls_to_floor(self):
+        ladder = DegradeLadder(heuristic=_FailingScheduler())
+        _, rung = ladder.serve(_graph(), 3, pressure=10.0)
+        assert rung == "floor"
+
+    def test_observe_skips_degraded_results(self):
+        graph = _graph(seed=5)
+        ladder = DegradeLadder()
+        degraded = ListScheduler().schedule(graph, 3)
+        degraded.extras["degraded"] = True
+        ladder.observe(graph, 3, degraded)
+        assert len(ladder.index) == 0
+
+    def test_pressure_decays(self):
+        ladder = DegradeLadder(pressure_half_life_ms=5.0)
+        for _ in range(8):
+            ladder._bump_pressure()
+        before = ladder.pressure()
+        time.sleep(0.05)
+        assert ladder.pressure() < before
+
+    def test_probe_cap_skips_policy_rung(self):
+        ladder = DegradeLadder(
+            policy=_SlowPolicy(delay_s=1.0),
+            probe_deadline_ms=5.0,
+            max_inflight_probes=1,
+        )
+        # First serve leaves its slow probe outstanding...
+        _, first = ladder.serve(_graph(seed=6), 3, pressure=1.0)
+        assert first == "heuristic"
+        # ...so the next low-pressure serve cannot probe at all.
+        _, second = ladder.serve(_graph(seed=7), 3, pressure=1.0)
+        assert second == "heuristic"
+
+    def test_validation(self):
+        with pytest.raises(SchedulingError):
+            DegradeLadder(probe_deadline_ms=0)
+        with pytest.raises(SchedulingError):
+            DegradeLadder(max_inflight_probes=0)
+        with pytest.raises(SchedulingError):
+            DegradeLadder(policy_pressure_limit=50.0, heuristic_pressure_limit=5.0)
+        with pytest.raises(SchedulingError):
+            DegradeLadder(pressure_half_life_ms=0)

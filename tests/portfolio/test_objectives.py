@@ -1,0 +1,156 @@
+"""Multi-objective evaluation and Pareto-front extraction."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.graphs.sampler import sample_synthetic_dag
+from repro.portfolio import (
+    ObjectiveVector,
+    dominates,
+    evaluate_schedule,
+    pareto_filter,
+    pareto_front,
+)
+from repro.portfolio.objectives import ParetoPoint
+from repro.scheduling.heuristics import ListScheduler
+from repro.tpu.pipeline import PipelinedTpuSystem, compute_stage_profiles
+from repro.tpu.quantize import quantize_graph
+from repro.tpu.spec import default_spec
+
+
+def _graph(seed=0, num_nodes=16):
+    return quantize_graph(
+        sample_synthetic_dag(num_nodes=num_nodes, degree=2, seed=seed)
+    )
+
+
+def _vector(period=1.0, latency=1.0, energy=1.0, reload=0, peak=0):
+    return ObjectiveVector(
+        period_seconds=period,
+        latency_seconds=latency,
+        energy_joules=energy,
+        sram_reload_bytes=reload,
+        peak_param_bytes=peak,
+    )
+
+
+class TestEvaluateSchedule:
+    def test_matches_platform_model(self):
+        graph = _graph()
+        schedule = ListScheduler().schedule(graph, 4).schedule
+        spec = default_spec()
+        vec = evaluate_schedule(graph, schedule, spec=spec)
+        profiles = compute_stage_profiles(graph, schedule, spec)
+        system = PipelinedTpuSystem(spec, bus_mode="per_stage")
+        assert vec.period_seconds == pytest.approx(
+            system.theoretical_period(profiles)
+        )
+        assert vec.latency_seconds == pytest.approx(
+            sum(p.link_seconds + p.compute_seconds for p in profiles)
+        )
+        assert vec.sram_reload_bytes == sum(p.off_chip_bytes for p in profiles)
+        assert vec.peak_param_bytes == schedule.peak_stage_param_bytes
+        assert vec.energy_joules > 0
+
+    def test_latency_at_least_period(self):
+        # One inference's serial walk through the pipeline can never be
+        # shorter than the steady-state bottleneck stage.
+        graph = _graph(seed=3)
+        schedule = ListScheduler().schedule(graph, 3).schedule
+        vec = evaluate_schedule(graph, schedule)
+        assert vec.latency_seconds >= vec.period_seconds
+
+
+class TestDominance:
+    def test_strictly_better_everywhere(self):
+        assert dominates(_vector(1, 1, 1, 0), _vector(2, 2, 2, 1))
+
+    def test_better_somewhere_equal_elsewhere(self):
+        assert dominates(_vector(1, 1, 1, 0), _vector(1, 1, 2, 0))
+
+    def test_equal_vectors_do_not_dominate(self):
+        assert not dominates(_vector(), _vector())
+
+    def test_tradeoff_is_incomparable(self):
+        a = _vector(period=1, latency=2)
+        b = _vector(period=2, latency=1)
+        assert not dominates(a, b)
+        assert not dominates(b, a)
+
+    def test_peak_param_bytes_not_a_dominance_dimension(self):
+        assert dominates(_vector(1, 1, 1, 0, peak=999), _vector(2, 2, 2, 1, peak=0))
+
+
+class TestParetoFilter:
+    def _point(self, method, vec):
+        result = ListScheduler().schedule(_graph(), 2)
+        return ParetoPoint(method=method, objectives=vec, result=result)
+
+    def test_dominated_points_removed(self):
+        good = self._point("a", _vector(1, 1, 1, 0))
+        bad = self._point("b", _vector(2, 2, 2, 1))
+        assert [p.method for p in pareto_filter([bad, good])] == ["a"]
+
+    def test_duplicate_objectives_keep_first(self):
+        first = self._point("first", _vector())
+        second = self._point("second", _vector())
+        kept = pareto_filter([first, second])
+        assert [p.method for p in kept] == ["first"]
+
+    def test_incomparable_points_all_survive_sorted(self):
+        a = self._point("a", _vector(period=2, latency=1))
+        b = self._point("b", _vector(period=1, latency=2))
+        kept = pareto_filter([a, b])
+        assert [p.method for p in kept] == ["b", "a"]
+
+
+class TestParetoFront:
+    def test_front_is_nonempty_and_non_dominated(self):
+        front = pareto_front(_graph(seed=1), 4)
+        assert front.points
+        for p in front.points:
+            assert not any(
+                dominates(q.objectives, p.objectives) for q in front.points
+            )
+
+    def test_candidates_superset_and_skips_recorded(self):
+        front = pareto_front(_graph(seed=2), 3)
+        assert len(front.candidates) >= len(front.points)
+        assert all(len(pair) == 2 for pair in front.skipped)
+
+    def test_best_dimension(self):
+        front = pareto_front(_graph(seed=2), 3)
+        best = front.best("period_seconds")
+        assert all(
+            best.objectives.period_seconds <= p.objectives.period_seconds
+            for p in front.points
+        )
+        with pytest.raises(SchedulingError):
+            pareto_front(_graph(), 0)
+
+    def test_summary_rows_match_points(self):
+        front = pareto_front(_graph(seed=4), 3)
+        rows = front.summary()
+        assert len(rows) == len(front.points)
+        assert all(row["period_us"] > 0 for row in rows)
+
+    def test_failing_solver_is_skipped_not_fatal(self):
+        class Exploder:
+            def schedule(self, graph, num_stages):
+                raise SchedulingError("boom")
+
+        front = pareto_front(
+            _graph(seed=5),
+            3,
+            solvers=[("list", ListScheduler()), ("boom", Exploder())],
+        )
+        assert front.skipped == (("boom", "boom"),)
+        assert [p.method for p in front.points] == ["list"]
+
+    def test_all_solvers_failing_raises(self):
+        class Exploder:
+            def schedule(self, graph, num_stages):
+                raise SchedulingError("boom")
+
+        with pytest.raises(SchedulingError):
+            pareto_front(_graph(), 2, solvers=[("boom", Exploder())])

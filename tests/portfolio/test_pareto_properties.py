@@ -1,0 +1,70 @@
+"""Property-based invariants of the Pareto front extraction.
+
+Three properties the anytime/Pareto subsystem leans on:
+
+* every extracted front is *mutually non-dominated*;
+* the front never loses to the single-objective list baseline — its
+  best-period point is at least as fast, and no front point is
+  dominated by the list schedule's objective vector;
+* extraction is bit-identical under equal seeds (the fronts feed
+  content-addressed caches, so nondeterminism would poison keys).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.sampler import sample_synthetic_dag
+from repro.portfolio import dominates, evaluate_schedule, pareto_front
+from repro.scheduling.heuristics import ListScheduler
+from repro.tpu.quantize import quantize_graph
+
+_seeds = st.integers(min_value=0, max_value=2_000)
+_stages = st.integers(min_value=2, max_value=4)
+
+
+def _graph(seed):
+    return quantize_graph(sample_synthetic_dag(num_nodes=12, degree=2, seed=seed))
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=_seeds, num_stages=_stages)
+def test_front_points_mutually_non_dominated(seed, num_stages):
+    front = pareto_front(_graph(seed), num_stages)
+    for p in front.points:
+        assert not any(
+            dominates(q.objectives, p.objectives)
+            for q in front.points
+            if q is not p
+        )
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=_seeds, num_stages=_stages)
+def test_front_dominates_or_ties_list_baseline(seed, num_stages):
+    graph = _graph(seed)
+    front = pareto_front(graph, num_stages)
+    baseline = evaluate_schedule(
+        graph, ListScheduler().schedule(graph, num_stages).schedule
+    )
+    # The sweep includes the list scheduler itself, so the front's best
+    # period can never be slower than the baseline...
+    assert (
+        front.best("period_seconds").objectives.period_seconds
+        <= baseline.period_seconds
+    )
+    # ...and nothing on the front may be strictly worse than it.
+    for p in front.points:
+        assert not dominates(baseline, p.objectives)
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=_seeds, num_stages=_stages)
+def test_fronts_bit_identical_under_equal_seeds(seed, num_stages):
+    graph = _graph(seed)
+    a = pareto_front(graph, num_stages, seed=3)
+    b = pareto_front(graph, num_stages, seed=3)
+    assert [p.method for p in a.points] == [p.method for p in b.points]
+    assert [p.objectives for p in a.points] == [p.objectives for p in b.points]
+    assert [
+        p.result.schedule.assignment for p in a.points
+    ] == [p.result.schedule.assignment for p in b.points]

@@ -1,0 +1,152 @@
+"""Segment compaction / GC of the persistent schedule store."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service import CachedSchedule, DiskScheduleStore
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+
+def _payload(tag, stages=3):
+    return CachedSchedule(
+        assignment={f"n{j}": j % stages for j in range(8)},
+        num_stages=stages,
+        method="list",
+        objective=float(tag),
+        status="ok",
+        solve_time=0.001,
+        provenance={"tag": tag},
+    )
+
+
+def _fill(store, groups=("optsA", "optsB"), keys=20, rounds=3):
+    """Overwrite ``keys`` entries ``rounds`` times across option groups."""
+    tag = 0
+    for _ in range(rounds):
+        for i in range(keys):
+            opts = groups[i % len(groups)]
+            store.put("ns", (f"fp{i}", 3, opts), _payload(tag))
+            tag += 1
+
+
+class TestCompaction:
+    def test_reclaims_dead_bytes_and_preserves_entries(self, tmp_path):
+        store = DiskScheduleStore(tmp_path, max_segment_bytes=2048)
+        _fill(store)
+        store.invalidate_options("ns", "optsB")
+        keys_before = store.keys("ns")
+        values_before = {k: store.get("ns", k).objective for k in keys_before}
+        stats = store.compact()
+        assert stats.bytes_reclaimed > 0
+        assert stats.entries_live == len(keys_before)
+        assert stats.entries_dropped == 0
+        assert stats.segments_after <= stats.segments_before
+        # Same keys, same order (oldest-first contract), same payloads.
+        assert store.keys("ns") == keys_before
+        for key, objective in values_before.items():
+            assert store.get("ns", key).objective == objective
+        store.close()
+
+    def test_reopen_after_compact_adopts_snapshot(self, tmp_path):
+        store = DiskScheduleStore(tmp_path, max_segment_bytes=2048)
+        _fill(store)
+        keys_before = store.keys("ns")
+        store.compact()
+        store.close()
+        reopened = DiskScheduleStore(tmp_path, max_segment_bytes=2048)
+        assert reopened.keys("ns") == keys_before
+        assert reopened.stats().index_rebuilds == 0
+        reopened.close()
+
+    def test_replay_converges_when_old_segments_survive(self, tmp_path):
+        # Simulate a crash after the new generation is written but
+        # before the old segments are unlinked: replaying both
+        # generations (and no snapshot) must converge on the same index.
+        store = DiskScheduleStore(tmp_path, max_segment_bytes=2048)
+        _fill(store)
+        store.invalidate_options("ns", "optsB")
+        keys_before = store.keys("ns")
+        segments_dir = tmp_path / "segments"
+        old_bytes = {
+            p.name: p.read_bytes() for p in segments_dir.glob("seg-*.rsps")
+        }
+        store.compact()
+        store.close()
+        for name, data in old_bytes.items():
+            (segments_dir / name).write_bytes(data)
+        (tmp_path / "index.json").unlink()
+        reopened = DiskScheduleStore(tmp_path, max_segment_bytes=2048)
+        assert sorted(reopened.keys("ns")) == sorted(keys_before)
+        reopened.close()
+
+    def test_tombstones_are_garbage_collected(self, tmp_path):
+        store = DiskScheduleStore(tmp_path)
+        store.put("ns", ("fp", 3, "opts"), _payload(1))
+        store.invalidate_options("ns", "opts")
+        assert store.stats().entries == 0
+        stats = store.compact()
+        assert stats.entries_live == 0
+        assert stats.bytes_after == 0 or stats.bytes_after < stats.bytes_before
+        store.close()
+
+    def test_store_usable_after_compacting_empty(self, tmp_path):
+        store = DiskScheduleStore(tmp_path)
+        stats = store.compact()
+        assert stats.entries_live == 0
+        store.put("ns", ("fp", 3, "opts"), _payload(7))
+        assert store.get("ns", ("fp", 3, "opts")).objective == 7.0
+        store.close()
+
+    def test_appends_continue_into_new_generation(self, tmp_path):
+        store = DiskScheduleStore(tmp_path, max_segment_bytes=2048)
+        _fill(store, rounds=2)
+        store.compact()
+        store.put("ns", ("fresh", 3, "optsA"), _payload(99))
+        assert store.get("ns", ("fresh", 3, "optsA")).objective == 99.0
+        store.close()
+        reopened = DiskScheduleStore(tmp_path, max_segment_bytes=2048)
+        assert reopened.get("ns", ("fresh", 3, "optsA")).objective == 99.0
+        reopened.close()
+
+    def test_compact_on_closed_store_raises(self, tmp_path):
+        store = DiskScheduleStore(tmp_path)
+        store.close()
+        with pytest.raises(ServiceError):
+            store.compact()
+
+
+class TestCompactStoreScript:
+    @pytest.fixture(scope="class")
+    def script(self):
+        spec = importlib.util.spec_from_file_location(
+            "compact_store", REPO_ROOT / "scripts" / "compact_store.py"
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module
+
+    def test_compacts_and_reports(self, script, tmp_path, capsys):
+        store = DiskScheduleStore(tmp_path, max_segment_bytes=2048)
+        _fill(store)
+        store.invalidate_options("ns", "optsB")
+        store.close()
+        assert script.main([str(tmp_path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["bytes_reclaimed"] > 0
+        assert payload["entries_dropped"] == 0
+
+    def test_stats_only_mode(self, script, tmp_path, capsys):
+        store = DiskScheduleStore(tmp_path)
+        store.put("ns", ("fp", 3, "opts"), _payload(1))
+        store.close()
+        assert script.main([str(tmp_path), "--stats", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["entries"] == 1
+
+    def test_rejects_non_store_directory(self, script, tmp_path):
+        assert script.main([str(tmp_path / "nope")]) == 2
