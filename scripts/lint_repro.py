@@ -1,0 +1,192 @@
+#!/usr/bin/env python3
+"""Run the repo's AST invariant linter (:mod:`repro.analysis`).
+
+Checks the conventions the serving stack's correctness rests on — lock
+discipline, deterministic-zone purity, wire-format compatibility,
+exception boundaries, telemetry naming, resource lifecycles — and exits
+non-zero when a finding is not covered by the checked-in baseline.
+
+Usage::
+
+    PYTHONPATH=src python scripts/lint_repro.py              # gate (CI)
+    PYTHONPATH=src python scripts/lint_repro.py --json       # machine output
+    PYTHONPATH=src python scripts/lint_repro.py --update-baseline
+    PYTHONPATH=src python scripts/lint_repro.py --rule determinism src/repro/scheduling
+    PYTHONPATH=src python scripts/lint_repro.py --list-rules
+
+The baseline (default ``lint_baseline.json`` at the repo root) records
+accepted pre-existing findings as line-independent fingerprints; the
+gate fails only on findings beyond it.  ``--update-baseline`` rewrites
+the file from the current run (pruning fixed entries), which is the one
+sanctioned way to grow the debt ledger — review the diff.
+
+Exit codes: 0 clean (or fully baselined), 1 new findings, 2 usage or
+baseline-file errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis import (  # noqa: E402  (path bootstrap above)
+    Baseline,
+    Project,
+    load_rules,
+    partition,
+    run_project,
+)
+
+DEFAULT_BASELINE = REPO_ROOT / "lint_baseline.json"
+
+#: Output shape version for ``--json`` consumers (tests/tooling pins it).
+JSON_VERSION = 1
+
+
+def _collect_paths(targets):
+    paths = []
+    for target in targets:
+        target = Path(target)
+        if not target.is_absolute():
+            target = REPO_ROOT / target
+        if target.is_dir():
+            paths.extend(sorted(target.rglob("*.py")))
+        elif target.suffix == ".py":
+            paths.append(target)
+        else:
+            raise SystemExit(f"not a python file or directory: {target}")
+    return paths
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files/directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="machine-readable JSON output"
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=DEFAULT_BASELINE,
+        help=f"baseline file (default: {DEFAULT_BASELINE.name})",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline: report and gate on every finding",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline from this run's findings and exit 0",
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        default=None,
+        metavar="ID",
+        help="run only this rule id (repeatable)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print rule ids and exit"
+    )
+    args = parser.parse_args(argv)
+
+    rules = load_rules()
+    if args.list_rules:
+        for rule in rules:
+            print(f"{rule.id:20s} {rule.description}")
+        return 0
+    if args.rule:
+        known = {rule.id for rule in rules}
+        unknown = set(args.rule) - known
+        if unknown:
+            print(
+                f"unknown rule id(s) {sorted(unknown)}; known: "
+                f"{sorted(known)}",
+                file=sys.stderr,
+            )
+            return 2
+        rules = [rule for rule in rules if rule.id in set(args.rule)]
+
+    project = Project.load(REPO_ROOT, _collect_paths(args.paths))
+    findings = run_project(project, rules)
+
+    if args.update_baseline:
+        Baseline.from_findings(findings).write(args.baseline)
+        print(
+            f"baseline updated: {len(findings)} finding(s) recorded in "
+            f"{args.baseline}"
+        )
+        return 0
+
+    if args.no_baseline:
+        baseline = Baseline()
+    else:
+        try:
+            baseline = Baseline.load(args.baseline)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    new, baselined, stale = partition(findings, baseline)
+
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "version": JSON_VERSION,
+                    "root": str(project.root),
+                    "rules": [
+                        {"id": rule.id, "description": rule.description}
+                        for rule in rules
+                    ],
+                    "files_checked": len(project.files),
+                    "findings": [finding.to_dict() for finding in findings],
+                    "new": [finding.to_dict() for finding in new],
+                    "baselined_count": len(baselined),
+                    "stale_baseline_fingerprints": stale,
+                    "exit_code": 1 if new else 0,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 1 if new else 0
+
+    for finding in new:
+        print(finding.format())
+    summary = (
+        f"{len(project.files)} file(s): {len(new)} new finding(s), "
+        f"{len(baselined)} baselined"
+    )
+    if stale:
+        summary += (
+            f", {len(stale)} stale baseline entr"
+            f"{'y' if len(stale) == 1 else 'ies'} "
+            "(fixed code — rerun with --update-baseline to prune)"
+        )
+    print(summary)
+    if new:
+        print(
+            "new invariant violations: fix them, annotate the sanctioned "
+            "escape hatch, or (for accepted debt) --update-baseline",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

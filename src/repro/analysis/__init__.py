@@ -1,0 +1,29 @@
+"""Static invariant analysis for the RESPECT serving stack.
+
+See :mod:`repro.analysis.core` for the framework,
+:mod:`repro.analysis.rules` for the repo-specific rules, and
+``scripts/lint_repro.py`` for the CLI that gates CI.
+"""
+
+from repro.analysis.baseline import Baseline, partition
+from repro.analysis.core import (
+    DEFAULT_RULE_MODULES,
+    Finding,
+    Project,
+    Rule,
+    SourceFile,
+    load_rules,
+    run_project,
+)
+
+__all__ = [
+    "Baseline",
+    "DEFAULT_RULE_MODULES",
+    "Finding",
+    "Project",
+    "Rule",
+    "SourceFile",
+    "load_rules",
+    "partition",
+    "run_project",
+]

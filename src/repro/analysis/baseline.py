@@ -1,0 +1,134 @@
+"""Checked-in suppression baseline: gate only on *new* findings.
+
+A fresh rule run on a mature codebase surfaces a mix of genuine bugs
+(fix them) and accepted debt (burn it down over time).  The baseline
+file records the accepted debt as ``fingerprint -> count`` so the
+linter exits non-zero only when a finding appears that is not covered —
+a new violation, or one more instance of an old one.
+
+Fingerprints come from :attr:`repro.analysis.core.Finding.fingerprint`
+and deliberately exclude line numbers, so edits *above* a baselined
+finding don't churn the file.  Counts matter: a baseline entry with
+``count: 1`` covers exactly one live instance; introducing a second,
+textually identical violation still fails the gate.
+
+The file is plain sorted JSON so diffs review like code:
+
+.. code-block:: json
+
+    {
+      "version": 1,
+      "findings": {
+        "3f9c…": {"rule": "…", "path": "…", "message": "…", "count": 1}
+      }
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.core import Finding
+
+__all__ = ["Baseline", "partition"]
+
+BASELINE_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """In-memory image of the baseline file."""
+
+    entries: Dict[str, dict] = field(default_factory=dict)
+
+    @classmethod
+    def from_findings(cls, findings: Sequence[Finding]) -> "Baseline":
+        entries: Dict[str, dict] = {}
+        for finding in findings:
+            entry = entries.setdefault(
+                finding.fingerprint,
+                {
+                    "rule": finding.rule,
+                    "path": finding.path,
+                    "symbol": finding.symbol,
+                    "message": finding.message,
+                    "count": 0,
+                },
+            )
+            entry["count"] += 1
+        return cls(entries)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Load ``path``; a missing file is an empty baseline."""
+        path = Path(path)
+        if not path.exists():
+            return cls()
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        if (
+            not isinstance(payload, dict)
+            or payload.get("version") != BASELINE_VERSION
+            or not isinstance(payload.get("findings"), dict)
+        ):
+            raise ValueError(
+                f"{path} is not a version-{BASELINE_VERSION} lint baseline"
+            )
+        entries = {}
+        for fingerprint, entry in payload["findings"].items():
+            if not isinstance(entry, dict) or not isinstance(
+                entry.get("count"), int
+            ):
+                raise ValueError(
+                    f"malformed baseline entry {fingerprint!r} in {path}"
+                )
+            entries[str(fingerprint)] = dict(entry)
+        return cls(entries)
+
+    def write(self, path: Path) -> None:
+        payload = {
+            "version": BASELINE_VERSION,
+            "findings": {
+                fingerprint: self.entries[fingerprint]
+                for fingerprint in sorted(self.entries)
+            },
+        }
+        Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    def __len__(self) -> int:
+        return sum(entry["count"] for entry in self.entries.values())
+
+
+def partition(
+    findings: Sequence[Finding], baseline: Baseline
+) -> Tuple[List[Finding], List[Finding], List[str]]:
+    """Split findings into ``(new, baselined)`` plus stale fingerprints.
+
+    Each baseline entry absorbs up to ``count`` live findings with its
+    fingerprint; the overflow — and any fingerprint absent from the
+    baseline — is *new*.  ``stale`` lists baseline fingerprints whose
+    violations no longer exist at their recorded count (fixed code);
+    ``--update-baseline`` prunes them so the debt ledger only shrinks
+    by deliberate action, never silently grows.
+    """
+    remaining = {
+        fingerprint: entry["count"]
+        for fingerprint, entry in baseline.entries.items()
+    }
+    new: List[Finding] = []
+    baselined: List[Finding] = []
+    for finding in findings:
+        if remaining.get(finding.fingerprint, 0) > 0:
+            remaining[finding.fingerprint] -= 1
+            baselined.append(finding)
+        else:
+            new.append(finding)
+    stale = sorted(
+        fingerprint for fingerprint, count in remaining.items() if count > 0
+    )
+    return new, baselined, stale

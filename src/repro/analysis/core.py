@@ -1,0 +1,312 @@
+"""AST-based invariant linting for the RESPECT reproduction.
+
+The serving stack's correctness rests on *conventions* — locks guarding
+shared state, seeded-RNG bit-identical replay, frozen wire-format kind
+codes, ``respect_*`` metric naming — that hammer tests catch only
+probabilistically, after the fact.  This package checks them statically,
+on every push, before a violation can land.
+
+The framework is deliberately small:
+
+* :class:`Finding` — one violation: rule id, file, line, severity,
+  message, plus a line-independent :attr:`~Finding.fingerprint` so the
+  baseline file survives unrelated edits above a finding;
+* :class:`Rule` — subclass and implement :meth:`Rule.check_file`
+  (per-file AST pass) and/or :meth:`Rule.check_project` (whole-project
+  pass for cross-file invariants such as label-set consistency);
+* :class:`SourceFile` / :class:`Project` — parsed source with comment
+  extraction for suppression directives;
+* :func:`run_project` — load, parse, check, filter suppressions, sort.
+
+Suppression is explicit and local: a ``# repro: <token>-ok`` comment on
+the offending line (or on the first line of the offending statement)
+silences exactly one rule there — e.g. ``# repro: nondeterministic-ok``
+for the determinism rule.  Project-wide grandfathering goes through the
+checked-in baseline instead (:mod:`repro.analysis.baseline`), which
+gates only *new* findings.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import importlib
+import inspect
+import io
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "SourceFile",
+    "Project",
+    "DEFAULT_RULE_MODULES",
+    "load_rules",
+    "run_project",
+]
+
+#: Modules scanned by :func:`load_rules` for :class:`Rule` subclasses.
+#: Adding a rule = writing a module with a Rule subclass and listing it
+#: here (or passing the module path to ``load_rules`` explicitly).
+DEFAULT_RULE_MODULES = (
+    "repro.analysis.rules.locks",
+    "repro.analysis.rules.determinism",
+    "repro.analysis.rules.wire_compat",
+    "repro.analysis.rules.boundaries",
+    "repro.analysis.rules.telemetry_naming",
+    "repro.analysis.rules.lifecycle",
+)
+
+#: Ordered severities (most severe first) used for sorting/reporting.
+SEVERITIES = ("error", "warning")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific source location.
+
+    ``symbol`` names the enclosing context (``Class.method`` or a
+    constant name) when the rule can supply one; it participates in the
+    baseline fingerprint so two violations with identical messages in
+    different methods stay distinguishable.
+    """
+
+    rule: str
+    path: str  # repo-relative, forward slashes
+    line: int
+    message: str
+    severity: str = "error"
+    symbol: str = ""
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(
+                f"severity must be one of {SEVERITIES}: {self.severity!r}"
+            )
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable, line-independent identity used by the baseline file.
+
+        Line numbers drift whenever code above a finding moves, so they
+        are deliberately excluded — identity is (rule, file, symbol,
+        message).  Identical findings share a fingerprint; the baseline
+        stores per-fingerprint counts to cope.
+        """
+        payload = "\x1f".join(
+            (self.rule, self.path, self.symbol, self.message)
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+    def sort_key(self) -> Tuple[str, int, str]:
+        return (self.path, self.line, self.rule)
+
+    def format(self) -> str:
+        where = f"{self.path}:{self.line}"
+        prefix = f"{where}: [{self.rule}] {self.severity}:"
+        return f"{prefix} {self.message}"
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "severity": self.severity,
+            "symbol": self.symbol,
+            "message": self.message,
+            "fingerprint": self.fingerprint,
+        }
+
+
+class SourceFile:
+    """One parsed source file plus its suppression directives.
+
+    Suppression comments are extracted with :mod:`tokenize` (not a
+    regex over raw lines) so a string literal that merely *contains*
+    ``# repro: ...-ok`` can never silence a finding.
+    """
+
+    def __init__(self, path: str, source: str):
+        self.path = path  # repo-relative, forward slashes
+        self.source = source
+        self.tree: Optional[ast.AST] = None
+        self.parse_error: Optional[SyntaxError] = None
+        try:
+            self.tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            self.parse_error = exc
+        #: line -> set of suppression tokens active on that line.
+        self.suppressions: Dict[int, Set[str]] = {}
+        self._collect_suppressions()
+
+    def _collect_suppressions(self) -> None:
+        try:
+            tokens = tokenize.generate_tokens(
+                io.StringIO(self.source).readline
+            )
+            for tok in tokens:
+                if tok.type != tokenize.COMMENT:
+                    continue
+                text = tok.string.lstrip("#").strip()
+                if not text.startswith("repro:"):
+                    continue
+                body = text[len("repro:"):].strip()
+                for part in body.split(","):
+                    part = part.strip()
+                    if part.endswith("-ok") and len(part) > 3:
+                        self.suppressions.setdefault(
+                            tok.start[0], set()
+                        ).add(part[: -len("-ok")])
+        except (tokenize.TokenError, SyntaxError):
+            pass  # unparseable file already reported via parse_error
+
+    def suppressed(self, line: int, token: str) -> bool:
+        return token in self.suppressions.get(line, set())
+
+
+class Project:
+    """A set of parsed source files rooted at the repo checkout."""
+
+    def __init__(self, root: Path, files: Sequence[SourceFile]):
+        self.root = Path(root)
+        self.files = list(files)
+        self._by_path = {f.path: f for f in self.files}
+
+    @classmethod
+    def load(
+        cls, root: Path, paths: Iterable[Path]
+    ) -> "Project":
+        root = Path(root).resolve()
+        files = []
+        for path in sorted(set(Path(p).resolve() for p in paths)):
+            rel = path.relative_to(root).as_posix()
+            files.append(SourceFile(rel, path.read_text(encoding="utf-8")))
+        return cls(root, files)
+
+    def get(self, path: str) -> Optional[SourceFile]:
+        return self._by_path.get(path)
+
+
+class Rule:
+    """Base class for one invariant check.
+
+    Subclasses set :attr:`id` (kebab-case, unique), a human
+    :attr:`description`, and :attr:`suppression` — the comment token
+    that silences the rule (``# repro: <suppression>-ok``, defaulting
+    to the rule id).  Implement :meth:`check_file` for per-file passes
+    and/or :meth:`check_project` for cross-file invariants; either may
+    be left as the default no-op.
+    """
+
+    id: str = ""
+    description: str = ""
+    severity: str = "error"
+    #: Suppression comment token; ``None`` falls back to :attr:`id`.
+    suppression: Optional[str] = None
+
+    @property
+    def suppression_token(self) -> str:
+        return self.suppression or self.id
+
+    def check_file(self, source: SourceFile) -> Iterable[Finding]:
+        return ()
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        return ()
+
+
+def load_rules(
+    modules: Sequence[str] = DEFAULT_RULE_MODULES,
+) -> List[Rule]:
+    """Import ``modules`` and instantiate every concrete Rule subclass.
+
+    A module contributes each of its own (not re-exported) subclasses of
+    :class:`Rule` with a non-empty ``id``.  Duplicate rule ids across
+    modules are an error — silent shadowing would make a rule appear to
+    run while another's findings vanish.
+    """
+    rules: List[Rule] = []
+    seen: Dict[str, str] = {}
+    for module_name in modules:
+        module = importlib.import_module(module_name)
+        for _, obj in sorted(vars(module).items()):
+            if (
+                inspect.isclass(obj)
+                and issubclass(obj, Rule)
+                and obj is not Rule
+                and obj.__module__ == module.__name__
+                and obj.id
+            ):
+                if obj.id in seen:
+                    raise ValueError(
+                        f"duplicate rule id {obj.id!r}: defined in both "
+                        f"{seen[obj.id]} and {module_name}"
+                    )
+                seen[obj.id] = module_name
+                rules.append(obj())
+    return rules
+
+
+def _statement_lines(source: SourceFile) -> Dict[int, int]:
+    """Map every line of a multi-line statement to its first line.
+
+    Lets a suppression comment on the *first* line of a statement cover
+    findings reported on its continuation lines and vice versa.
+    """
+    mapping: Dict[int, int] = {}
+    if source.tree is None:
+        return mapping
+    for node in ast.walk(source.tree):
+        if isinstance(node, ast.stmt) and hasattr(node, "end_lineno"):
+            for line in range(node.lineno, (node.end_lineno or node.lineno) + 1):
+                mapping.setdefault(line, node.lineno)
+    return mapping
+
+
+def run_project(
+    project: Project, rules: Sequence[Rule]
+) -> List[Finding]:
+    """Run every rule over the project; return sorted, unsuppressed findings.
+
+    Files that fail to parse yield a single ``parse-error`` finding
+    (rules never see them).  A suppression comment counts if it sits on
+    the finding's line or on the first line of the statement containing
+    it.
+    """
+    findings: List[Finding] = []
+    stmt_lines: Dict[str, Dict[int, int]] = {}
+    for source in project.files:
+        if source.parse_error is not None:
+            findings.append(
+                Finding(
+                    rule="parse-error",
+                    path=source.path,
+                    line=source.parse_error.lineno or 1,
+                    message=f"file does not parse: {source.parse_error.msg}",
+                )
+            )
+            continue
+        stmt_lines[source.path] = _statement_lines(source)
+        for rule in rules:
+            findings.extend(rule.check_file(source))
+    for rule in rules:
+        findings.extend(rule.check_project(project))
+
+    tokens = {rule.id: rule.suppression_token for rule in rules}
+    kept = []
+    for finding in findings:
+        source = project.get(finding.path)
+        token = tokens.get(finding.rule, finding.rule)
+        if source is not None:
+            lines = {finding.line}
+            first = stmt_lines.get(finding.path, {}).get(finding.line)
+            if first is not None:
+                lines.add(first)
+            if any(source.suppressed(line, token) for line in lines):
+                continue
+        kept.append(finding)
+    kept.sort(key=Finding.sort_key)
+    return kept

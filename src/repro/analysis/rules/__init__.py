@@ -1,0 +1,8 @@
+"""Repo-specific lint rules.
+
+Each module defines one or more :class:`repro.analysis.core.Rule`
+subclasses; :func:`repro.analysis.core.load_rules` discovers them from
+:data:`repro.analysis.core.DEFAULT_RULE_MODULES`.  To add a rule, write
+a module here, subclass ``Rule``, give it a unique ``id``, and append
+the module path to ``DEFAULT_RULE_MODULES``.
+"""

@@ -1,0 +1,240 @@
+"""Exception-boundary rule: public surfaces raise the repro hierarchy.
+
+``submit``/``asubmit``, the schedule store, and the decode-worker pool
+promise callers that every library failure derives from
+:class:`repro.errors.RespectError` — retry loops, admission backoff and
+the degrade ladder all catch on that contract (``except RespectError``)
+and must never have to enumerate stray ``RuntimeError``\\ s.  The rule
+walks every ``raise`` in the boundary modules and flags raises of
+builtin exception classes.
+
+What it allows:
+
+* anything imported from (or defined in) :mod:`repro.errors` — the
+  hierarchy itself is parsed, not hardcoded, so new error classes are
+  picked up automatically;
+* exception classes *defined in the same module* that subclass a
+  hierarchy member;
+* re-raises (bare ``raise``) and raising a caught variable — those
+  propagate an exception someone else typed;
+* raises that an *enclosing* ``try`` in the same file demonstrably
+  catches (e.g. the store's snapshot-validation ``ValueError``\\ s,
+  consumed three lines down by ``except (…, ValueError, …)``) — local
+  control flow never crosses the surface;
+* ``NotImplementedError`` (abstract hooks), ``StopIteration`` /
+  ``StopAsyncIteration`` (protocol), ``KeyboardInterrupt`` /
+  ``SystemExit`` (control flow, not library failure);
+* names the rule cannot resolve (calls computing the class, attribute
+  chains into other modules) — unresolvable is not evidence.
+
+Intentional builtin raises (e.g. ``TypeError`` from a dunder that the
+*language* specifies must raise it) take ``# repro: boundary-ok``.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.core import Finding, Project, Rule, SourceFile
+
+__all__ = ["ExceptionBoundaryRule"]
+
+#: Repo-relative prefixes whose raises cross a public serving surface.
+DEFAULT_BOUNDARY_PREFIXES = (
+    "src/repro/service/",
+    "src/repro/portfolio/",
+    "src/repro/online/",
+    "src/repro/cluster/",
+)
+
+DEFAULT_ERRORS_PATH = "src/repro/errors.py"
+
+#: Builtins that are legitimately raised from anywhere.
+_ALLOWED_BUILTINS = {
+    "NotImplementedError",
+    "StopIteration",
+    "StopAsyncIteration",
+    "KeyboardInterrupt",
+    "SystemExit",
+    "GeneratorExit",
+}
+
+_BUILTIN_EXCEPTIONS = {
+    name
+    for name in dir(builtins)
+    if isinstance(getattr(builtins, name), type)
+    and issubclass(getattr(builtins, name), BaseException)
+}
+
+
+def _handler_type_names(handler: ast.ExceptHandler) -> List[str]:
+    """Bare class names an ``except`` clause catches (unresolvable
+    expressions are skipped; ``except:`` catches everything)."""
+    if handler.type is None:
+        return ["BaseException"]
+    exprs = (
+        handler.type.elts
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    return [e.id for e in exprs if isinstance(e, ast.Name)]
+
+
+def _locally_handled(name: str, caught: Tuple[str, ...]) -> bool:
+    """True when an enclosing handler catches builtin class ``name``,
+    accounting for real subclass relationships (``except Exception``
+    covers ``ValueError``)."""
+    raised = getattr(builtins, name, None)
+    if not isinstance(raised, type):
+        return name in caught
+    for handler_name in caught:
+        handler_cls = getattr(builtins, handler_name, None)
+        if isinstance(handler_cls, type) and issubclass(raised, handler_cls):
+            return True
+    return False
+
+
+class ExceptionBoundaryRule(Rule):
+    id = "exception-boundary"
+    suppression = "boundary"
+    description = (
+        "exceptions raised across service/store/worker public surfaces "
+        "must derive from the repro.errors hierarchy"
+    )
+
+    def __init__(
+        self,
+        boundary_prefixes: Sequence[str] = DEFAULT_BOUNDARY_PREFIXES,
+        errors_path: str = DEFAULT_ERRORS_PATH,
+    ):
+        self.boundary_prefixes = tuple(boundary_prefixes)
+        self.errors_path = errors_path
+
+    def in_boundary(self, path: str) -> bool:
+        return any(
+            path == prefix or (prefix.endswith("/") and path.startswith(prefix))
+            for prefix in self.boundary_prefixes
+        )
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        hierarchy = self._hierarchy_names(project)
+        findings: List[Finding] = []
+        for source in project.files:
+            if source.tree is None or not self.in_boundary(source.path):
+                continue
+            findings.extend(self._check_file(source, hierarchy))
+        return findings
+
+    # ------------------------------------------------------------------
+    def _hierarchy_names(self, project: Project) -> Set[str]:
+        """Class names of the repro.errors hierarchy (parsed, not frozen)."""
+        names: Set[str] = set()
+        source = project.get(self.errors_path)
+        if source is None or source.tree is None:
+            # Outside a full-repo run (fixture trees) the hierarchy may
+            # be absent; fall back to the canonical root name so the
+            # rule still distinguishes builtins from library errors.
+            return {"RespectError"}
+        for node in source.tree.body:
+            if isinstance(node, ast.ClassDef):
+                names.add(node.name)
+        return names
+
+    def _check_file(
+        self, source: SourceFile, hierarchy: Set[str]
+    ) -> Iterable[Finding]:
+        local_ok = set(hierarchy)
+        # Exception classes defined in this module count when they
+        # (transitively) subclass a hierarchy member.
+        changed = True
+        local_classes = [
+            node
+            for node in ast.walk(source.tree)
+            if isinstance(node, ast.ClassDef)
+        ]
+        while changed:
+            changed = False
+            for cls in local_classes:
+                if cls.name in local_ok:
+                    continue
+                bases = {
+                    base.id
+                    for base in cls.bases
+                    if isinstance(base, ast.Name)
+                }
+                if bases & local_ok:
+                    local_ok.add(cls.name)
+                    changed = True
+
+        findings: List[Finding] = []
+        self._walk_raises(source, source.tree, local_ok, (), findings)
+        return findings
+
+    def _walk_raises(
+        self,
+        source: SourceFile,
+        node: ast.AST,
+        local_ok: Set[str],
+        caught: Tuple[str, ...],
+        findings: List[Finding],
+    ) -> None:
+        """Recursive walk tracking which exception names enclosing
+        ``try`` bodies catch — a raise consumed locally never crosses
+        the public surface."""
+        if isinstance(node, ast.Try):
+            handler_names: List[str] = []
+            for handler in node.handlers:
+                handler_names.extend(_handler_type_names(handler))
+            inner = caught + tuple(handler_names)
+            for stmt in node.body:
+                self._walk_raises(source, stmt, local_ok, inner, findings)
+            # Handlers, else and finally run outside this try's cover.
+            for handler in node.handlers:
+                for stmt in handler.body:
+                    self._walk_raises(
+                        source, stmt, local_ok, caught, findings
+                    )
+            for stmt in node.orelse + node.finalbody:
+                self._walk_raises(source, stmt, local_ok, caught, findings)
+            return
+        if isinstance(node, ast.Raise) and node.exc is not None:
+            name = self._raised_class_name(node.exc)
+            if (
+                name is not None
+                and name not in local_ok
+                and name in _BUILTIN_EXCEPTIONS
+                and name not in _ALLOWED_BUILTINS
+                and not _locally_handled(name, caught)
+            ):
+                findings.append(
+                    Finding(
+                        rule=self.id,
+                        path=source.path,
+                        line=node.lineno,
+                        symbol=name,
+                        message=(
+                            f"'{name}' raised across a public serving "
+                            "surface; use (or add) a repro.errors "
+                            "subclass so 'except RespectError' keeps "
+                            "its contract"
+                        ),
+                    )
+                )
+        for child in ast.iter_child_nodes(node):
+            self._walk_raises(source, child, local_ok, caught, findings)
+
+    @staticmethod
+    def _raised_class_name(node: ast.expr) -> Optional[str]:
+        """Resolve ``raise X(...)`` / ``raise X`` to a bare class name.
+
+        Variables holding caught exceptions are conventionally
+        lowercase; class names are CamelCase, so a lowercase bare name
+        is treated as a re-raise, not a construction.
+        """
+        if isinstance(node, ast.Call):
+            node = node.func
+        if isinstance(node, ast.Name) and node.id[:1].isupper():
+            return node.id
+        return None

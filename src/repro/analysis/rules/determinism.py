@@ -1,0 +1,343 @@
+"""Determinism rule: no ambient entropy inside the deterministic zones.
+
+Bit-identical replay is a load-bearing contract here — cache keys,
+store round-trips, fleet-DES replays and promotion gates all assert it.
+Everything under the *deterministic zones* must derive its randomness
+from an explicitly seeded generator and its notion of time from the
+simulated/virtual clock, never the host:
+
+* ``scheduling/`` — every solver must be a pure function of
+  ``(graph, num_stages, options, seed)``;
+* ``graphs/`` — samplers/families are replayed from spawned seeds;
+* ``cluster/simulate.py`` — the fleet DES is compared replay-to-replay;
+* ``portfolio/objectives.py`` — objective vectors feed Pareto fronts
+  that tests pin bit-identically.
+
+Three violation classes:
+
+1. **global-state RNG** — ``random.*`` module calls, unseeded
+   ``random.Random()`` / ``np.random.default_rng()`` /
+   ``np.random.RandomState()``, and any legacy ``np.random.*``
+   global-state call (``np.random.seed`` included: mutating the global
+   stream from a zone leaks nondeterminism into every other caller);
+2. **wall-clock reads** — ``time.time``/``monotonic``/``perf_counter``
+   (+ ``_ns`` variants), ``time.localtime``/``gmtime``/``ctime``,
+   ``datetime.now``/``utcnow``/``today``;
+3. **unordered iteration** — ``for``/comprehension iteration over a
+   value statically known to be a ``set``/``frozenset`` (literal,
+   comprehension, constructor call, or a local assigned one), unless
+   the iteration feeds an order-insensitive reduction (``sorted``,
+   ``sum``, ``min``, ``max``, ``len``, ``any``, ``all``, ``set``,
+   ``frozenset``) — set order varies across processes under hash
+   randomization, so it must never reach a returned value.
+
+Escape hatch: ``# repro: nondeterministic-ok`` on the offending line
+(cooperative-cancellation deadlines measured against the host clock are
+the legitimate case).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.core import Finding, Rule, SourceFile
+
+__all__ = ["DeterminismRule"]
+
+#: Path prefixes / exact files (repo-relative under ``src/repro``) that
+#: make up the deterministic zone.
+DEFAULT_ZONES = (
+    "src/repro/scheduling/",
+    "src/repro/graphs/",
+    "src/repro/cluster/simulate.py",
+    "src/repro/portfolio/objectives.py",
+)
+
+_WALL_CLOCK_TIME_FNS = {
+    "time", "time_ns", "monotonic", "monotonic_ns", "perf_counter",
+    "perf_counter_ns", "localtime", "gmtime", "ctime",
+}
+_WALL_CLOCK_DATETIME_FNS = {"now", "utcnow", "today"}
+
+#: ``np.random`` attributes that are deterministic *when called with a
+#: seed argument* (constructors of explicit generators).
+_SEEDED_NP_CONSTRUCTORS = {"default_rng", "RandomState", "SeedSequence", "Generator"}
+
+#: Call receivers that make an iteration order-insensitive.
+_ORDER_INSENSITIVE_SINKS = {
+    "sorted", "sum", "min", "max", "len", "any", "all", "set", "frozenset",
+}
+
+
+def _dotted(node: ast.expr) -> str:
+    """``a.b.c`` for a pure attribute chain on a Name, else ``""``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+class _Imports:
+    """Aliases under which the hazardous modules/functions are visible."""
+
+    def __init__(self, tree: ast.AST):
+        self.random_mods: Set[str] = set()
+        self.numpy_mods: Set[str] = set()
+        #: names aliasing ``numpy.random`` itself (``from numpy import
+        #: random as npr`` / ``import numpy.random as npr``).
+        self.numpy_random_mods: Set[str] = set()
+        self.time_mods: Set[str] = set()
+        self.datetime_classes: Set[str] = set()
+        #: local name -> function it aliases, for ``from x import y``.
+        self.random_funcs: Set[str] = set()
+        self.time_funcs: Set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    if alias.name == "random":
+                        self.random_mods.add(local)
+                    elif alias.name == "numpy":
+                        self.numpy_mods.add(local)
+                    elif alias.name == "numpy.random":
+                        if alias.asname:
+                            self.numpy_random_mods.add(local)
+                        else:
+                            self.numpy_mods.add("numpy")
+                    elif alias.name == "time":
+                        self.time_mods.add(local)
+                    elif alias.name == "datetime":
+                        self.datetime_classes.add(f"{local}.datetime")
+                        self.datetime_classes.add(f"{local}.date")
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    if node.module == "random":
+                        self.random_funcs.add(local)
+                    elif node.module == "time":
+                        if alias.name in _WALL_CLOCK_TIME_FNS:
+                            self.time_funcs.add(local)
+                    elif node.module == "datetime":
+                        if alias.name in ("datetime", "date"):
+                            self.datetime_classes.add(local)
+                    elif node.module == "numpy" and alias.name == "random":
+                        self.numpy_random_mods.add(local)
+
+
+class DeterminismRule(Rule):
+    id = "determinism"
+    suppression = "nondeterministic"
+    description = (
+        "deterministic zones must not read ambient entropy: global-state "
+        "RNGs, wall clocks, or unordered set iteration feeding results"
+    )
+
+    def __init__(self, zones: Sequence[str] = DEFAULT_ZONES):
+        self.zones = tuple(zones)
+
+    def in_zone(self, path: str) -> bool:
+        return any(
+            path == zone or (zone.endswith("/") and path.startswith(zone))
+            for zone in self.zones
+        )
+
+    def check_file(self, source: SourceFile) -> Iterable[Finding]:
+        if not self.in_zone(source.path):
+            return ()
+        imports = _Imports(source.tree)
+        findings: List[Finding] = []
+        findings.extend(self._check_calls(source, imports))
+        findings.extend(self._check_set_iteration(source))
+        return findings
+
+    # -- RNG + wall clock ----------------------------------------------
+    def _check_calls(
+        self, source: SourceFile, imports: _Imports
+    ) -> Iterable[Finding]:
+        findings = []
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            message = self._call_violation(node, imports)
+            if message:
+                findings.append(
+                    Finding(
+                        rule=self.id,
+                        path=source.path,
+                        line=node.lineno,
+                        message=message,
+                    )
+                )
+        return findings
+
+    def _call_violation(
+        self, node: ast.Call, imports: _Imports
+    ) -> Optional[str]:
+        func = node.func
+        dotted = _dotted(func)
+        if not dotted:
+            return None
+        head, _, rest = dotted.partition(".")
+
+        # from random import shuffle; shuffle(...)
+        if not rest and head in imports.random_funcs:
+            return (
+                f"'{head}' drives the process-global random stream; "
+                "thread an explicitly seeded Generator through instead"
+            )
+        # from time import time; time()
+        if not rest and head in imports.time_funcs:
+            return (
+                f"'{head}()' reads the host clock inside a deterministic "
+                "zone; take timestamps from the simulated clock or a "
+                "caller-supplied parameter"
+            )
+        if head in imports.random_mods and rest:
+            if rest == "Random" and node.args:
+                return None  # seeded instance
+            if rest == "SystemRandom":
+                return "'random.SystemRandom' is entropy by definition"
+            return (
+                f"'{dotted}' uses the process-global random stream "
+                "(or an unseeded instance); construct a seeded "
+                "random.Random/np Generator explicitly"
+            )
+        np_attr = None
+        if head in imports.numpy_mods and rest.startswith("random."):
+            np_attr = rest[len("random."):]
+        elif head in imports.numpy_random_mods and rest and "." not in rest:
+            np_attr = rest
+        if np_attr:
+            if np_attr in _SEEDED_NP_CONSTRUCTORS and node.args:
+                return None
+            if np_attr in _SEEDED_NP_CONSTRUCTORS:
+                return (
+                    f"unseeded 'np.random.{np_attr}()' draws its seed "
+                    "from OS entropy; pass an explicit seed"
+                )
+            return (
+                f"'np.random.{np_attr}' touches numpy's global RNG "
+                "state; use a seeded np.random.Generator"
+            )
+        if head in imports.time_mods and rest in _WALL_CLOCK_TIME_FNS:
+            return (
+                f"'{dotted}()' reads the host clock inside a deterministic "
+                "zone; take timestamps from the simulated clock or a "
+                "caller-supplied parameter"
+            )
+        for cls in imports.datetime_classes:
+            if (
+                dotted.startswith(cls + ".")
+                and dotted[len(cls) + 1:] in _WALL_CLOCK_DATETIME_FNS
+            ):
+                return (
+                    f"'{dotted}()' reads the wall clock inside a "
+                    "deterministic zone"
+                )
+        return None
+
+    # -- unordered iteration -------------------------------------------
+    def _check_set_iteration(
+        self, source: SourceFile
+    ) -> Iterable[Finding]:
+        findings = []
+        functions = [
+            node
+            for node in ast.walk(source.tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        for function in functions:
+            findings.extend(self._check_function_sets(source, function))
+        return findings
+
+    def _check_function_sets(
+        self, source: SourceFile, function: ast.AST
+    ) -> Iterable[Finding]:
+        # Locals assigned a set-valued expression in this function body
+        # (shallow, flow-insensitive; reassignment to a non-set clears).
+        set_locals: Set[str] = set()
+        for node in ast.walk(function):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name):
+                    if self._is_set_expr(node.value, set_locals):
+                        set_locals.add(target.id)
+                    else:
+                        set_locals.discard(target.id)
+
+        sinks = self._order_insensitive_iters(function)
+        findings = []
+        for node in ast.walk(function):
+            iters: List[ast.expr] = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append(node.iter)
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                iters.extend(gen.iter for gen in node.generators)
+            for it in iters:
+                if id(it) in sinks:
+                    continue
+                if self._is_set_expr(it, set_locals):
+                    findings.append(
+                        Finding(
+                            rule=self.id,
+                            path=source.path,
+                            line=it.lineno,
+                            message=(
+                                "iteration over a set has "
+                                "hash-randomized order inside a "
+                                "deterministic zone; wrap it in "
+                                "sorted(...) or keep an ordered "
+                                "container"
+                            ),
+                        )
+                    )
+        return findings
+
+    @staticmethod
+    def _is_set_expr(node: ast.expr, set_locals: Set[str]) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            if node.func.id in ("set", "frozenset"):
+                return True
+        if isinstance(node, ast.Name):
+            return node.id in set_locals
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            return DeterminismRule._is_set_expr(
+                node.left, set_locals
+            ) and DeterminismRule._is_set_expr(node.right, set_locals)
+        return False
+
+    @staticmethod
+    def _order_insensitive_iters(function: ast.AST) -> Set[int]:
+        """ids of iterator expressions feeding order-insensitive sinks.
+
+        Covers ``sorted({...})`` directly and ``sorted(x for x in {...})``
+        / ``min(len(s) for s in sets)`` one comprehension level down.
+        """
+        sinks: Set[int] = set()
+        for node in ast.walk(function):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in _ORDER_INSENSITIVE_SINKS
+            ):
+                continue
+            for arg in node.args:
+                sinks.add(id(arg))
+                if isinstance(
+                    arg,
+                    (ast.GeneratorExp, ast.ListComp, ast.SetComp),
+                ):
+                    for gen in arg.generators:
+                        sinks.add(id(gen.iter))
+        return sinks

@@ -1,0 +1,124 @@
+"""Resource-lifecycle rule: what ``__init__`` opens, the class can close.
+
+A class that spawns a thread or process, creates an executor, or opens
+a file/socket/pipe in ``__init__`` owns that resource for the object's
+whole lifetime — and Python offers no reliable destructor (``__del__``
+may run at interpreter shutdown with modules half-torn-down, or never).
+Every such class must expose an explicit release path: ``close()``,
+``shutdown()``, ``stop()``, ``join()``, or context-manager exit.
+
+The rule flags resource construction in ``__init__`` when the class
+defines none of those.  Creation in *other* methods is not flagged —
+request-scoped threads (e.g. the degrade ladder's budgeted policy
+probe) are bounded by their own joins/deadlines, and flagging them
+would bury the signal.  A deliberately unowned resource (a daemon
+thread handed off to its target, a file opened for the caller) takes
+``# repro: lifecycle-ok`` on the creating line.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional, Tuple
+
+from repro.analysis.core import Finding, Rule, SourceFile
+
+__all__ = ["ResourceLifecycleRule"]
+
+#: Method names accepted as a release path.
+_RELEASE_METHODS = {"close", "shutdown", "stop", "join", "__exit__", "release"}
+
+#: (constructor match, human label).  Attribute matches compare the
+#: final attribute name; Name matches compare the bare call.
+_RESOURCE_ATTRS = {
+    "Thread": "thread",
+    "Process": "process",
+    "Timer": "timer thread",
+    "ThreadPoolExecutor": "thread pool",
+    "ProcessPoolExecutor": "process pool",
+    "Pool": "worker pool",
+    "Popen": "subprocess",
+    "socket": "socket",
+    "Pipe": "pipe pair",
+    "Queue": None,  # plain queues are garbage-collectable; not flagged
+}
+_RESOURCE_NAMES = {
+    "open": "file handle",
+    "Thread": "thread",
+    "Process": "process",
+    "ThreadPoolExecutor": "thread pool",
+    "ProcessPoolExecutor": "process pool",
+    "Popen": "subprocess",
+}
+
+
+class ResourceLifecycleRule(Rule):
+    id = "resource-lifecycle"
+    suppression = "lifecycle"
+    description = (
+        "threads/processes/executors/files created in __init__ require "
+        "a close()/shutdown()/stop()/join()/__exit__ release path"
+    )
+
+    def check_file(self, source: SourceFile) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ClassDef):
+                findings.extend(self._check_class(source, node))
+        return findings
+
+    def _check_class(
+        self, source: SourceFile, cls: ast.ClassDef
+    ) -> Iterable[Finding]:
+        methods = {
+            item.name
+            for item in cls.body
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        if methods & _RELEASE_METHODS:
+            return ()
+        init = next(
+            (
+                item
+                for item in cls.body
+                if isinstance(item, ast.FunctionDef)
+                and item.name == "__init__"
+            ),
+            None,
+        )
+        if init is None:
+            return ()
+        findings = []
+        for node in ast.walk(init):
+            resource = self._resource_label(node)
+            if resource is None:
+                continue
+            findings.append(
+                Finding(
+                    rule=self.id,
+                    path=source.path,
+                    line=node.lineno,
+                    symbol=cls.name,
+                    message=(
+                        f"{cls.name}.__init__ creates a {resource} but "
+                        f"the class defines no release path "
+                        f"({'/'.join(sorted(_RELEASE_METHODS))}); leaked "
+                        "on every discarded instance"
+                    ),
+                )
+            )
+        return findings
+
+    @staticmethod
+    def _resource_label(node: ast.AST) -> Optional[str]:
+        if not isinstance(node, ast.Call):
+            return None
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            label = _RESOURCE_ATTRS.get(func.attr)
+            if label is not None or func.attr not in _RESOURCE_ATTRS:
+                return label
+            return None
+        if isinstance(func, ast.Name):
+            return _RESOURCE_NAMES.get(func.id)
+        return None

@@ -1,0 +1,224 @@
+"""Lock-discipline rule: guarded attributes stay guarded.
+
+For every class that creates a ``threading.Lock``/``RLock`` in
+``__init__``, the rule *infers* which instance attributes that lock
+guards — any ``self.X`` assigned inside a ``with self.<lock>:`` block
+in a regular method — and then flags every read or write of a guarded
+attribute that happens outside all lock contexts.
+
+What counts as "inside a lock context":
+
+* lexically inside a ``with self.<lock>:`` block of the same function
+  body — but **not** inside a nested ``def``/``lambda`` defined there:
+  a callback closes over ``self`` and runs after the ``with`` exits,
+  so its body is analyzed with the lock considered *released* (the
+  "escape via callback" case);
+* anywhere in a method whose name ends in ``_locked`` — the repo's
+  existing convention for helpers documented as "caller holds the
+  lock" (e.g. ``DegradeLadder._decayed_pressure_locked``).  The
+  convention makes the contract grep-able and machine-checkable where
+  a comment is neither.
+
+``__init__`` and ``__del__`` are exempt: before ``__init__`` returns
+the object is unshared, and ``__del__`` runs when no other thread can
+hold a reference.  Intentional unlocked access (immutable-after-init
+publication, monotonic reads for monitoring) takes a
+``# repro: unlocked-ok`` comment on the access line.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.analysis.core import Finding, Rule, SourceFile
+
+__all__ = ["LockDisciplineRule"]
+
+#: Constructors whose result makes an attribute a "lock" for this rule.
+_LOCK_FACTORIES = {"Lock", "RLock", "Condition"}
+
+#: Methods where unlocked access to guarded attributes is allowed.
+_EXEMPT_METHODS = {"__init__", "__del__"}
+
+
+def _is_lock_constructor(node: ast.expr) -> bool:
+    """``threading.Lock()`` / ``Lock()`` / ``threading.RLock()`` …"""
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr in _LOCK_FACTORIES and isinstance(
+            func.value, ast.Name
+        ) and func.value.id in ("threading", "multiprocessing", "mp")
+    if isinstance(func, ast.Name):
+        return func.id in _LOCK_FACTORIES
+    return False
+
+
+def _self_attr(node: ast.expr) -> str:
+    """Attribute name when ``node`` is ``self.X``, else ``""``."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return ""
+
+
+def _with_locks(node: ast.With, lock_attrs: Set[str]) -> bool:
+    """Does this ``with`` statement acquire any of the class's locks?"""
+    for item in node.items:
+        expr = item.context_expr
+        if _self_attr(expr) in lock_attrs:
+            return True
+        # ``with self._lock.acquire_timeout(...)``-style wrappers.
+        if isinstance(expr, ast.Call) and _self_attr(expr.func) in lock_attrs:
+            return True
+    return False
+
+
+class _FunctionAccessWalker:
+    """Walk one function body tracking whether a class lock is held.
+
+    Yields ``(attr, line, writes, locked)`` for every ``self.X`` access.
+    Nested function/lambda bodies are walked with ``locked`` reset to
+    the function's *baseline* (False, unless the outer function is a
+    ``*_locked`` helper) — a closure runs after the enclosing ``with``
+    has exited.
+    """
+
+    def __init__(self, lock_attrs: Set[str], baseline_locked: bool):
+        self.lock_attrs = lock_attrs
+        self.accesses: List[Tuple[str, int, bool, bool]] = []
+        self._baseline = baseline_locked
+
+    def walk(self, body: Iterable[ast.stmt]) -> None:
+        for stmt in body:
+            self._visit(stmt, self._baseline)
+
+    def _visit(self, node: ast.AST, locked: bool) -> None:
+        if isinstance(node, ast.With) and _with_locks(
+            node, self.lock_attrs
+        ):
+            for stmt in node.body:
+                self._visit(stmt, True)
+            # Context expressions themselves run before acquisition.
+            for item in node.items:
+                self._visit(item.context_expr, locked)
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            inner = _FunctionAccessWalker(self.lock_attrs, self._baseline)
+            inner.walk(node.body)
+            self.accesses.extend(inner.accesses)
+            return
+        if isinstance(node, ast.Lambda):
+            inner = _FunctionAccessWalker(self.lock_attrs, self._baseline)
+            inner._visit(node.body, self._baseline)
+            self.accesses.extend(inner.accesses)
+            return
+        attr = _self_attr(node)
+        if attr and attr not in self.lock_attrs:
+            writes = isinstance(
+                node.ctx, (ast.Store, ast.Del)  # type: ignore[attr-defined]
+            )
+            self.accesses.append((attr, node.lineno, writes, locked))
+        for child in ast.iter_child_nodes(node):
+            self._visit(child, locked)
+
+
+class LockDisciplineRule(Rule):
+    id = "lock-discipline"
+    suppression = "unlocked"
+    description = (
+        "attributes assigned under a class's lock must never be read or "
+        "written outside a lock context (including callback escapes)"
+    )
+
+    def check_file(self, source: SourceFile) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ClassDef):
+                findings.extend(self._check_class(source, node))
+        return findings
+
+    # ------------------------------------------------------------------
+    def _check_class(
+        self, source: SourceFile, cls: ast.ClassDef
+    ) -> Iterable[Finding]:
+        methods = [
+            item
+            for item in cls.body
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        lock_attrs = self._find_lock_attrs(methods)
+        if not lock_attrs:
+            return ()
+
+        # Pass 1: attributes assigned while a lock is held, in any
+        # non-exempt method, are the lock-guarded set.
+        guarded: Set[str] = set()
+        per_method: Dict[str, List[Tuple[str, int, bool, bool]]] = {}
+        for method in methods:
+            walker = _FunctionAccessWalker(
+                lock_attrs, method.name.endswith("_locked")
+            )
+            walker.walk(method.body)
+            per_method[method.name] = walker.accesses
+            if method.name in _EXEMPT_METHODS:
+                continue
+            for attr, _, writes, locked in walker.accesses:
+                if writes and locked:
+                    guarded.add(attr)
+        if not guarded:
+            return ()
+
+        # Pass 2: every unlocked access to a guarded attribute outside
+        # the exempt methods is a violation.
+        findings = []
+        for method in methods:
+            if method.name in _EXEMPT_METHODS:
+                continue
+            for attr, line, writes, locked in per_method[method.name]:
+                if attr in guarded and not locked:
+                    verb = "written" if writes else "read"
+                    findings.append(
+                        Finding(
+                            rule=self.id,
+                            path=source.path,
+                            line=line,
+                            symbol=f"{cls.name}.{method.name}",
+                            message=(
+                                f"'self.{attr}' is assigned under "
+                                f"{self._lock_label(lock_attrs)} elsewhere in "
+                                f"{cls.name} but {verb} here outside any "
+                                "lock context (callbacks drop the lock); "
+                                "hold the lock, rename the helper to "
+                                "'*_locked', or annotate "
+                                "'# repro: unlocked-ok'"
+                            ),
+                        )
+                    )
+        return findings
+
+    @staticmethod
+    def _lock_label(lock_attrs: Set[str]) -> str:
+        names = ", ".join(f"'self.{name}'" for name in sorted(lock_attrs))
+        return names if len(lock_attrs) == 1 else f"one of {names}"
+
+    @staticmethod
+    def _find_lock_attrs(methods: List[ast.FunctionDef]) -> Set[str]:
+        lock_attrs: Set[str] = set()
+        for method in methods:
+            if method.name != "__init__":
+                continue
+            for node in ast.walk(method):
+                if isinstance(node, ast.Assign) and _is_lock_constructor(
+                    node.value
+                ):
+                    for target in node.targets:
+                        attr = _self_attr(target)
+                        if attr:
+                            lock_attrs.add(attr)
+        return lock_attrs

@@ -1,0 +1,227 @@
+"""Telemetry-naming rule: one metric namespace, machine-checked.
+
+Every instrument the stack registers goes through
+``telemetry.counter/gauge/histogram(name, ...)`` (or the registry
+directly).  Dashboards, the Prometheus scrape step, and
+``check_bench``-style tooling key on those names, so the rule enforces
+the conventions the README documents:
+
+* names match ``respect_[a-z0-9_]+`` — one namespace, lowercase;
+* counters end in ``_total`` (Prometheus counter convention);
+* histograms end in a unit suffix: ``_seconds`` or ``_bytes``;
+* gauges carry *no* ``_total`` suffix (that suffix promises a counter);
+* a name is registered as exactly one instrument kind project-wide
+  (the registry raises at runtime; the rule fails at push time);
+* **label-set consistency**: every call site of one name that passes
+  explicit labels must pass the *same* label keys — a series with
+  labels ``{shard}`` here and ``{tier}`` there cannot be aggregated.
+  Sites passing no labels are exempt: layer stamping via
+  ``Telemetry.child(**labels)`` adds labels the call site cannot see.
+
+Call sites with a non-literal name are flagged (the contract cannot be
+checked, and every current instrument is a literal) — *except* pure
+delegation, where the name expression is a parameter of the enclosing
+function forwarded verbatim (the ``Telemetry`` facade's
+``counter(self, name, ...)`` → ``self.registry.counter(name, ...)``):
+the real registration site is the caller, which the rule checks
+directly.  The escape hatch is ``# repro: metric-name-ok``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.analysis.core import Finding, Project, Rule, SourceFile
+
+__all__ = ["TelemetryNamingRule"]
+
+NAME_PATTERN = re.compile(r"^respect_[a-z0-9_]+$")
+
+_INSTRUMENT_METHODS = ("counter", "gauge", "histogram")
+
+#: Keyword arguments of the instrument factories that are not labels.
+_NON_LABEL_KWARGS = {"help", "buckets"}
+
+_HISTOGRAM_UNITS = ("_seconds", "_bytes")
+
+
+def _walk_with_params(node: ast.AST, params: frozenset):
+    """Yield ``(node, enclosing-function-parameter-names)`` pairs."""
+    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        a = node.args
+        params = frozenset(
+            arg.arg
+            for arg in (
+                list(a.posonlyargs) + list(a.args) + list(a.kwonlyargs)
+            )
+        ) | frozenset(
+            arg.arg for arg in (a.vararg, a.kwarg) if arg is not None
+        )
+    yield node, params
+    for child in ast.iter_child_nodes(node):
+        yield from _walk_with_params(child, params)
+
+
+class TelemetryNamingRule(Rule):
+    id = "telemetry-naming"
+    suppression = "metric-name"
+    description = (
+        "registry instrument names must match respect_[a-z0-9_]+ with "
+        "kind-appropriate suffixes and consistent label sets per name"
+    )
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        # name -> list of (kind, label-keys, path, line)
+        sites: Dict[str, List[Tuple[str, Tuple[str, ...], str, int]]] = {}
+        for source in project.files:
+            if source.tree is None:
+                continue
+            for node, params in _walk_with_params(source.tree, frozenset()):
+                call = self._instrument_call(node)
+                if call is None:
+                    continue
+                kind, name_node = call
+                if not (
+                    isinstance(name_node, ast.Constant)
+                    and isinstance(name_node.value, str)
+                ):
+                    if (
+                        isinstance(name_node, ast.Name)
+                        and name_node.id in params
+                    ):
+                        # Forwarding a parameter is delegation, not a
+                        # registration site; callers are checked.
+                        continue
+                    findings.append(
+                        Finding(
+                            rule=self.id,
+                            path=source.path,
+                            line=node.lineno,
+                            severity="warning",
+                            message=(
+                                f"non-literal {kind} name cannot be "
+                                "checked against the respect_* naming "
+                                "contract; use a literal (or annotate "
+                                "'# repro: metric-name-ok')"
+                            ),
+                        )
+                    )
+                    continue
+                name = name_node.value
+                labels = tuple(
+                    sorted(
+                        keyword.arg
+                        for keyword in node.keywords
+                        if keyword.arg is not None
+                        and keyword.arg not in _NON_LABEL_KWARGS
+                    )
+                )
+                sites.setdefault(name, []).append(
+                    (kind, labels, source.path, node.lineno)
+                )
+                findings.extend(
+                    self._name_findings(kind, name, source.path, node.lineno)
+                )
+        findings.extend(self._consistency_findings(sites))
+        return findings
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _instrument_call(node: ast.AST):
+        """``(kind, name_arg)`` when node is an instrument registration."""
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _INSTRUMENT_METHODS
+            and node.args
+        ):
+            return None
+        # ``time.perf_counter()`` never takes args, but keep the
+        # receiver check tight anyway: a first *positional* argument
+        # that could be a metric name (string or expression).
+        return node.func.attr, node.args[0]
+
+    def _name_findings(
+        self, kind: str, name: str, path: str, line: int
+    ) -> Iterable[Finding]:
+        def finding(message: str) -> Finding:
+            return Finding(
+                rule=self.id,
+                path=path,
+                line=line,
+                symbol=name,
+                message=message,
+            )
+
+        if not NAME_PATTERN.match(name):
+            yield finding(
+                f"{kind} name {name!r} violates the metric namespace "
+                "(must match respect_[a-z0-9_]+)"
+            )
+            return
+        if kind == "counter" and not name.endswith("_total"):
+            yield finding(
+                f"counter {name!r} must end in '_total' (Prometheus "
+                "counter convention)"
+            )
+        if kind == "histogram" and not name.endswith(_HISTOGRAM_UNITS):
+            yield finding(
+                f"histogram {name!r} must end in a unit suffix "
+                f"({' or '.join(repr(u) for u in _HISTOGRAM_UNITS)})"
+            )
+        if kind == "gauge" and name.endswith("_total"):
+            yield finding(
+                f"gauge {name!r} must not end in '_total' — that suffix "
+                "promises a monotonic counter"
+            )
+
+    def _consistency_findings(
+        self,
+        sites: Dict[str, List[Tuple[str, Tuple[str, ...], str, int]]],
+    ) -> Iterable[Finding]:
+        findings = []
+        for name, entries in sorted(sites.items()):
+            kinds = sorted({kind for kind, _, _, _ in entries})
+            if len(kinds) > 1:
+                for kind, _, path, line in entries:
+                    if kind != kinds[0]:
+                        findings.append(
+                            Finding(
+                                rule=self.id,
+                                path=path,
+                                line=line,
+                                symbol=name,
+                                message=(
+                                    f"{name!r} is registered as both "
+                                    f"{' and '.join(kinds)}; the registry "
+                                    "will refuse the second kind at "
+                                    "runtime"
+                                ),
+                            )
+                        )
+            labeled = [entry for entry in entries if entry[1]]
+            label_sets: Set[Tuple[str, ...]] = {
+                labels for _, labels, _, _ in labeled
+            }
+            if len(label_sets) > 1:
+                canonical = sorted(label_sets)[0]
+                for kind, labels, path, line in labeled:
+                    if labels != canonical:
+                        findings.append(
+                            Finding(
+                                rule=self.id,
+                                path=path,
+                                line=line,
+                                symbol=name,
+                                message=(
+                                    f"{name!r} is registered with label "
+                                    f"keys {list(labels)} here but "
+                                    f"{list(canonical)} elsewhere; one "
+                                    "name must keep one label schema"
+                                ),
+                            )
+                        )
+        return findings

@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
+from repro.errors import DeploymentError
 from repro.tpu.power import EnergyReport
 from repro.utils.stats import percentile
 
@@ -94,13 +95,13 @@ class FleetReport:
         for report in self.tenants:
             if report.tenant == name:
                 return report
-        raise KeyError(f"no tenant named {name!r} in the report")
+        raise DeploymentError(f"no tenant named {name!r} in the report")
 
     def replica(self, name: str) -> ReplicaReport:
         for report in self.replicas:
             if report.replica == name:
                 return report
-        raise KeyError(f"no replica named {name!r} in the report")
+        raise DeploymentError(f"no replica named {name!r} in the report")
 
 
 def summarize_tenant(

@@ -404,7 +404,8 @@ class AdaptationLoop:
         """Adapt on a daemon thread whenever drift is detected."""
         self.attach()
         if self._thread is None or not self._thread.is_alive():
-            self._stop = False
+            with self._lock:
+                self._stop = False
             self._thread = threading.Thread(
                 target=self._background_loop,
                 name="online-adaptation-loop",

@@ -558,7 +558,10 @@ class SchedulingService(ServingFacade):
                 span = (
                     self.telemetry.root_span(
                         "request",
-                        method=self.method_name,
+                        # Racy by design: across a concurrent hot swap
+                        # the span may carry the old or new label, both
+                        # truthful; the cache key reads under the lock.
+                        method=self.method_name,  # repro: unlocked-ok
                         fingerprint=fingerprint[:12],
                         num_stages=stages,
                     )
@@ -608,7 +611,7 @@ class SchedulingService(ServingFacade):
                 pending.waiters.append((future, graph, start, span))
                 self._inflight[key] = pending
                 self._queue.append(pending)
-                self._ensure_worker()
+                self._ensure_worker_locked()
                 self._cond.notify_all()
                 if span is not None:
                     tracer.record_span(
@@ -687,7 +690,7 @@ class SchedulingService(ServingFacade):
     # ------------------------------------------------------------------
     # worker
     # ------------------------------------------------------------------
-    def _ensure_worker(self) -> None:
+    def _ensure_worker_locked(self) -> None:
         # Caller holds self._cond.
         if self._worker is None or not self._worker.is_alive():
             self._worker = threading.Thread(
@@ -951,9 +954,15 @@ class SchedulingService(ServingFacade):
         graph: ComputationalGraph,
         cache_hit: bool,
         lookup_seconds: float = 0.0,
-        method_name: Optional[str] = None,
+        *,
+        method_name: str,
     ) -> ScheduleResult:
-        """Materialize a cached payload against the caller's graph."""
+        """Materialize a cached payload against the caller's graph.
+
+        ``method_name`` is required (callers read it under the lock at
+        submit time) so this helper never touches hot-swappable service
+        state outside a lock context.
+        """
         schedule = Schedule(graph, payload.num_stages, dict(payload.assignment))
         return ScheduleResult(
             schedule=schedule,
@@ -963,7 +972,7 @@ class SchedulingService(ServingFacade):
             status=payload.status,
             extras={
                 "cache_hit": cache_hit,
-                "service": method_name if method_name is not None else self.method_name,
+                "service": method_name,
                 "solver_seconds": payload.solve_time,
             },
         )

@@ -235,7 +235,11 @@ class DiskScheduleStore:
         self._bytes_skipped = 0
         self._read_errors = 0
         self._index_rebuilds = 0
-        self._open()
+        # Recovery mutates lock-guarded state; hold the lock for the
+        # whole replay even though __init__ publishes nothing yet (the
+        # RLock makes the *_locked helpers' contract literally true).
+        with self._lock:
+            self._open_locked()
 
     # ------------------------------------------------------------------
     # open / recovery
@@ -249,12 +253,12 @@ class DiskScheduleStore:
             if p.is_file()
         )
 
-    def _open(self) -> None:
+    def _open_locked(self) -> None:
         segments = self._segment_files()
-        positions = self._load_snapshot(segments)
+        positions = self._load_snapshot_locked(segments)
         for path in segments:
             start = positions.get(path.name, 0)
-            self._scan_segment(path, start)
+            self._scan_segment_locked(path, start)
         # Append into the newest segment (or a fresh one when none
         # exists or the newest is already over the rotation threshold).
         if segments:
@@ -267,7 +271,7 @@ class DiskScheduleStore:
                 return
         self._rotate_locked(next_index=len(segments) + 1)
 
-    def _load_snapshot(self, segments: List[Path]) -> Dict[str, int]:
+    def _load_snapshot_locked(self, segments: List[Path]) -> Dict[str, int]:
         """Adopt the index snapshot if it is consistent with the files.
 
         Returns per-segment scan positions (bytes already covered by the
@@ -330,7 +334,7 @@ class DiskScheduleStore:
             self._by_options.setdefault((key[0], key[3]), set()).add(key)
         return {name: int(covered) for name, covered in recorded.items()}
 
-    def _scan_segment(self, path: Path, start: int) -> None:
+    def _scan_segment_locked(self, path: Path, start: int) -> None:
         """Replay frames from ``start``, skipping damage, applying order.
 
         Entries insert into the index; tombstones drop every currently

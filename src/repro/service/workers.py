@@ -611,6 +611,7 @@ class DecodeWorkerPool:
                 return
             self._closed = True
             started = self._started
+            collector = self._collector
             pending = list(self._tasks.values())
             self._tasks.clear()
         for item in pending:
@@ -623,13 +624,13 @@ class DecodeWorkerPool:
         if started:
             # The collector polls at 0.2s; joining it first means no
             # thread but this one touches the pipes below.
-            if self._collector is not None:
+            if collector is not None:
                 remaining = (
                     1.0
                     if deadline is None
                     else max(0.3, deadline - time.monotonic())
                 )
-                self._collector.join(remaining)
+                collector.join(remaining)
             for worker in self._workers:
                 try:
                     worker.conn.send(None)

@@ -1,0 +1,38 @@
+"""Shared helpers for the static-analysis suite.
+
+Each fixture tree under ``fixtures/`` is a miniature repo checkout
+(``<name>/src/repro/...``) so the rules see the same repo-relative
+paths they match against in production.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.core import Project, run_project
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+
+def _load(name: str) -> Project:
+    root = FIXTURES / name
+    paths = sorted(root.rglob("*.py"))
+    assert paths, f"fixture tree {name!r} is empty"
+    return Project.load(root, paths)
+
+
+@pytest.fixture
+def load_fixture():
+    return _load
+
+
+@pytest.fixture
+def run_fixture():
+    """``run_fixture(name, rule, ...)`` -> sorted unsuppressed findings."""
+
+    def _run(name, *rules):
+        return run_project(_load(name), list(rules))
+
+    return _run

@@ -1,0 +1,14 @@
+"""Known-bad exception boundary: builtin raises crossing the surface."""
+
+
+def submit(payload):
+    if payload is None:
+        raise ValueError("payload required")
+    return payload
+
+
+class Dispatcher:
+    def dispatch(self, job):
+        if not job:
+            raise RuntimeError("empty job")
+        return job

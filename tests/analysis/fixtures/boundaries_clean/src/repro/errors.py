@@ -1,0 +1,9 @@
+"""Fixture error hierarchy mirroring repro.errors."""
+
+
+class RespectError(Exception):
+    pass
+
+
+class ServiceError(RespectError):
+    pass

@@ -1,0 +1,38 @@
+"""Known-clean exception boundary.
+
+Hierarchy raises, a local subclass, a locally-handled builtin, a
+variable re-raise, protocol builtins, and the escape hatch.
+"""
+
+from repro.errors import ServiceError
+
+
+class QueueFullError(ServiceError):
+    pass
+
+
+def submit(payload):
+    if payload is None:
+        raise ServiceError("payload required")
+    try:
+        size = int(payload["size"])
+        if size < 0:
+            raise ValueError("negative size")
+    except (KeyError, ValueError):
+        raise QueueFullError("bad payload")
+    return size
+
+
+def decode(frame):
+    try:
+        return frame.decode()
+    except UnicodeDecodeError as exc:
+        raise exc
+
+
+class Template:
+    def render(self):
+        raise NotImplementedError
+
+    def __index__(self):
+        raise TypeError("templates are not integers")  # repro: boundary-ok

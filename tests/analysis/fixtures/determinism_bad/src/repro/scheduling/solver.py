@@ -1,0 +1,20 @@
+"""Known-bad determinism: global RNG, wall clock, set-order leak."""
+
+import random
+import time
+
+
+def jitter():
+    return random.random()
+
+
+def stamp():
+    return time.time()
+
+
+def order(tags):
+    bag = set(tags)
+    out = []
+    for tag in bag:
+        out.append(tag)
+    return out

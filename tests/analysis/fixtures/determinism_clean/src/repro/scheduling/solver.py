@@ -1,0 +1,22 @@
+"""Known-clean determinism: seeded RNG, sorted sets, annotated clock."""
+
+import random
+import time
+
+
+def jitter(seed):
+    rng = random.Random(seed)
+    return rng.random()
+
+
+def order(tags):
+    bag = set(tags)
+    return sorted(bag)
+
+
+def biggest(tags):
+    return max(len(tag) for tag in set(tags))
+
+
+def deadline(budget_s):
+    return time.monotonic() + budget_s  # repro: nondeterministic-ok

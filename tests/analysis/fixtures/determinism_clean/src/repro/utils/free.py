@@ -1,0 +1,12 @@
+"""Outside every deterministic zone: ambient entropy is allowed."""
+
+import random
+import time
+
+
+def roll():
+    return random.random()
+
+
+def stamp():
+    return time.time()

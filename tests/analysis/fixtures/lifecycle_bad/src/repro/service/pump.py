@@ -1,0 +1,13 @@
+"""Known-bad lifecycle: __init__ opens resources, no release path."""
+
+import threading
+
+
+class Pump:
+    def __init__(self, source):
+        self._log = open(source)
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+
+    def _run(self):
+        pass

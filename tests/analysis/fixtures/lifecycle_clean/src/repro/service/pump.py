@@ -1,0 +1,23 @@
+"""Known-clean lifecycle: close() path, and a sanctioned hand-off."""
+
+import threading
+
+
+class Pump:
+    def __init__(self, source):
+        self._log = open(source)
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+
+    def _run(self):
+        pass
+
+    def close(self):
+        self._thread.join()
+        self._log.close()
+
+
+class FireAndForget:
+    def __init__(self, target):
+        self._thread = threading.Thread(target=target, daemon=True)  # repro: lifecycle-ok
+        self._thread.start()

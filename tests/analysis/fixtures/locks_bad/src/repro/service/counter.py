@@ -1,0 +1,24 @@
+"""Known-bad lock discipline: unlocked read + callback escape."""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0
+        self._callbacks = []
+
+    def bump(self):
+        with self._lock:
+            self._count += 1
+
+    def peek(self):
+        return self._count
+
+    def bump_later(self):
+        with self._lock:
+            def cb():
+                self._count += 1
+
+            self._callbacks.append(cb)

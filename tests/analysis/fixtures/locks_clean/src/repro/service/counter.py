@@ -1,0 +1,24 @@
+"""Known-clean lock discipline: locked accesses, a ``*_locked`` helper,
+and one deliberate racy read behind the escape hatch."""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0
+
+    def bump(self):
+        with self._lock:
+            self._count += 1
+
+    def _drain_locked(self):
+        self._count = 0
+
+    def snapshot(self):
+        with self._lock:
+            return self._count
+
+    def peek_racy(self):
+        return self._count  # repro: unlocked-ok

@@ -1,0 +1,14 @@
+"""Known-bad telemetry naming: every convention violated once."""
+
+
+def register(registry, dynamic_name):
+    registry.counter("respect_requests_total", help="requests served")
+    registry.counter("respect_drops")
+    registry.counter("Respect_Errors_total")
+    registry.gauge("respect_queue_depth_total")
+    registry.histogram("respect_latency")
+    registry.counter("respect_frame_bytes_total", shard="a")
+    registry.counter("respect_frame_bytes_total", tier="hot")
+    registry.gauge("respect_requests_total")
+    local = "respect_" + dynamic_name
+    registry.counter(local)

@@ -1,0 +1,23 @@
+"""Known-clean telemetry naming: good names, delegation, stamped labels."""
+
+
+class Facade:
+    def __init__(self, registry):
+        self.registry = registry
+
+    def counter(self, name, help="", **labels):
+        return self.registry.counter(name, help=help, **labels)
+
+    def histogram(self, name, help="", buckets=(), **labels):
+        return self.registry.histogram(
+            name, help=help, buckets=buckets, **labels
+        )
+
+
+def register(registry):
+    registry.counter("respect_requests_total", help="requests served")
+    registry.counter("respect_requests_total", shard="a")
+    registry.counter("respect_requests_total", shard="b")
+    registry.gauge("respect_queue_depth", tenant="t0")
+    registry.histogram("respect_decode_seconds", buckets=(0.1, 1.0))
+    registry.histogram("respect_frame_bytes")

@@ -1,0 +1,21 @@
+"""Known-bad wire module: renumber, reuse, removal, dropped version.
+
+Checked against a fixture freeze of KIND_A=1, KIND_B=2, KIND_C=3 with
+supported versions (1, 2).
+"""
+
+MAGIC = b"RW"
+
+KIND_A = 1
+KIND_B = 4
+KIND_D = 4
+KIND_E = 5
+
+WIRE_VERSION = 3
+SUPPORTED_WIRE_VERSIONS = (2, 3)
+
+_KIND_NAMES = {
+    KIND_A: "a",
+    KIND_B: "b",
+    KIND_D: "d",
+}

@@ -1,0 +1,22 @@
+"""Known-clean wire module: grows by adding KIND_D and version 3 only.
+
+Checked against a fixture freeze of KIND_A=1, KIND_B=2, KIND_C=3 with
+supported versions (1, 2).
+"""
+
+MAGIC = b"RW"
+
+KIND_A = 1
+KIND_B = 2
+KIND_C = 3
+KIND_D = 4
+
+WIRE_VERSION = 3
+SUPPORTED_WIRE_VERSIONS = (1, 2, 3)
+
+_KIND_NAMES = {
+    KIND_A: "a",
+    KIND_B: "b",
+    KIND_C: "c",
+    KIND_D: "d",
+}

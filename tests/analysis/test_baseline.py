@@ -1,0 +1,71 @@
+"""Baseline ledger: round-trip, gating semantics, malformed input."""
+
+import json
+
+import pytest
+
+from repro.analysis.baseline import BASELINE_VERSION, Baseline, partition
+from repro.analysis.core import Finding
+
+
+def _finding(message="m", line=1, path="p.py", rule="r"):
+    return Finding(rule=rule, path=path, line=line, message=message)
+
+
+def test_round_trip(tmp_path):
+    findings = [_finding("a"), _finding("b"), _finding("b", line=9)]
+    baseline = Baseline.from_findings(findings)
+    path = tmp_path / "baseline.json"
+    baseline.write(path)
+
+    loaded = Baseline.load(path)
+    assert loaded.entries == baseline.entries
+    assert len(loaded) == 3  # counts survive: "b" appears twice
+
+    payload = json.loads(path.read_text())
+    assert payload["version"] == BASELINE_VERSION
+    assert list(payload["findings"]) == sorted(payload["findings"])
+
+
+def test_missing_file_is_empty_baseline(tmp_path):
+    baseline = Baseline.load(tmp_path / "absent.json")
+    assert len(baseline) == 0
+
+
+def test_malformed_baseline_raises(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps({"version": 999, "findings": {}}))
+    with pytest.raises(ValueError):
+        Baseline.load(path)
+    path.write_text(
+        json.dumps({"version": 1, "findings": {"x": {"count": "two"}}})
+    )
+    with pytest.raises(ValueError):
+        Baseline.load(path)
+
+
+def test_partition_gates_only_new_findings():
+    old = _finding("accepted debt")
+    baseline = Baseline.from_findings([old])
+
+    # Same fingerprint at a different line: absorbed (line-independent).
+    moved = _finding("accepted debt", line=40)
+    new, baselined, stale = partition([moved], baseline)
+    assert new == []
+    assert baselined == [moved]
+    assert stale == []
+
+    # A second textually identical instance overflows count=1.
+    new, baselined, stale = partition([moved, old], baseline)
+    assert len(new) == 1
+    assert len(baselined) == 1
+
+    # Fixed code leaves the entry stale.
+    new, baselined, stale = partition([], baseline)
+    assert (new, baselined) == ([], [])
+    assert stale == [old.fingerprint]
+
+    # A different message is always new.
+    fresh = _finding("novel violation")
+    new, _, _ = partition([fresh], baseline)
+    assert new == [fresh]

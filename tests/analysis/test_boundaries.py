@@ -1,0 +1,56 @@
+"""Exception-boundary rule against the boundaries_* fixture trees."""
+
+from repro.analysis.rules.boundaries import ExceptionBoundaryRule
+
+
+def test_bad_fixture_flags_builtin_raises(run_fixture):
+    findings = run_fixture("boundaries_bad", ExceptionBoundaryRule())
+    assert sorted(f.symbol for f in findings) == [
+        "RuntimeError",
+        "ValueError",
+    ]
+    assert all("repro.errors" in f.message for f in findings)
+
+
+def test_clean_fixture_has_no_findings(run_fixture):
+    # Hierarchy raises, a local ServiceError subclass, a ValueError
+    # consumed by its own enclosing try, a variable re-raise,
+    # NotImplementedError, and one boundary-ok annotation: all quiet.
+    assert run_fixture("boundaries_clean", ExceptionBoundaryRule()) == []
+
+
+def test_raise_inside_handler_is_not_covered_by_its_own_try(run_fixture, tmp_path):
+    from repro.analysis.core import Project, run_project
+
+    path = tmp_path / "src" / "repro" / "service" / "x.py"
+    path.parent.mkdir(parents=True)
+    path.write_text(
+        "def f(x):\n"
+        "    try:\n"
+        "        return int(x)\n"
+        "    except ValueError:\n"
+        "        raise ValueError('still crosses the boundary')\n",
+        encoding="utf-8",
+    )
+    project = Project.load(tmp_path, [path])
+    findings = run_project(project, [ExceptionBoundaryRule()])
+    assert len(findings) == 1
+    assert findings[0].symbol == "ValueError"
+
+
+def test_except_exception_covers_subclasses(run_fixture, tmp_path):
+    from repro.analysis.core import Project, run_project
+
+    path = tmp_path / "src" / "repro" / "service" / "x.py"
+    path.parent.mkdir(parents=True)
+    path.write_text(
+        "def f(x):\n"
+        "    try:\n"
+        "        if x < 0:\n"
+        "            raise ValueError('negative')\n"
+        "    except Exception:\n"
+        "        return None\n",
+        encoding="utf-8",
+    )
+    project = Project.load(tmp_path, [path])
+    assert run_project(project, [ExceptionBoundaryRule()]) == []

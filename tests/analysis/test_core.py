@@ -1,0 +1,119 @@
+"""Framework behavior: findings, suppression mechanics, rule loading."""
+
+import pytest
+
+from repro.analysis.core import (
+    DEFAULT_RULE_MODULES,
+    Finding,
+    Project,
+    Rule,
+    SourceFile,
+    load_rules,
+    run_project,
+)
+
+
+class _EveryNameRule(Rule):
+    """Test rule: one finding per Name node (easy to place precisely)."""
+
+    id = "every-name"
+    suppression = "name"
+    description = "flags every identifier"
+
+    def check_file(self, source):
+        import ast
+
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Name):
+                yield Finding(
+                    rule=self.id,
+                    path=source.path,
+                    line=node.lineno,
+                    message=f"name {node.id!r}",
+                )
+
+
+def _project(tmp_path, files):
+    for rel, text in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text, encoding="utf-8")
+    return Project.load(tmp_path, sorted(tmp_path.rglob("*.py")))
+
+
+def test_fingerprint_is_line_independent():
+    a = Finding(rule="r", path="p.py", line=3, message="m", symbol="S")
+    b = Finding(rule="r", path="p.py", line=99, message="m", symbol="S")
+    c = Finding(rule="r", path="p.py", line=3, message="m", symbol="T")
+    assert a.fingerprint == b.fingerprint
+    assert a.fingerprint != c.fingerprint
+
+
+def test_finding_format_and_severity_validation():
+    finding = Finding(rule="r", path="a/b.py", line=7, message="boom")
+    assert finding.format() == "a/b.py:7: [r] error: boom"
+    with pytest.raises(ValueError):
+        Finding(rule="r", path="p.py", line=1, message="m", severity="fatal")
+
+
+def test_suppression_in_string_literal_does_not_count():
+    source = SourceFile(
+        "x.py", 's = "# repro: name-ok"\n'
+    )
+    assert not source.suppressed(1, "name")
+
+
+def test_suppression_comment_tokens_parse():
+    source = SourceFile("x.py", "x = 1  # repro: name-ok, other-ok\n")
+    assert source.suppressed(1, "name")
+    assert source.suppressed(1, "other")
+    assert not source.suppressed(1, "name-ok")
+
+
+def test_suppression_on_first_line_covers_continuation(tmp_path):
+    project = _project(
+        tmp_path,
+        {
+            "mod.py": (
+                "value = [  # repro: name-ok\n"
+                "    alpha,\n"
+                "    beta,\n"
+                "]\n"
+            )
+        },
+    )
+    assert run_project(project, [_EveryNameRule()]) == []
+
+
+def test_unsuppressed_findings_sorted(tmp_path):
+    project = _project(
+        tmp_path, {"b.py": "x = y\n", "a.py": "u = v\n"}
+    )
+    findings = run_project(project, [_EveryNameRule()])
+    assert [f.path for f in findings] == ["a.py", "a.py", "b.py", "b.py"]
+    assert all(f.rule == "every-name" for f in findings)
+
+
+def test_parse_error_becomes_finding(tmp_path):
+    project = _project(tmp_path, {"broken.py": "def f(:\n"})
+    findings = run_project(project, [_EveryNameRule()])
+    assert len(findings) == 1
+    assert findings[0].rule == "parse-error"
+    assert "does not parse" in findings[0].message
+
+
+def test_load_rules_default_registry():
+    rules = load_rules()
+    ids = sorted(rule.id for rule in rules)
+    assert ids == [
+        "determinism",
+        "exception-boundary",
+        "lock-discipline",
+        "resource-lifecycle",
+        "telemetry-naming",
+        "wire-compat",
+    ]
+    assert len(DEFAULT_RULE_MODULES) == len(rules)
+    for rule in rules:
+        assert rule.description
+        assert rule.suppression_token

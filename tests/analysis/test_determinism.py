@@ -1,0 +1,30 @@
+"""Determinism rule against the determinism_* fixture trees."""
+
+from repro.analysis.rules.determinism import DeterminismRule
+
+
+def test_bad_fixture_flags_rng_clock_and_set_order(run_fixture):
+    findings = run_fixture("determinism_bad", DeterminismRule())
+    messages = [f.message for f in findings]
+    assert len(findings) == 3
+    assert any("random.random" in m for m in messages)
+    assert any("host clock" in m for m in messages)
+    assert any("hash-randomized order" in m for m in messages)
+    assert all(
+        f.path == "src/repro/scheduling/solver.py" for f in findings
+    )
+
+
+def test_clean_fixture_has_no_findings(run_fixture):
+    # Seeded Random, sorted(set), max(... for ... in set) sink, and an
+    # annotated monotonic read all pass; the utils/ file sits outside
+    # every zone so its ambient entropy is not the rule's business.
+    assert run_fixture("determinism_clean", DeterminismRule()) == []
+
+
+def test_zone_override(run_fixture):
+    # Widening the zone to utils/ makes the clean tree's free.py dirty.
+    rule = DeterminismRule(zones=("src/repro/utils/",))
+    findings = run_fixture("determinism_clean", rule)
+    assert findings
+    assert all(f.path == "src/repro/utils/free.py" for f in findings)

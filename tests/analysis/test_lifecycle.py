@@ -1,0 +1,19 @@
+"""Resource-lifecycle rule against the lifecycle_* fixture trees."""
+
+from repro.analysis.rules.lifecycle import ResourceLifecycleRule
+
+
+def test_bad_fixture_flags_thread_and_file(run_fixture):
+    findings = run_fixture("lifecycle_bad", ResourceLifecycleRule())
+    assert len(findings) == 2
+    assert all(f.symbol == "Pump" for f in findings)
+    resources = " ".join(f.message for f in findings)
+    assert "thread" in resources
+    assert "file handle" in resources
+    assert all("no release path" in f.message for f in findings)
+
+
+def test_clean_fixture_has_no_findings(run_fixture):
+    # Pump gains close(); FireAndForget's daemon hand-off carries the
+    # lifecycle-ok annotation.
+    assert run_fixture("lifecycle_clean", ResourceLifecycleRule()) == []

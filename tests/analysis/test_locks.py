@@ -1,0 +1,24 @@
+"""Lock-discipline rule against the locks_* fixture trees."""
+
+from repro.analysis.rules.locks import LockDisciplineRule
+
+
+def test_bad_fixture_flags_unlocked_read_and_callback_escape(run_fixture):
+    findings = run_fixture("locks_bad", LockDisciplineRule())
+    assert [f.rule for f in findings] == ["lock-discipline"] * 2
+    by_symbol = {f.symbol: f for f in findings}
+    assert set(by_symbol) == {"Counter.peek", "Counter.bump_later"}
+    assert "read here outside any lock context" in by_symbol["Counter.peek"].message
+    # The callback body writes after the with-block exits.
+    assert "written" in by_symbol["Counter.bump_later"].message
+    assert all("self._count" in f.message for f in findings)
+
+
+def test_clean_fixture_has_no_findings(run_fixture):
+    assert run_fixture("locks_clean", LockDisciplineRule()) == []
+
+
+def test_locked_suffix_convention_counts_as_held(run_fixture):
+    # locks_clean's _drain_locked writes the guarded attribute with no
+    # with-block; zero findings proves the *_locked baseline applies.
+    assert run_fixture("locks_clean", LockDisciplineRule()) == []

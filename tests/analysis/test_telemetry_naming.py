@@ -1,0 +1,40 @@
+"""Telemetry-naming rule against the telemetry_* fixture trees."""
+
+from repro.analysis.rules.telemetry_naming import TelemetryNamingRule
+
+
+def test_bad_fixture_flags_every_convention(run_fixture):
+    findings = run_fixture("telemetry_bad", TelemetryNamingRule())
+    messages = [f.message for f in findings]
+    assert any(
+        "'respect_drops' must end in '_total'" in m for m in messages
+    )
+    assert any(
+        "'Respect_Errors_total' violates the metric namespace" in m
+        for m in messages
+    )
+    assert any(
+        "'respect_queue_depth_total' must not end in '_total'" in m
+        for m in messages
+    )
+    assert any(
+        "'respect_latency' must end in a unit suffix" in m
+        for m in messages
+    )
+    assert any(
+        "label keys ['tier'] here but ['shard'] elsewhere" in m
+        for m in messages
+    )
+    assert any(
+        "registered as both counter and gauge" in m for m in messages
+    )
+    warnings = [f for f in findings if f.severity == "warning"]
+    assert len(warnings) == 1
+    assert "non-literal counter name" in warnings[0].message
+
+
+def test_clean_fixture_has_no_findings(run_fixture):
+    # Well-formed names, a facade forwarding its ``name`` parameter
+    # (delegation, not registration), and an unlabeled site coexisting
+    # with consistent labeled ones: all quiet.
+    assert run_fixture("telemetry_clean", TelemetryNamingRule()) == []

@@ -1,0 +1,48 @@
+"""Wire-compat rule against the wire_* fixture trees."""
+
+from repro.analysis.rules.wire_compat import WireCompatRule
+
+FIXTURE_FREEZE = dict(
+    frozen_kinds={"KIND_A": 1, "KIND_B": 2, "KIND_C": 3},
+    frozen_versions=(1, 2),
+)
+
+
+def test_bad_fixture_flags_every_regression(run_fixture):
+    findings = run_fixture("wire_bad", WireCompatRule(**FIXTURE_FREEZE))
+    messages = [f.message for f in findings]
+    assert any("KIND_C" in m and "removed" in m for m in messages)
+    assert any("KIND_B" in m and "renumbered 2 -> 4" in m for m in messages)
+    assert any("value 4 is reused" in m for m in messages)
+    assert any(
+        "KIND_E is missing from _KIND_NAMES" in m for m in messages
+    )
+    assert any(
+        "version 1 was dropped" in m for m in messages
+    )
+    assert len(findings) == 5
+
+
+def test_clean_fixture_growth_is_allowed(run_fixture):
+    # Adding KIND_D and version 3 is the sanctioned evolution.
+    assert run_fixture("wire_clean", WireCompatRule(**FIXTURE_FREEZE)) == []
+
+
+def test_missing_wire_module_is_itself_a_finding(run_fixture):
+    findings = run_fixture(
+        "locks_clean", WireCompatRule(**FIXTURE_FREEZE)
+    )
+    assert len(findings) == 1
+    assert "missing from the project" in findings[0].message
+
+
+def test_real_repo_freeze_matches_wire_module():
+    # The default freeze must agree with the checked-in wire.py, or the
+    # repo-wide gate would fail; import both and compare.
+    import repro.service.wire as wire
+    from repro.analysis.rules import wire_compat
+
+    for name, value in wire_compat.FROZEN_KINDS.items():
+        assert getattr(wire, name) == value
+    for version in wire_compat.FROZEN_SUPPORTED_VERSIONS:
+        assert version in wire.SUPPORTED_WIRE_VERSIONS

@@ -1,0 +1,113 @@
+"""CLI contract of scripts/lint_repro.py: exit codes and --json shape."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+SCRIPT = REPO_ROOT / "scripts" / "lint_repro.py"
+LOCKS_BAD = "tests/analysis/fixtures/locks_bad"
+
+#: Keys every --json payload must carry (tests/tooling pins version 1).
+JSON_KEYS = {
+    "version",
+    "root",
+    "rules",
+    "files_checked",
+    "findings",
+    "new",
+    "baselined_count",
+    "stale_baseline_fingerprints",
+    "exit_code",
+}
+
+FINDING_KEYS = {
+    "rule", "path", "line", "severity", "symbol", "message", "fingerprint",
+}
+
+
+def run_lint(*args):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    return subprocess.run(
+        [sys.executable, str(SCRIPT), *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+    )
+
+
+def test_repo_gate_is_clean():
+    result = run_lint()
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
+def test_json_shape_on_clean_repo():
+    result = run_lint("--json")
+    assert result.returncode == 0, result.stderr
+    payload = json.loads(result.stdout)
+    assert set(payload) == JSON_KEYS
+    assert payload["version"] == 1
+    assert payload["exit_code"] == 0
+    assert payload["files_checked"] > 0
+    assert len(payload["rules"]) == 6
+    for rule in payload["rules"]:
+        assert set(rule) == {"id", "description"}
+
+
+def test_json_reports_violations_with_nonzero_exit():
+    result = run_lint(
+        "--json", "--no-baseline", "--rule", "lock-discipline", LOCKS_BAD
+    )
+    assert result.returncode == 1
+    payload = json.loads(result.stdout)
+    assert payload["exit_code"] == 1
+    assert payload["new"]
+    for finding in payload["new"]:
+        assert set(finding) == FINDING_KEYS
+        assert finding["rule"] == "lock-discipline"
+        assert finding["path"].startswith(LOCKS_BAD)
+
+
+def test_text_mode_flags_violations():
+    result = run_lint("--no-baseline", "--rule", "lock-discipline", LOCKS_BAD)
+    assert result.returncode == 1
+    assert "[lock-discipline]" in result.stdout
+    assert "new invariant violations" in result.stderr
+
+
+def test_update_baseline_then_gate_passes(tmp_path):
+    baseline = tmp_path / "baseline.json"
+    update = run_lint(
+        "--rule", "lock-discipline", "--baseline", str(baseline),
+        "--update-baseline", LOCKS_BAD,
+    )
+    assert update.returncode == 0
+    recorded = json.loads(baseline.read_text())
+    assert recorded["version"] == 1
+    assert recorded["findings"]
+
+    gate = run_lint(
+        "--rule", "lock-discipline", "--baseline", str(baseline), LOCKS_BAD
+    )
+    assert gate.returncode == 0, gate.stdout + gate.stderr
+    assert "baselined" in gate.stdout
+
+
+def test_unknown_rule_is_usage_error():
+    result = run_lint("--rule", "no-such-rule")
+    assert result.returncode == 2
+    assert "unknown rule id" in result.stderr
+
+
+def test_list_rules():
+    result = run_lint("--list-rules")
+    assert result.returncode == 0
+    for rule_id in (
+        "lock-discipline", "determinism", "wire-compat",
+        "exception-boundary", "telemetry-naming", "resource-lifecycle",
+    ):
+        assert rule_id in result.stdout
